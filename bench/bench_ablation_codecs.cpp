@@ -1,0 +1,72 @@
+// Ablation: codec throughput and compression ratio (google-benchmark).
+// Measures encode/decode rates of every registered codec on an S3D-like
+// value buffer — the data that backs the MLOC-COL/ISO/ISA trade-off
+// (paper §III-B-4: block/bin sizing for "compression ratio and
+// throughput").
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "compress/registry.hpp"
+#include "datagen/datagen.hpp"
+
+namespace {
+
+using namespace mloc;
+
+const std::vector<double>& sample_values() {
+  static const std::vector<double> values = [] {
+    Grid g = datagen::s3d_like(64, 20120910);
+    return std::vector<double>(g.values().begin(), g.values().end());
+  }();
+  return values;
+}
+
+void BM_Encode(benchmark::State& state, const std::string& codec_name) {
+  auto codec = make_double_codec(codec_name).value();
+  const auto& values = sample_values();
+  std::uint64_t encoded_size = 0;
+  for (auto _ : state) {
+    auto enc = codec->encode(values);
+    MLOC_CHECK(enc.is_ok());
+    encoded_size = enc.value().size();
+    benchmark::DoNotOptimize(enc.value().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 8));
+  state.counters["ratio"] =
+      static_cast<double>(values.size() * 8) /
+      static_cast<double>(encoded_size);
+}
+
+void BM_Decode(benchmark::State& state, const std::string& codec_name) {
+  auto codec = make_double_codec(codec_name).value();
+  const auto& values = sample_values();
+  const Bytes encoded = codec->encode(values).value();
+  for (auto _ : state) {
+    auto dec = codec->decode(encoded);
+    MLOC_CHECK(dec.is_ok());
+    benchmark::DoNotOptimize(dec.value().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 8));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : mloc::registered_codec_names()) {
+    benchmark::RegisterBenchmark(("encode/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Encode(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("decode/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Decode(s, name);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 7: value-query performance (10% region
+// selectivity, large datasets) as the MPI process count grows 8 -> 128.
+// Expected shape: decompression/reconstruction scale down with ranks; the
+// I/O component stops improving once the OSTs saturate (contention), so
+// the total levels off — and effective throughput approaches the array's
+// aggregate bandwidth.
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+
+using namespace mloc;
+using namespace mloc::bench;
+
+int main() {
+  const ScaleConfig cfg = scale_from_env();
+  const int queries = std::max(2, cfg.queries_per_cell / 8);
+  std::printf("Fig. 7 reproduction — scalability of value queries (10%%),"
+              " %d queries per point\n", queries);
+
+  const Dataset gts = make_gts(true, cfg);
+  const Dataset s3d = make_s3d(true, cfg);
+
+  for (const Dataset* ds : {&gts, &s3d}) {
+    pfs::PfsStorage fs(default_pfs());
+    auto store = build_mloc(&fs, "f7", *ds, kMlocCol);
+    MLOC_CHECK_MSG(store.is_ok(), store.status().to_string().c_str());
+
+    TablePrinter table(
+        std::string("Fig 7: value query (10%) on ") + ds->label +
+            " vs process count",
+        {"I/O (s)", "Decompress (s)", "Reconstruct (s)", "Total (s)",
+         "Throughput (MB/s)"});
+    for (int ranks : {8, 16, 32, 64, 128}) {
+      Rng rng(cfg.seed + 71);  // same query sequence for every rank count
+      ComponentTimes sum;
+      std::uint64_t bytes = 0;
+      for (int i = 0; i < queries; ++i) {
+        Query q;
+        q.sc = datagen::random_sc(ds->grid.shape(), 0.10, rng);
+        auto res = store.value().execute("v", q, ranks);
+        MLOC_CHECK(res.is_ok());
+        sum += res.value().times;
+        bytes += res.value().bytes_read;
+      }
+      sum /= queries;
+      const double throughput =
+          static_cast<double>(bytes / queries) / sum.total() / 1e6;
+      table.add_row(std::to_string(ranks) + " procs",
+                    {sum.io, sum.decompress, sum.reconstruct, sum.total(),
+                     throughput},
+                    "%.4f");
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nPaper Fig. 7 shape: decompression+reconstruction shrink with more"
+      " processes;\nI/O saturates (contention); MLOC reaches ~2 GB/s at 128"
+      " procs on their array\n(our emulated array saturates at its own"
+      " aggregate bandwidth, 8 x 50 MB/s).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Table VII: effect of the level-order permutation —
+// V-M-S vs V-S-M — on value-retrieval access (1% selectivity, large S3D)
+// at 3-byte PLoD and at full precision. Expected shape: V-M-S wins the
+// low-PLoD access (byte groups contiguous bin-wide); V-S-M wins
+// full-precision access (each fragment's groups adjacent); both remain
+// within a modest factor of each other (the flexibility claim).
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+
+using namespace mloc;
+using namespace mloc::bench;
+
+int main() {
+  const ScaleConfig cfg = scale_from_env();
+  const int queries = std::max(3, cfg.queries_per_cell / 4);
+  std::printf("Table VII reproduction — optimization order, %d queries"
+              " per cell\n", queries);
+
+  const Dataset s3d = make_s3d(true, cfg);
+  constexpr int kRanks = 8;
+
+  TablePrinter table(
+      "Table VII: value retrieval (10%) on S3D-large, order comparison (s)",
+      {"3-byte PLoD access", "Full-precision access"});
+
+  for (const auto& [label, order] :
+       std::vector<std::pair<std::string, LevelOrder>>{
+           {"V-M-S order", LevelOrder::kVMS},
+           {"V-S-M order", LevelOrder::kVSM}}) {
+    pfs::PfsStorage fs(default_pfs());
+    auto store = build_mloc(&fs, "t7", s3d, kMlocCol, order);
+    MLOC_CHECK_MSG(store.is_ok(), store.status().to_string().c_str());
+
+    // Selectivity note: the paper's 1% of 512 GB covers dozens of chunks
+    // per bin (the regime where V-M-S's bin-contiguous byte groups pay
+    // off). At this reproduction's scale, 1% touches only 1-2 chunks, so
+    // 10% is used to reproduce the same fragments-per-bin regime.
+    std::vector<double> cells;
+    for (int level : {2, 7}) {
+      Rng rng(cfg.seed + 91);  // identical queries for both orders
+      double total = 0;
+      for (int i = 0; i < queries; ++i) {
+        Query q;
+        q.sc = datagen::random_sc(s3d.grid.shape(), 0.10, rng);
+        q.plod_level = level;
+        auto res = store.value().execute("v", q, kRanks);
+        MLOC_CHECK(res.is_ok());
+        total += res.value().times.total();
+      }
+      cells.push_back(total / queries);
+    }
+    table.add_row(label, cells, "%.3f");
+  }
+
+  table.print();
+  std::printf(
+      "\nPaper Table VII (s): V-M-S 19.45 / 39.34; V-S-M 23.70 / 35.47 —"
+      "\nV-M-S wins 3-byte access, V-S-M wins full precision, both within"
+      " ~20%%.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared benchmark harness: dataset-scale configuration, paper-style table
+// printing, dataset and store builders used by every bench_table*/bench_fig*
+// binary.
+//
+// Scale note (DESIGN.md §4): the paper's "8 GB" datasets map to a 32 MB
+// class and "512 GB" to a 128 MB class by default; MLOC_SCALE multiplies
+// the element count. Absolute times come from the PFS cost model plus
+// measured CPU — compare shapes/ratios with the paper, not seconds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/grid.hpp"
+#include "baselines/fastbit_like.hpp"
+#include "baselines/scidb_like.hpp"
+#include "baselines/seqscan.hpp"
+#include "core/store.hpp"
+#include "datagen/datagen.hpp"
+#include "pfs/pfs.hpp"
+
+namespace mloc::bench {
+
+/// Experiment scale knobs, read from the environment.
+struct ScaleConfig {
+  double scale = 1.0;        ///< MLOC_SCALE: dataset volume multiplier
+  int queries_per_cell = 20; ///< MLOC_QUERIES: queries averaged per cell
+  std::uint64_t seed = 20120910;  ///< MLOC_SEED
+};
+
+ScaleConfig scale_from_env();
+
+/// One benchmark dataset: the grid, its chunking, and a display label.
+struct Dataset {
+  Grid grid;
+  NDShape chunk;
+  std::string label;
+};
+
+/// GTS-like 2-D dataset. Paper: 8 GB = 32768^2 chunked 2048^2 (and 512 GB
+/// replication). Here: small = 2048^2 (32 MB) chunk 256^2; large = 4096^2
+/// (128 MB) chunk 512^2; MLOC_SCALE multiplies the element count.
+Dataset make_gts(bool large, const ScaleConfig& cfg);
+
+/// S3D-like 3-D dataset. Paper: 8 GB = 1024^3 chunked 128^3. Here:
+/// small = 128^3 (16 MB) chunk 32^3; large = 256^3 (128 MB) chunk 64^3.
+Dataset make_s3d(bool large, const ScaleConfig& cfg);
+
+/// The three MLOC configurations of §IV-A-2.
+inline const char* kMlocCol = "mzip";           // MLOC-COL: byte columns
+inline const char* kMlocIso = "isobar";         // MLOC-ISO: lossless FP
+inline const char* kMlocIsa = "isabela:0.01";   // MLOC-ISA: lossy
+
+/// Build an MLOC store over `ds` with 100 equal-frequency bins.
+Result<MlocStore> build_mloc(pfs::PfsStorage* fs, const std::string& name,
+                             const Dataset& ds, const std::string& codec,
+                             LevelOrder order = LevelOrder::kVMS,
+                             sfc::CurveKind curve = sfc::CurveKind::kHilbert,
+                             int num_bins = 100);
+
+/// Default PFS the experiments run on (8 OSTs, 1 MiB stripes).
+pfs::PfsConfig default_pfs();
+
+/// Fixed-width table printer matching the paper's row/column layout.
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  void add_row(const std::string& label, const std::vector<double>& cells,
+               const char* fmt = "%.2f");
+  void add_text_row(const std::string& label,
+                    const std::vector<std::string>& cells);
+
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Bytes -> "X.XX GB/MB/KB" for storage tables.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace mloc::bench

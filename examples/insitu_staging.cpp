@@ -1,0 +1,65 @@
+// In-situ staging of a running "simulation" (paper contribution 4): time
+// steps are handed to the MLOC pipeline asynchronously while the solver
+// keeps computing; afterwards a spatio-temporal query tracks a feature
+// (hot region) across the staged steps.
+//
+//   $ ./examples/insitu_staging
+#include <cstdio>
+
+#include "datagen/datagen.hpp"
+#include "staging/staging.hpp"
+#include "util/timer.hpp"
+
+using namespace mloc;
+
+int main() {
+  std::printf("in-situ staging of 8 simulation time steps\n");
+  constexpr std::uint32_t kEdge = 256;
+  constexpr std::uint64_t kSteps = 8;
+
+  pfs::PfsStorage fs;
+  MlocConfig cfg;
+  cfg.shape = NDShape{kEdge, kEdge};
+  cfg.chunk_shape = NDShape{64, 64};
+  cfg.num_bins = 32;
+  cfg.codec = "isobar";
+  auto store = MlocStore::create(&fs, "sim", cfg);
+  MLOC_CHECK(store.is_ok());
+
+  Stopwatch wall;
+  {
+    staging::StagingPipeline pipeline(&store.value(), {.queue_capacity = 2});
+    for (std::uint64_t t = 0; t < kSteps; ++t) {
+      // The "solver": produce the next step (seed advances the flow).
+      Grid step = datagen::gts_like(kEdge, 1000 + t);
+      MLOC_CHECK(pipeline.submit("potential", t, std::move(step)).is_ok());
+    }
+    MLOC_CHECK(pipeline.finish().is_ok());
+    const auto stats = pipeline.stats();
+    std::printf(
+        "  staged %llu steps (%.1f MB raw) in %.2fs wall; staging thread"
+        " busy %.2fs,\n  producer blocked %.2fs (backpressure)\n",
+        static_cast<unsigned long long>(stats.steps_staged),
+        static_cast<double>(stats.bytes_in) / 1e6, wall.seconds(),
+        stats.staging_seconds, stats.producer_wait_seconds);
+  }
+  std::printf("  store now holds %zu variables, %.1f MB data + %.1f MB"
+              " index\n",
+              store.value().variables().size(),
+              static_cast<double>(store.value().data_bytes()) / 1e6,
+              static_cast<double>(store.value().index_bytes()) / 1e6);
+
+  // Spatio-temporal exploration: how does the hot region evolve?
+  Query q;
+  q.vc = ValueConstraint{0.8, 1e9};
+  q.values_needed = false;
+  auto series = staging::query_time_range(store.value(), "potential", 0,
+                                          kSteps - 1, q, 4);
+  MLOC_CHECK(series.is_ok());
+  std::printf("  cells with potential > 0.8 per step:");
+  for (const auto& res : series.value()) {
+    std::printf(" %zu", res.positions.size());
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "analytics/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mloc::analytics {
+
+int Histogram::bin_of(double v) const noexcept {
+  if (counts.empty()) return 0;
+  if (!(hi > lo)) return 0;
+  const double t = (v - lo) / (hi - lo) * static_cast<double>(counts.size());
+  const auto b = static_cast<std::int64_t>(std::floor(t));
+  if (b < 0) return 0;
+  if (b >= static_cast<std::int64_t>(counts.size())) {
+    return static_cast<int>(counts.size()) - 1;
+  }
+  return static_cast<int>(b);
+}
+
+Histogram build_histogram(std::span<const double> values, int bins) {
+  MLOC_CHECK(bins >= 1);
+  Histogram h;
+  h.counts.assign(bins, 0);
+  if (values.empty()) return h;
+  h.lo = values[0];
+  h.hi = values[0];
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    h.lo = std::min(h.lo, v);
+    h.hi = std::max(h.hi, v);
+  }
+  if (!(h.hi > h.lo)) h.hi = h.lo + 1.0;
+  for (double v : values) ++h.counts[h.bin_of(v)];
+  return h;
+}
+
+double histogram_error(const Histogram& reference,
+                       std::span<const double> original,
+                       std::span<const double> degraded) {
+  MLOC_CHECK(original.size() == degraded.size());
+  if (original.empty()) return 0.0;
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (reference.bin_of(original[i]) != reference.bin_of(degraded[i])) {
+      ++moved;
+    }
+  }
+  return static_cast<double>(moved) / static_cast<double>(original.size());
+}
+
+KMeansResult kmeans(std::span<const double> points, int dims, int k,
+                    int max_iters, Rng& rng) {
+  MLOC_CHECK(dims >= 1 && k >= 1 && max_iters >= 1);
+  MLOC_CHECK(points.size() % static_cast<std::size_t>(dims) == 0);
+  const std::size_t n = points.size() / static_cast<std::size_t>(dims);
+  MLOC_CHECK(n >= static_cast<std::size_t>(k));
+
+  KMeansResult out;
+  out.centroids.assign(k, std::vector<double>(dims, 0.0));
+  // Initial centroids: k distinct random points.
+  std::vector<std::size_t> chosen;
+  while (chosen.size() < static_cast<std::size_t>(k)) {
+    const std::size_t cand = rng.next_below(n);
+    if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) {
+      chosen.push_back(cand);
+    }
+  }
+  for (int c = 0; c < k; ++c) {
+    for (int d = 0; d < dims; ++d) {
+      out.centroids[c][d] = points[chosen[c] * dims + d];
+    }
+  }
+
+  out.assignment.assign(n, 0);
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+  std::vector<std::uint64_t> sizes(k, 0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    out.inertia = 0.0;
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(sizes.begin(), sizes.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d2 = 0.0;
+        for (int d = 0; d < dims; ++d) {
+          const double delta = points[i * dims + d] - out.centroids[c][d];
+          d2 += delta * delta;
+        }
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (out.assignment[i] != static_cast<std::uint32_t>(best)) {
+        changed = true;
+        out.assignment[i] = static_cast<std::uint32_t>(best);
+      }
+      out.inertia += best_d2;
+      ++sizes[best];
+      for (int d = 0; d < dims; ++d) {
+        sums[best][d] += points[i * dims + d];
+      }
+    }
+    out.iterations = iter + 1;
+    for (int c = 0; c < k; ++c) {
+      if (sizes[c] == 0) continue;  // empty cluster keeps its centroid
+      for (int d = 0; d < dims; ++d) {
+        out.centroids[c][d] = sums[c][d] / static_cast<double>(sizes[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+  return out;
+}
+
+double kmeans_misclassification(std::span<const double> original,
+                                std::span<const double> degraded, int dims,
+                                int k, int max_iters, std::uint64_t seed) {
+  MLOC_CHECK(original.size() == degraded.size());
+  Rng rng_a(seed);
+  Rng rng_b(seed);  // identical seeding: cluster indices stay comparable
+  const KMeansResult a = kmeans(original, dims, k, max_iters, rng_a);
+  const KMeansResult b = kmeans(degraded, dims, k, max_iters, rng_b);
+  const std::size_t n = a.assignment.size();
+  if (n == 0) return 0.0;
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.assignment[i] != b.assignment[i]) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(n);
+}
+
+Stats compute_stats(std::span<const double> values) {
+  Stats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(values.size());
+  return s;
+}
+
+double max_relative_error(std::span<const double> original,
+                          std::span<const double> degraded) {
+  MLOC_CHECK(original.size() == degraded.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double denom = std::abs(original[i]);
+    const double err = std::abs(original[i] - degraded[i]);
+    worst = std::max(worst, denom > 0 ? err / denom : err);
+  }
+  return worst;
+}
+
+}  // namespace mloc::analytics

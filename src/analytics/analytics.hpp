@@ -1,0 +1,77 @@
+// Analytics kernels used by the paper's accuracy evaluation (§IV-D-2,
+// Table VI): equal-width histogram construction and K-means clustering,
+// plus the error metrics comparing PLoD-degraded data against originals.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace mloc::analytics {
+
+// ------------------------------------------------------------- histogram
+
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;  ///< values outside [lo, hi) clamp to the edge bins
+  std::vector<std::uint64_t> counts;
+
+  [[nodiscard]] int num_bins() const noexcept {
+    return static_cast<int>(counts.size());
+  }
+  /// Bin of a value under this histogram's fixed boundaries.
+  [[nodiscard]] int bin_of(double v) const noexcept;
+};
+
+/// Equal-width histogram with `bins` bins spanning [min, max] of `values`.
+Histogram build_histogram(std::span<const double> values, int bins);
+
+/// Paper's histogram error: fraction of points that fall into a different
+/// bin than their counterpart, using boundaries fixed from the originals.
+double histogram_error(const Histogram& reference,
+                       std::span<const double> original,
+                       std::span<const double> degraded);
+
+// --------------------------------------------------------------- K-means
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k x dims
+  std::vector<std::uint32_t> assignment;       ///< per point
+  int iterations = 0;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+};
+
+/// Lloyd's algorithm on row-major points (n x dims). Deterministic given
+/// the rng (random initial centroids drawn from the points).
+KMeansResult kmeans(std::span<const double> points, int dims, int k,
+                    int max_iters, Rng& rng);
+
+/// Paper's K-means error: run clustering on original and degraded data
+/// from identical initial centroids; return the fraction of points
+/// assigned to different clusters (clusters matched by centroid index —
+/// identical seeding keeps indices comparable).
+double kmeans_misclassification(std::span<const double> original,
+                                std::span<const double> degraded, int dims,
+                                int k, int max_iters, std::uint64_t seed);
+
+// ------------------------------------------------------------ statistics
+
+struct Stats {
+  double mean = 0.0;
+  double variance = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t count = 0;
+};
+
+Stats compute_stats(std::span<const double> values);
+
+/// Max point-wise relative error between two equal-length vectors
+/// (|a-b| / |a|, zeros compared absolutely).
+double max_relative_error(std::span<const double> original,
+                          std::span<const double> degraded);
+
+}  // namespace mloc::analytics

@@ -1,0 +1,60 @@
+#include "array/chunking.hpp"
+
+#include <algorithm>
+
+namespace mloc {
+
+ChunkGrid::ChunkGrid(NDShape array_shape, NDShape chunk_shape)
+    : array_(array_shape), chunk_(chunk_shape) {
+  MLOC_CHECK(array_.ndims() == chunk_.ndims());
+  Coord lattice{};
+  for (int d = 0; d < array_.ndims(); ++d) {
+    MLOC_CHECK(chunk_.extent(d) > 0);
+    lattice[d] = (array_.extent(d) + chunk_.extent(d) - 1) / chunk_.extent(d);
+  }
+  lattice_ = NDShape(array_.ndims(), lattice);
+}
+
+Region ChunkGrid::chunk_region(ChunkId id) const noexcept {
+  const Coord cc = chunk_coord(id);
+  Coord lo{};
+  Coord hi{};
+  for (int d = 0; d < array_.ndims(); ++d) {
+    lo[d] = cc[d] * chunk_.extent(d);
+    hi[d] = std::min<std::uint32_t>(lo[d] + chunk_.extent(d), array_.extent(d));
+  }
+  return {array_.ndims(), lo, hi};
+}
+
+ChunkId ChunkGrid::chunk_of(const Coord& element) const noexcept {
+  Coord cc{};
+  for (int d = 0; d < array_.ndims(); ++d) {
+    MLOC_DCHECK(element[d] < array_.extent(d));
+    cc[d] = element[d] / chunk_.extent(d);
+  }
+  return chunk_id(cc);
+}
+
+std::vector<ChunkId> ChunkGrid::chunks_overlapping(const Region& query) const {
+  MLOC_CHECK(query.ndims() == array_.ndims());
+  Coord lo{};
+  Coord hi{};
+  for (int d = 0; d < array_.ndims(); ++d) {
+    if (query.lo(d) >= array_.extent(d) || query.lo(d) >= query.hi(d)) {
+      return {};
+    }
+    lo[d] = query.lo(d) / chunk_.extent(d);
+    const std::uint32_t last_elem =
+        std::min<std::uint32_t>(query.hi(d), array_.extent(d)) - 1;
+    hi[d] = last_elem / chunk_.extent(d) + 1;
+  }
+  std::vector<ChunkId> out;
+  const Region lattice_box(array_.ndims(), lo, hi);
+  out.reserve(lattice_box.volume());
+  lattice_box.for_each(
+      [&](const Coord& cc) { out.push_back(chunk_id(cc)); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mloc

@@ -1,0 +1,44 @@
+#include "array/grid.hpp"
+
+namespace mloc {
+
+std::vector<double> Grid::extract(const Region& region) const {
+  MLOC_CHECK(region.ndims() == shape_.ndims());
+  MLOC_CHECK(Region::whole(shape_).contains(region));
+  std::vector<double> out;
+  out.reserve(region.volume());
+  // Copy whole innermost-dimension runs at a time: each run is contiguous
+  // in the row-major backing array.
+  const int last = shape_.ndims() - 1;
+  const std::uint32_t run = region.extent(last);
+  if (run == 0) return out;
+  Region outer = region;  // iterate all dims but the last
+  Coord hi = region.hi();
+  hi[last] = region.lo(last) + 1;
+  outer = Region(region.ndims(), region.lo(), hi);
+  outer.for_each([&](const Coord& c) {
+    const std::uint64_t base = shape_.linearize(c);
+    out.insert(out.end(), data_.begin() + static_cast<std::ptrdiff_t>(base),
+               data_.begin() + static_cast<std::ptrdiff_t>(base + run));
+  });
+  return out;
+}
+
+void Grid::insert(const Region& region, std::span<const double> values) {
+  MLOC_CHECK(region.ndims() == shape_.ndims());
+  MLOC_CHECK(Region::whole(shape_).contains(region));
+  MLOC_CHECK(values.size() == region.volume());
+  const int last = shape_.ndims() - 1;
+  const std::uint32_t run = region.extent(last);
+  if (run == 0) return;
+  Coord hi = region.hi();
+  hi[last] = region.lo(last) + 1;
+  const Region outer(region.ndims(), region.lo(), hi);
+  std::size_t src = 0;
+  outer.for_each([&](const Coord& c) {
+    const std::uint64_t base = shape_.linearize(c);
+    for (std::uint32_t i = 0; i < run; ++i) data_[base + i] = values[src++];
+  });
+}
+
+}  // namespace mloc

@@ -1,0 +1,54 @@
+// Dense row-major grid of doubles — MLOC's in-memory representation of one
+// variable at one time step (the unit that gets ingested into a store).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "array/region.hpp"
+#include "array/shape.hpp"
+
+namespace mloc {
+
+class Grid {
+ public:
+  Grid() = default;
+  explicit Grid(NDShape shape)
+      : shape_(shape), data_(shape.volume(), 0.0) {}
+  Grid(NDShape shape, std::vector<double> data)
+      : shape_(shape), data_(std::move(data)) {
+    MLOC_CHECK(data_.size() == shape_.volume());
+  }
+
+  [[nodiscard]] const NDShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return data_.size(); }
+
+  [[nodiscard]] double at(const Coord& c) const noexcept {
+    return data_[shape_.linearize(c)];
+  }
+  double& at(const Coord& c) noexcept { return data_[shape_.linearize(c)]; }
+
+  [[nodiscard]] double at_linear(std::uint64_t off) const noexcept {
+    MLOC_DCHECK(off < data_.size());
+    return data_[off];
+  }
+  double& at_linear(std::uint64_t off) noexcept {
+    MLOC_DCHECK(off < data_.size());
+    return data_[off];
+  }
+
+  [[nodiscard]] std::span<const double> values() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> values() noexcept { return data_; }
+
+  /// Copy out the values inside `region`, row-major within the region.
+  [[nodiscard]] std::vector<double> extract(const Region& region) const;
+
+  /// Write `values` (region-row-major) into `region` of this grid.
+  void insert(const Region& region, std::span<const double> values);
+
+ private:
+  NDShape shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace mloc

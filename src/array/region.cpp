@@ -1,0 +1,28 @@
+#include "array/region.hpp"
+
+#include <algorithm>
+
+namespace mloc {
+
+Region Region::intersection(const Region& other) const noexcept {
+  MLOC_DCHECK(other.ndims_ == ndims_);
+  Region out;
+  out.ndims_ = ndims_;
+  for (int d = 0; d < ndims_; ++d) {
+    out.lo_[d] = std::max(lo_[d], other.lo_[d]);
+    out.hi_[d] = std::max(out.lo_[d], std::min(hi_[d], other.hi_[d]));
+  }
+  return out;
+}
+
+std::string Region::to_string() const {
+  std::string out = "{";
+  for (int d = 0; d < ndims_; ++d) {
+    if (d) out += ", ";
+    out += "[" + std::to_string(lo_[d]) + "," + std::to_string(hi_[d]) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mloc

@@ -1,0 +1,110 @@
+// Axis-aligned hyper-rectangles ("regions") — the spatial-constraint (SC)
+// primitive of every MLOC query. A Region is a half-open box [lo, hi) per
+// dimension, in grid coordinates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "array/shape.hpp"
+
+namespace mloc {
+
+class Region {
+ public:
+  Region() = default;
+
+  /// Box [lo, hi) per dimension. Precondition: lo[d] <= hi[d].
+  Region(int ndims, const Coord& lo, const Coord& hi) : ndims_(ndims), lo_(lo), hi_(hi) {
+    MLOC_CHECK(ndims >= 1 && ndims <= NDShape::kMaxDims);
+    for (int d = 0; d < ndims; ++d) MLOC_CHECK(lo[d] <= hi[d]);
+  }
+
+  /// The full extent of `shape`.
+  static Region whole(const NDShape& shape) {
+    Coord lo{};
+    return {shape.ndims(), lo, shape.extents()};
+  }
+
+  [[nodiscard]] int ndims() const noexcept { return ndims_; }
+  [[nodiscard]] std::uint32_t lo(int d) const noexcept { return lo_[d]; }
+  [[nodiscard]] std::uint32_t hi(int d) const noexcept { return hi_[d]; }
+  [[nodiscard]] const Coord& lo() const noexcept { return lo_; }
+  [[nodiscard]] const Coord& hi() const noexcept { return hi_; }
+  [[nodiscard]] std::uint32_t extent(int d) const noexcept {
+    return hi_[d] - lo_[d];
+  }
+
+  [[nodiscard]] std::uint64_t volume() const noexcept {
+    std::uint64_t v = 1;
+    for (int d = 0; d < ndims_; ++d) v *= hi_[d] - lo_[d];
+    return v;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    for (int d = 0; d < ndims_; ++d) {
+      if (lo_[d] >= hi_[d]) return true;
+    }
+    return ndims_ == 0;
+  }
+
+  [[nodiscard]] bool contains(const Coord& c) const noexcept {
+    for (int d = 0; d < ndims_; ++d) {
+      if (c[d] < lo_[d] || c[d] >= hi_[d]) return false;
+    }
+    return true;
+  }
+
+  /// True when `other` lies entirely inside this region.
+  [[nodiscard]] bool contains(const Region& other) const noexcept {
+    MLOC_DCHECK(other.ndims_ == ndims_);
+    for (int d = 0; d < ndims_; ++d) {
+      if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool intersects(const Region& other) const noexcept {
+    MLOC_DCHECK(other.ndims_ == ndims_);
+    for (int d = 0; d < ndims_; ++d) {
+      if (other.hi_[d] <= lo_[d] || other.lo_[d] >= hi_[d]) return false;
+    }
+    return true;
+  }
+
+  /// Component-wise intersection (possibly empty).
+  [[nodiscard]] Region intersection(const Region& other) const noexcept;
+
+  [[nodiscard]] bool operator==(const Region& o) const noexcept {
+    if (ndims_ != o.ndims_) return false;
+    for (int d = 0; d < ndims_; ++d) {
+      if (lo_[d] != o.lo_[d] || hi_[d] != o.hi_[d]) return false;
+    }
+    return true;
+  }
+
+  /// Invoke fn(coord) for every grid point in the region, row-major order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (empty()) return;
+    Coord c = lo_;
+    while (true) {
+      fn(static_cast<const Coord&>(c));
+      int d = ndims_ - 1;
+      while (d >= 0) {
+        if (++c[d] < hi_[d]) break;
+        c[d] = lo_[d];
+        --d;
+      }
+      if (d < 0) return;
+    }
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int ndims_ = 0;
+  Coord lo_{};
+  Coord hi_{};
+};
+
+}  // namespace mloc

@@ -1,0 +1,15 @@
+#include "array/shape.hpp"
+
+namespace mloc {
+
+std::string NDShape::to_string() const {
+  std::string out = "[";
+  for (int d = 0; d < ndims_; ++d) {
+    if (d) out += "x";
+    out += std::to_string(extent_[d]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mloc

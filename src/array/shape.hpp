@@ -1,0 +1,104 @@
+// N-dimensional shapes and coordinate arithmetic.
+//
+// Scientific arrays in MLOC are dense row-major grids of up to kMaxDims
+// dimensions (the paper uses 2-D GTS and 3-D S3D data). NDShape stores the
+// extents inline (no allocation) because coordinate <-> offset conversion
+// sits on per-element hot paths in filtering and reconstruction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace mloc {
+
+using Coord = std::array<std::uint32_t, 4>;
+
+class NDShape {
+ public:
+  static constexpr int kMaxDims = 4;
+
+  NDShape() = default;
+  NDShape(std::initializer_list<std::uint32_t> extents) {
+    MLOC_CHECK(extents.size() >= 1 &&
+               extents.size() <= static_cast<std::size_t>(kMaxDims));
+    ndims_ = static_cast<int>(extents.size());
+    int i = 0;
+    for (auto e : extents) extent_[i++] = e;
+    recompute_strides();
+  }
+  NDShape(int ndims, const Coord& extents) : ndims_(ndims) {
+    MLOC_CHECK(ndims >= 1 && ndims <= kMaxDims);
+    extent_ = extents;
+    recompute_strides();
+  }
+
+  [[nodiscard]] int ndims() const noexcept { return ndims_; }
+  [[nodiscard]] std::uint32_t extent(int dim) const noexcept {
+    MLOC_DCHECK(dim >= 0 && dim < ndims_);
+    return extent_[dim];
+  }
+  [[nodiscard]] const Coord& extents() const noexcept { return extent_; }
+
+  /// Total number of elements.
+  [[nodiscard]] std::uint64_t volume() const noexcept {
+    std::uint64_t v = 1;
+    for (int d = 0; d < ndims_; ++d) v *= extent_[d];
+    return v;
+  }
+
+  /// Row-major linear offset of a coordinate (last dim fastest).
+  [[nodiscard]] std::uint64_t linearize(const Coord& c) const noexcept {
+    std::uint64_t off = 0;
+    for (int d = 0; d < ndims_; ++d) {
+      MLOC_DCHECK(c[d] < extent_[d]);
+      off += static_cast<std::uint64_t>(c[d]) * stride_[d];
+    }
+    return off;
+  }
+
+  /// Inverse of linearize.
+  [[nodiscard]] Coord delinearize(std::uint64_t off) const noexcept {
+    Coord c{};
+    for (int d = 0; d < ndims_; ++d) {
+      c[d] = static_cast<std::uint32_t>(off / stride_[d]);
+      off %= stride_[d];
+    }
+    return c;
+  }
+
+  [[nodiscard]] bool contains(const Coord& c) const noexcept {
+    for (int d = 0; d < ndims_; ++d) {
+      if (c[d] >= extent_[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool operator==(const NDShape& o) const noexcept {
+    if (ndims_ != o.ndims_) return false;
+    for (int d = 0; d < ndims_; ++d) {
+      if (extent_[d] != o.extent_[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void recompute_strides() noexcept {
+    std::uint64_t s = 1;
+    for (int d = ndims_ - 1; d >= 0; --d) {
+      stride_[d] = s;
+      s *= extent_[d];
+    }
+  }
+
+  int ndims_ = 0;
+  Coord extent_{};
+  std::array<std::uint64_t, 4> stride_{};
+};
+
+}  // namespace mloc

@@ -1,0 +1,43 @@
+// Sequential-scan baseline (paper §IV-A-2).
+//
+// The dataset is linearized row-major into a single raw file. Value
+// constraints require scanning the whole file; spatial constraints are
+// served by computing file offsets from the multi-dimensional coordinates
+// (one extent per innermost-dimension run, coalesced by the PFS model).
+#pragma once
+
+#include <string>
+
+#include "array/grid.hpp"
+#include "pfs/pfs.hpp"
+#include "query/query.hpp"
+
+namespace mloc::baselines {
+
+class SeqScanStore {
+ public:
+  /// Write `grid` as raw row-major doubles into file `<name>.raw`.
+  static Result<SeqScanStore> create(pfs::PfsStorage* fs, std::string name,
+                                     const Grid& grid);
+  static Result<SeqScanStore> open(pfs::PfsStorage* fs,
+                                   const std::string& name, NDShape shape);
+
+  /// Region query (VC): full scan, positions (and values if requested).
+  [[nodiscard]] Result<QueryResult> region_query(ValueConstraint vc,
+                                                 bool values_needed,
+                                                 int num_ranks = 1) const;
+
+  /// Value query (SC): offset-computed partial reads.
+  [[nodiscard]] Result<QueryResult> value_query(const Region& sc,
+                                                int num_ranks = 1) const;
+
+  [[nodiscard]] std::uint64_t data_bytes() const;
+
+ private:
+  SeqScanStore() = default;
+  pfs::PfsStorage* fs_ = nullptr;
+  pfs::FileId file_ = 0;
+  NDShape shape_;
+};
+
+}  // namespace mloc::baselines

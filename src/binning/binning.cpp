@@ -1,0 +1,111 @@
+#include "binning/binning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mloc {
+
+BinningScheme BinningScheme::equal_frequency(std::span<const double> sample,
+                                             int num_bins) {
+  MLOC_CHECK(num_bins >= 1);
+  MLOC_CHECK(!sample.empty());
+  std::vector<double> sorted;
+  sorted.reserve(sample.size());
+  for (double v : sample) {
+    if (!std::isnan(v)) sorted.push_back(v);
+  }
+  if (sorted.empty()) sorted.push_back(0.0);
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<double> interior;
+  interior.reserve(num_bins - 1);
+  for (int b = 1; b < num_bins; ++b) {
+    const std::size_t idx = (sorted.size() * static_cast<std::size_t>(b)) /
+                            static_cast<std::size_t>(num_bins);
+    const double boundary = sorted[std::min(idx, sorted.size() - 1)];
+    // Strictly increasing boundaries: heavy ties collapse bins rather than
+    // create empty intervals.
+    if (interior.empty() || boundary > interior.back()) {
+      interior.push_back(boundary);
+    }
+  }
+  return BinningScheme(std::move(interior));
+}
+
+BinningScheme BinningScheme::equal_width(double lo, double hi, int num_bins) {
+  MLOC_CHECK(num_bins >= 1);
+  MLOC_CHECK(lo < hi);
+  std::vector<double> interior;
+  interior.reserve(num_bins - 1);
+  for (int b = 1; b < num_bins; ++b) {
+    const double boundary =
+        lo + (hi - lo) * static_cast<double>(b) / num_bins;
+    if (interior.empty() || boundary > interior.back()) {
+      interior.push_back(boundary);
+    }
+  }
+  return BinningScheme(std::move(interior));
+}
+
+int BinningScheme::bin_of(double v) const noexcept {
+  if (std::isnan(v)) return num_bins() - 1;
+  // Count of boundaries <= v: values equal to a boundary go to the upper
+  // bin, matching the half-open [lower, upper) interval convention.
+  const auto it = std::upper_bound(interior_.begin(), interior_.end(), v);
+  return static_cast<int>(it - interior_.begin());
+}
+
+double BinningScheme::lower(int bin) const noexcept {
+  MLOC_DCHECK(bin >= 0 && bin < num_bins());
+  if (bin == 0) return -std::numeric_limits<double>::infinity();
+  return interior_[bin - 1];
+}
+
+double BinningScheme::upper(int bin) const noexcept {
+  MLOC_DCHECK(bin >= 0 && bin < num_bins());
+  if (bin == num_bins() - 1) return std::numeric_limits<double>::infinity();
+  return interior_[bin];
+}
+
+BinningScheme::BinSpan BinningScheme::bins_overlapping(
+    double lo, double hi) const noexcept {
+  if (!(lo < hi)) return {};
+  BinSpan out;
+  out.first = bin_of(lo);
+  // hi is exclusive: the bin containing hi participates only if some value
+  // < hi lands in it, i.e. hi > lower(bin_of(hi)).
+  int last = bin_of(hi);
+  if (last > 0 && hi <= lower(last)) --last;
+  out.last = std::max(out.first, last);
+  // A value exactly at hi excluded: when hi == lower(last) handled above.
+  return out;
+}
+
+bool BinningScheme::aligned(int bin, double lo, double hi) const noexcept {
+  MLOC_DCHECK(bin >= 0 && bin < num_bins());
+  return lo <= lower(bin) && upper(bin) <= hi;
+}
+
+void BinningScheme::serialize(ByteWriter& w) const {
+  w.put_varint(interior_.size());
+  for (double b : interior_) w.put_f64(b);
+}
+
+Result<BinningScheme> BinningScheme::deserialize(ByteReader& r) {
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t n, r.get_varint());
+  if (n > (1ull << 24)) return corrupt_data("binning: implausible bin count");
+  std::vector<double> interior(n);
+  for (auto& b : interior) {
+    MLOC_ASSIGN_OR_RETURN(b, r.get_f64());
+  }
+  for (std::size_t i = 1; i < interior.size(); ++i) {
+    if (!(interior[i] > interior[i - 1])) {
+      return corrupt_data("binning: boundaries not strictly increasing");
+    }
+  }
+  return BinningScheme(std::move(interior));
+}
+
+}  // namespace mloc

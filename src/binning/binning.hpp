@@ -1,0 +1,77 @@
+// Value-based binning — paper §III-B-1.
+//
+// MLOC's top optimization level places points into bins by value so that a
+// value-constrained (VC) query touches only the bins overlapping its range.
+// Equal-frequency boundaries (sample quantiles, applied dataset-wide) keep
+// bin populations — and therefore per-bin access cost — balanced.
+//
+// Bin b covers the half-open value interval [lower(b), upper(b)), with
+// lower(0) = -inf and upper(n-1) = +inf, so every finite double maps to
+// exactly one bin. NaNs map to the last bin (they fail every VC filter
+// downstream). A bin is *aligned* with a VC when its whole interval lies
+// inside the constraint — its points qualify without decompression.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace mloc {
+
+class BinningScheme {
+ public:
+  BinningScheme() = default;
+
+  /// Quantile boundaries estimated from `sample` (the paper computes them
+  /// "from partial dataset, and then applies the boundaries to the whole").
+  /// Precondition: num_bins >= 1, sample non-empty.
+  static BinningScheme equal_frequency(std::span<const double> sample,
+                                       int num_bins);
+
+  /// Uniform boundaries across [lo, hi]. Precondition: lo < hi.
+  static BinningScheme equal_width(double lo, double hi, int num_bins);
+
+  [[nodiscard]] int num_bins() const noexcept {
+    return static_cast<int>(interior_.size()) + 1;
+  }
+
+  /// Bin index of a value (NaN -> last bin).
+  [[nodiscard]] int bin_of(double v) const noexcept;
+
+  /// Interval endpoints of a bin (-inf / +inf at the extremes).
+  [[nodiscard]] double lower(int bin) const noexcept;
+  [[nodiscard]] double upper(int bin) const noexcept;
+
+  /// Bins whose interval intersects the value range [lo, hi)
+  /// (contiguous by construction). Returns {first, last} inclusive, or
+  /// first > last when empty.
+  struct BinSpan {
+    int first = 0;
+    int last = -1;
+    [[nodiscard]] bool empty() const noexcept { return first > last; }
+  };
+  [[nodiscard]] BinSpan bins_overlapping(double lo, double hi) const noexcept;
+
+  /// True when bin's interval is contained in [lo, hi): all its points
+  /// satisfy the constraint (the paper's "aligned bin" fast path).
+  [[nodiscard]] bool aligned(int bin, double lo, double hi) const noexcept;
+
+  void serialize(ByteWriter& w) const;
+  static Result<BinningScheme> deserialize(ByteReader& r);
+
+  [[nodiscard]] bool operator==(const BinningScheme& o) const noexcept {
+    return interior_ == o.interior_;
+  }
+
+ private:
+  explicit BinningScheme(std::vector<double> interior)
+      : interior_(std::move(interior)) {}
+
+  // Interior boundaries, strictly increasing, size = num_bins - 1.
+  std::vector<double> interior_;
+};
+
+}  // namespace mloc

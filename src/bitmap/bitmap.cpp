@@ -1,0 +1,260 @@
+#include "bitmap/bitmap.hpp"
+
+#include <bit>
+
+namespace mloc {
+namespace {
+
+constexpr std::uint32_t kFillFlag = 0x80000000u;
+constexpr std::uint32_t kFillBit = 0x40000000u;
+constexpr std::uint32_t kLenMask = 0x3FFFFFFFu;
+constexpr std::uint32_t kPayloadMask = 0x7FFFFFFFu;
+
+bool is_fill(std::uint32_t w) noexcept { return (w & kFillFlag) != 0; }
+bool fill_value(std::uint32_t w) noexcept { return (w & kFillBit) != 0; }
+std::uint32_t fill_len(std::uint32_t w) noexcept { return w & kLenMask; }
+
+/// Streams a WAH word vector as a sequence of 31-bit groups, exposing runs.
+class GroupCursor {
+ public:
+  explicit GroupCursor(const std::vector<std::uint32_t>& words)
+      : words_(words) {
+    advance_word();
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  /// Current group payload (31 bits).
+  [[nodiscard]] std::uint32_t payload() const noexcept {
+    return in_fill_ ? (fill_value_ ? kPayloadMask : 0u) : literal_;
+  }
+
+  /// Number of identical groups available at the current position
+  /// (>=1 while not done; >1 only inside a fill run).
+  [[nodiscard]] std::uint32_t run_remaining() const noexcept {
+    return in_fill_ ? fill_remaining_ : 1;
+  }
+  [[nodiscard]] bool run_is_fill() const noexcept { return in_fill_; }
+  [[nodiscard]] bool run_fill_value() const noexcept { return fill_value_; }
+
+  /// Consume n groups (n <= run_remaining()).
+  void consume(std::uint32_t n) noexcept {
+    if (in_fill_) {
+      MLOC_DCHECK(n <= fill_remaining_);
+      fill_remaining_ -= n;
+      if (fill_remaining_ == 0) advance_word();
+    } else {
+      MLOC_DCHECK(n == 1);
+      advance_word();
+    }
+  }
+
+ private:
+  void advance_word() noexcept {
+    if (pos_ >= words_.size()) {
+      done_ = true;
+      return;
+    }
+    const std::uint32_t w = words_[pos_++];
+    if (is_fill(w)) {
+      in_fill_ = true;
+      fill_value_ = fill_value(w);
+      fill_remaining_ = fill_len(w);
+      MLOC_DCHECK(fill_remaining_ > 0);
+    } else {
+      in_fill_ = false;
+      literal_ = w & kPayloadMask;
+    }
+  }
+
+  const std::vector<std::uint32_t>& words_;
+  std::size_t pos_ = 0;
+  bool done_ = false;
+  bool in_fill_ = false;
+  bool fill_value_ = false;
+  std::uint32_t fill_remaining_ = 0;
+  std::uint32_t literal_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t Bitmap::count() const noexcept {
+  std::uint64_t c = 0;
+  for (auto w : words_) c += static_cast<std::uint64_t>(std::popcount(w));
+  return c;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& o) noexcept {
+  MLOC_CHECK(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& o) noexcept {
+  MLOC_CHECK(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+void Bitmap::flip() noexcept {
+  for (auto& w : words_) w = ~w;
+  // Clear padding bits past nbits_ so count()/== stay meaningful.
+  const std::uint64_t tail = nbits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ull << tail) - 1;
+  }
+}
+
+void WahBitmap::append_fill(bool bit, std::uint32_t ngroups) {
+  if (ngroups == 0) return;
+  // Coalesce with a preceding fill of the same value.
+  if (!words_.empty() && is_fill(words_.back()) &&
+      fill_value(words_.back()) == bit &&
+      fill_len(words_.back()) + static_cast<std::uint64_t>(ngroups) <= kLenMask) {
+    words_.back() += ngroups;
+    return;
+  }
+  while (ngroups > 0) {
+    const std::uint32_t n = std::min(ngroups, kLenMask);
+    words_.push_back(kFillFlag | (bit ? kFillBit : 0u) | n);
+    ngroups -= n;
+  }
+}
+
+void WahBitmap::append_group(std::uint32_t group31) {
+  if (group31 == 0) {
+    append_fill(false, 1);
+  } else if (group31 == kPayloadMask) {
+    append_fill(true, 1);
+  } else {
+    words_.push_back(group31);
+  }
+}
+
+WahBitmap WahBitmap::compress(const Bitmap& plain) {
+  WahBitmap out;
+  out.nbits_ = plain.size();
+  const std::uint64_t ngroups = (plain.size() + 30) / 31;
+  const auto& words = plain.words_;
+  for (std::uint64_t g = 0; g < ngroups; ++g) {
+    // Extract the 31-bit group straight from the 64-bit word array; padding
+    // bits past size() are always clear in Bitmap's representation.
+    const std::uint64_t bitpos = g * 31;
+    const std::size_t w = bitpos >> 6;
+    const int shift = static_cast<int>(bitpos & 63);
+    std::uint64_t window = words[w] >> shift;
+    if (shift > 33 && w + 1 < words.size()) {
+      window |= words[w + 1] << (64 - shift);
+    }
+    out.append_group(static_cast<std::uint32_t>(window & kPayloadMask));
+  }
+  return out;
+}
+
+Bitmap WahBitmap::decompress() const {
+  Bitmap out(nbits_);
+  std::uint64_t bitpos = 0;
+  GroupCursor cur(words_);
+  while (!cur.done()) {
+    if (cur.run_is_fill()) {
+      const std::uint32_t n = cur.run_remaining();
+      if (cur.run_fill_value()) {
+        const std::uint64_t end =
+            std::min<std::uint64_t>(bitpos + 31ull * n, nbits_);
+        for (std::uint64_t i = bitpos; i < end; ++i) out.set(i);
+      }
+      bitpos += 31ull * n;
+      cur.consume(n);
+    } else {
+      std::uint32_t payload = cur.payload();
+      while (payload != 0) {
+        const int bit = __builtin_ctz(payload);
+        const std::uint64_t i = bitpos + static_cast<std::uint64_t>(bit);
+        if (i < nbits_) out.set(i);
+        payload &= payload - 1;
+      }
+      bitpos += 31;
+      cur.consume(1);
+    }
+  }
+  return out;
+}
+
+std::uint64_t WahBitmap::count() const noexcept {
+  // Popcount on compressed words; the final group's padding bits are never
+  // set because compress() only writes bits < nbits_.
+  std::uint64_t c = 0;
+  for (auto w : words_) {
+    if (is_fill(w)) {
+      if (fill_value(w)) c += 31ull * fill_len(w);
+    } else {
+      c += static_cast<std::uint64_t>(std::popcount(w & kPayloadMask));
+    }
+  }
+  return c;
+}
+
+template <typename Op>
+WahBitmap WahBitmap::binary_op(const WahBitmap& a, const WahBitmap& b, Op op) {
+  MLOC_CHECK(a.nbits_ == b.nbits_);
+  WahBitmap out;
+  out.nbits_ = a.nbits_;
+  GroupCursor ca(a.words_);
+  GroupCursor cb(b.words_);
+  while (!ca.done() && !cb.done()) {
+    if (ca.run_is_fill() && cb.run_is_fill()) {
+      const std::uint32_t n = std::min(ca.run_remaining(), cb.run_remaining());
+      const bool v = op(ca.run_fill_value(), cb.run_fill_value());
+      out.append_fill(v, n);
+      ca.consume(n);
+      cb.consume(n);
+    } else {
+      const std::uint32_t merged = op(ca.payload(), cb.payload()) & kPayloadMask;
+      out.append_group(merged);
+      ca.consume(1);
+      cb.consume(1);
+    }
+  }
+  MLOC_CHECK(ca.done() == cb.done());  // equal sizes → streams end together
+  return out;
+}
+
+WahBitmap WahBitmap::logical_and(const WahBitmap& a, const WahBitmap& b) {
+  return binary_op(a, b, [](auto x, auto y) { return x & y; });
+}
+
+WahBitmap WahBitmap::logical_or(const WahBitmap& a, const WahBitmap& b) {
+  return binary_op(a, b, [](auto x, auto y) { return x | y; });
+}
+
+void WahBitmap::serialize(ByteWriter& w) const {
+  w.put_varint(nbits_);
+  w.put_varint(words_.size());
+  for (auto word : words_) w.put_u32(word);
+}
+
+Result<WahBitmap> WahBitmap::deserialize(ByteReader& r) {
+  WahBitmap out;
+  MLOC_ASSIGN_OR_RETURN(out.nbits_, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t nwords, r.get_varint());
+  if (nwords > r.remaining() / sizeof(std::uint32_t)) {
+    return corrupt_data("WAH word count exceeds stream");
+  }
+  out.words_.reserve(nwords);
+  for (std::uint64_t i = 0; i < nwords; ++i) {
+    MLOC_ASSIGN_OR_RETURN(std::uint32_t word, r.get_u32());
+    if (is_fill(word) && fill_len(word) == 0) {
+      return corrupt_data("WAH fill word with zero length");
+    }
+    out.words_.push_back(word);
+  }
+  // Validate total group count against nbits_.
+  std::uint64_t groups = 0;
+  for (auto word : out.words_) groups += is_fill(word) ? fill_len(word) : 1;
+  if (groups != (out.nbits_ + 30) / 31) {
+    return corrupt_data("WAH group count mismatches bit count");
+  }
+  return out;
+}
+
+}  // namespace mloc

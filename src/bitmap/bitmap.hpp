@@ -1,0 +1,122 @@
+// Plain and WAH-compressed bitmaps.
+//
+// MLOC represents spatial index results as bitmaps to minimize memory
+// footprint and inter-rank communication (paper §III-D-4): a region-only
+// query over variable A yields a bitmap of qualifying positions that is
+// broadcast and reused to drive value-retrieval on variable B. The
+// FastBit-like baseline builds its whole per-bin index out of these.
+//
+// WahBitmap is the Word-Aligned Hybrid encoding (Wu et al., the scheme
+// FastBit uses): a sequence of 32-bit words, each either a literal holding
+// 31 payload bits (MSB=0) or a fill (MSB=1, bit30 = fill value, low 30 bits
+// = run length in 31-bit groups). Logical AND/OR run directly on the
+// compressed form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace mloc {
+
+/// Uncompressed dynamic bitset.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::uint64_t nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return nbits_; }
+
+  void set(std::uint64_t i, bool v = true) noexcept {
+    MLOC_DCHECK(i < nbits_);
+    if (v) {
+      words_[i >> 6] |= (1ull << (i & 63));
+    } else {
+      words_[i >> 6] &= ~(1ull << (i & 63));
+    }
+  }
+  [[nodiscard]] bool get(std::uint64_t i) const noexcept {
+    MLOC_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// In-place logical ops. Preconditions: equal sizes.
+  Bitmap& operator&=(const Bitmap& o) noexcept;
+  Bitmap& operator|=(const Bitmap& o) noexcept;
+  /// Flip all bits (trailing padding stays clear).
+  void flip() noexcept;
+
+  [[nodiscard]] bool operator==(const Bitmap& o) const noexcept {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+  /// Invoke fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<std::uint64_t>(w) * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Heap bytes used by the raw representation (for Table I accounting).
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  friend class WahBitmap;
+  std::uint64_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Word-Aligned Hybrid compressed bitmap.
+class WahBitmap {
+ public:
+  WahBitmap() = default;
+
+  static WahBitmap compress(const Bitmap& plain);
+  [[nodiscard]] Bitmap decompress() const;
+
+  [[nodiscard]] std::uint64_t size_bits() const noexcept { return nbits_; }
+  /// Compressed storage footprint in bytes (words + length field).
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return words_.size() * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  }
+
+  /// Population count straight off the compressed words.
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// Compressed-domain logical ops. Preconditions: equal size_bits().
+  static WahBitmap logical_and(const WahBitmap& a, const WahBitmap& b);
+  static WahBitmap logical_or(const WahBitmap& a, const WahBitmap& b);
+
+  void serialize(ByteWriter& w) const;
+  static Result<WahBitmap> deserialize(ByteReader& r);
+
+  [[nodiscard]] bool operator==(const WahBitmap& o) const noexcept {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+ private:
+  template <typename Op>
+  static WahBitmap binary_op(const WahBitmap& a, const WahBitmap& b, Op op);
+
+  void append_group(std::uint32_t group31);  // with run coalescing
+  void append_fill(bool bit, std::uint32_t ngroups);
+
+  std::uint64_t nbits_ = 0;
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace mloc

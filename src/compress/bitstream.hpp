@@ -1,0 +1,93 @@
+// Bit-granular I/O over byte buffers, LSB-first within each byte.
+// Used by the Huffman coder and the ISABELA permutation packer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/assert.hpp"
+#include "util/bytes.hpp"
+
+namespace mloc {
+
+class BitWriter {
+ public:
+  /// Append up to 57 bits (LSB-first) to the stream.
+  void put_bits(std::uint64_t bits, int count) {
+    MLOC_DCHECK(count >= 0 && count <= 57);
+    MLOC_DCHECK(count == 64 || (bits >> count) == 0);
+    acc_ |= bits << nbits_;
+    nbits_ += count;
+    while (nbits_ >= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      nbits_ -= 8;
+    }
+  }
+
+  /// Flush the final partial byte (zero-padded). Call exactly once at end.
+  void finish() {
+    if (nbits_ > 0) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  /// Read `count` bits LSB-first. Reading past the end yields zero bits and
+  /// sets overrun() — callers validate symbol counts, so overrun only
+  /// signals corruption.
+  std::uint64_t get_bits(int count) noexcept {
+    MLOC_DCHECK(count >= 0 && count <= 57);
+    while (nbits_ < count) {
+      if (pos_ < data_.size()) {
+        acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+        nbits_ += 8;
+      } else {
+        overrun_ = true;
+        nbits_ = count;  // zero-fill
+      }
+    }
+    const std::uint64_t out = (count == 0) ? 0 : (acc_ & ((1ull << count) - 1));
+    acc_ >>= count;
+    nbits_ -= count;
+    return out;
+  }
+
+  /// Peek without consuming (used by table-driven Huffman decode).
+  std::uint64_t peek_bits(int count) noexcept {
+    while (nbits_ < count && pos_ < data_.size()) {
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << nbits_;
+      nbits_ += 8;
+    }
+    return (count == 0) ? 0
+                        : (acc_ & ((1ull << count) - 1));  // zero-padded
+  }
+
+  void skip_bits(int count) noexcept { get_bits(count); }
+
+  [[nodiscard]] bool overrun() const noexcept { return overrun_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+  bool overrun_ = false;
+};
+
+}  // namespace mloc

@@ -1,0 +1,154 @@
+#include "compress/bspline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mloc {
+
+CubicBSpline::CubicBSpline(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  MLOC_CHECK(coeffs_.size() >= 4);
+  build_knots();
+}
+
+void CubicBSpline::build_knots() {
+  // Clamped uniform knot vector: degree-3 spline with K coefficients needs
+  // K+4 knots; the first and last 4 coincide at 0 and 1.
+  const int k = static_cast<int>(coeffs_.size());
+  knots_.assign(k + 4, 0.0);
+  const int interior = k - 3;  // number of spans
+  for (int i = 0; i < 4; ++i) {
+    knots_[i] = 0.0;
+    knots_[k + i] = 1.0;
+  }
+  for (int i = 1; i < interior; ++i) {
+    knots_[3 + i] = static_cast<double>(i) / interior;
+  }
+}
+
+void CubicBSpline::active_basis(double u, int* first, double basis[4]) const {
+  const int k = static_cast<int>(coeffs_.size());
+  u = std::clamp(u, 0.0, 1.0);
+  // Find the knot span [knots_[s], knots_[s+1]) containing u, with
+  // s in [3, k-1] (clamped so u=1 lands in the last span).
+  int s = 3;
+  {
+    int lo = 3, hi = k - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (knots_[mid] <= u) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    s = std::min(lo, k - 1);
+  }
+
+  // Cox–de Boor triangular scheme for the 4 nonzero cubic basis functions
+  // on span s (de Boor's algorithm, basis form).
+  double left[4], right[4];
+  basis[0] = 1.0;
+  for (int j = 1; j <= 3; ++j) {
+    left[j] = u - knots_[s + 1 - j];
+    right[j] = knots_[s + j] - u;
+    double saved = 0.0;
+    for (int r = 0; r < j; ++r) {
+      const double denom = right[r + 1] + left[j - r];
+      const double temp = (denom != 0.0) ? basis[r] / denom : 0.0;
+      basis[r] = saved + right[r + 1] * temp;
+      saved = left[j - r] * temp;
+    }
+    basis[j] = saved;
+  }
+  *first = s - 3;
+}
+
+double CubicBSpline::evaluate(double u) const {
+  int first = 0;
+  double basis[4];
+  active_basis(u, &first, basis);
+  double v = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    v += coeffs_[first + i] * basis[i];
+  }
+  return v;
+}
+
+CubicBSpline CubicBSpline::fit(std::span<const double> y, int num_coeffs) {
+  MLOC_CHECK(num_coeffs >= 4);
+  const int n = static_cast<int>(y.size());
+  MLOC_CHECK(n >= 1);
+  const int k = num_coeffs;
+
+  // Skeleton spline used only for basis evaluation during assembly.
+  CubicBSpline skel(std::vector<double>(k, 0.0));
+
+  // Normal equations: (A^T A) c = A^T y, A is n x k with 4 nonzeros/row.
+  std::vector<double> ata(static_cast<std::size_t>(k) * k, 0.0);
+  std::vector<double> aty(k, 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double u = (n == 1) ? 0.0 : static_cast<double>(i) / (n - 1);
+    int first = 0;
+    double b[4];
+    skel.active_basis(u, &first, b);
+    for (int r = 0; r < 4; ++r) {
+      aty[first + r] += b[r] * y[i];
+      for (int c = 0; c < 4; ++c) {
+        ata[static_cast<std::size_t>(first + r) * k + (first + c)] +=
+            b[r] * b[c];
+      }
+    }
+  }
+  // Tikhonov ridge keeps the system solvable when n < k or coverage is
+  // sparse (coefficients with no supporting samples).
+  const double ridge = 1e-9;
+  for (int d = 0; d < k; ++d) {
+    ata[static_cast<std::size_t>(d) * k + d] += ridge;
+  }
+
+  // Dense Gaussian elimination with partial pivoting (k is ~30).
+  std::vector<double> c = aty;
+  for (int col = 0; col < k; ++col) {
+    int pivot = col;
+    double best = std::abs(ata[static_cast<std::size_t>(col) * k + col]);
+    for (int r = col + 1; r < k; ++r) {
+      const double v = std::abs(ata[static_cast<std::size_t>(r) * k + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (pivot != col) {
+      for (int j = 0; j < k; ++j) {
+        std::swap(ata[static_cast<std::size_t>(col) * k + j],
+                  ata[static_cast<std::size_t>(pivot) * k + j]);
+      }
+      std::swap(c[col], c[pivot]);
+    }
+    const double diag = ata[static_cast<std::size_t>(col) * k + col];
+    MLOC_CHECK_MSG(diag != 0.0, "singular spline normal matrix");
+    for (int r = col + 1; r < k; ++r) {
+      const double f = ata[static_cast<std::size_t>(r) * k + col] / diag;
+      if (f == 0.0) continue;
+      for (int j = col; j < k; ++j) {
+        ata[static_cast<std::size_t>(r) * k + j] -=
+            f * ata[static_cast<std::size_t>(col) * k + j];
+      }
+      c[r] -= f * c[col];
+    }
+  }
+  for (int row = k - 1; row >= 0; --row) {
+    double v = c[row];
+    for (int j = row + 1; j < k; ++j) {
+      v -= ata[static_cast<std::size_t>(row) * k + j] * c[j];
+    }
+    c[row] = v / ata[static_cast<std::size_t>(row) * k + row];
+  }
+
+  return CubicBSpline(std::move(c));
+}
+
+}  // namespace mloc

@@ -1,0 +1,42 @@
+// Cubic B-spline least-squares fitting of 1-D sequences.
+//
+// The numerical core of the ISABELA-like codec: after sorting, a window of
+// doubles becomes a smooth monotone curve that a low-order spline captures
+// with a handful of coefficients. Fitting uses a clamped uniform knot
+// vector on [0,1] and solves the (small, dense) normal equations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mloc {
+
+class CubicBSpline {
+ public:
+  /// Fit `num_coeffs` control coefficients to samples y_i at parameters
+  /// u_i = i/(n-1). Preconditions: num_coeffs >= 4, n >= 1.
+  static CubicBSpline fit(std::span<const double> y, int num_coeffs);
+
+  /// Construct directly from coefficients (decode path).
+  explicit CubicBSpline(std::vector<double> coeffs);
+
+  /// Evaluate at u in [0, 1].
+  [[nodiscard]] double evaluate(double u) const;
+
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept {
+    return coeffs_;
+  }
+
+  /// Basis values of the 4 active splines at u: returns the first active
+  /// coefficient index and fills basis[0..3]. Exposed for the fitter and
+  /// for tests of partition-of-unity.
+  void active_basis(double u, int* first, double basis[4]) const;
+
+ private:
+  std::vector<double> coeffs_;
+  std::vector<double> knots_;  // clamped uniform knot vector on [0,1]
+
+  void build_knots();
+};
+
+}  // namespace mloc

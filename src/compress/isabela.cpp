@@ -1,0 +1,234 @@
+#include "compress/isabela.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "compress/bitstream.hpp"
+#include "compress/bspline.hpp"
+#include "compress/mzip.hpp"
+
+namespace mloc {
+namespace {
+
+int bits_for(std::uint32_t n) {
+  int b = 0;
+  while ((1u << b) < n) ++b;
+  return b;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+IsabelaCodec::IsabelaCodec(Options opts) : opts_(opts) {
+  MLOC_CHECK(opts_.error_bound > 0.0 && opts_.error_bound < 1.0);
+  MLOC_CHECK(opts_.window >= 8);
+  MLOC_CHECK(opts_.coefficients >= 4);
+}
+
+Result<Bytes> IsabelaCodec::encode(std::span<const double> values) const {
+  ByteWriter out;
+  out.put_varint(values.size());
+  out.put_f64(opts_.error_bound);
+  out.put_varint(static_cast<std::uint64_t>(opts_.window));
+  out.put_varint(static_cast<std::uint64_t>(opts_.coefficients));
+  if (values.empty()) return std::move(out).take();
+
+  const double log_step = std::log1p(opts_.error_bound);
+  ByteWriter corrections;   // zigzag varints, all windows concatenated
+  ByteWriter exceptions;    // (varint local index, f64), per window counted
+  ByteWriter window_meta;   // per window: perm + coefficients + exc count
+
+  std::vector<std::uint32_t> perm;
+  std::vector<double> sorted;
+  for (std::size_t base = 0; base < values.size();
+       base += static_cast<std::size_t>(opts_.window)) {
+    const auto n = static_cast<std::uint32_t>(std::min<std::size_t>(
+        opts_.window, values.size() - base));
+    auto win = values.subspan(base, n);
+
+    // Sort order: sorted[i] = win[perm[i]].
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const double va = win[a], vb = win[b];
+      if (va != vb) return va < vb;
+      return a < b;  // deterministic ties (and orders NaNs stably... NaNs
+                     // compare false both ways, so index order applies)
+    });
+    sorted.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) sorted[i] = win[perm[i]];
+
+    // Spline fit of the sorted curve. Non-finite values poison the normal
+    // equations, so fit on a sanitized copy and except them below.
+    std::vector<double> fit_input(sorted);
+    for (auto& v : fit_input) {
+      if (!std::isfinite(v)) v = 0.0;
+    }
+    const int k = std::min<int>(opts_.coefficients, std::max<int>(4, n));
+    const CubicBSpline spline = CubicBSpline::fit(fit_input, k);
+
+    // Permutation, bit-packed.
+    const int pbits = bits_for(n);
+    BitWriter packed;
+    for (std::uint32_t p : perm) packed.put_bits(p, pbits);
+    packed.finish();
+
+    window_meta.put_varint(n);
+    window_meta.put_bytes(packed.bytes());
+    window_meta.put_varint(static_cast<std::uint64_t>(k));
+    for (double cc : spline.coefficients()) window_meta.put_f64(cc);
+
+    // Corrections + exceptions.
+    ByteWriter win_exceptions;
+    std::uint32_t exc_count = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double orig = sorted[i];
+      const double u = (n == 1) ? 0.0 : static_cast<double>(i) / (n - 1);
+      const double approx = spline.evaluate(u);
+      std::int64_t kq = 0;
+      bool exception = false;
+      if (!std::isfinite(orig) || orig == 0.0 || approx == 0.0 ||
+          (orig > 0) != (approx > 0)) {
+        exception = true;
+      } else {
+        const double ratio = orig / approx;  // > 0 by the sign check
+        const double kf = std::log(ratio) / log_step;
+        if (std::abs(kf) > 1e9) {
+          exception = true;
+        } else {
+          kq = static_cast<std::int64_t>(std::llround(kf));
+          // Verify the bound actually holds after rounding (floating-point
+          // edge cases near the bound fall back to exceptions).
+          const double rec = approx * std::exp(static_cast<double>(kq) * log_step);
+          if (std::abs(rec - orig) > opts_.error_bound * std::abs(orig)) {
+            exception = true;
+          }
+        }
+      }
+      if (exception) {
+        corrections.put_varint(zigzag(0));
+        win_exceptions.put_varint(i);
+        win_exceptions.put_f64(orig);
+        ++exc_count;
+      } else {
+        corrections.put_varint(zigzag(kq));
+      }
+    }
+    exceptions.put_varint(exc_count);
+    exceptions.put_bytes(win_exceptions.bytes());
+  }
+
+  // Assemble: window metadata, mzip-packed corrections, exceptions.
+  const Bytes meta = std::move(window_meta).take();
+  out.put_varint(meta.size());
+  out.put_bytes(meta);
+
+  const MzipCodec mzip;
+  MLOC_ASSIGN_OR_RETURN(Bytes corr_packed, mzip.encode(corrections.bytes()));
+  out.put_varint(corr_packed.size());
+  out.put_bytes(corr_packed);
+
+  const Bytes exc = std::move(exceptions).take();
+  out.put_varint(exc.size());
+  out.put_bytes(exc);
+  return std::move(out).take();
+}
+
+Result<std::vector<double>> IsabelaCodec::decode(
+    std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t count, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(double error_bound, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t window, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t coefficients, r.get_varint());
+  (void)coefficients;
+  if (count == 0) return std::vector<double>{};
+  if (count > (1ull << 37) || window == 0) {
+    return corrupt_data("isabela: implausible header");
+  }
+  const double log_step = std::log1p(error_bound);
+  if (!(log_step > 0.0)) return corrupt_data("isabela: bad error bound");
+
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t meta_len, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(auto meta_bytes, r.get_bytes(meta_len));
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t corr_len, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(auto corr_packed, r.get_bytes(corr_len));
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t exc_len, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(auto exc_bytes, r.get_bytes(exc_len));
+
+  const MzipCodec mzip;
+  MLOC_ASSIGN_OR_RETURN(Bytes corr_raw, mzip.decode(corr_packed));
+  ByteReader corr(corr_raw);
+  ByteReader meta(meta_bytes);
+  ByteReader exc(exc_bytes);
+
+  std::vector<double> out(count);
+  for (std::size_t base = 0; base < count;
+       base += static_cast<std::size_t>(window)) {
+    const auto expect_n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(window, count - base));
+    MLOC_ASSIGN_OR_RETURN(std::uint64_t n64, meta.get_varint());
+    if (n64 != expect_n) return corrupt_data("isabela: window size mismatch");
+    const auto n = static_cast<std::uint32_t>(n64);
+
+    const int pbits = bits_for(n);
+    const std::size_t perm_bytes = (static_cast<std::size_t>(pbits) * n + 7) / 8;
+    MLOC_ASSIGN_OR_RETURN(auto perm_span, meta.get_bytes(perm_bytes));
+    BitReader perm_bits(perm_span);
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      perm[i] = static_cast<std::uint32_t>(perm_bits.get_bits(pbits));
+      if (perm[i] >= n) return corrupt_data("isabela: permutation out of range");
+    }
+
+    MLOC_ASSIGN_OR_RETURN(std::uint64_t k, meta.get_varint());
+    if (k < 4 || k > 4096) return corrupt_data("isabela: bad coefficient count");
+    std::vector<double> coeffs(k);
+    for (auto& cc : coeffs) {
+      MLOC_ASSIGN_OR_RETURN(cc, meta.get_f64());
+    }
+    const CubicBSpline spline(std::move(coeffs));
+
+    // Reconstruct sorted values.
+    std::vector<double> sorted(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      MLOC_ASSIGN_OR_RETURN(std::uint64_t zz, corr.get_varint());
+      const std::int64_t kq = unzigzag(zz);
+      const double u = (n == 1) ? 0.0 : static_cast<double>(i) / (n - 1);
+      const double approx = spline.evaluate(u);
+      sorted[i] = approx * std::exp(static_cast<double>(kq) * log_step);
+    }
+    // Overlay exceptions (verbatim values).
+    MLOC_ASSIGN_OR_RETURN(std::uint64_t exc_count, exc.get_varint());
+    for (std::uint64_t e = 0; e < exc_count; ++e) {
+      MLOC_ASSIGN_OR_RETURN(std::uint64_t idx, exc.get_varint());
+      MLOC_ASSIGN_OR_RETURN(double v, exc.get_f64());
+      if (idx >= n) return corrupt_data("isabela: exception index out of range");
+      sorted[idx] = v;
+    }
+    // Inverse permutation: win[perm[i]] = sorted[i]. Duplicate targets
+    // cannot happen for a valid permutation; reject if they do.
+    std::vector<bool> seen(n, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (seen[perm[i]]) return corrupt_data("isabela: permutation not bijective");
+      seen[perm[i]] = true;
+      out[base + perm[i]] = sorted[i];
+    }
+  }
+  if (!meta.exhausted() || !corr.exhausted() || !exc.exhausted()) {
+    return corrupt_data("isabela: trailing section bytes");
+  }
+  return out;
+}
+
+}  // namespace mloc

@@ -1,0 +1,49 @@
+// ISABELA-like error-bounded lossy compressor for double buffers.
+//
+// Reimplements the mechanism of ISABELA (Lakshminarasimhan et al.,
+// Euro-Par 2011), the lossy backend of MLOC-ISA. Per fixed-size window:
+//   1. sort the values — turbulent data becomes a smooth monotone curve;
+//   2. least-squares fit a cubic B-spline (few coefficients) to that curve;
+//   3. store the sort permutation bit-packed (ceil(log2 W) bits/point);
+//   4. store a per-point quantized log-ratio correction that guarantees
+//      |decoded - original| <= error_bound * |original| point-wise.
+// Values the multiplicative scheme cannot bound (zeros, sign flips across
+// the fit, non-finite values) are stored verbatim in an exception list.
+// Correction integers cluster near zero, so the concatenated zigzag-varint
+// buffer is further squeezed with mzip.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace mloc {
+
+class IsabelaCodec final : public DoubleCodec {
+ public:
+  struct Options {
+    double error_bound = 0.01;  ///< max point-wise relative error
+    int window = 1024;          ///< values per sorted window
+    int coefficients = 30;      ///< B-spline coefficients per window
+  };
+
+  IsabelaCodec() : IsabelaCodec(Options{}) {}
+  explicit IsabelaCodec(Options opts);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "isabela";
+  }
+  [[nodiscard]] bool lossless() const noexcept override { return false; }
+  [[nodiscard]] double max_relative_error() const noexcept override {
+    return opts_.error_bound;
+  }
+
+  [[nodiscard]] Result<Bytes> encode(
+      std::span<const double> values) const override;
+
+  [[nodiscard]] Result<std::vector<double>> decode(
+      std::span<const std::uint8_t> stream) const override;
+
+ private:
+  Options opts_;
+};
+
+}  // namespace mloc

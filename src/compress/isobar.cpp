@@ -1,0 +1,103 @@
+#include "compress/isobar.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+
+namespace mloc {
+namespace {
+
+constexpr std::uint8_t kPlaneRaw = 0;
+constexpr std::uint8_t kPlaneMzip = 1;
+
+}  // namespace
+
+double IsobarCodec::byte_entropy(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return 0.0;
+  std::array<std::uint64_t, 256> hist{};
+  for (std::uint8_t b : bytes) ++hist[b];
+  double entropy = 0.0;
+  const double n = static_cast<double>(bytes.size());
+  for (std::uint64_t c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+Result<Bytes> IsobarCodec::encode(std::span<const double> values) const {
+  ByteWriter out;
+  out.put_varint(values.size());
+  if (values.empty()) return std::move(out).take();
+
+  // Shred into byte planes: plane p holds byte p of every value
+  // (little-endian, so plane 7 = sign+exponent-high byte).
+  std::array<Bytes, 8> planes;
+  for (auto& p : planes) p.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[i], sizeof bits);
+    for (int p = 0; p < 8; ++p) {
+      planes[p][i] = static_cast<std::uint8_t>(bits >> (8 * p));
+    }
+  }
+
+  for (int p = 0; p < 8; ++p) {
+    const bool compressible = byte_entropy(planes[p]) < threshold_;
+    if (compressible) {
+      MLOC_ASSIGN_OR_RETURN(Bytes packed, mzip_.encode(planes[p]));
+      // Guard against pathological inputs where mzip still inflates.
+      if (packed.size() < planes[p].size()) {
+        out.put_u8(kPlaneMzip);
+        out.put_varint(packed.size());
+        out.put_bytes(packed);
+        continue;
+      }
+    }
+    out.put_u8(kPlaneRaw);
+    out.put_varint(planes[p].size());
+    out.put_bytes(planes[p]);
+  }
+  return std::move(out).take();
+}
+
+Result<std::vector<double>> IsobarCodec::decode(
+    std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t count, r.get_varint());
+  if (count == 0) {
+    if (!r.exhausted()) return corrupt_data("isobar: trailing bytes");
+    return std::vector<double>{};
+  }
+  if (count > (1ull << 37)) return corrupt_data("isobar: implausible count");
+
+  std::array<Bytes, 8> planes;
+  for (int p = 0; p < 8; ++p) {
+    MLOC_ASSIGN_OR_RETURN(std::uint8_t flag, r.get_u8());
+    MLOC_ASSIGN_OR_RETURN(std::uint64_t len, r.get_varint());
+    MLOC_ASSIGN_OR_RETURN(auto payload, r.get_bytes(len));
+    if (flag == kPlaneMzip) {
+      MLOC_ASSIGN_OR_RETURN(planes[p], mzip_.decode(payload));
+    } else if (flag == kPlaneRaw) {
+      planes[p].assign(payload.begin(), payload.end());
+    } else {
+      return corrupt_data("isobar: unknown plane flag");
+    }
+    if (planes[p].size() != count) {
+      return corrupt_data("isobar: plane size mismatches count");
+    }
+  }
+
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    for (int p = 0; p < 8; ++p) {
+      bits |= static_cast<std::uint64_t>(planes[p][i]) << (8 * p);
+    }
+    std::memcpy(&out[i], &bits, sizeof bits);
+  }
+  return out;
+}
+
+}  // namespace mloc

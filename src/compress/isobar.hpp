@@ -1,0 +1,51 @@
+// ISOBAR-like lossless compressor for double-precision buffers.
+//
+// Reimplements the mechanism of ISOBAR (Schendel et al., ICDE 2012), the
+// lossless backend of MLOC-ISO: scientific doubles have high-entropy
+// mantissa tails that defeat general-purpose compressors, but the sign/
+// exponent/leading-mantissa byte planes are highly compressible. The
+// preconditioner shreds the buffer into its 8 byte planes, estimates each
+// plane's zero-order entropy, routes compressible planes through mzip and
+// stores incompressible planes raw — avoiding wasted compression effort
+// and the size inflation of compressing noise.
+//
+// Stream format: varint count; for each of 8 planes: 1 flag byte
+// (0=raw, 1=mzip) + varint payload length + payload.
+#pragma once
+
+#include "compress/codec.hpp"
+#include "compress/mzip.hpp"
+
+namespace mloc {
+
+class IsobarCodec final : public DoubleCodec {
+ public:
+  /// Planes whose estimated entropy is below `entropy_threshold` bits/byte
+  /// are routed to mzip (ISOBAR's compressibility test).
+  explicit IsobarCodec(double entropy_threshold = 7.0)
+      : threshold_(entropy_threshold) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "isobar";
+  }
+  [[nodiscard]] bool lossless() const noexcept override { return true; }
+  [[nodiscard]] double max_relative_error() const noexcept override {
+    return 0.0;
+  }
+
+  [[nodiscard]] Result<Bytes> encode(
+      std::span<const double> values) const override;
+
+  [[nodiscard]] Result<std::vector<double>> decode(
+      std::span<const std::uint8_t> stream) const override;
+
+  /// Zero-order entropy of a byte buffer in bits/byte (exposed for tests
+  /// and the ablation bench).
+  static double byte_entropy(std::span<const std::uint8_t> bytes);
+
+ private:
+  double threshold_;
+  MzipCodec mzip_;
+};
+
+}  // namespace mloc

@@ -1,0 +1,227 @@
+#include "compress/mzip.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "compress/huffman.hpp"
+
+namespace mloc {
+namespace {
+
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowSize = 32768;
+constexpr int kHashBits = 15;
+constexpr int kHashSize = 1 << kHashBits;
+constexpr int kEndOfBlock = 256;
+constexpr int kNumLitLen = 286;  // 0..255 literals, 256 EOB, 257..285 lengths
+constexpr int kNumDist = 30;
+
+// DEFLATE length codes: symbol 257+i covers lengths [base, base+2^extra).
+constexpr std::array<int, 29> kLenBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLenExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                           1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                           4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// DEFLATE distance codes: symbol i covers distances [base, base+2^extra).
+constexpr std::array<int, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3, 3,
+                                            4, 4, 5,  5,  6,  6,  7,  7,  8, 8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int length_symbol(int len) {
+  MLOC_DCHECK(len >= kMinMatch && len <= kMaxMatch);
+  // Linear scan is fine: called per match, table has 29 entries.
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLenBase[i]) return 257 + i;
+  }
+  return 257;
+}
+
+int distance_symbol(int dist) {
+  MLOC_DCHECK(dist >= 1 && dist <= kWindowSize);
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= kDistBase[i]) return i;
+  }
+  return 0;
+}
+
+std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of a 3-byte prefix.
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+struct Token {
+  // literal: dist == 0, len = byte value. match: dist >= 1, len >= kMinMatch.
+  std::uint32_t len;
+  std::uint32_t dist;
+};
+
+}  // namespace
+
+Result<Bytes> MzipCodec::encode(std::span<const std::uint8_t> raw) const {
+  ByteWriter out;
+  out.put_varint(raw.size());
+  if (raw.empty()) return std::move(out).take();
+
+  // ---- LZ77 tokenization with hash chains.
+  std::vector<Token> tokens;
+  tokens.reserve(raw.size() / 2 + 16);
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(raw.size(), -1);
+
+  const auto n = raw.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    int best_len = 0;
+    int best_dist = 0;
+    if (pos + kMinMatch <= n) {
+      const std::uint32_t h = hash3(raw.data() + pos);
+      std::int32_t cand = head[h];
+      int chain = max_chain_;
+      const int max_len =
+          static_cast<int>(std::min<std::size_t>(kMaxMatch, n - pos));
+      while (cand >= 0 && chain-- > 0 &&
+             pos - static_cast<std::size_t>(cand) <= kWindowSize) {
+        const std::uint8_t* a = raw.data() + pos;
+        const std::uint8_t* b = raw.data() + cand;
+        int len = 0;
+        while (len < max_len && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = static_cast<int>(pos - static_cast<std::size_t>(cand));
+          if (len >= max_len) break;
+        }
+        cand = prev[cand];
+      }
+      // Insert current position into the chain.
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int32_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      tokens.push_back({static_cast<std::uint32_t>(best_len),
+                        static_cast<std::uint32_t>(best_dist)});
+      // Index the skipped positions so later matches can reference them.
+      const std::size_t end = std::min(pos + static_cast<std::size_t>(best_len), n);
+      for (std::size_t p = pos + 1; p + kMinMatch <= n && p < end; ++p) {
+        const std::uint32_t h = hash3(raw.data() + p);
+        prev[p] = head[h];
+        head[h] = static_cast<std::int32_t>(p);
+      }
+      pos = end;
+    } else {
+      tokens.push_back({raw[pos], 0});
+      ++pos;
+    }
+  }
+
+  // ---- Frequency pass.
+  std::vector<std::uint64_t> lit_freq(kNumLitLen, 0);
+  std::vector<std::uint64_t> dist_freq(kNumDist, 0);
+  for (const Token& t : tokens) {
+    if (t.dist == 0) {
+      ++lit_freq[t.len];
+    } else {
+      ++lit_freq[length_symbol(static_cast<int>(t.len))];
+      ++dist_freq[distance_symbol(static_cast<int>(t.dist))];
+    }
+  }
+  ++lit_freq[kEndOfBlock];
+  if (std::all_of(dist_freq.begin(), dist_freq.end(),
+                  [](std::uint64_t f) { return f == 0; })) {
+    dist_freq[0] = 1;  // keep the distance table well-formed
+  }
+
+  const HuffmanCode lit_code = HuffmanCode::from_frequencies(lit_freq);
+  const HuffmanCode dist_code = HuffmanCode::from_frequencies(dist_freq);
+  lit_code.serialize_lengths(out);
+  dist_code.serialize_lengths(out);
+
+  // ---- Emission pass.
+  BitWriter bits;
+  for (const Token& t : tokens) {
+    if (t.dist == 0) {
+      lit_code.encode_symbol(bits, static_cast<int>(t.len));
+    } else {
+      const int ls = length_symbol(static_cast<int>(t.len));
+      lit_code.encode_symbol(bits, ls);
+      bits.put_bits(t.len - static_cast<std::uint32_t>(kLenBase[ls - 257]),
+                    kLenExtra[ls - 257]);
+      const int ds = distance_symbol(static_cast<int>(t.dist));
+      dist_code.encode_symbol(bits, ds);
+      bits.put_bits(t.dist - static_cast<std::uint32_t>(kDistBase[ds]),
+                    kDistExtra[ds]);
+    }
+  }
+  lit_code.encode_symbol(bits, kEndOfBlock);
+  bits.finish();
+  out.put_bytes(bits.bytes());
+  return std::move(out).take();
+}
+
+Result<Bytes> MzipCodec::decode(std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t raw_size, r.get_varint());
+  if (raw_size == 0) {
+    if (!r.exhausted()) return corrupt_data("mzip: trailing bytes after empty stream");
+    return Bytes{};
+  }
+  if (raw_size > (1ull << 28)) {
+    return corrupt_data("mzip: implausible raw size");
+  }
+
+  MLOC_ASSIGN_OR_RETURN(auto lit_lens,
+                        HuffmanCode::deserialize_lengths(r, kNumLitLen));
+  MLOC_ASSIGN_OR_RETURN(auto dist_lens,
+                        HuffmanCode::deserialize_lengths(r, kNumDist));
+  MLOC_ASSIGN_OR_RETURN(HuffmanCode lit_code, HuffmanCode::from_lengths(lit_lens));
+  MLOC_ASSIGN_OR_RETURN(HuffmanCode dist_code,
+                        HuffmanCode::from_lengths(dist_lens));
+
+  MLOC_ASSIGN_OR_RETURN(auto payload, r.get_bytes(r.remaining()));
+  BitReader bits(payload);
+
+  Bytes out;
+  // Bound the speculative reservation: raw_size is untrusted input.
+  out.reserve(std::min<std::uint64_t>(raw_size, 1 << 20));
+  while (true) {
+    const int sym = lit_code.decode_symbol(bits);
+    if (sym < 0 || bits.overrun()) return corrupt_data("mzip: bad symbol");
+    if (sym == kEndOfBlock) break;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+    } else {
+      const int li = sym - 257;
+      if (li >= 29) return corrupt_data("mzip: bad length symbol");
+      const int len = kLenBase[li] +
+                      static_cast<int>(bits.get_bits(kLenExtra[li]));
+      const int ds = dist_code.decode_symbol(bits);
+      if (ds < 0 || ds >= kNumDist) return corrupt_data("mzip: bad distance symbol");
+      const int dist = kDistBase[ds] +
+                       static_cast<int>(bits.get_bits(kDistExtra[ds]));
+      if (static_cast<std::size_t>(dist) > out.size()) {
+        return corrupt_data("mzip: distance reaches before stream start");
+      }
+      // Byte-by-byte copy: overlapping matches (dist < len) replicate.
+      std::size_t from = out.size() - static_cast<std::size_t>(dist);
+      for (int i = 0; i < len; ++i) out.push_back(out[from + i]);
+    }
+    if (out.size() > raw_size) return corrupt_data("mzip: output exceeds header size");
+  }
+  if (out.size() != raw_size) {
+    return corrupt_data("mzip: output size mismatches header");
+  }
+  return out;
+}
+
+}  // namespace mloc

@@ -1,0 +1,41 @@
+#include "compress/rle.hpp"
+
+#include <algorithm>
+
+namespace mloc {
+
+Result<Bytes> RleCodec::encode(std::span<const std::uint8_t> raw) const {
+  ByteWriter out(raw.size() / 4 + 16);
+  out.put_varint(raw.size());
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const std::uint8_t value = raw[i];
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == value) ++run;
+    out.put_u8(value);
+    out.put_varint(run);
+    i += run;
+  }
+  return std::move(out).take();
+}
+
+Result<Bytes> RleCodec::decode(std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t raw_size, r.get_varint());
+  if (raw_size > (1ull << 28)) return corrupt_data("rle: raw size exceeds decode limit");
+  Bytes out;
+  // Bound the speculative reservation: raw_size is untrusted input.
+  out.reserve(std::min<std::uint64_t>(raw_size, 1 << 20));
+  while (out.size() < raw_size) {
+    MLOC_ASSIGN_OR_RETURN(std::uint8_t value, r.get_u8());
+    MLOC_ASSIGN_OR_RETURN(std::uint64_t run, r.get_varint());
+    if (run == 0 || out.size() + run > raw_size) {
+      return corrupt_data("rle: run overflows declared size");
+    }
+    out.insert(out.end(), run, value);
+  }
+  if (!r.exhausted()) return corrupt_data("rle: trailing bytes");
+  return out;
+}
+
+}  // namespace mloc

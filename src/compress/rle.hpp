@@ -1,0 +1,23 @@
+// Byte-level run-length codec.
+//
+// Cheap pre/post stage for highly repetitive streams: ISABELA error
+// corrections (mostly zeros) and near-constant PLoD byte planes. Format:
+// varint raw size, then (byte, varint run_length) pairs.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace mloc {
+
+class RleCodec final : public ByteCodec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "rle"; }
+
+  [[nodiscard]] Result<Bytes> encode(
+      std::span<const std::uint8_t> raw) const override;
+
+  [[nodiscard]] Result<Bytes> decode(
+      std::span<const std::uint8_t> stream) const override;
+};
+
+}  // namespace mloc

@@ -1,0 +1,77 @@
+#include "compress/xor_delta.hpp"
+
+#include <cstring>
+
+#include "compress/mzip.hpp"
+
+namespace mloc {
+
+Result<Bytes> XorDeltaCodec::encode(std::span<const double> values) const {
+  ByteWriter out;
+  out.put_varint(values.size());
+  if (values.empty()) return std::move(out).take();
+
+  Bytes lens;     // per-value count of significant (non-leading-zero) bytes
+  Bytes payload;  // significant bytes, low-order first
+  lens.reserve(values.size());
+
+  std::uint64_t prev = 0;
+  for (double v : values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    std::uint64_t residual = bits ^ prev;
+    prev = bits;
+    int nbytes = 8;
+    while (nbytes > 0 && (residual >> (8 * (nbytes - 1))) == 0) --nbytes;
+    lens.push_back(static_cast<std::uint8_t>(nbytes));
+    for (int b = 0; b < nbytes; ++b) {
+      payload.push_back(static_cast<std::uint8_t>(residual >> (8 * b)));
+    }
+  }
+
+  const MzipCodec mzip;
+  MLOC_ASSIGN_OR_RETURN(Bytes lens_packed, mzip.encode(lens));
+  MLOC_ASSIGN_OR_RETURN(Bytes payload_packed, mzip.encode(payload));
+  out.put_varint(lens_packed.size());
+  out.put_bytes(lens_packed);
+  out.put_varint(payload_packed.size());
+  out.put_bytes(payload_packed);
+  return std::move(out).take();
+}
+
+Result<std::vector<double>> XorDeltaCodec::decode(
+    std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t count, r.get_varint());
+  if (count == 0) return std::vector<double>{};
+  if (count > (1ull << 37)) return corrupt_data("xor-delta: implausible count");
+
+  const MzipCodec mzip;
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t lens_len, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(auto lens_packed, r.get_bytes(lens_len));
+  MLOC_ASSIGN_OR_RETURN(Bytes lens, mzip.decode(lens_packed));
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t payload_len, r.get_varint());
+  MLOC_ASSIGN_OR_RETURN(auto payload_packed, r.get_bytes(payload_len));
+  MLOC_ASSIGN_OR_RETURN(Bytes payload, mzip.decode(payload_packed));
+
+  if (lens.size() != count) return corrupt_data("xor-delta: length stream size");
+  std::vector<double> out(count);
+  std::size_t p = 0;
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int nbytes = lens[i];
+    if (nbytes > 8 || p + nbytes > payload.size()) {
+      return corrupt_data("xor-delta: payload truncated");
+    }
+    std::uint64_t residual = 0;
+    for (int b = 0; b < nbytes; ++b) {
+      residual |= static_cast<std::uint64_t>(payload[p++]) << (8 * b);
+    }
+    prev ^= residual;
+    std::memcpy(&out[i], &prev, sizeof prev);
+  }
+  if (p != payload.size()) return corrupt_data("xor-delta: trailing payload");
+  return out;
+}
+
+}  // namespace mloc

@@ -1,0 +1,33 @@
+// FPZip-flavoured lossless predictive float codec.
+//
+// Paper §III-B-4 lists FPZip as a pluggable compressor "specifically
+// designed for floating point numbers". This reproduction implements the
+// family's core mechanism: predict each double from its predecessor, XOR
+// the bit patterns (smooth fields give XOR residuals with many leading
+// zero bytes), and encode each residual as a 1-byte leading-zero count
+// followed by only the significant bytes. The significant-byte stream is
+// further entropy-packed with mzip.
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace mloc {
+
+class XorDeltaCodec final : public DoubleCodec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "xor-delta";
+  }
+  [[nodiscard]] bool lossless() const noexcept override { return true; }
+  [[nodiscard]] double max_relative_error() const noexcept override {
+    return 0.0;
+  }
+
+  [[nodiscard]] Result<Bytes> encode(
+      std::span<const double> values) const override;
+
+  [[nodiscard]] Result<std::vector<double>> decode(
+      std::span<const std::uint8_t> stream) const override;
+};
+
+}  // namespace mloc

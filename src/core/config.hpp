@@ -1,0 +1,61 @@
+// MLOC store configuration — which optimization levels run in which order
+// (paper §III-A-2's user-defined priorities).
+//
+// The reproduction supports the orders the paper evaluates: value binning
+// (V) is the outermost level (it defines the per-bin subfiling of Fig. 4),
+// and the multiresolution (M) and spatial (S) levels swap beneath it:
+//   * kVMS — bins > PLoD byte groups > Hilbert-ordered chunk fragments.
+//     Low-PLoD reads are long contiguous runs (fast); full-precision reads
+//     must gather one run per byte group (Table VII row 1).
+//   * kVSM — bins > Hilbert-ordered fragments > byte groups within each
+//     fragment. Full-precision fragment reads are single runs; low-PLoD
+//     reads scatter (Table VII row 2).
+//
+// The codec name selects the compression mode:
+//   * byte codecs ("mzip", "rle", "raw") enable PLoD byte-column storage —
+//     the MLOC-COL configuration;
+//   * double codecs ("isobar", "isabela[:eps]", "xor-delta") compress whole
+//     fragment value buffers — MLOC-ISO / MLOC-ISA; PLoD is unavailable
+//     because values are not stored byte-planar (paper §III-B-4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "array/shape.hpp"
+#include "sfc/hilbert.hpp"
+
+namespace mloc {
+
+enum class LevelOrder : std::uint8_t {
+  kVMS = 0,
+  kVSM = 1,
+};
+
+/// Bin-boundary construction. The paper uses equal-frequency binning "to
+/// prevent load imbalance" (§III-B-1); equal-width is provided for the
+/// ablation that demonstrates why.
+enum class BinningKind : std::uint8_t {
+  kEqualFrequency = 0,
+  kEqualWidth = 1,
+};
+
+[[nodiscard]] constexpr std::string_view level_order_name(
+    LevelOrder order) noexcept {
+  return order == LevelOrder::kVMS ? "V-M-S" : "V-S-M";
+}
+
+struct MlocConfig {
+  NDShape shape;          ///< full variable grid shape
+  NDShape chunk_shape;    ///< chunking of every variable
+  int num_bins = 100;     ///< equal-frequency bins (paper default)
+  BinningKind binning = BinningKind::kEqualFrequency;
+  sfc::CurveKind curve = sfc::CurveKind::kHilbert;
+  LevelOrder order = LevelOrder::kVMS;
+  std::string codec = "mzip";
+  /// Binning boundaries are estimated from every `sample_stride`-th element
+  /// (the paper computes them "from partial dataset").
+  std::uint32_t sample_stride = 101;
+};
+
+}  // namespace mloc

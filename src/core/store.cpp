@@ -1,0 +1,765 @@
+#include "core/store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "compress/registry.hpp"
+#include "plod/plod.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace mloc {
+namespace {
+
+constexpr std::uint32_t kMetaMagic = 0x4D4C4F43;  // "MLOC"
+constexpr std::uint32_t kMetaVersion = 1;
+
+std::string idx_name(const std::string& store, const std::string& var,
+                     int bin) {
+  return store + "/" + var + ".bin" + std::to_string(bin) + ".idx";
+}
+std::string dat_name(const std::string& store, const std::string& var,
+                     int bin) {
+  return store + "/" + var + ".bin" + std::to_string(bin) + ".dat";
+}
+
+void serialize_shape(ByteWriter& w, const NDShape& s) {
+  w.put_u8(static_cast<std::uint8_t>(s.ndims()));
+  for (int d = 0; d < s.ndims(); ++d) w.put_u32(s.extent(d));
+}
+
+Result<NDShape> deserialize_shape(ByteReader& r) {
+  MLOC_ASSIGN_OR_RETURN(std::uint8_t ndims, r.get_u8());
+  if (ndims < 1 || ndims > NDShape::kMaxDims) {
+    return corrupt_data("meta: bad ndims");
+  }
+  Coord extents{};
+  for (int d = 0; d < ndims; ++d) {
+    MLOC_ASSIGN_OR_RETURN(extents[d], r.get_u32());
+    if (extents[d] == 0) return corrupt_data("meta: zero extent");
+  }
+  return NDShape(ndims, extents);
+}
+
+/// Row-major shape of a region (for local-offset <-> coord mapping).
+NDShape region_shape(const Region& region) {
+  Coord extents{};
+  for (int d = 0; d < region.ndims(); ++d) extents[d] = region.extent(d);
+  return {region.ndims(), extents};
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- lifecycle
+
+Status MlocStore::init_codecs() {
+  if (is_byte_codec(cfg_.codec)) {
+    MLOC_ASSIGN_OR_RETURN(byte_codec_, make_byte_codec(cfg_.codec));
+  } else {
+    MLOC_ASSIGN_OR_RETURN(double_codec_, make_double_codec(cfg_.codec));
+  }
+  return Status::ok();
+}
+
+int MlocStore::num_groups() const noexcept {
+  return plod_capable() ? plod::kNumGroups : 1;
+}
+
+Result<MlocStore> MlocStore::create(pfs::PfsStorage* fs, std::string name,
+                                    MlocConfig cfg) {
+  MLOC_CHECK(fs != nullptr);
+  if (cfg.shape.ndims() == 0 || cfg.chunk_shape.ndims() != cfg.shape.ndims()) {
+    return invalid_argument("store: shape/chunk_shape dimensionality");
+  }
+  if (cfg.num_bins < 1) return invalid_argument("store: num_bins must be >= 1");
+  if (cfg.sample_stride == 0) cfg.sample_stride = 1;
+
+  MlocStore store;
+  store.fs_ = fs;
+  store.name_ = std::move(name);
+  store.cfg_ = std::move(cfg);
+  MLOC_RETURN_IF_ERROR(store.init_codecs());
+  store.chunk_grid_ = ChunkGrid(store.cfg_.shape, store.cfg_.chunk_shape);
+  store.curve_order_ = sfc::CurveOrder::make(
+      store.cfg_.curve, store.chunk_grid_.lattice_shape());
+  MLOC_ASSIGN_OR_RETURN(store.meta_file_,
+                        fs->create(store.name_ + ".meta"));
+  MLOC_RETURN_IF_ERROR(store.write_meta());
+  return store;
+}
+
+Status MlocStore::write_meta() {
+  ByteWriter w;
+  w.put_u32(kMetaMagic);
+  w.put_u32(kMetaVersion);
+  serialize_shape(w, cfg_.shape);
+  serialize_shape(w, cfg_.chunk_shape);
+  w.put_u32(static_cast<std::uint32_t>(cfg_.num_bins));
+  w.put_u8(static_cast<std::uint8_t>(cfg_.binning));
+  w.put_u8(static_cast<std::uint8_t>(cfg_.curve));
+  w.put_u8(static_cast<std::uint8_t>(cfg_.order));
+  w.put_string(cfg_.codec);
+  w.put_u32(cfg_.sample_stride);
+  w.put_varint(vars_.size());
+  for (const auto& v : vars_) {
+    w.put_string(v.name);
+    v.scheme.serialize(w);
+    w.put_varint(v.bins.size());
+    for (const auto& b : v.bins) w.put_varint(b.header_len);
+  }
+  return fs_->set_contents(meta_file_, std::move(w).take());
+}
+
+Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
+                                  const std::string& name) {
+  MLOC_CHECK(fs != nullptr);
+  MlocStore store;
+  store.fs_ = fs;
+  store.name_ = name;
+  MLOC_ASSIGN_OR_RETURN(store.meta_file_, fs->open(name + ".meta"));
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t meta_size,
+                        fs->file_size(store.meta_file_));
+  MLOC_ASSIGN_OR_RETURN(Bytes meta, fs->read(store.meta_file_, 0, meta_size));
+  ByteReader r(meta);
+
+  MLOC_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
+  if (magic != kMetaMagic) return corrupt_data("meta: bad magic");
+  MLOC_ASSIGN_OR_RETURN(std::uint32_t version, r.get_u32());
+  if (version != kMetaVersion) return unsupported("meta: unknown version");
+  MLOC_ASSIGN_OR_RETURN(store.cfg_.shape, deserialize_shape(r));
+  MLOC_ASSIGN_OR_RETURN(store.cfg_.chunk_shape, deserialize_shape(r));
+  MLOC_ASSIGN_OR_RETURN(std::uint32_t num_bins, r.get_u32());
+  store.cfg_.num_bins = static_cast<int>(num_bins);
+  MLOC_ASSIGN_OR_RETURN(std::uint8_t binning, r.get_u8());
+  if (binning > 1) return corrupt_data("meta: bad binning kind");
+  store.cfg_.binning = static_cast<BinningKind>(binning);
+  MLOC_ASSIGN_OR_RETURN(std::uint8_t curve, r.get_u8());
+  if (curve > 2) return corrupt_data("meta: bad curve kind");
+  store.cfg_.curve = static_cast<sfc::CurveKind>(curve);
+  MLOC_ASSIGN_OR_RETURN(std::uint8_t order, r.get_u8());
+  if (order > 1) return corrupt_data("meta: bad level order");
+  store.cfg_.order = static_cast<LevelOrder>(order);
+  MLOC_ASSIGN_OR_RETURN(store.cfg_.codec, r.get_string());
+  MLOC_ASSIGN_OR_RETURN(store.cfg_.sample_stride, r.get_u32());
+  MLOC_RETURN_IF_ERROR(store.init_codecs());
+  store.chunk_grid_ = ChunkGrid(store.cfg_.shape, store.cfg_.chunk_shape);
+  store.curve_order_ = sfc::CurveOrder::make(
+      store.cfg_.curve, store.chunk_grid_.lattice_shape());
+
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t nvars, r.get_varint());
+  if (nvars > 1024) return corrupt_data("meta: implausible variable count");
+  for (std::uint64_t i = 0; i < nvars; ++i) {
+    VariableState vs;
+    MLOC_ASSIGN_OR_RETURN(vs.name, r.get_string());
+    MLOC_ASSIGN_OR_RETURN(vs.scheme, BinningScheme::deserialize(r));
+    MLOC_ASSIGN_OR_RETURN(std::uint64_t nbins, r.get_varint());
+    if (nbins != static_cast<std::uint64_t>(vs.scheme.num_bins())) {
+      return corrupt_data("meta: bin count mismatches scheme");
+    }
+    vs.bins.resize(nbins);
+    for (std::uint64_t b = 0; b < nbins; ++b) {
+      MLOC_ASSIGN_OR_RETURN(vs.bins[b].header_len, r.get_varint());
+      MLOC_ASSIGN_OR_RETURN(
+          vs.bins[b].idx,
+          fs->open(idx_name(name, vs.name, static_cast<int>(b))));
+      MLOC_ASSIGN_OR_RETURN(
+          vs.bins[b].dat,
+          fs->open(dat_name(name, vs.name, static_cast<int>(b))));
+    }
+    store.vars_.push_back(std::move(vs));
+  }
+  return store;
+}
+
+std::vector<std::string> MlocStore::variables() const {
+  std::vector<std::string> out;
+  out.reserve(vars_.size());
+  for (const auto& v : vars_) out.push_back(v.name);
+  return out;
+}
+
+Result<const BinningScheme*> MlocStore::binning(const std::string& var) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  return &vs->scheme;
+}
+
+Result<const MlocStore::VariableState*> MlocStore::find_var(
+    const std::string& var) const {
+  for (const auto& v : vars_) {
+    if (v.name == var) return &v;
+  }
+  return not_found("store: no variable named " + var);
+}
+
+std::uint64_t MlocStore::data_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& v : vars_) {
+    for (const auto& b : v.bins) {
+      total += fs_->file_size(b.dat).value_or(0);
+    }
+  }
+  return total;
+}
+
+std::uint64_t MlocStore::index_bytes() const {
+  std::uint64_t total = fs_->file_size(meta_file_).value_or(0);
+  for (const auto& v : vars_) {
+    for (const auto& b : v.bins) {
+      total += fs_->file_size(b.idx).value_or(0);
+    }
+  }
+  return total;
+}
+
+// ------------------------------------------------------------ write path
+
+Status MlocStore::write_variable(const std::string& var, const Grid& grid) {
+  if (!(grid.shape() == cfg_.shape)) {
+    return invalid_argument("store: grid shape mismatches config");
+  }
+  if (find_var(var).is_ok()) {
+    return invalid_argument("store: variable exists: " + var);
+  }
+
+  // --- Level V: equal-frequency binning boundaries from a sample.
+  std::vector<double> sample;
+  sample.reserve(grid.size() / cfg_.sample_stride + 1);
+  for (std::uint64_t i = 0; i < grid.size(); i += cfg_.sample_stride) {
+    sample.push_back(grid.at_linear(i));
+  }
+  VariableState vs;
+  vs.name = var;
+  if (cfg_.binning == BinningKind::kEqualFrequency) {
+    vs.scheme = BinningScheme::equal_frequency(sample, cfg_.num_bins);
+  } else {
+    double lo = sample[0], hi = sample[0];
+    for (double v : sample) {
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > lo)) hi = lo + 1.0;
+    vs.scheme = BinningScheme::equal_width(lo, hi, cfg_.num_bins);
+  }
+  const int nbins = vs.scheme.num_bins();
+
+  // --- Stage fragments: iterate chunks in curve order (level S), routing
+  // each chunk's points to bins (level V).
+  struct FragStage {
+    ChunkId chunk;
+    std::vector<std::uint32_t> offsets;  // local, ascending
+    std::vector<double> values;          // parallel to offsets
+  };
+  std::vector<std::vector<FragStage>> staged(nbins);
+
+  std::vector<std::vector<std::uint32_t>> chunk_offs(nbins);
+  std::vector<std::vector<double>> chunk_vals(nbins);
+  for (std::uint32_t rank = 0; rank < chunk_grid_.num_chunks(); ++rank) {
+    const ChunkId chunk = curve_order_.chunk_at(rank);
+    const Region region = chunk_grid_.chunk_region(chunk);
+    const std::vector<double> vals = grid.extract(region);
+    for (auto& o : chunk_offs) o.clear();
+    for (auto& v : chunk_vals) v.clear();
+    for (std::uint32_t i = 0; i < vals.size(); ++i) {
+      const int b = vs.scheme.bin_of(vals[i]);
+      chunk_offs[b].push_back(i);
+      chunk_vals[b].push_back(vals[i]);
+    }
+    for (int b = 0; b < nbins; ++b) {
+      if (chunk_offs[b].empty()) continue;
+      FragStage frag{chunk, std::move(chunk_offs[b]),
+                     std::move(chunk_vals[b])};
+      staged[b].push_back(std::move(frag));
+      chunk_offs[b] = {};
+      chunk_vals[b] = {};
+    }
+  }
+
+  // --- Emit per-bin subfiles: positional index (level V's index), then the
+  // payload laid out by the configured M/S order, compressed per segment.
+  const int groups = num_groups();
+  for (int b = 0; b < nbins; ++b) {
+    BinFiles files;
+    MLOC_ASSIGN_OR_RETURN(files.idx, fs_->create(idx_name(name_, var, b)));
+    MLOC_ASSIGN_OR_RETURN(files.dat, fs_->create(dat_name(name_, var, b)));
+
+    BinLayout layout;
+    layout.fragments.resize(staged[b].size());
+    Bytes blob_section;
+    for (std::size_t f = 0; f < staged[b].size(); ++f) {
+      FragmentInfo& info = layout.fragments[f];
+      info.chunk = staged[b][f].chunk;
+      info.count = staged[b][f].offsets.size();
+      const Bytes blob = encode_positions(staged[b][f].offsets);
+      info.positions = {blob_section.size(), blob.size(), fnv1a64(blob)};
+      blob_section.insert(blob_section.end(), blob.begin(), blob.end());
+      info.groups.resize(groups);
+      // Zone map over the original values (NaNs excluded: they never
+      // satisfy a VC, and an empty range reads as VC-disjoint).
+      info.min_value = std::numeric_limits<double>::infinity();
+      info.max_value = -std::numeric_limits<double>::infinity();
+      for (double v : staged[b][f].values) {
+        if (std::isnan(v)) continue;
+        info.min_value = std::min(info.min_value, v);
+        info.max_value = std::max(info.max_value, v);
+      }
+    }
+
+    // Payload emission. In PLoD mode each fragment is shredded into byte
+    // planes; the (M, S) order decides whether groups or fragments are the
+    // outer loop of the .dat file.
+    Bytes dat;
+    auto append_segment = [&](Segment* seg, const Bytes& encoded) {
+      seg->offset = dat.size();
+      seg->length = encoded.size();
+      seg->checksum = fnv1a64(encoded);
+      dat.insert(dat.end(), encoded.begin(), encoded.end());
+    };
+    if (plod_capable()) {
+      std::vector<plod::Shredded> shredded(staged[b].size());
+      for (std::size_t f = 0; f < staged[b].size(); ++f) {
+        shredded[f] = plod::shred(staged[b][f].values);
+      }
+      if (cfg_.order == LevelOrder::kVMS) {
+        for (int g = 0; g < groups; ++g) {
+          for (std::size_t f = 0; f < staged[b].size(); ++f) {
+            MLOC_ASSIGN_OR_RETURN(Bytes enc,
+                                  byte_codec_->encode(shredded[f].groups[g]));
+            append_segment(&layout.fragments[f].groups[g], enc);
+          }
+        }
+      } else {  // kVSM: fragments outer, byte groups inner
+        for (std::size_t f = 0; f < staged[b].size(); ++f) {
+          for (int g = 0; g < groups; ++g) {
+            MLOC_ASSIGN_OR_RETURN(Bytes enc,
+                                  byte_codec_->encode(shredded[f].groups[g]));
+            append_segment(&layout.fragments[f].groups[g], enc);
+          }
+        }
+      }
+    } else {
+      for (std::size_t f = 0; f < staged[b].size(); ++f) {
+        MLOC_ASSIGN_OR_RETURN(Bytes enc,
+                              double_codec_->encode(staged[b][f].values));
+        append_segment(&layout.fragments[f].groups[0], enc);
+      }
+    }
+
+    ByteWriter header;
+    layout.serialize(header);
+    files.header_len = header.size();
+    Bytes idx = std::move(header).take();
+    idx.insert(idx.end(), blob_section.begin(), blob_section.end());
+    MLOC_RETURN_IF_ERROR(fs_->set_contents(files.idx, std::move(idx)));
+    MLOC_RETURN_IF_ERROR(fs_->set_contents(files.dat, std::move(dat)));
+    vs.bins.push_back(files);
+  }
+
+  vars_.push_back(std::move(vs));
+  return write_meta();
+}
+
+// ------------------------------------------------------------ query path
+
+Result<std::vector<double>> MlocStore::fetch_fragment_values(
+    const BinFiles& files, const FragmentInfo& frag, int level,
+    parallel::RankContext& ctx) const {
+  if (plod_capable()) {
+    std::vector<Bytes> planes(level);
+    for (int g = 0; g < level; ++g) {
+      MLOC_ASSIGN_OR_RETURN(
+          Bytes raw, fs_->read(files.dat, frag.groups[g].offset,
+                               frag.groups[g].length, &ctx.io_log,
+                               static_cast<std::uint32_t>(ctx.rank)));
+      if (fnv1a64(raw) != frag.groups[g].checksum) {
+        return corrupt_data("fragment segment failed checksum");
+      }
+      Stopwatch sw;
+      MLOC_ASSIGN_OR_RETURN(planes[g], byte_codec_->decode(raw));
+      ctx.times.decompress += sw.seconds();
+    }
+    Stopwatch sw;
+    std::vector<std::span<const std::uint8_t>> spans(planes.begin(),
+                                                     planes.end());
+    auto assembled = plod::assemble(spans, level, frag.count);
+    ctx.times.reconstruct += sw.seconds();
+    return assembled;
+  }
+  MLOC_ASSIGN_OR_RETURN(
+      Bytes raw, fs_->read(files.dat, frag.groups[0].offset,
+                           frag.groups[0].length, &ctx.io_log,
+                           static_cast<std::uint32_t>(ctx.rank)));
+  if (fnv1a64(raw) != frag.groups[0].checksum) {
+    return corrupt_data("fragment segment failed checksum");
+  }
+  Stopwatch sw;
+  auto decoded = double_codec_->decode(raw);
+  ctx.times.decompress += sw.seconds();
+  return decoded;
+}
+
+Result<QueryResult> MlocStore::execute(const std::string& var, const Query& q,
+                                       int num_ranks) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  return execute_impl(*vs, q, num_ranks, nullptr);
+}
+
+Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
+                                            const Query& q, int num_ranks,
+                                            const Bitmap* position_filter) const {
+  if (num_ranks < 1) return invalid_argument("query: num_ranks must be >= 1");
+  const int max_level = num_groups() == 1 ? 7 : plod::kNumGroups;
+  if (q.plod_level < 1 || q.plod_level > 7) {
+    return invalid_argument("query: PLoD level must be in [1,7]");
+  }
+  if (q.plod_level < 7 && !plod_capable()) {
+    return unsupported(
+        "query: PLoD levels below full precision need a byte-column codec "
+        "(MLOC-COL); this store uses " + cfg_.codec);
+  }
+  (void)max_level;
+  if (q.sc.has_value() && q.sc->ndims() != cfg_.shape.ndims()) {
+    return invalid_argument("query: SC dimensionality mismatch");
+  }
+
+  QueryResult result;
+
+  // --- Step 1 (paper Fig. 5): bins to access, from the VC vs bin bounds.
+  int first_bin = 0;
+  int last_bin = vs.scheme.num_bins() - 1;
+  if (q.vc.has_value()) {
+    const auto span = vs.scheme.bins_overlapping(q.vc->lo, q.vc->hi);
+    if (span.empty()) return result;  // no bin can match
+    first_bin = span.first;
+    last_bin = span.last;
+  }
+
+  // --- Step 2: chunks to access, from the SC mapped to the chunk lattice.
+  std::optional<std::set<ChunkId>> chunk_filter;
+  if (q.sc.has_value()) {
+    if (q.sc->empty()) return result;
+    const auto hits = chunk_grid_.chunks_overlapping(*q.sc);
+    chunk_filter.emplace(hits.begin(), hits.end());
+  }
+
+  const int nbins_touched = last_bin - first_bin + 1;
+  result.bins_touched = static_cast<std::uint64_t>(nbins_touched);
+
+  // --- Phase 1: read fragment tables of the touched bins. Bins are split
+  // across ranks; each rank reads headers (index I/O) and keeps the
+  // fragments passing the chunk filter.
+  struct BinWork {
+    int bin = 0;
+    bool aligned = false;
+    BinLayout layout;  // filtered
+  };
+  std::vector<BinWork> bin_work(nbins_touched);
+  Status phase1_status = Status::ok();
+  auto phase1 = parallel::run_ranks(num_ranks, [&](parallel::RankContext& ctx) {
+    if (!phase1_status.is_ok()) return;
+    const auto ranges = parallel::split_even(
+        static_cast<std::size_t>(nbins_touched), ctx.num_ranks);
+    for (std::size_t i = ranges[ctx.rank].first; i < ranges[ctx.rank].second;
+         ++i) {
+      const int bin = first_bin + static_cast<int>(i);
+      const BinFiles& files = vs.bins[bin];
+      auto header = fs_->read(files.idx, 0, files.header_len, &ctx.io_log,
+                              static_cast<std::uint32_t>(ctx.rank));
+      if (!header.is_ok()) {
+        phase1_status = header.status();
+        return;
+      }
+      Stopwatch sw;
+      ByteReader r(header.value());
+      auto layout = BinLayout::deserialize(r);
+      if (!layout.is_ok()) {
+        phase1_status = layout.status();
+        return;
+      }
+      BinWork& w = bin_work[i];
+      w.bin = bin;
+      // Aligned-bin fast path: the VC contains the bin's interval, so all
+      // (original) values qualify without decompression.
+      w.aligned = q.vc.has_value() &&
+                  vs.scheme.aligned(bin, q.vc->lo, q.vc->hi);
+      if (chunk_filter.has_value()) {
+        for (auto& f : layout.value().fragments) {
+          if (chunk_filter->contains(f.chunk)) {
+            w.layout.fragments.push_back(std::move(f));
+          }
+        }
+      } else {
+        w.layout = std::move(layout).value();
+      }
+      ctx.times.reconstruct += sw.seconds();
+    }
+  });
+  MLOC_RETURN_IF_ERROR(phase1_status);
+
+  for (const auto& w : bin_work) {
+    if (w.aligned) ++result.aligned_bins;
+  }
+
+  // --- Phase 2: flatten work items in column (bin-major) order and split
+  // them evenly across ranks; each rank fetches, decompresses, filters.
+  struct Item {
+    const BinWork* bin;
+    const FragmentInfo* frag;
+  };
+  std::vector<Item> items;
+  for (const auto& w : bin_work) {
+    for (const auto& f : w.layout.fragments) items.push_back({&w, &f});
+  }
+
+  struct RankOutput {
+    std::vector<std::uint64_t> positions;
+    std::vector<double> values;
+    std::uint64_t fragments_read = 0;
+    std::uint64_t fragments_skipped = 0;
+  };
+  std::vector<RankOutput> outputs(num_ranks);
+  Status phase2_status = Status::ok();
+
+  // Region-only access to an aligned bin answers from the index alone; the
+  // values qualify by bin construction (paper §III-D-1).
+  const bool need_values_for_filter =
+      q.vc.has_value();  // misaligned bins must reconstruct to test the VC
+  auto phase2 = parallel::run_ranks(num_ranks, [&](parallel::RankContext& ctx) {
+    if (!phase2_status.is_ok()) return;
+    RankOutput& out = outputs[ctx.rank];
+    const auto ranges = parallel::split_even(items.size(), ctx.num_ranks);
+    for (std::size_t i = ranges[ctx.rank].first; i < ranges[ctx.rank].second;
+         ++i) {
+      const BinWork& bw = *items[i].bin;
+      const FragmentInfo& frag = *items[i].frag;
+      const BinFiles& files = vs.bins[bw.bin];
+
+      // Zone-map fast paths for misaligned bins (extension of the paper's
+      // aligned-bin rule to fragment granularity): a VC disjoint from the
+      // fragment's value range skips it entirely; a VC containing the
+      // range qualifies every point without decompression. Like binning,
+      // zone maps range over original values — the semantics VC filtering
+      // uses (see Query::plod_level).
+      bool frag_aligned = false;
+      if (q.vc.has_value() && !bw.aligned) {
+        if (frag.max_value < q.vc->lo || frag.min_value >= q.vc->hi) {
+          ++out.fragments_skipped;
+          continue;
+        }
+        frag_aligned =
+            q.vc->lo <= frag.min_value && frag.max_value < q.vc->hi;
+      }
+
+      // Positional index blob (always needed: positions are the output key
+      // and drive SC / bitmap filtering).
+      auto blob = fs_->read(files.idx, files.header_len + frag.positions.offset,
+                            frag.positions.length, &ctx.io_log,
+                            static_cast<std::uint32_t>(ctx.rank));
+      if (!blob.is_ok()) {
+        phase2_status = blob.status();
+        return;
+      }
+      if (fnv1a64(blob.value()) != frag.positions.checksum) {
+        phase2_status = corrupt_data("position blob failed checksum");
+        return;
+      }
+      Stopwatch sw_pos;
+      auto local = decode_positions(blob.value(), frag.count);
+      if (!local.is_ok()) {
+        phase2_status = local.status();
+        return;
+      }
+      ctx.times.reconstruct += sw_pos.seconds();
+
+      // Values: needed when the caller wants them, or when a misaligned
+      // bin/fragment forces VC re-filtering. VC filtering always runs on
+      // full-precision values (the data the index was built from), so a
+      // filtered fragment is fetched at full precision even when the
+      // caller asked for a reduced PLoD level.
+      const bool needs_vc_filter =
+          need_values_for_filter && !bw.aligned && !frag_aligned;
+      const bool fetch_values = q.values_needed || needs_vc_filter;
+      const int fetch_level = needs_vc_filter ? 7 : q.plod_level;
+      std::vector<double> vals;       // at fetch_level (filtering basis)
+      std::vector<double> out_vals;   // at q.plod_level (returned values)
+      if (fetch_values) {
+        auto fetched = fetch_fragment_values(files, frag, fetch_level, ctx);
+        if (!fetched.is_ok()) {
+          phase2_status = fetched.status();
+          return;
+        }
+        vals = std::move(fetched).value();
+        if (vals.size() != frag.count) {
+          phase2_status = corrupt_data("fragment value count mismatch");
+          return;
+        }
+        ++out.fragments_read;
+        if (q.values_needed) {
+          if (fetch_level != q.plod_level) {
+            Stopwatch sw_degrade;
+            auto degraded =
+                plod::assemble(plod::shred(vals), q.plod_level);
+            if (!degraded.is_ok()) {
+              phase2_status = degraded.status();
+              return;
+            }
+            out_vals = std::move(degraded).value();
+            ctx.times.reconstruct += sw_degrade.seconds();
+          } else {
+            out_vals = vals;
+          }
+        }
+      }
+
+      // Filter + emit (reconstruction).
+      Stopwatch sw;
+      const Region chunk_region = chunk_grid_.chunk_region(frag.chunk);
+      const NDShape local_shape = region_shape(chunk_region);
+      for (std::size_t k = 0; k < local.value().size(); ++k) {
+        Coord coord = local_shape.delinearize(local.value()[k]);
+        for (int d = 0; d < cfg_.shape.ndims(); ++d) {
+          coord[d] += chunk_region.lo(d);
+        }
+        if (q.sc.has_value() && !q.sc->contains(coord)) continue;
+        const std::uint64_t linear = cfg_.shape.linearize(coord);
+        if (position_filter != nullptr && !position_filter->get(linear)) {
+          continue;
+        }
+        if (needs_vc_filter && !q.vc->matches(vals[k])) {
+          continue;
+        }
+        out.positions.push_back(linear);
+        if (q.values_needed) out.values.push_back(out_vals[k]);
+      }
+      ctx.times.reconstruct += sw.seconds();
+    }
+  });
+  MLOC_RETURN_IF_ERROR(phase2_status);
+
+  // --- Gather: merge rank outputs sorted by position (root process role).
+  Stopwatch sw_gather;
+  std::size_t total = 0;
+  for (const auto& o : outputs) total += o.positions.size();
+  std::vector<std::pair<std::uint64_t, double>> merged;
+  merged.reserve(total);
+  for (auto& o : outputs) {
+    result.fragments_read += o.fragments_read;
+    result.fragments_skipped += o.fragments_skipped;
+    for (std::size_t k = 0; k < o.positions.size(); ++k) {
+      merged.emplace_back(o.positions[k],
+                          q.values_needed ? o.values[k] : 0.0);
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  result.positions.reserve(merged.size());
+  if (q.values_needed) result.values.reserve(merged.size());
+  for (const auto& [pos, val] : merged) {
+    result.positions.push_back(pos);
+    if (q.values_needed) result.values.push_back(val);
+  }
+  const double gather_s = sw_gather.seconds();
+
+  // --- Timing: modeled I/O makespan over both phases' merged logs plus
+  // per-phase CPU maxima (ranks synchronize at phase barriers).
+  pfs::IoLog io;
+  io.merge_from(parallel::merged_io_log(phase1));
+  io.merge_from(parallel::merged_io_log(phase2));
+  result.bytes_read = io.total_bytes();
+  result.times.io = pfs::model_makespan(fs_->config(), io, num_ranks);
+  const ComponentTimes cpu1 = parallel::max_rank_times(phase1);
+  const ComponentTimes cpu2 = parallel::max_rank_times(phase2);
+  result.times.decompress = cpu1.decompress + cpu2.decompress;
+  result.times.reconstruct = cpu1.reconstruct + cpu2.reconstruct + gather_s;
+  return result;
+}
+
+Result<QueryResult> MlocStore::multivar_query(const std::string& select_var,
+                                              ValueConstraint vc,
+                                              const std::string& fetch_var,
+                                              int plod_level,
+                                              int num_ranks) const {
+  return multivar_select({{select_var, vc}}, Combine::kAnd, fetch_var,
+                         plod_level, num_ranks);
+}
+
+Result<QueryResult> MlocStore::multivar_select(
+    const std::vector<VarConstraint>& preds, Combine combine,
+    const std::string& fetch_var, int plod_level, int num_ranks) const {
+  if (preds.empty()) {
+    return invalid_argument("multivar: at least one predicate required");
+  }
+
+  // Pass 1: one region-only query per predicate; each result becomes a
+  // WAH bitmap, combined in the compressed domain (§III-D-4's
+  // "synchronized bitmaps").
+  QueryResult accumulated;
+  std::optional<WahBitmap> combined;
+  for (const auto& pred : preds) {
+    MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(pred.var));
+    Query region_q;
+    region_q.vc = pred.vc;
+    region_q.values_needed = false;
+    MLOC_ASSIGN_OR_RETURN(QueryResult selected,
+                          execute_impl(*vs, region_q, num_ranks, nullptr));
+    Stopwatch sw;
+    Bitmap plain(cfg_.shape.volume());
+    for (std::uint64_t p : selected.positions) plain.set(p);
+    WahBitmap wah = WahBitmap::compress(plain);
+    if (!combined.has_value()) {
+      combined = std::move(wah);
+    } else if (combine == Combine::kAnd) {
+      combined = WahBitmap::logical_and(*combined, wah);
+    } else {
+      combined = WahBitmap::logical_or(*combined, wah);
+    }
+    selected.times.reconstruct += sw.seconds();
+    accumulated.times += selected.times;
+    accumulated.bins_touched += selected.bins_touched;
+    accumulated.aligned_bins += selected.aligned_bins;
+    accumulated.fragments_read += selected.fragments_read;
+    accumulated.bytes_read += selected.bytes_read;
+  }
+
+  Stopwatch sw;
+  const Bitmap positions = combined->decompress();
+  std::vector<std::uint64_t> selected_positions;
+  positions.for_each_set(
+      [&](std::uint64_t p) { selected_positions.push_back(p); });
+  accumulated.times.reconstruct += sw.seconds();
+
+  if (fetch_var.empty() || selected_positions.empty()) {
+    accumulated.positions = std::move(selected_positions);
+    return accumulated;
+  }
+
+  // Pass 2: value retrieval restricted by the combined bitmap, narrowed to
+  // the selection's bounding box so only covering chunks are touched.
+  MLOC_ASSIGN_OR_RETURN(const VariableState* fetch, find_var(fetch_var));
+  Query fetch_q;
+  fetch_q.plod_level = plod_level;
+  fetch_q.values_needed = true;
+  Coord lo = cfg_.shape.delinearize(selected_positions.front());
+  Coord hi = lo;
+  for (std::uint64_t p : selected_positions) {
+    const Coord c = cfg_.shape.delinearize(p);
+    for (int d = 0; d < cfg_.shape.ndims(); ++d) {
+      lo[d] = std::min(lo[d], c[d]);
+      hi[d] = std::max(hi[d], c[d]);
+    }
+  }
+  for (int d = 0; d < cfg_.shape.ndims(); ++d) ++hi[d];
+  fetch_q.sc = Region(cfg_.shape.ndims(), lo, hi);
+  MLOC_ASSIGN_OR_RETURN(QueryResult fetched,
+                        execute_impl(*fetch, fetch_q, num_ranks, &positions));
+
+  fetched.times += accumulated.times;
+  fetched.bins_touched += accumulated.bins_touched;
+  fetched.aligned_bins += accumulated.aligned_bins;
+  fetched.fragments_read += accumulated.fragments_read;
+  fetched.bytes_read += accumulated.bytes_read;
+  return fetched;
+}
+
+}  // namespace mloc

@@ -1,0 +1,149 @@
+// MlocStore — the MLOC framework's public entry point.
+//
+// A store lives on a pfs::PfsStorage and holds any number of variables that
+// share one grid shape, chunking, level order, and codec (paper Fig. 1
+// pipeline). Writing a variable runs the full multi-level layout pipeline:
+// equal-frequency binning -> per-bin subfiles -> (PLoD byte grouping and
+// Hilbert-curve fragment ordering, in the configured order) -> compression.
+// Queries execute the parallel access protocol of §III-D: bin selection by
+// VC, fragment selection by SC via the Hilbert mapping, column-order block
+// assignment to ranks, per-rank fetch/decompress/filter, and gather.
+//
+// All reads are logged per rank; QueryResult::times combines the PFS cost
+// model's I/O makespan with measured per-rank decompress/reconstruct CPU.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/chunking.hpp"
+#include "array/grid.hpp"
+#include "binning/binning.hpp"
+#include "bitmap/bitmap.hpp"
+#include "compress/codec.hpp"
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "parallel/runtime.hpp"
+#include "pfs/pfs.hpp"
+#include "query/query.hpp"
+
+namespace mloc {
+
+class MlocStore {
+ public:
+  /// Create an empty store named `name` on `fs` (non-owning; must outlive
+  /// the store). Fails on invalid config or name collision.
+  static Result<MlocStore> create(pfs::PfsStorage* fs, std::string name,
+                                  MlocConfig cfg);
+
+  /// Re-open a store previously created on `fs` from its metadata file.
+  static Result<MlocStore> open(pfs::PfsStorage* fs, const std::string& name);
+
+  /// Ingest one variable through the layout pipeline. The grid shape must
+  /// match the store config; the variable name must be new.
+  Status write_variable(const std::string& var, const Grid& grid);
+
+  /// Execute a query (paper §III-D). `num_ranks` parallel processes are
+  /// emulated; results are identical for any rank count.
+  Result<QueryResult> execute(const std::string& var, const Query& q,
+                              int num_ranks = 1) const;
+
+  /// Multi-variable access (§III-D-4): select positions where `select_var`
+  /// satisfies `vc` (region-only pass), then retrieve `fetch_var` values at
+  /// those positions via a shared position bitmap.
+  Result<QueryResult> multivar_query(const std::string& select_var,
+                                     ValueConstraint vc,
+                                     const std::string& fetch_var,
+                                     int plod_level = 7,
+                                     int num_ranks = 1) const;
+
+  /// One predicate of a multi-variable selection.
+  struct VarConstraint {
+    std::string var;
+    ValueConstraint vc;
+  };
+  enum class Combine : std::uint8_t { kAnd, kOr };
+
+  /// General multi-variable selection (paper §II "multi-variable data
+  /// access ... may involve two or more variables"): evaluate each
+  /// predicate as a region-only pass, combine the resulting position
+  /// bitmaps in the WAH compressed domain, then fetch `fetch_var` at the
+  /// surviving positions. With an empty `fetch_var` only positions are
+  /// returned.
+  Result<QueryResult> multivar_select(const std::vector<VarConstraint>& preds,
+                                      Combine combine,
+                                      const std::string& fetch_var,
+                                      int plod_level = 7,
+                                      int num_ranks = 1) const;
+
+  [[nodiscard]] const MlocConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// Metadata accessors for the query planner.
+  [[nodiscard]] Result<const BinningScheme*> binning(
+      const std::string& var) const;
+  [[nodiscard]] const ChunkGrid& chunk_grid() const noexcept {
+    return chunk_grid_;
+  }
+  [[nodiscard]] const pfs::PfsConfig& pfs_config() const noexcept {
+    return fs_->config();
+  }
+
+  /// True when the store keeps PLoD byte columns (byte codec / MLOC-COL).
+  [[nodiscard]] bool plod_capable() const noexcept {
+    return byte_codec_ != nullptr;
+  }
+  /// 7 byte groups in PLoD mode, 1 whole-value group otherwise.
+  [[nodiscard]] int num_groups() const noexcept;
+
+  /// Storage accounting (paper Table I): payload (.dat) and index
+  /// (.idx + metadata) bytes across all variables.
+  [[nodiscard]] std::uint64_t data_bytes() const;
+  [[nodiscard]] std::uint64_t index_bytes() const;
+
+ private:
+  struct BinFiles {
+    pfs::FileId idx = 0;
+    pfs::FileId dat = 0;
+    std::uint64_t header_len = 0;  ///< fragment-table bytes at .idx start
+  };
+  struct VariableState {
+    std::string name;
+    BinningScheme scheme;
+    std::vector<BinFiles> bins;  ///< size = scheme.num_bins()
+  };
+
+  MlocStore() = default;
+
+  Status init_codecs();
+  Status write_meta();
+  [[nodiscard]] Result<const VariableState*> find_var(
+      const std::string& var) const;
+
+  /// Shared query engine; `position_filter` (over linear grid offsets)
+  /// implements the multi-variable second pass.
+  Result<QueryResult> execute_impl(const VariableState& vs, const Query& q,
+                                   int num_ranks,
+                                   const Bitmap* position_filter) const;
+
+  /// Read and decode the value payload of one fragment at `level`
+  /// (1..num_groups). Returns the fragment's values in index order.
+  Result<std::vector<double>> fetch_fragment_values(
+      const BinFiles& files, const FragmentInfo& frag, int level,
+      parallel::RankContext& ctx) const;
+
+  pfs::PfsStorage* fs_ = nullptr;
+  std::string name_;
+  MlocConfig cfg_;
+  ChunkGrid chunk_grid_;
+  sfc::CurveOrder curve_order_;
+  pfs::FileId meta_file_ = 0;
+  std::vector<VariableState> vars_;
+  std::shared_ptr<const ByteCodec> byte_codec_;      // PLoD/COL mode
+  std::shared_ptr<const DoubleCodec> double_codec_;  // whole-value mode
+};
+
+}  // namespace mloc

@@ -1,0 +1,218 @@
+#include "datagen/datagen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mloc::datagen {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+}  // namespace
+
+Grid gts_like(std::uint32_t edge, std::uint64_t seed) {
+  MLOC_CHECK(edge >= 4);
+  Grid grid(NDShape{edge, edge});
+  Rng rng(seed);
+
+  // A few global poloidal/radial modes with random phases, mimicking the
+  // turbulent transport structures of gyrokinetic potential fields.
+  struct Mode {
+    double kr, kp, amp, phase;
+  };
+  std::vector<Mode> modes;
+  for (int m = 0; m < 12; ++m) {
+    modes.push_back({rng.next_double(0.5, 6.0), rng.next_double(1.0, 14.0),
+                     rng.next_double(0.2, 1.0) / (1.0 + m * 0.3),
+                     rng.next_double(0.0, kTwoPi)});
+  }
+  const double cx = 0.5, cy = 0.5;
+  for (std::uint32_t i = 0; i < edge; ++i) {
+    for (std::uint32_t j = 0; j < edge; ++j) {
+      const double x = static_cast<double>(i) / edge - cx;
+      const double y = static_cast<double>(j) / edge - cy;
+      const double r = std::sqrt(x * x + y * y) * 2.0;
+      const double theta = std::atan2(y, x);
+      double v = 0.0;
+      for (const Mode& m : modes) {
+        v += m.amp * std::sin(m.kr * kTwoPi * r + m.phase) *
+             std::cos(m.kp * theta);
+      }
+      // Radial envelope (core-peaked) plus fine-grained noise.
+      v *= std::exp(-2.0 * r * r);
+      v += 0.02 * rng.next_gaussian();
+      grid.at({i, j}) = v;
+    }
+  }
+  return grid;
+}
+
+Grid s3d_like(std::uint32_t edge, std::uint64_t seed) {
+  MLOC_CHECK(edge >= 4);
+  Grid grid(NDShape{edge, edge, edge});
+  Rng rng(seed);
+
+  // Wrinkled flame front: temperature transitions from unburnt (~800 K) to
+  // burnt (~2400 K) across a sigmoid surface perturbed by vortical modes.
+  struct Wave {
+    double kx, ky, amp, phase;
+  };
+  std::vector<Wave> waves;
+  for (int w = 0; w < 8; ++w) {
+    waves.push_back({rng.next_double(1.0, 6.0), rng.next_double(1.0, 6.0),
+                     rng.next_double(0.01, 0.06), rng.next_double(0.0, kTwoPi)});
+  }
+  const double front_pos = rng.next_double(0.35, 0.65);
+  const double thickness = rng.next_double(0.02, 0.05);
+  for (std::uint32_t i = 0; i < edge; ++i) {
+    for (std::uint32_t j = 0; j < edge; ++j) {
+      for (std::uint32_t k = 0; k < edge; ++k) {
+        const double x = static_cast<double>(i) / edge;
+        const double y = static_cast<double>(j) / edge;
+        const double z = static_cast<double>(k) / edge;
+        double wrinkle = 0.0;
+        for (const Wave& w : waves) {
+          wrinkle += w.amp * std::sin(w.kx * kTwoPi * y + w.phase) *
+                     std::cos(w.ky * kTwoPi * z);
+        }
+        const double s = (x - front_pos - wrinkle) / thickness;
+        const double t = 800.0 + 1600.0 / (1.0 + std::exp(-s));
+        grid.at({i, j, k}) = t + 3.0 * rng.next_gaussian();
+      }
+    }
+  }
+  return grid;
+}
+
+Grid s3d_species_like(const Grid& temperature, std::uint64_t seed) {
+  Grid grid(temperature.shape());
+  Rng rng(seed);
+  // Mass fraction anti-correlated with temperature (fuel consumed where
+  // burnt), with independent small-scale fluctuations.
+  const auto vals = temperature.values();
+  double lo = vals[0], hi = vals[0];
+  for (double v : vals) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = (hi > lo) ? hi - lo : 1.0;
+  for (std::uint64_t i = 0; i < grid.size(); ++i) {
+    const double t01 = (vals[i] - lo) / span;
+    grid.at_linear(i) =
+        0.12 * (1.0 - t01) + 0.004 * rng.next_gaussian();
+  }
+  return grid;
+}
+
+Grid s3d_velocity_like(std::uint32_t edge, std::uint64_t seed) {
+  MLOC_CHECK(edge >= 4);
+  Grid grid(NDShape{edge, edge, edge});
+  Rng rng(seed);
+
+  struct Wave {
+    double kx, ky, kz, amp, phase;
+  };
+  std::vector<Wave> waves;
+  for (int w = 0; w < 10; ++w) {
+    waves.push_back({rng.next_double(1.0, 8.0), rng.next_double(1.0, 8.0),
+                     rng.next_double(1.0, 8.0), rng.next_double(0.05, 0.25),
+                     rng.next_double(0.0, kTwoPi)});
+  }
+  struct Core {
+    double cx, cy, cz, peak, radius;
+  };
+  std::vector<Core> cores;
+  for (int c = 0; c < 6; ++c) {
+    cores.push_back({rng.next_double(0.1, 0.9), rng.next_double(0.1, 0.9),
+                     rng.next_double(0.1, 0.9),
+                     (rng.next_double() < 0.5 ? -1.0 : 1.0) *
+                         rng.next_double(8.0, 16.0),
+                     rng.next_double(0.02, 0.05)});
+  }
+  for (std::uint32_t i = 0; i < edge; ++i) {
+    for (std::uint32_t j = 0; j < edge; ++j) {
+      for (std::uint32_t k = 0; k < edge; ++k) {
+        const double x = static_cast<double>(i) / edge;
+        const double y = static_cast<double>(j) / edge;
+        const double z = static_cast<double>(k) / edge;
+        double v = 0.0;
+        for (const Wave& w : waves) {
+          v += w.amp * std::sin(w.kx * kTwoPi * x + w.phase) *
+               std::cos(w.ky * kTwoPi * y) * std::sin(w.kz * kTwoPi * z);
+        }
+        for (const Core& c : cores) {
+          const double dx = x - c.cx, dy = y - c.cy, dz = z - c.cz;
+          const double d2 = dx * dx + dy * dy + dz * dz;
+          v += c.peak * std::exp(-d2 / (c.radius * c.radius));
+        }
+        v += 0.01 * rng.next_gaussian();
+        grid.at({i, j, k}) = v;
+      }
+    }
+  }
+  return grid;
+}
+
+ValueConstraint random_vc(const Grid& grid, double selectivity, Rng& rng) {
+  MLOC_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  // Sample ~64k points, sort, pick a quantile window of width selectivity.
+  const std::uint64_t n = grid.size();
+  const std::uint64_t sample_target = std::min<std::uint64_t>(n, 65536);
+  const std::uint64_t stride = std::max<std::uint64_t>(1, n / sample_target);
+  std::vector<double> sample;
+  sample.reserve(sample_target + 1);
+  for (std::uint64_t i = 0; i < n; i += stride) {
+    sample.push_back(grid.at_linear(i));
+  }
+  std::sort(sample.begin(), sample.end());
+  const double qlo = rng.next_double(0.0, 1.0 - selectivity);
+  const auto ilo =
+      static_cast<std::size_t>(qlo * static_cast<double>(sample.size() - 1));
+  const auto ihi = static_cast<std::size_t>(
+      std::min<double>(qlo + selectivity, 1.0) *
+      static_cast<double>(sample.size() - 1));
+  ValueConstraint vc;
+  vc.lo = sample[ilo];
+  vc.hi = std::max(sample[ihi], sample[ilo] + 1e-12);
+  return vc;
+}
+
+Region random_sc(const NDShape& shape, double selectivity, Rng& rng) {
+  MLOC_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  const int d = shape.ndims();
+  // Target edge fraction per dim: selectivity^(1/d), jittered by up to 2x
+  // per dimension while keeping the product fixed.
+  std::array<double, 4> frac{};
+  double target = std::pow(selectivity, 1.0 / d);
+  double carry = 1.0;
+  for (int dim = 0; dim < d; ++dim) {
+    double f;
+    if (dim + 1 == d) {
+      f = selectivity / carry;  // exact product
+    } else {
+      const double jitter = std::exp(rng.next_double(-0.35, 0.35));
+      f = target * jitter;
+      carry *= f;
+    }
+    frac[dim] = std::clamp(f, 1e-6, 1.0);
+  }
+  Coord lo{}, hi{};
+  for (int dim = 0; dim < d; ++dim) {
+    const auto extent = shape.extent(dim);
+    auto len = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(frac[dim] * extent)));
+    len = std::min(len, extent);
+    const std::uint32_t start =
+        (extent == len)
+            ? 0
+            : static_cast<std::uint32_t>(rng.next_below(extent - len + 1));
+    lo[dim] = start;
+    hi[dim] = start + len;
+  }
+  return {d, lo, hi};
+}
+
+}  // namespace mloc::datagen

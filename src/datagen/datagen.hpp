@@ -1,0 +1,55 @@
+// Synthetic scientific datasets and query workloads.
+//
+// The paper evaluates on GTS (2-D plasma turbulence, aggregated time steps)
+// and S3D (3-D turbulent combustion) production data, which are not
+// redistributable. These generators produce fields with the properties the
+// experiments actually exercise:
+//   * smooth multiscale spatial structure (Hilbert locality, ISABELA's
+//     sorted-curve smoothness, ISOBAR's compressible high byte planes);
+//   * a wide, skewed value distribution (equal-frequency binning and
+//     selectivity-controlled VC generation);
+//   * deterministic output from a seed (replicated "time steps" use
+//     decorrelated child seeds, mirroring the paper's replication of one
+//     step to build large datasets).
+//
+// Query workloads follow §IV-A: random value constraints of a target value
+// selectivity (from sampled quantiles) and random hyper-rectangles of a
+// target region selectivity.
+#pragma once
+
+#include <cstdint>
+
+#include "array/grid.hpp"
+#include "query/query.hpp"
+#include "util/rng.hpp"
+
+namespace mloc::datagen {
+
+/// GTS-like 2-D field (edge x edge): superposed radial/poloidal modes over
+/// a toroidal cross-section plus small-scale turbulence noise.
+Grid gts_like(std::uint32_t edge, std::uint64_t seed);
+
+/// S3D-like 3-D field (edge^3): flame-front sigmoids between burnt/unburnt
+/// temperature levels, wrinkled by vortical perturbations.
+Grid s3d_like(std::uint32_t edge, std::uint64_t seed);
+
+/// A second S3D-like variable correlated with `temperature` (mimics a
+/// species mass fraction): used by multi-variable query tests/examples.
+Grid s3d_species_like(const Grid& temperature, std::uint64_t seed);
+
+/// S3D-like 3-D velocity component: smooth small-amplitude turbulence
+/// (|v| ~ 0.5) punctured by a few strong vortex cores (peaks ~ +-15),
+/// giving the wide dynamic range of real DNS velocity fields. Used by the
+/// Table VI accuracy evaluation, where equal-width histogram error depends
+/// on the ratio of typical magnitude to full range.
+Grid s3d_velocity_like(std::uint32_t edge, std::uint64_t seed);
+
+/// Value constraint with (approximately) the requested selectivity: picks a
+/// random quantile window [q, q + selectivity] from a sample of the grid.
+ValueConstraint random_vc(const Grid& grid, double selectivity, Rng& rng);
+
+/// Random hyper-rectangle with volume ≈ selectivity * grid volume, edge
+/// proportions uniform within a factor of 2 per dimension.
+Region random_sc(const NDShape& shape, double selectivity, Rng& rng);
+
+}  // namespace mloc::datagen

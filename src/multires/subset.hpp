@@ -1,0 +1,98 @@
+// Subset-based multiresolution storage — paper §III-B-3 (the "traditional"
+// approach, after Pascucci's hierarchical indexing), complementing PLoD.
+//
+// Every grid point has a position p on the point-level Hilbert curve of the
+// enclosing power-of-two cube. With fanout f = 2^ndims and L levels, the
+// hierarchical level of p is determined by divisibility: the union of
+// levels 0..k is exactly the positions divisible by f^(L-1-k) — a uniform
+// ~f^(L-1-k)-fold subsample of the domain. Points of one level are stored
+// contiguously ("data in the same resolution level together"), so reading
+// resolution k is a prefix scan of level files 0..k.
+//
+// Each level file is cut into segments (<= kSegmentPoints points). The
+// per-level index records every segment's compressed extent and the
+// bounding box of its points, enabling spatial pruning of low-resolution
+// reads. Values are compressed with any registered double codec.
+//
+// Trade-off vs PLoD (reproduced by bench_ablation_multires): a level-k
+// subset read misses entire points — fine for visualization, wrong for
+// point-accurate analytics — while PLoD returns *all* points at reduced
+// precision.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/grid.hpp"
+#include "compress/codec.hpp"
+#include "pfs/pfs.hpp"
+#include "query/query.hpp"
+
+namespace mloc::multires {
+
+class SubsetStore {
+ public:
+  struct Config {
+    NDShape shape;
+    int num_levels = 4;
+    std::string codec = "mzip";
+    std::uint32_t segment_points = 65536;
+  };
+
+  static Result<SubsetStore> create(pfs::PfsStorage* fs, std::string name,
+                                    Config cfg);
+  static Result<SubsetStore> open(pfs::PfsStorage* fs,
+                                  const std::string& name);
+
+  Status write_variable(const std::string& var, const Grid& grid);
+
+  /// Read all points of resolution levels 0..`level`, optionally restricted
+  /// to `sc`. Positions are row-major linear offsets, ascending; values
+  /// parallel. Level num_levels-1 returns every point.
+  Result<QueryResult> read_level(const std::string& var, int level,
+                                 const std::optional<Region>& sc = {},
+                                 int num_ranks = 1) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// Fraction of all points contained in levels 0..`level`.
+  [[nodiscard]] double coverage(int level) const;
+
+  [[nodiscard]] std::uint64_t data_bytes() const;
+  [[nodiscard]] std::uint64_t index_bytes() const;
+
+ private:
+  struct SegmentInfo {
+    std::uint64_t offset = 0;  ///< compressed extent in the level file
+    std::uint64_t length = 0;
+    std::uint64_t count = 0;   ///< points in this segment
+    Region bbox;               ///< bounding box for spatial pruning
+  };
+  struct LevelState {
+    pfs::FileId file = 0;
+    std::vector<SegmentInfo> segments;
+  };
+  struct VariableState {
+    std::string name;
+    std::vector<LevelState> levels;
+  };
+
+  SubsetStore() = default;
+
+  Status init();
+  Status write_meta();
+
+  /// Points of each level, in curve order (shared by all variables).
+  std::vector<std::vector<std::uint64_t>> level_positions_;  // linear offsets
+
+  pfs::PfsStorage* fs_ = nullptr;
+  std::string name_;
+  Config cfg_;
+  pfs::FileId meta_file_ = 0;
+  std::shared_ptr<const DoubleCodec> codec_;
+  std::vector<VariableState> vars_;
+};
+
+}  // namespace mloc::multires

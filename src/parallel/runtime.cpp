@@ -1,0 +1,98 @@
+#include "parallel/runtime.hpp"
+
+#include "util/assert.hpp"
+
+namespace mloc::parallel {
+
+std::vector<RankContext> run_ranks(
+    int num_ranks, const std::function<void(RankContext&)>& fn) {
+  MLOC_CHECK(num_ranks >= 1);
+  std::vector<RankContext> contexts(num_ranks);
+  for (int r = 0; r < num_ranks; ++r) {
+    contexts[r].rank = r;
+    contexts[r].num_ranks = num_ranks;
+    fn(contexts[r]);
+  }
+  return contexts;
+}
+
+pfs::IoLog merged_io_log(const std::vector<RankContext>& ranks) {
+  pfs::IoLog out;
+  for (const auto& ctx : ranks) out.merge_from(ctx.io_log);
+  return out;
+}
+
+ComponentTimes max_rank_times(const std::vector<RankContext>& ranks) {
+  ComponentTimes out;
+  for (const auto& ctx : ranks) out.max_with(ctx.times);
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> split_even(std::size_t n,
+                                                            int parts) {
+  MLOC_CHECK(parts >= 1);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(parts);
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  std::size_t begin = 0;
+  for (int p = 0; p < parts; ++p) {
+    const std::size_t len = base + (static_cast<std::size_t>(p) < extra ? 1 : 0);
+    out.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return out;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  MLOC_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    MLOC_CHECK_MSG(!stopping_, "submit on stopping pool");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace mloc::parallel

@@ -1,0 +1,220 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace mloc::pfs {
+namespace {
+
+/// Merge a rank's records into maximal contiguous per-file extents
+/// (adjacent or overlapping reads cost one seek, like readahead would).
+std::vector<IoRecord> coalesce(std::vector<IoRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const IoRecord& a, const IoRecord& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.offset < b.offset;
+            });
+  std::vector<IoRecord> merged;
+  for (const auto& r : records) {
+    if (r.len == 0) continue;
+    if (!merged.empty() && merged.back().file == r.file &&
+        merged.back().offset + merged.back().len >= r.offset) {
+      const std::uint64_t end =
+          std::max(merged.back().offset + merged.back().len, r.offset + r.len);
+      merged.back().len = end - merged.back().offset;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+/// OSTs touched by an extent, given round-robin striping.
+int stripes_spanned(const PfsConfig& cfg, const IoRecord& extent) {
+  const std::uint64_t first = extent.offset / cfg.stripe_size;
+  const std::uint64_t last = (extent.offset + extent.len - 1) / cfg.stripe_size;
+  const std::uint64_t spans = last - first + 1;
+  return static_cast<int>(
+      std::min<std::uint64_t>(spans, static_cast<std::uint64_t>(cfg.num_osts)));
+}
+
+int ost_of(const PfsConfig& cfg, FileId file, std::uint64_t stripe) {
+  return static_cast<int>((static_cast<std::uint64_t>(file) + stripe) %
+                          static_cast<std::uint64_t>(cfg.num_osts));
+}
+
+}  // namespace
+
+MakespanDetail model_makespan_detail(const PfsConfig& cfg, const IoLog& log,
+                                     int num_ranks) {
+  MLOC_CHECK(num_ranks >= 1);
+  MLOC_CHECK(cfg.num_osts >= 1 && cfg.stripe_size > 0);
+  MLOC_CHECK(cfg.ost_bandwidth_bps > 0);
+
+  // Partition records by rank.
+  std::vector<std::vector<IoRecord>> by_rank(num_ranks);
+  for (const auto& r : log.records()) {
+    MLOC_CHECK(static_cast<int>(r.rank) < num_ranks);
+    by_rank[r.rank].push_back(r);
+  }
+
+  MakespanDetail out;
+  std::vector<double> ost_busy(cfg.num_osts, 0.0);
+
+  for (int rank = 0; rank < num_ranks; ++rank) {
+    const auto extents = coalesce(std::move(by_rank[rank]));
+    // Metadata opens: one per distinct file this rank touches.
+    std::set<FileId> files;
+    double rank_time = 0.0;
+    for (const auto& e : extents) {
+      files.insert(e.file);
+      const int width = stripes_spanned(cfg, e);
+      const double transfer =
+          static_cast<double>(e.len) / (cfg.ost_bandwidth_bps * width);
+      rank_time += cfg.seek_latency_s + transfer;
+
+      // Charge each touched OST its proportional share of bytes + one seek.
+      const std::uint64_t first = e.offset / cfg.stripe_size;
+      const std::uint64_t last = (e.offset + e.len - 1) / cfg.stripe_size;
+      for (std::uint64_t s = first; s <= last; ++s) {
+        const std::uint64_t lo = std::max(e.offset, s * cfg.stripe_size);
+        const std::uint64_t hi =
+            std::min(e.offset + e.len, (s + 1) * cfg.stripe_size);
+        const int ost = ost_of(cfg, e.file, s);
+        ost_busy[ost] += static_cast<double>(hi - lo) / cfg.ost_bandwidth_bps;
+      }
+      // The seek is paid once on the OST owning the first stripe.
+      ost_busy[ost_of(cfg, e.file, first)] += cfg.seek_latency_s;
+    }
+    rank_time += static_cast<double>(files.size()) * cfg.open_latency_s;
+    out.slowest_rank_s = std::max(out.slowest_rank_s, rank_time);
+  }
+  for (double t : ost_busy) out.busiest_ost_s = std::max(out.busiest_ost_s, t);
+  return out;
+}
+
+double model_makespan(const PfsConfig& cfg, const IoLog& log, int num_ranks) {
+  return model_makespan_detail(cfg, log, num_ranks).makespan();
+}
+
+Result<FileId> PfsStorage::create(const std::string& name) {
+  if (by_name_.contains(name)) {
+    return invalid_argument("pfs: file exists: " + name);
+  }
+  const auto id = static_cast<FileId>(files_.size());
+  files_.emplace_back();
+  names_.push_back(name);
+  by_name_[name] = id;
+  return id;
+}
+
+Result<FileId> PfsStorage::open(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return not_found("pfs: no such file: " + name);
+  return it->second;
+}
+
+Status PfsStorage::append(FileId file, std::span<const std::uint8_t> bytes) {
+  if (file >= files_.size()) return not_found("pfs: bad file id");
+  files_[file].insert(files_[file].end(), bytes.begin(), bytes.end());
+  return Status::ok();
+}
+
+Status PfsStorage::set_contents(FileId file, Bytes bytes) {
+  if (file >= files_.size()) return not_found("pfs: bad file id");
+  files_[file] = std::move(bytes);
+  return Status::ok();
+}
+
+Result<Bytes> PfsStorage::read(FileId file, std::uint64_t offset,
+                               std::uint64_t len, IoLog* log,
+                               std::uint32_t rank) const {
+  if (file >= files_.size()) return not_found("pfs: bad file id");
+  const Bytes& data = files_[file];
+  if (offset + len > data.size() || offset + len < offset) {
+    return out_of_range("pfs: read past end of " + names_[file]);
+  }
+  if (log != nullptr && len > 0) log->add(file, offset, len, rank);
+  return Bytes(data.begin() + static_cast<std::ptrdiff_t>(offset),
+               data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+}
+
+Result<std::uint64_t> PfsStorage::file_size(FileId file) const {
+  if (file >= files_.size()) return not_found("pfs: bad file id");
+  return static_cast<std::uint64_t>(files_[file].size());
+}
+
+std::uint64_t PfsStorage::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& f : files_) total += f.size();
+  return total;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> PfsStorage::listing()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(files_.size());
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    out.emplace_back(names_[i], files_[i].size());
+  }
+  return out;
+}
+
+Status PfsStorage::save_to_dir(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return io_error("pfs: cannot create " + dir + ": " + ec.message());
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    const fs::path path = fs::path(dir) / names_[i];
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+      return io_error("pfs: cannot create " + path.parent_path().string());
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return io_error("pfs: cannot open " + path.string());
+    out.write(reinterpret_cast<const char*>(files_[i].data()),
+              static_cast<std::streamsize>(files_[i].size()));
+    if (!out) return io_error("pfs: short write to " + path.string());
+  }
+  return Status::ok();
+}
+
+Result<PfsStorage> PfsStorage::load_from_dir(const std::string& dir,
+                                             PfsConfig cfg) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return not_found("pfs: no such directory: " + dir);
+  }
+  PfsStorage storage(cfg);
+  // Deterministic order: collect relative paths, sort.
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  if (ec) return io_error("pfs: cannot list " + dir + ": " + ec.message());
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    const std::string name =
+        fs::relative(path, dir, ec).generic_string();
+    if (ec) return io_error("pfs: relative path failure");
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return io_error("pfs: cannot open " + path.string());
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    Bytes content(size);
+    in.read(reinterpret_cast<char*>(content.data()),
+            static_cast<std::streamsize>(size));
+    if (!in) return io_error("pfs: short read from " + path.string());
+    MLOC_ASSIGN_OR_RETURN(FileId id, storage.create(name));
+    MLOC_RETURN_IF_ERROR(storage.set_contents(id, std::move(content)));
+  }
+  return storage;
+}
+
+}  // namespace mloc::pfs

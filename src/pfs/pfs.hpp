@@ -1,0 +1,148 @@
+// Parallel-file-system emulator.
+//
+// The paper evaluates on Lustre (ORNL Lens); this reproduction has no
+// physical PFS, so pfs:: provides the two things MLOC actually consumes:
+//
+//  1. PfsStorage — a named-file byte store (subfiling target). Files hold
+//     real bytes in memory, so reads are bit-exact; what is *modeled* is
+//     time, not content.
+//  2. A virtual-clock cost model. Every read is logged as an extent
+//     (file, offset, length, rank). model_makespan() converts a log into
+//     seconds using a Lustre-like model:
+//       - per merged contiguous extent: one seek (seek_latency_s);
+//       - transfer at ost_bandwidth_bps multiplied by the number of
+//         distinct OSTs the extent's stripes touch (striped parallelism);
+//       - per distinct (rank, file): one metadata open;
+//       - cross-rank contention: every OST is a shared resource, so the
+//         makespan is max(slowest rank's dedicated time, busiest OST's
+//         aggregate service time). The second term is what stops I/O
+//         scaling at high rank counts (paper Fig. 7).
+//
+// Stripe placement: stripe s of file f lives on OST (f + s) mod num_osts —
+// the round-robin layout Lustre uses, with the file-id shift spreading
+// first stripes across OSTs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace mloc::pfs {
+
+using FileId = std::uint32_t;
+
+struct PfsConfig {
+  int num_osts = 8;
+  std::uint64_t stripe_size = 1 << 20;    ///< 1 MiB, the Lustre default
+  double seek_latency_s = 5e-3;           ///< per discontiguous extent
+  double ost_bandwidth_bps = 300e6;       ///< per-OST streaming rate
+  double open_latency_s = 1e-3;           ///< metadata cost per file open
+};
+
+/// One logical read: `len` bytes at `offset` of `file` issued by `rank`.
+struct IoRecord {
+  FileId file = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  std::uint32_t rank = 0;
+};
+
+/// Per-access-pattern I/O log consumed by the cost model.
+class IoLog {
+ public:
+  void add(FileId file, std::uint64_t offset, std::uint64_t len,
+           std::uint32_t rank = 0) {
+    records_.push_back({file, offset, len, rank});
+  }
+  void clear() noexcept { records_.clear(); }
+  [[nodiscard]] const std::vector<IoRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t b = 0;
+    for (const auto& r : records_) b += r.len;
+    return b;
+  }
+  void merge_from(const IoLog& other) {
+    records_.insert(records_.end(), other.records_.begin(),
+                    other.records_.end());
+  }
+
+ private:
+  std::vector<IoRecord> records_;
+};
+
+/// Modeled wall-clock seconds for the logged accesses executed by
+/// `num_ranks` concurrent processes.
+double model_makespan(const PfsConfig& cfg, const IoLog& log, int num_ranks);
+
+/// Diagnostic breakdown of the model's two bounds (exposed for tests and
+/// the scalability bench).
+struct MakespanDetail {
+  double slowest_rank_s = 0.0;  ///< critical path of the busiest rank
+  double busiest_ost_s = 0.0;   ///< aggregate service time of the hottest OST
+  [[nodiscard]] double makespan() const noexcept {
+    return slowest_rank_s > busiest_ost_s ? slowest_rank_s : busiest_ost_s;
+  }
+};
+MakespanDetail model_makespan_detail(const PfsConfig& cfg, const IoLog& log,
+                                     int num_ranks);
+
+/// In-memory named-file store with byte-exact contents.
+class PfsStorage {
+ public:
+  explicit PfsStorage(PfsConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const PfsConfig& config() const noexcept { return cfg_; }
+
+  /// Create an empty file. Fails if the name exists.
+  Result<FileId> create(const std::string& name);
+
+  /// Look up an existing file.
+  [[nodiscard]] Result<FileId> open(const std::string& name) const;
+
+  /// Append bytes to a file (MLOC writes subfiles sequentially).
+  Status append(FileId file, std::span<const std::uint8_t> bytes);
+
+  /// Replace a file's contents (store-metadata rewrites).
+  Status set_contents(FileId file, Bytes bytes);
+
+  /// Read `len` bytes at `offset`; logs the access into `log` when given.
+  [[nodiscard]] Result<Bytes> read(FileId file, std::uint64_t offset,
+                                   std::uint64_t len, IoLog* log = nullptr,
+                                   std::uint32_t rank = 0) const;
+
+  [[nodiscard]] Result<std::uint64_t> file_size(FileId file) const;
+
+  /// Total bytes across all files (Table I storage accounting).
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+
+  [[nodiscard]] std::size_t num_files() const noexcept {
+    return files_.size();
+  }
+
+  /// Names and sizes of all files, creation order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> listing()
+      const;
+
+  /// Persist every file under `dir` on the host filesystem ('/' in file
+  /// names becomes a subdirectory). Overwrites existing files.
+  Status save_to_dir(const std::string& dir) const;
+
+  /// Load a directory previously written by save_to_dir into a fresh
+  /// storage (recursively; file names are paths relative to `dir`).
+  static Result<PfsStorage> load_from_dir(const std::string& dir,
+                                          PfsConfig cfg = {});
+
+ private:
+  PfsConfig cfg_;
+  std::vector<Bytes> files_;
+  std::vector<std::string> names_;
+  std::map<std::string, FileId> by_name_;
+};
+
+}  // namespace mloc::pfs

@@ -1,0 +1,69 @@
+// Query cost estimation and workload-driven configuration advice.
+//
+// The paper leaves level-order selection to the user ("users can specify
+// different orders of optimizations to achieve best performance for the
+// most frequently used access patterns", §IV-D Table VII). This module
+// makes that decision systematic:
+//  * QueryPlanner::estimate — predict a query's bins, fragments, bytes,
+//    and modeled I/O from store metadata alone (no data reads), using the
+//    same seek/stripe/contention formulas as the PFS cost model;
+//  * QueryPlanner::recommend_ranks — smallest process count whose
+//    estimated makespan is within tolerance of the saturation point;
+//  * recommend_order — given a workload mix (fractions of region queries,
+//    full-precision and reduced-precision value queries), pick V-M-S or
+//    V-S-M via the seek model that produces Table VII's crossover.
+#pragma once
+
+#include <string>
+
+#include "core/store.hpp"
+#include "query/query.hpp"
+
+namespace mloc::planner {
+
+struct CostEstimate {
+  std::uint64_t bins_touched = 0;
+  std::uint64_t aligned_bins = 0;
+  std::uint64_t est_fragments = 0;   ///< (bin, chunk) cells to fetch
+  std::uint64_t est_seeks = 0;       ///< discontiguous extents
+  std::uint64_t est_bytes = 0;       ///< payload + index bytes
+  double est_points = 0.0;           ///< expected result cardinality
+  double est_io_seconds = 0.0;       ///< modeled makespan at the given ranks
+};
+
+class QueryPlanner {
+ public:
+  /// The store must outlive the planner.
+  explicit QueryPlanner(const MlocStore* store);
+
+  /// Estimate the cost of `q` executed with `num_ranks` processes.
+  [[nodiscard]] Result<CostEstimate> estimate(const std::string& var,
+                                              const Query& q,
+                                              int num_ranks = 1) const;
+
+  /// Smallest power-of-two rank count (<= max_ranks) whose estimated I/O
+  /// makespan is within `tolerance` of the max_ranks estimate.
+  [[nodiscard]] Result<int> recommend_ranks(const std::string& var,
+                                            const Query& q, int max_ranks,
+                                            double tolerance = 0.1) const;
+
+ private:
+  const MlocStore* store_;
+};
+
+/// Fractions of an exploration workload, summing to ~1.
+struct WorkloadProfile {
+  double region_queries = 0.0;      ///< VC region-only accesses
+  double value_full_precision = 0.0;///< SC value retrieval at PLoD 7
+  double value_reduced = 0.0;       ///< SC value retrieval at low PLoD
+  int reduced_level = 2;            ///< typical reduced PLoD level
+};
+
+/// Level-order recommendation from the seek model: V-M-S keeps each byte
+/// group contiguous bin-wide (cheap reduced-precision reads, 7 runs for
+/// full precision); V-S-M keeps each fragment contiguous (1 run for full
+/// precision, one run per fragment for reduced).
+LevelOrder recommend_order(const WorkloadProfile& workload,
+                           double avg_fragments_per_bin = 16.0);
+
+}  // namespace mloc::planner

@@ -1,0 +1,92 @@
+#include "plod/plod.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace mloc::plod {
+
+double level_max_relative_error(int level) noexcept {
+  MLOC_CHECK(level >= 1 && level <= kNumGroups);
+  if (level == kNumGroups) return 0.0;
+  // level L keeps the top (L+1) bytes = 12 header bits + (8(L+1)-12)
+  // mantissa bits; 8*(7-L) mantissa bits are unknown. Midpoint fill makes
+  // the worst-case error half the unknown span:
+  //   2^(missing_bits - 1) ulps = 2^(missing_bits - 1 - 52) relative
+  // (relative to a mantissa of at least 1.0).
+  const int missing_bits = 8 * (kNumGroups - level);
+  return std::ldexp(1.0, missing_bits - 1 - 52);
+}
+
+Shredded shred(std::span<const double> values) {
+  Shredded out;
+  out.count = values.size();
+  out.groups[0].resize(values.size() * 2);
+  for (int g = 1; g < kNumGroups; ++g) {
+    out.groups[g].resize(values.size());
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &values[i], sizeof bits);
+    // Big-endian byte order: byte 0 = sign/exponent-high.
+    out.groups[0][2 * i] = static_cast<std::uint8_t>(bits >> 56);
+    out.groups[0][2 * i + 1] = static_cast<std::uint8_t>(bits >> 48);
+    for (int g = 1; g < kNumGroups; ++g) {
+      out.groups[g][i] = static_cast<std::uint8_t>(bits >> (8 * (6 - g)));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> assemble(
+    std::span<const std::span<const std::uint8_t>> groups, int level,
+    std::size_t count) {
+  if (level < 1 || level > kNumGroups) {
+    return invalid_argument("PLoD level must be in [1,7]");
+  }
+  if (groups.size() < static_cast<std::size_t>(level)) {
+    return invalid_argument("fewer byte groups than requested level");
+  }
+  for (int g = 0; g < level; ++g) {
+    if (groups[g].size() != count * static_cast<std::size_t>(group_bytes(g))) {
+      return corrupt_data("PLoD group size mismatches value count");
+    }
+  }
+
+  // Dummy fill for absent low-order bytes: first missing byte 0x7F, rest
+  // 0xFF — the midpoint of the unknown interval (paper §III-D-3).
+  std::uint64_t fill = 0;
+  if (level < kNumGroups) {
+    const int missing = kNumGroups - level;  // missing groups, 1 byte each
+    fill = 0x7Full << (8 * (missing - 1));
+    for (int b = 0; b < missing - 1; ++b) {
+      fill |= 0xFFull << (8 * b);
+    }
+  }
+
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits =
+        (static_cast<std::uint64_t>(groups[0][2 * i]) << 56) |
+        (static_cast<std::uint64_t>(groups[0][2 * i + 1]) << 48);
+    for (int g = 1; g < level; ++g) {
+      bits |= static_cast<std::uint64_t>(groups[g][i]) << (8 * (6 - g));
+    }
+    bits |= fill;
+    std::memcpy(&out[i], &bits, sizeof bits);
+  }
+  return out;
+}
+
+Result<std::vector<double>> assemble(const Shredded& shredded, int level) {
+  std::array<std::span<const std::uint8_t>, kNumGroups> spans;
+  for (int g = 0; g < kNumGroups; ++g) {
+    spans[g] = shredded.groups[g];
+  }
+  return assemble(std::span<const std::span<const std::uint8_t>>(
+                      spans.data(), spans.size()),
+                  level, shredded.count);
+}
+
+}  // namespace mloc::plod

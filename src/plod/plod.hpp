@@ -1,0 +1,60 @@
+// Precision-based Level of Detail (PLoD) — paper §III-B-3, Fig. 3.
+//
+// Every IEEE-754 double is split into 7 groups by byte significance:
+//   group 0 — the two most-significant bytes (sign, exponent, top 4
+//             mantissa bits): the minimum needed to approximate the value;
+//   groups 1..6 — one additional mantissa byte each, descending
+//             significance.
+// Bytes of the same group across all values are stored contiguously, so
+// reading PLoD level L (L in [1,7]) fetches only the first L groups
+// (= L+1 bytes per value) — level 2 costs 3/8 of full-precision I/O.
+//
+// Reassembly fills the missing low-order bytes with 0x7F then 0xFF…, the
+// midpoint of the unknown interval, instead of zeros (which would bias all
+// magnitudes downward) — exactly the paper's §III-D-3 rule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace mloc::plod {
+
+/// Number of PLoD groups (level 7 = full precision).
+inline constexpr int kNumGroups = 7;
+
+/// Bytes per value contributed by group g (group 0 carries two bytes).
+constexpr int group_bytes(int group) noexcept { return group == 0 ? 2 : 1; }
+
+/// Total bytes per value fetched at PLoD level `level` (1..7).
+constexpr int level_bytes(int level) noexcept { return level + 1; }
+
+/// Upper bound on the point-wise relative error of level-`level` values
+/// for normal (non-denormal, finite) doubles, given midpoint fill.
+double level_max_relative_error(int level) noexcept;
+
+/// Byte planes of a shredded buffer: planes[g] has group_bytes(g)*count
+/// bytes. Within group 0 the two bytes of one value stay adjacent
+/// (big-endian order: sign/exponent byte first).
+struct Shredded {
+  std::array<Bytes, kNumGroups> groups;
+  std::size_t count = 0;
+};
+
+/// Split values into PLoD byte groups.
+Shredded shred(std::span<const double> values);
+
+/// Reassemble doubles from the first `level` groups (level in [1,7]).
+/// groups[g] must hold group_bytes(g)*count bytes for g < level.
+Result<std::vector<double>> assemble(
+    std::span<const std::span<const std::uint8_t>> groups, int level,
+    std::size_t count);
+
+/// Convenience: assemble from a Shredded at a given level.
+Result<std::vector<double>> assemble(const Shredded& shredded, int level);
+
+}  // namespace mloc::plod

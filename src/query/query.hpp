@@ -1,0 +1,61 @@
+// Query model — the access patterns of paper §II.
+//
+// A Query combines an optional value constraint (VC, half-open value range),
+// an optional spatial constraint (SC, hyper-rectangle), a PLoD level, and
+// whether values must be materialized (value-retrieval) or positions
+// suffice (region-only). Multi-variable access composes two queries through
+// a position bitmap (§III-D-4).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/region.hpp"
+#include "util/timer.hpp"
+
+namespace mloc {
+
+/// Half-open value range [lo, hi).
+struct ValueConstraint {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool matches(double v) const noexcept {
+    return v >= lo && v < hi;
+  }
+};
+
+struct Query {
+  std::optional<ValueConstraint> vc;  ///< value constraint, if any
+  std::optional<Region> sc;           ///< spatial constraint, if any
+  /// PLoD level (7 = full precision). Controls the precision of the
+  /// *returned* values only: value constraints are always evaluated
+  /// against the stored full-precision data (the same values the binning
+  /// index and zone maps were built from), so the qualifying-position set
+  /// is independent of plod_level. Misaligned bins under a VC therefore
+  /// fetch full precision for filtering even at reduced levels.
+  int plod_level = 7;
+  bool values_needed = true;          ///< false = region-only access
+};
+
+/// Result of one query execution.
+struct QueryResult {
+  /// Qualifying positions as row-major linear offsets into the variable's
+  /// grid, ascending.
+  std::vector<std::uint64_t> positions;
+  /// Values parallel to `positions` (empty for region-only queries).
+  std::vector<double> values;
+
+  // --- accounting ---
+  ComponentTimes times;             ///< modeled io + measured CPU breakdown
+  std::uint64_t bins_touched = 0;
+  std::uint64_t aligned_bins = 0;   ///< bins answered from the index alone
+  std::uint64_t fragments_read = 0; ///< (bin, chunk) cells fetched from data
+  std::uint64_t fragments_skipped = 0;  ///< pruned by zone maps (VC disjoint)
+  std::uint64_t bytes_read = 0;     ///< payload bytes fetched from the PFS
+};
+
+}  // namespace mloc

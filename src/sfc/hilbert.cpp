@@ -1,0 +1,220 @@
+#include "sfc/hilbert.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mloc::sfc {
+namespace {
+
+// Skilling's transpose representation: X[i] holds the i-th axis; the Hilbert
+// index is the bit-interleave of the transformed axes (most significant bit
+// of X[0] first).
+
+void axes_to_transpose(std::uint32_t* x, int bits, int n) {
+  if (bits == 0) return;
+  std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+void transpose_to_axes(std::uint32_t* x, int bits, int n) {
+  if (bits == 0) return;
+  const std::uint32_t top = 2u << (bits - 1);
+  // Gray decode by h ^ (h >> 1).
+  std::uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != top; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+std::uint64_t pack_transpose(const std::uint32_t* x, int bits, int n) {
+  std::uint64_t h = 0;
+  for (int j = bits - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) {
+      h = (h << 1) | ((x[i] >> j) & 1u);
+    }
+  }
+  return h;
+}
+
+void unpack_transpose(std::uint64_t h, std::uint32_t* x, int bits, int n) {
+  for (int i = 0; i < n; ++i) x[i] = 0;
+  int bitpos = bits * n - 1;
+  for (int j = bits - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) {
+      x[i] |= static_cast<std::uint32_t>((h >> bitpos) & 1u) << j;
+      --bitpos;
+    }
+  }
+}
+
+void validate(int ndims, int order, const Coord* axes) {
+  MLOC_CHECK(ndims >= 1 && ndims <= NDShape::kMaxDims);
+  MLOC_CHECK(order >= 0 && order <= 31);
+  MLOC_CHECK(ndims * order <= 64);
+  if (axes != nullptr) {
+    for (int d = 0; d < ndims; ++d) {
+      MLOC_CHECK((*axes)[d] < (1ull << order));
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert_index(int ndims, int order, const Coord& axes) {
+  validate(ndims, order, &axes);
+  if (ndims == 1) return axes[0];
+  std::uint32_t x[NDShape::kMaxDims];
+  for (int d = 0; d < ndims; ++d) x[d] = axes[d];
+  axes_to_transpose(x, order, ndims);
+  return pack_transpose(x, order, ndims);
+}
+
+Coord hilbert_axes(int ndims, int order, std::uint64_t index) {
+  validate(ndims, order, nullptr);
+  Coord out{};
+  if (ndims == 1) {
+    out[0] = static_cast<std::uint32_t>(index);
+    return out;
+  }
+  std::uint32_t x[NDShape::kMaxDims];
+  unpack_transpose(index, x, order, ndims);
+  transpose_to_axes(x, order, ndims);
+  for (int d = 0; d < ndims; ++d) out[d] = x[d];
+  return out;
+}
+
+std::uint64_t morton_index(int ndims, int order, const Coord& axes) {
+  validate(ndims, order, &axes);
+  std::uint64_t h = 0;
+  for (int j = order - 1; j >= 0; --j) {
+    for (int i = 0; i < ndims; ++i) {
+      h = (h << 1) | ((axes[i] >> j) & 1u);
+    }
+  }
+  return h;
+}
+
+Coord morton_axes(int ndims, int order, std::uint64_t index) {
+  validate(ndims, order, nullptr);
+  Coord out{};
+  int bitpos = order * ndims - 1;
+  for (int j = order - 1; j >= 0; --j) {
+    for (int i = 0; i < ndims; ++i) {
+      out[i] |= static_cast<std::uint32_t>((index >> bitpos) & 1u) << j;
+      --bitpos;
+    }
+  }
+  return out;
+}
+
+int covering_order(const NDShape& shape) {
+  std::uint32_t max_extent = 1;
+  for (int d = 0; d < shape.ndims(); ++d) {
+    max_extent = std::max(max_extent, shape.extent(d));
+  }
+  int order = 0;
+  while ((1ull << order) < max_extent) ++order;
+  return order;
+}
+
+CurveOrder CurveOrder::make(CurveKind kind, const NDShape& lattice) {
+  CurveOrder out;
+  out.kind_ = kind;
+  const auto total = lattice.volume();
+  MLOC_CHECK(total <= (1ull << 32));
+  out.rank_of_.resize(total);
+  out.chunk_at_.resize(total);
+
+  if (kind == CurveKind::kRowMajor) {
+    for (std::uint32_t i = 0; i < total; ++i) {
+      out.rank_of_[i] = i;
+      out.chunk_at_[i] = i;
+    }
+    return out;
+  }
+
+  const int ndims = lattice.ndims();
+  const int order = covering_order(lattice);
+  // Enumerate lattice cells, key each by its curve index in the enclosing
+  // power-of-two cube, and sort: ranks are dense positions of that order.
+  struct Keyed {
+    std::uint64_t key;
+    ChunkId id;
+  };
+  std::vector<Keyed> cells;
+  cells.reserve(total);
+  for (std::uint32_t id = 0; id < total; ++id) {
+    const Coord c = lattice.delinearize(id);
+    const std::uint64_t key = (kind == CurveKind::kHilbert)
+                                  ? hilbert_index(ndims, order, c)
+                                  : morton_index(ndims, order, c);
+    cells.push_back({key, id});
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  for (std::uint32_t rank = 0; rank < total; ++rank) {
+    out.chunk_at_[rank] = cells[rank].id;
+    out.rank_of_[cells[rank].id] = rank;
+  }
+  return out;
+}
+
+int hier_level(std::uint64_t curve_pos, int num_levels, int ndims) {
+  MLOC_CHECK(num_levels >= 1 && ndims >= 1);
+  if (curve_pos == 0 || num_levels == 1) return 0;
+  const std::uint64_t fanout = 1ull << ndims;
+  // Largest k such that fanout^k divides curve_pos.
+  int divisible = 0;
+  std::uint64_t p = curve_pos;
+  while (divisible < num_levels - 1 && p % fanout == 0) {
+    p /= fanout;
+    ++divisible;
+  }
+  return num_levels - 1 - divisible;
+}
+
+std::vector<std::uint32_t> hier_order(std::uint32_t total, int num_levels,
+                                      int ndims) {
+  std::vector<std::uint32_t> order;
+  order.reserve(total);
+  for (int level = 0; level < num_levels; ++level) {
+    for (std::uint32_t pos = 0; pos < total; ++pos) {
+      if (hier_level(pos, num_levels, ndims) == level) order.push_back(pos);
+    }
+  }
+  return order;
+}
+
+}  // namespace mloc::sfc

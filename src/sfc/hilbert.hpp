@@ -1,0 +1,92 @@
+// Space-filling curves: Hilbert and Morton (Z-order) index mappings.
+//
+// MLOC stores chunks along the Hilbert space-filling curve (paper §III-B-2)
+// because of its strong geometric locality: consecutive curve positions are
+// face-adjacent cells, so a spatial query touches long contiguous runs of
+// the linearized order and few seeks. Morton order is provided as the
+// ablation comparator (bench_ablation_sfc).
+//
+// The Hilbert mapping is Skilling's transpose algorithm (AIP Conf. Proc.
+// 707, 2004), which works for any dimensionality; we expose 2-D..4-D to
+// match NDShape::kMaxDims.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/chunking.hpp"
+#include "array/shape.hpp"
+
+namespace mloc::sfc {
+
+/// Hilbert index of cell `axes` in a 2^order-per-side cube of `ndims`
+/// dimensions. Preconditions: 1<=ndims<=4, order*ndims<=64, axes<2^order.
+std::uint64_t hilbert_index(int ndims, int order, const Coord& axes);
+
+/// Inverse of hilbert_index.
+Coord hilbert_axes(int ndims, int order, std::uint64_t index);
+
+/// Morton (Z-order) index: bit-interleave of the axis coordinates.
+std::uint64_t morton_index(int ndims, int order, const Coord& axes);
+
+/// Inverse of morton_index.
+Coord morton_axes(int ndims, int order, std::uint64_t index);
+
+/// Smallest `order` such that a 2^order-per-side cube covers `shape`.
+int covering_order(const NDShape& shape);
+
+/// Which curve linearizes a chunk lattice.
+enum class CurveKind : std::uint8_t {
+  kRowMajor = 0,  ///< plain row-major chunk ids (no reordering)
+  kMorton = 1,
+  kHilbert = 2,
+};
+
+/// Total order of the cells of a (possibly non-power-of-two) lattice along
+/// a space-filling curve. Cells of the enclosing power-of-two cube that fall
+/// outside the lattice are skipped, yielding a dense rank in
+/// [0, lattice.volume()). This is the paper's "no additional metadata"
+/// property: the order is recomputable from the lattice dimensions alone.
+class CurveOrder {
+ public:
+  CurveOrder() = default;
+
+  static CurveOrder make(CurveKind kind, const NDShape& lattice);
+
+  [[nodiscard]] CurveKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rank_of_.size(); }
+
+  /// Curve rank of a row-major chunk id.
+  [[nodiscard]] std::uint32_t rank_of(ChunkId id) const noexcept {
+    MLOC_DCHECK(id < rank_of_.size());
+    return rank_of_[id];
+  }
+
+  /// Row-major chunk id at a curve rank.
+  [[nodiscard]] ChunkId chunk_at(std::uint32_t rank) const noexcept {
+    MLOC_DCHECK(rank < chunk_at_.size());
+    return chunk_at_[rank];
+  }
+
+ private:
+  CurveKind kind_ = CurveKind::kRowMajor;
+  std::vector<std::uint32_t> rank_of_;  // chunk id -> curve rank
+  std::vector<ChunkId> chunk_at_;       // curve rank -> chunk id
+};
+
+/// Hierarchical resolution level of a curve position, for the subset-based
+/// multiresolution layout (paper §III-B-3, after Pascucci's hierarchical
+/// indexing). With fanout f = 2^ndims, position 0 is level 0 and position
+/// p>0 belongs to level k when f^(num_levels-1-k) is the largest power of f
+/// dividing p. Coarser levels are sparser: level k holds ~f^k * (f-1)/f of
+/// positions... concretely, levels partition [0, f^(num_levels-1)) such that
+/// the union of levels 0..k is exactly the positions divisible by
+/// f^(num_levels-1-k).
+int hier_level(std::uint64_t curve_pos, int num_levels, int ndims);
+
+/// Positions of `total` curve cells reordered so that levels are contiguous
+/// (level 0 first). Returns rank->position permutation.
+std::vector<std::uint32_t> hier_order(std::uint32_t total, int num_levels,
+                                      int ndims);
+
+}  // namespace mloc::sfc

@@ -1,0 +1,102 @@
+#include "staging/staging.hpp"
+
+#include "util/timer.hpp"
+
+namespace mloc::staging {
+
+std::string step_variable(const std::string& var, std::uint64_t step) {
+  return var + "@" + std::to_string(step);
+}
+
+StagingPipeline::StagingPipeline(MlocStore* store, Options opts)
+    : store_(store), opts_(opts) {
+  MLOC_CHECK(store != nullptr);
+  MLOC_CHECK(opts_.queue_capacity >= 1);
+  worker_ = std::thread([this] { staging_loop(); });
+}
+
+StagingPipeline::~StagingPipeline() { (void)finish(); }
+
+Status StagingPipeline::submit(const std::string& var, std::uint64_t step,
+                               Grid grid) {
+  const std::string name = step_variable(var, step);
+  Stopwatch wait;
+  std::unique_lock lock(mutex_);
+  if (stopping_) return failed_precondition("staging: pipeline finished");
+  cv_space_.wait(lock, [this] {
+    return queue_.size() < opts_.queue_capacity || !first_error_.is_ok() ||
+           stopping_;
+  });
+  if (!first_error_.is_ok()) return first_error_;
+  if (stopping_) return failed_precondition("staging: pipeline finished");
+  stats_.producer_wait_seconds += wait.seconds();
+  stats_.bytes_in += grid.size() * sizeof(double);
+  ++stats_.steps_submitted;
+  queue_.push_back({name, std::move(grid)});
+  cv_work_.notify_one();
+  return Status::ok();
+}
+
+void StagingPipeline::staging_loop() {
+  while (true) {
+    Item item;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      cv_space_.notify_all();
+    }
+    Stopwatch sw;
+    Status status = store_->write_variable(item.var, item.grid);
+    const double elapsed = sw.seconds();
+    {
+      std::lock_guard lock(mutex_);
+      stats_.staging_seconds += elapsed;
+      if (status.is_ok()) {
+        ++stats_.steps_staged;
+      } else if (first_error_.is_ok()) {
+        first_error_ = status;
+        cv_space_.notify_all();  // unblock a waiting producer
+      }
+    }
+  }
+}
+
+Status StagingPipeline::finish() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && !worker_.joinable()) return first_error_;
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard lock(mutex_);
+  return first_error_;
+}
+
+StagingPipeline::Stats StagingPipeline::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+Result<std::vector<QueryResult>> query_time_range(
+    const MlocStore& store, const std::string& var, std::uint64_t first_step,
+    std::uint64_t last_step, const Query& q, int num_ranks) {
+  if (first_step > last_step) {
+    return invalid_argument("staging: inverted time range");
+  }
+  std::vector<QueryResult> out;
+  out.reserve(last_step - first_step + 1);
+  for (std::uint64_t step = first_step; step <= last_step; ++step) {
+    MLOC_ASSIGN_OR_RETURN(
+        QueryResult res,
+        store.execute(step_variable(var, step), q, num_ranks));
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+}  // namespace mloc::staging

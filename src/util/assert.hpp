@@ -1,0 +1,38 @@
+// Contract checking. MLOC_CHECK fires in all build types: layout code that
+// silently writes a wrong byte order produces corrupt stores, so internal
+// invariants are always enforced. MLOC_DCHECK compiles out in NDEBUG builds
+// and is used on hot per-element paths only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mloc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "MLOC_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg && *msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mloc::detail
+
+#define MLOC_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::mloc::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MLOC_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::mloc::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define MLOC_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define MLOC_DCHECK(cond) MLOC_CHECK(cond)
+#endif

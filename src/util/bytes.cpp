@@ -1,0 +1,80 @@
+#include "util/bytes.hpp"
+
+namespace mloc {
+
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+Result<std::uint8_t> ByteReader::get_u8() {
+  if (remaining() < 1) return corrupt_data("byte stream truncated");
+  return data_[pos_++];
+}
+
+Result<std::int64_t> ByteReader::get_i64() {
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t bits, get_u64());
+  return static_cast<std::int64_t>(bits);
+}
+
+Result<double> ByteReader::get_f64() {
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t bits, get_u64());
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) return corrupt_data("varint truncated");
+    const std::uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7e) != 0)) {
+      return corrupt_data("varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<std::string> ByteReader::get_string() {
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t n, get_varint());
+  if (remaining() < n) return corrupt_data("string truncated");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::span<const std::uint8_t>> ByteReader::get_bytes(std::size_t n) {
+  if (remaining() < n) return corrupt_data("raw bytes truncated");
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Bytes doubles_to_bytes(std::span<const double> values) {
+  Bytes out(values.size() * sizeof(double));
+  if (!values.empty()) {
+    std::memcpy(out.data(), values.data(), out.size());
+  }
+  return out;
+}
+
+Result<std::vector<double>> bytes_to_doubles(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() % sizeof(double) != 0) {
+    return corrupt_data("byte count not a multiple of sizeof(double)");
+  }
+  std::vector<double> out(bytes.size() / sizeof(double));
+  if (!out.empty()) {
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  }
+  return out;
+}
+
+}  // namespace mloc

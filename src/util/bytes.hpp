@@ -1,0 +1,113 @@
+// Byte-buffer serialization primitives.
+//
+// All MLOC on-"disk" structures (bin indices, codec streams, subfile
+// headers) are encoded little-endian through ByteWriter/ByteReader so the
+// format is explicit and platform-independent. ByteReader is bounds-checked:
+// reading past the end yields CorruptData instead of UB, which the
+// failure-injection tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace mloc {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_le(v); }
+  void put_u32(std::uint32_t v) { put_le(v); }
+  void put_u64(std::uint64_t v) { put_le(v); }
+  void put_i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_le(bits);
+  }
+
+  /// LEB128-style variable-length unsigned integer (1 byte for values <128).
+  void put_varint(std::uint64_t v);
+
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  void put_string(std::string_view s) {
+    put_varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  Result<std::uint8_t> get_u8();
+  Result<std::uint16_t> get_u16() { return get_le<std::uint16_t>(); }
+  Result<std::uint32_t> get_u32() { return get_le<std::uint32_t>(); }
+  Result<std::uint64_t> get_u64() { return get_le<std::uint64_t>(); }
+  Result<std::int64_t> get_i64();
+  Result<double> get_f64();
+  Result<std::uint64_t> get_varint();
+  Result<std::string> get_string();
+
+  /// Borrow `n` raw bytes from the current position.
+  Result<std::span<const std::uint8_t>> get_bytes(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> get_le() {
+    if (remaining() < sizeof(T)) {
+      return corrupt_data("byte stream truncated");
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Reinterpret a vector of doubles as its raw byte image (copy).
+Bytes doubles_to_bytes(std::span<const double> values);
+
+/// Inverse of doubles_to_bytes. Fails when size is not a multiple of 8.
+Result<std::vector<double>> bytes_to_doubles(std::span<const std::uint8_t> bytes);
+
+}  // namespace mloc

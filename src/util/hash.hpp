@@ -1,0 +1,24 @@
+// FNV-1a 64-bit hashing — the integrity checksum on every MLOC subfile
+// segment. Not cryptographic; catches the storage-corruption and
+// truncation faults the failure-injection tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mloc {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                                std::uint64_t seed = kFnvOffsetBasis) noexcept {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace mloc

@@ -1,0 +1,28 @@
+#include "util/status.hpp"
+
+namespace mloc {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kCorruptData: return "CorruptData";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kFailedPrecondition: return "FailedPrecondition";
+    case ErrorCode::kIoError: return "IoError";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "Ok";
+  std::string out{error_code_name(code_)};
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace mloc

@@ -1,0 +1,132 @@
+// Status and Result<T>: lightweight error propagation used across MLOC.
+//
+// MLOC is a storage/query library; most failures (corrupt stream, missing
+// subfile, malformed plan) are recoverable conditions the caller must see,
+// not programming errors. We therefore return Status / Result<T> from
+// fallible operations and reserve exceptions/asserts for contract
+// violations (see MLOC_CHECK in assert.hpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mloc {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed a malformed request/plan
+  kOutOfRange,        // index/region outside the dataset bounds
+  kNotFound,          // named variable/file/bin does not exist
+  kCorruptData,       // stream failed integrity checks during decode
+  kUnsupported,       // feature combination not implemented by this codec
+  kFailedPrecondition,// object not in the required state (e.g. store closed)
+  kIoError,           // backing store read/write failed
+  kInternal,          // invariant broke; indicates a bug in MLOC itself
+};
+
+/// Human-readable name of an error code ("InvalidArgument", ...).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>" — for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status corrupt_data(std::string msg) {
+  return {ErrorCode::kCorruptData, std::move(msg)};
+}
+inline Status unsupported(std::string msg) {
+  return {ErrorCode::kUnsupported, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status io_error(std::string msg) {
+  return {ErrorCode::kIoError, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Value-or-Status. Like std::expected<T, Status> (not available pre-C++23).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(payload_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Status of the error alternative; Status::ok() when holding a value.
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Access the value. Precondition: is_ok().
+  [[nodiscard]] T& value() & { return std::get<T>(payload_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(payload_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagate an error Status from an expression producing a Status.
+#define MLOC_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::mloc::Status mloc_status_ = (expr);            \
+    if (!mloc_status_.is_ok()) return mloc_status_;  \
+  } while (false)
+
+// Evaluate a Result<T> expression; on error return its Status, otherwise
+// bind the value to `lhs` (declaration or assignment target).
+#define MLOC_ASSIGN_OR_RETURN(lhs, expr)                    \
+  MLOC_ASSIGN_OR_RETURN_IMPL_(                              \
+      MLOC_STATUS_CONCAT_(mloc_result_, __LINE__), lhs, expr)
+
+#define MLOC_STATUS_CONCAT_INNER_(a, b) a##b
+#define MLOC_STATUS_CONCAT_(a, b) MLOC_STATUS_CONCAT_INNER_(a, b)
+#define MLOC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.is_ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+}  // namespace mloc

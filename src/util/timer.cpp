@@ -1,0 +1,15 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace mloc {
+
+std::string ComponentTimes::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "io=%.4fs decompress=%.4fs reconstruct=%.4fs total=%.4fs", io,
+                decompress, reconstruct, total());
+  return buf;
+}
+
+}  // namespace mloc

@@ -1,0 +1,160 @@
+// Tests for src/analytics: histogram semantics and error metric, K-means
+// convergence and misclassification metric, statistics kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analytics/analytics.hpp"
+#include "plod/plod.hpp"
+#include "util/rng.hpp"
+
+namespace mloc::analytics {
+namespace {
+
+TEST(Histogram, CountsPartitionInput) {
+  std::vector<double> vals = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5};
+  Histogram h = build_histogram(vals, 4);
+  std::uint64_t total = 0;
+  for (auto c : h.counts) total += c;
+  EXPECT_EQ(total, vals.size());
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 3.5);
+}
+
+TEST(Histogram, BinOfClampsOutOfRange) {
+  Histogram h = build_histogram(std::vector<double>{0.0, 10.0}, 5);
+  EXPECT_EQ(h.bin_of(-100.0), 0);
+  EXPECT_EQ(h.bin_of(100.0), 4);
+  EXPECT_EQ(h.bin_of(10.0), 4);  // max value lands in last bin
+}
+
+TEST(Histogram, ConstantInputSafe) {
+  Histogram h = build_histogram(std::vector<double>(100, 7.0), 10);
+  std::uint64_t total = 0;
+  for (auto c : h.counts) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(Histogram, ErrorZeroForIdenticalData) {
+  Rng rng(1);
+  std::vector<double> vals(10000);
+  for (auto& v : vals) v = rng.next_gaussian();
+  Histogram h = build_histogram(vals, 50);
+  EXPECT_DOUBLE_EQ(histogram_error(h, vals, vals), 0.0);
+}
+
+TEST(Histogram, ErrorGrowsWithDegradation) {
+  // Table VI's trend: fewer PLoD bytes => more points change bins.
+  Rng rng(2);
+  std::vector<double> vals(50000);
+  for (auto& v : vals) v = 300.0 + 40.0 * rng.next_gaussian();
+  Histogram h = build_histogram(vals, 100);
+
+  auto shredded = plod::shred(vals);
+  const std::vector<double> l2 = plod::assemble(shredded, 2).value();
+  const std::vector<double> l3 = plod::assemble(shredded, 3).value();
+  const std::vector<double> l4 = plod::assemble(shredded, 4).value();
+  const double e2 = histogram_error(h, vals, l2);
+  const double e3 = histogram_error(h, vals, l3);
+  const double e4 = histogram_error(h, vals, l4);
+  EXPECT_GT(e2, e3);
+  EXPECT_GE(e3, e4);
+  // Magnitudes in the paper's ballpark: percent-level at 2 bytes,
+  // sub-0.1% at 3 bytes.
+  EXPECT_GT(e2, 0.001);
+  EXPECT_LT(e3, 0.001);
+}
+
+TEST(KMeans, SeparatesObviousClusters) {
+  // Three tight 2-D blobs.
+  Rng rng(3);
+  std::vector<double> pts;
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 5}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 200; ++i) {
+      pts.push_back(centers[c][0] + 0.3 * rng.next_gaussian());
+      pts.push_back(centers[c][1] + 0.3 * rng.next_gaussian());
+    }
+  }
+  Rng seed_rng(4);
+  auto res = kmeans(pts, 2, 3, 100, seed_rng);
+  // Every blob's points share one assignment.
+  for (int c = 0; c < 3; ++c) {
+    const std::uint32_t label = res.assignment[c * 200];
+    for (int i = 1; i < 200; ++i) {
+      ASSERT_EQ(res.assignment[c * 200 + i], label) << "blob " << c;
+    }
+  }
+  EXPECT_LT(res.inertia / 600.0, 1.0);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  Rng rng(5);
+  std::vector<double> pts(2000);
+  for (auto& p : pts) p = rng.next_gaussian();
+  Rng a(77), b(77);
+  auto ra = kmeans(pts, 2, 5, 50, a);
+  auto rb = kmeans(pts, 2, 5, 50, b);
+  EXPECT_EQ(ra.assignment, rb.assignment);
+  EXPECT_EQ(ra.centroids, rb.centroids);
+}
+
+TEST(KMeans, InertiaNonIncreasingWithMoreIterations) {
+  Rng rng(6);
+  std::vector<double> pts(3000);
+  for (auto& p : pts) p = rng.next_gaussian() * 5;
+  Rng s1(9), s2(9);
+  auto one = kmeans(pts, 3, 4, 1, s1);
+  auto many = kmeans(pts, 3, 4, 50, s2);
+  EXPECT_LE(many.inertia, one.inertia * (1 + 1e-9));
+}
+
+TEST(KMeans, MisclassificationZeroForIdenticalData) {
+  Rng rng(7);
+  std::vector<double> pts(4000);
+  for (auto& p : pts) p = rng.next_gaussian();
+  EXPECT_DOUBLE_EQ(kmeans_misclassification(pts, pts, 2, 4, 30, 11), 0.0);
+}
+
+TEST(KMeans, MisclassificationShrinksWithPlodLevel) {
+  Rng rng(8);
+  std::vector<double> vals(20000);
+  for (auto& v : vals) v = 300.0 + 40.0 * rng.next_gaussian();
+  auto shredded = plod::shred(vals);
+  const auto l2 = plod::assemble(shredded, 2).value();
+  const auto l4 = plod::assemble(shredded, 4).value();
+  const double e2 = kmeans_misclassification(vals, l2, 2, 4, 40, 13);
+  const double e4 = kmeans_misclassification(vals, l4, 2, 4, 40, 13);
+  EXPECT_GE(e2, e4);
+  EXPECT_LT(e4, 0.01);
+}
+
+TEST(Stats, MatchesClosedForm) {
+  std::vector<double> vals = {1, 2, 3, 4, 5};
+  Stats s = compute_stats(vals);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, EmptyInput) {
+  Stats s = compute_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(MaxRelativeError, Basics) {
+  std::vector<double> a = {1.0, 2.0, 0.0};
+  std::vector<double> b = {1.1, 2.0, 0.5};
+  // 10% on the first, absolute 0.5 on the zero.
+  EXPECT_NEAR(max_relative_error(a, b), 0.5, 1e-12);
+  std::vector<double> c = {100.0};
+  std::vector<double> d = {101.0};
+  EXPECT_NEAR(max_relative_error(c, d), 0.01, 1e-12);
+}
+
+}  // namespace
+}  // namespace mloc::analytics

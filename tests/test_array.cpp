@@ -1,0 +1,240 @@
+// Unit tests for src/array: shapes, regions, grids, chunk lattices.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "array/chunking.hpp"
+#include "array/grid.hpp"
+#include "array/region.hpp"
+#include "array/shape.hpp"
+
+namespace mloc {
+namespace {
+
+// ----------------------------------------------------------------- Shape
+
+TEST(NDShape, VolumeAndExtents) {
+  NDShape s{4, 5, 6};
+  EXPECT_EQ(s.ndims(), 3);
+  EXPECT_EQ(s.extent(0), 4u);
+  EXPECT_EQ(s.extent(2), 6u);
+  EXPECT_EQ(s.volume(), 120u);
+  EXPECT_EQ(s.to_string(), "[4x5x6]");
+}
+
+TEST(NDShape, LinearizeRowMajorLastDimFastest) {
+  NDShape s{2, 3};
+  EXPECT_EQ(s.linearize({0, 0}), 0u);
+  EXPECT_EQ(s.linearize({0, 1}), 1u);
+  EXPECT_EQ(s.linearize({0, 2}), 2u);
+  EXPECT_EQ(s.linearize({1, 0}), 3u);
+  EXPECT_EQ(s.linearize({1, 2}), 5u);
+}
+
+TEST(NDShape, LinearizeDelinearizeBijective) {
+  NDShape s{3, 4, 5, 2};
+  for (std::uint64_t off = 0; off < s.volume(); ++off) {
+    Coord c = s.delinearize(off);
+    EXPECT_TRUE(s.contains(c));
+    EXPECT_EQ(s.linearize(c), off);
+  }
+}
+
+TEST(NDShape, Contains) {
+  NDShape s{4, 4};
+  EXPECT_TRUE(s.contains({3, 3}));
+  EXPECT_FALSE(s.contains({4, 0}));
+  EXPECT_FALSE(s.contains({0, 4}));
+}
+
+TEST(NDShape, Equality) {
+  EXPECT_EQ(NDShape({2, 3}), NDShape({2, 3}));
+  EXPECT_FALSE(NDShape({2, 3}) == NDShape({3, 2}));
+  EXPECT_FALSE(NDShape({2, 3}) == NDShape({2, 3, 1}));
+}
+
+// ---------------------------------------------------------------- Region
+
+TEST(Region, VolumeAndEmpty) {
+  Region r(2, {1, 2}, {4, 6});
+  EXPECT_EQ(r.volume(), 12u);
+  EXPECT_FALSE(r.empty());
+  Region e(2, {3, 3}, {3, 5});
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.volume(), 0u);
+}
+
+TEST(Region, WholeCoversShape) {
+  NDShape s{7, 9};
+  Region w = Region::whole(s);
+  EXPECT_EQ(w.volume(), s.volume());
+  EXPECT_TRUE(w.contains(Coord{6, 8}));
+  EXPECT_FALSE(w.contains(Coord{7, 0}));
+}
+
+TEST(Region, ContainsPointHalfOpen) {
+  Region r(2, {1, 1}, {3, 3});
+  EXPECT_TRUE(r.contains(Coord{1, 1}));
+  EXPECT_TRUE(r.contains(Coord{2, 2}));
+  EXPECT_FALSE(r.contains(Coord{3, 3}));
+  EXPECT_FALSE(r.contains(Coord{0, 2}));
+}
+
+TEST(Region, ContainsRegion) {
+  Region big(2, {0, 0}, {10, 10});
+  Region inner(2, {2, 3}, {5, 7});
+  EXPECT_TRUE(big.contains(inner));
+  EXPECT_FALSE(inner.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(Region, IntersectionAndIntersects) {
+  Region a(2, {0, 0}, {5, 5});
+  Region b(2, {3, 3}, {8, 8});
+  EXPECT_TRUE(a.intersects(b));
+  Region c = a.intersection(b);
+  EXPECT_EQ(c, Region(2, {3, 3}, {5, 5}));
+
+  Region d(2, {5, 0}, {6, 5});  // touches a at x=5 boundary: half-open → no
+  EXPECT_FALSE(a.intersects(d));
+  EXPECT_TRUE(a.intersection(d).empty());
+}
+
+TEST(Region, ForEachVisitsRowMajor) {
+  Region r(2, {1, 2}, {3, 4});
+  std::vector<Coord> visited;
+  r.for_each([&](const Coord& c) { visited.push_back(c); });
+  ASSERT_EQ(visited.size(), 4u);
+  EXPECT_EQ(visited[0], (Coord{1, 2}));
+  EXPECT_EQ(visited[1], (Coord{1, 3}));
+  EXPECT_EQ(visited[2], (Coord{2, 2}));
+  EXPECT_EQ(visited[3], (Coord{2, 3}));
+}
+
+TEST(Region, ForEach3D) {
+  Region r(3, {0, 0, 0}, {2, 2, 2});
+  int count = 0;
+  r.for_each([&](const Coord&) { ++count; });
+  EXPECT_EQ(count, 8);
+}
+
+TEST(Region, ForEachEmptyVisitsNothing) {
+  Region r(2, {1, 1}, {1, 5});
+  int count = 0;
+  r.for_each([&](const Coord&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+// ------------------------------------------------------------------ Grid
+
+TEST(Grid, ZeroInitialized) {
+  Grid g(NDShape{3, 3});
+  for (std::uint64_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g.at_linear(i), 0.0);
+  }
+}
+
+TEST(Grid, AtAndLinearAgree) {
+  Grid g(NDShape{4, 5});
+  g.at({2, 3}) = 7.5;
+  EXPECT_EQ(g.at_linear(NDShape({4, 5}).linearize({2, 3})), 7.5);
+}
+
+TEST(Grid, ExtractRegionRowMajor) {
+  NDShape s{4, 4};
+  Grid g(s);
+  for (std::uint64_t i = 0; i < s.volume(); ++i) {
+    g.at_linear(i) = static_cast<double>(i);
+  }
+  auto vals = g.extract(Region(2, {1, 1}, {3, 3}));
+  EXPECT_EQ(vals, (std::vector<double>{5, 6, 9, 10}));
+}
+
+TEST(Grid, ExtractWholeEqualsValues) {
+  NDShape s{2, 3, 2};
+  Grid g(s);
+  std::iota(g.values().begin(), g.values().end(), 0.0);
+  auto vals = g.extract(Region::whole(s));
+  EXPECT_TRUE(std::equal(vals.begin(), vals.end(), g.values().begin()));
+}
+
+TEST(Grid, InsertThenExtractRoundTrips) {
+  Grid g(NDShape{5, 5});
+  const Region r(2, {1, 2}, {4, 5});
+  std::vector<double> payload(r.volume());
+  std::iota(payload.begin(), payload.end(), 100.0);
+  g.insert(r, payload);
+  EXPECT_EQ(g.extract(r), payload);
+  EXPECT_EQ(g.at({0, 0}), 0.0);  // untouched outside the region
+}
+
+// ------------------------------------------------------------- Chunking
+
+TEST(ChunkGrid, ExactTiling) {
+  ChunkGrid cg(NDShape{8, 8}, NDShape{4, 4});
+  EXPECT_EQ(cg.num_chunks(), 4u);
+  EXPECT_EQ(cg.lattice_shape(), NDShape({2, 2}));
+  EXPECT_EQ(cg.chunk_region(0), Region(2, {0, 0}, {4, 4}));
+  EXPECT_EQ(cg.chunk_region(3), Region(2, {4, 4}, {8, 8}));
+}
+
+TEST(ChunkGrid, RaggedEdgesClipped) {
+  ChunkGrid cg(NDShape{10, 6}, NDShape{4, 4});
+  EXPECT_EQ(cg.lattice_shape(), NDShape({3, 2}));
+  // Bottom-right chunk covers the 2x2 remainder.
+  Region last = cg.chunk_region(cg.num_chunks() - 1);
+  EXPECT_EQ(last, Region(2, {8, 4}, {10, 6}));
+}
+
+TEST(ChunkGrid, ChunkOfElement) {
+  ChunkGrid cg(NDShape{8, 8}, NDShape{4, 4});
+  EXPECT_EQ(cg.chunk_of({0, 0}), 0u);
+  EXPECT_EQ(cg.chunk_of({3, 7}), 1u);
+  EXPECT_EQ(cg.chunk_of({7, 1}), 2u);
+  EXPECT_EQ(cg.chunk_of({5, 5}), 3u);
+}
+
+TEST(ChunkGrid, ChunkIdCoordBijective) {
+  ChunkGrid cg(NDShape{16, 12, 8}, NDShape{4, 4, 4});
+  for (ChunkId id = 0; id < cg.num_chunks(); ++id) {
+    EXPECT_EQ(cg.chunk_id(cg.chunk_coord(id)), id);
+  }
+}
+
+TEST(ChunkGrid, ChunksOverlappingQuery) {
+  ChunkGrid cg(NDShape{8, 8}, NDShape{4, 4});
+  auto hits = cg.chunks_overlapping(Region(2, {2, 2}, {6, 6}));
+  EXPECT_EQ(hits, (std::vector<ChunkId>{0, 1, 2, 3}));
+  hits = cg.chunks_overlapping(Region(2, {0, 0}, {4, 4}));
+  EXPECT_EQ(hits, (std::vector<ChunkId>{0}));
+  hits = cg.chunks_overlapping(Region(2, {0, 0}, {0, 0}));
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(ChunkGrid, ChunkRegionsPartitionArray) {
+  // Every element belongs to exactly one chunk region.
+  ChunkGrid cg(NDShape{9, 7}, NDShape{4, 3});
+  std::vector<int> cover(NDShape({9, 7}).volume(), 0);
+  const NDShape s = cg.array_shape();
+  for (ChunkId id = 0; id < cg.num_chunks(); ++id) {
+    cg.chunk_region(id).for_each(
+        [&](const Coord& c) { ++cover[s.linearize(c)]; });
+  }
+  for (int c : cover) EXPECT_EQ(c, 1);
+}
+
+TEST(ChunkGrid, OverlapConsistentWithChunkOf) {
+  ChunkGrid cg(NDShape{12, 12}, NDShape{5, 5});
+  const Region q(2, {3, 6}, {11, 9});
+  auto hits = cg.chunks_overlapping(q);
+  // Brute force: chunk ids of all points in q.
+  std::vector<ChunkId> expect;
+  q.for_each([&](const Coord& c) { expect.push_back(cg.chunk_of(c)); });
+  std::sort(expect.begin(), expect.end());
+  expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+  EXPECT_EQ(hits, expect);
+}
+
+}  // namespace
+}  // namespace mloc

@@ -1,0 +1,200 @@
+// Tests for src/binning: quantile boundary construction, balance of
+// equal-frequency bins, interval semantics (bin_of vs lower/upper),
+// overlap/alignment query logic, serialization, duplicate-heavy inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "binning/binning.hpp"
+#include "util/rng.hpp"
+
+namespace mloc {
+namespace {
+
+std::vector<double> gaussian_sample(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = 300.0 + 40.0 * rng.next_gaussian();
+  return out;
+}
+
+TEST(Binning, SingleBinCoversEverything) {
+  auto sample = gaussian_sample(100, 1);
+  auto scheme = BinningScheme::equal_frequency(sample, 1);
+  EXPECT_EQ(scheme.num_bins(), 1);
+  EXPECT_EQ(scheme.bin_of(-1e300), 0);
+  EXPECT_EQ(scheme.bin_of(1e300), 0);
+  EXPECT_EQ(scheme.lower(0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(scheme.upper(0), std::numeric_limits<double>::infinity());
+}
+
+TEST(Binning, EqualFrequencyIsBalanced) {
+  auto sample = gaussian_sample(100000, 2);
+  const int nbins = 100;
+  auto scheme = BinningScheme::equal_frequency(sample, nbins);
+  ASSERT_EQ(scheme.num_bins(), nbins);
+  std::vector<int> counts(nbins, 0);
+  for (double v : sample) ++counts[scheme.bin_of(v)];
+  // Perfect balance would be 1000 per bin; allow modest quantile noise.
+  for (int b = 0; b < nbins; ++b) {
+    EXPECT_GT(counts[b], 800) << "bin " << b;
+    EXPECT_LT(counts[b], 1200) << "bin " << b;
+  }
+}
+
+TEST(Binning, EqualWidthBoundaries) {
+  auto scheme = BinningScheme::equal_width(0.0, 10.0, 5);
+  EXPECT_EQ(scheme.num_bins(), 5);
+  EXPECT_DOUBLE_EQ(scheme.upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(scheme.lower(3), 6.0);
+  EXPECT_EQ(scheme.bin_of(1.9), 0);
+  EXPECT_EQ(scheme.bin_of(2.0), 1);  // boundary goes up (half-open)
+  EXPECT_EQ(scheme.bin_of(-5.0), 0);
+  EXPECT_EQ(scheme.bin_of(99.0), 4);
+}
+
+TEST(Binning, BinOfIsConsistentWithIntervals) {
+  auto sample = gaussian_sample(5000, 3);
+  auto scheme = BinningScheme::equal_frequency(sample, 16);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double(100.0, 500.0);
+    const int b = scheme.bin_of(v);
+    EXPECT_GE(v, scheme.lower(b));
+    EXPECT_LT(v, scheme.upper(b));
+  }
+}
+
+TEST(Binning, NanGoesToLastBin) {
+  auto scheme = BinningScheme::equal_width(0, 1, 4);
+  EXPECT_EQ(scheme.bin_of(std::numeric_limits<double>::quiet_NaN()), 3);
+}
+
+TEST(Binning, DuplicateHeavySampleCollapsesBins) {
+  // A sample that is 99% one value cannot support 10 distinct quantiles;
+  // boundaries must stay strictly increasing (fewer bins, never empty
+  // intervals).
+  std::vector<double> sample(1000, 5.0);
+  sample[0] = 1.0;
+  sample[999] = 9.0;
+  auto scheme = BinningScheme::equal_frequency(sample, 10);
+  EXPECT_GE(scheme.num_bins(), 1);
+  EXPECT_LE(scheme.num_bins(), 10);
+  for (int b = 0; b + 1 < scheme.num_bins(); ++b) {
+    EXPECT_LT(scheme.upper(b), scheme.upper(b + 1));
+  }
+  // Every value still maps somewhere valid.
+  for (double v : sample) {
+    const int b = scheme.bin_of(v);
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, scheme.num_bins());
+  }
+}
+
+TEST(Binning, OverlapSpanBasics) {
+  auto scheme = BinningScheme::equal_width(0.0, 100.0, 10);  // width 10
+  auto span = scheme.bins_overlapping(25.0, 55.0);
+  EXPECT_EQ(span.first, 2);
+  EXPECT_EQ(span.last, 5);
+
+  // Exactly on boundaries: [20, 50) covers bins 2,3,4 only.
+  span = scheme.bins_overlapping(20.0, 50.0);
+  EXPECT_EQ(span.first, 2);
+  EXPECT_EQ(span.last, 4);
+
+  // Degenerate range.
+  EXPECT_TRUE(scheme.bins_overlapping(5.0, 5.0).empty());
+  EXPECT_TRUE(scheme.bins_overlapping(7.0, 3.0).empty());
+
+  // Unbounded-ish range covers all bins.
+  span = scheme.bins_overlapping(-1e308, 1e308);
+  EXPECT_EQ(span.first, 0);
+  EXPECT_EQ(span.last, 9);
+}
+
+TEST(Binning, AlignedSemantics) {
+  auto scheme = BinningScheme::equal_width(0.0, 100.0, 10);
+  // Bin 3 covers [30, 40).
+  EXPECT_TRUE(scheme.aligned(3, 30.0, 40.0));
+  EXPECT_TRUE(scheme.aligned(3, 25.0, 45.0));
+  EXPECT_FALSE(scheme.aligned(3, 31.0, 45.0));
+  EXPECT_FALSE(scheme.aligned(3, 25.0, 39.0));
+  // Edge bins have infinite bounds: only an infinite constraint aligns.
+  EXPECT_FALSE(scheme.aligned(0, -1e308, 50.0));
+  EXPECT_TRUE(scheme.aligned(
+      0, -std::numeric_limits<double>::infinity(), 10.0));
+}
+
+TEST(Binning, AlignedBinsAllQualifyUnderVC) {
+  // Property: every value in an aligned bin satisfies the constraint — the
+  // invariant that lets MLOC skip decompression for aligned bins.
+  auto sample = gaussian_sample(20000, 5);
+  auto scheme = BinningScheme::equal_frequency(sample, 32);
+  const double lo = 280.0, hi = 340.0;
+  auto span = scheme.bins_overlapping(lo, hi);
+  for (double v : sample) {
+    const int b = scheme.bin_of(v);
+    if (b >= span.first && b <= span.last && scheme.aligned(b, lo, hi)) {
+      EXPECT_GE(v, lo);
+      EXPECT_LT(v, hi);
+    }
+  }
+}
+
+TEST(Binning, ValuesOutsideOverlapSpanNeverQualify) {
+  auto sample = gaussian_sample(20000, 6);
+  auto scheme = BinningScheme::equal_frequency(sample, 32);
+  const double lo = 290.0, hi = 310.0;
+  auto span = scheme.bins_overlapping(lo, hi);
+  for (double v : sample) {
+    if (v >= lo && v < hi) {
+      const int b = scheme.bin_of(v);
+      EXPECT_GE(b, span.first);
+      EXPECT_LE(b, span.last);
+    }
+  }
+}
+
+TEST(Binning, SerializationRoundTrip) {
+  auto sample = gaussian_sample(5000, 7);
+  auto scheme = BinningScheme::equal_frequency(sample, 100);
+  ByteWriter w;
+  scheme.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = BinningScheme::deserialize(r);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), scheme);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Binning, DeserializeRejectsNonMonotonicBoundaries) {
+  ByteWriter w;
+  w.put_varint(2);
+  w.put_f64(5.0);
+  w.put_f64(3.0);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(BinningScheme::deserialize(r).is_ok());
+}
+
+TEST(Binning, DeserializeRejectsTruncation) {
+  ByteWriter w;
+  w.put_varint(4);
+  w.put_f64(1.0);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(BinningScheme::deserialize(r).is_ok());
+}
+
+TEST(Binning, NanOnlySampleStillWorks) {
+  std::vector<double> sample(10, std::numeric_limits<double>::quiet_NaN());
+  auto scheme = BinningScheme::equal_frequency(sample, 4);
+  EXPECT_GE(scheme.num_bins(), 1);
+  EXPECT_EQ(scheme.bin_of(1.0), scheme.num_bins() - 1 >= 0
+                                    ? scheme.bin_of(1.0)
+                                    : 0);  // no crash; value maps somewhere
+}
+
+}  // namespace
+}  // namespace mloc

@@ -1,0 +1,222 @@
+// Tests for src/bitmap: plain bitset semantics, WAH round-trips (property
+// sweeps over densities), compressed-domain ops vs naive reference, and
+// corrupt-stream rejection.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "util/rng.hpp"
+
+namespace mloc {
+namespace {
+
+Bitmap random_bitmap(std::uint64_t nbits, double density, std::uint64_t seed) {
+  Bitmap b(nbits);
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < nbits; ++i) {
+    if (rng.next_double() < density) b.set(i);
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------- Bitmap
+
+TEST(Bitmap, SetGetClear) {
+  Bitmap b(100);
+  EXPECT_FALSE(b.get(42));
+  b.set(42);
+  EXPECT_TRUE(b.get(42));
+  b.set(42, false);
+  EXPECT_FALSE(b.get(42));
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, CountAcrossWordBoundaries) {
+  Bitmap b(130);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(Bitmap, AndOrSemantics) {
+  Bitmap a(10), b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  Bitmap both = a;
+  both &= b;
+  EXPECT_EQ(both.count(), 1u);
+  EXPECT_TRUE(both.get(2));
+  Bitmap any = a;
+  any |= b;
+  EXPECT_EQ(any.count(), 3u);
+}
+
+TEST(Bitmap, FlipClearsPadding) {
+  Bitmap b(70);  // 64 + 6 bits; padding in second word must stay clear
+  b.flip();
+  EXPECT_EQ(b.count(), 70u);
+  b.flip();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, ForEachSetAscending) {
+  Bitmap b(200);
+  const std::vector<std::uint64_t> positions = {0, 31, 63, 64, 100, 199};
+  for (auto p : positions) b.set(p);
+  std::vector<std::uint64_t> seen;
+  b.for_each_set([&](std::uint64_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, positions);
+}
+
+// ------------------------------------------------------------------- WAH
+
+class WahRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(WahRoundTrip, CompressDecompressIsIdentity) {
+  const auto [nbits, density] = GetParam();
+  Bitmap plain = random_bitmap(nbits, density, nbits * 31 + 7);
+  WahBitmap wah = WahBitmap::compress(plain);
+  EXPECT_EQ(wah.size_bits(), nbits);
+  EXPECT_EQ(wah.decompress(), plain);
+  EXPECT_EQ(wah.count(), plain.count());
+}
+
+TEST_P(WahRoundTrip, SerializeDeserializeIsIdentity) {
+  const auto [nbits, density] = GetParam();
+  Bitmap plain = random_bitmap(nbits, density, nbits + 17);
+  WahBitmap wah = WahBitmap::compress(plain);
+  ByteWriter w;
+  wah.serialize(w);
+  ByteReader r(w.bytes());
+  auto back = WahBitmap::deserialize(r);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value(), wah);
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, WahRoundTrip,
+    ::testing::Values(std::tuple{0ull, 0.0}, std::tuple{1ull, 1.0},
+                      std::tuple{31ull, 0.5}, std::tuple{32ull, 0.5},
+                      std::tuple{62ull, 0.01}, std::tuple{1000ull, 0.0},
+                      std::tuple{1000ull, 1.0}, std::tuple{1000ull, 0.001},
+                      std::tuple{1000ull, 0.05}, std::tuple{1000ull, 0.5},
+                      std::tuple{1000ull, 0.95}, std::tuple{100000ull, 0.01},
+                      std::tuple{100000ull, 0.5}));
+
+TEST(Wah, SparseBitmapCompressesWell) {
+  // 1M bits with 0.1% density: WAH should be far below the 125 KB raw size.
+  Bitmap plain = random_bitmap(1 << 20, 0.001, 5);
+  WahBitmap wah = WahBitmap::compress(plain);
+  EXPECT_LT(wah.byte_size(), plain.byte_size() / 5);
+}
+
+TEST(Wah, UniformFillIsTiny) {
+  Bitmap zeros(1 << 20);
+  EXPECT_LT(WahBitmap::compress(zeros).byte_size(), 64u);
+  Bitmap ones(1 << 20);
+  ones.flip();
+  EXPECT_LT(WahBitmap::compress(ones).byte_size(), 64u);
+}
+
+TEST(Wah, DenseRandomDoesNotBlowUp) {
+  // Incompressible input: WAH costs at most ~32/31 of raw + constant.
+  Bitmap plain = random_bitmap(1 << 16, 0.5, 6);
+  WahBitmap wah = WahBitmap::compress(plain);
+  EXPECT_LT(wah.byte_size(), plain.byte_size() * 110 / 100 + 64);
+}
+
+class WahBinaryOps
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WahBinaryOps, CompressedAndOrMatchNaive) {
+  const auto [da, db] = GetParam();
+  const std::uint64_t n = 50000;
+  Bitmap pa = random_bitmap(n, da, 11);
+  Bitmap pb = random_bitmap(n, db, 22);
+  WahBitmap wa = WahBitmap::compress(pa);
+  WahBitmap wb = WahBitmap::compress(pb);
+
+  Bitmap expect_and = pa;
+  expect_and &= pb;
+  Bitmap expect_or = pa;
+  expect_or |= pb;
+
+  EXPECT_EQ(WahBitmap::logical_and(wa, wb).decompress(), expect_and);
+  EXPECT_EQ(WahBitmap::logical_or(wa, wb).decompress(), expect_or);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityPairs, WahBinaryOps,
+    ::testing::Values(std::tuple{0.0, 0.0}, std::tuple{0.0, 1.0},
+                      std::tuple{1.0, 1.0}, std::tuple{0.001, 0.001},
+                      std::tuple{0.001, 0.5}, std::tuple{0.5, 0.5},
+                      std::tuple{0.9, 0.1}));
+
+TEST(Wah, BinaryOpResultStaysCanonical) {
+  // AND of two sparse maps is sparser; result must re-coalesce into fills,
+  // not degenerate into literals.
+  Bitmap pa = random_bitmap(1 << 18, 0.01, 31);
+  Bitmap pb = random_bitmap(1 << 18, 0.01, 32);
+  WahBitmap out = WahBitmap::logical_and(WahBitmap::compress(pa),
+                                         WahBitmap::compress(pb));
+  EXPECT_LT(out.byte_size(), 1u << 13);
+}
+
+TEST(Wah, CountOnCompressedEqualsDecompressed) {
+  for (double d : {0.0, 0.003, 0.2, 0.97, 1.0}) {
+    Bitmap plain = random_bitmap(12345, d, static_cast<std::uint64_t>(d * 100) + 1);
+    WahBitmap wah = WahBitmap::compress(plain);
+    EXPECT_EQ(wah.count(), plain.count());
+  }
+}
+
+// --------------------------------------------------- failure injection
+
+TEST(Wah, DeserializeRejectsTruncatedStream) {
+  Bitmap plain = random_bitmap(1000, 0.3, 3);
+  ByteWriter w;
+  WahBitmap::compress(plain).serialize(w);
+  Bytes truncated(w.bytes().begin(), w.bytes().end() - 5);
+  ByteReader r(truncated);
+  EXPECT_FALSE(WahBitmap::deserialize(r).is_ok());
+}
+
+TEST(Wah, DeserializeRejectsGroupCountMismatch) {
+  ByteWriter w;
+  w.put_varint(1000);  // claims 1000 bits (33 groups)
+  w.put_varint(1);     // but provides a single 2-group fill
+  w.put_u32(0x80000000u | 0x40000000u | 2u);
+  ByteReader r(w.bytes());
+  auto res = WahBitmap::deserialize(r);
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(Wah, DeserializeRejectsZeroLengthFill) {
+  ByteWriter w;
+  w.put_varint(31);
+  w.put_varint(1);
+  w.put_u32(0x80000000u);  // fill of length 0
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(WahBitmap::deserialize(r).is_ok());
+}
+
+TEST(Wah, DeserializeRejectsAbsurdWordCount) {
+  ByteWriter w;
+  w.put_varint(31);
+  w.put_varint(1ull << 40);  // claims a trillion words
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(WahBitmap::deserialize(r).is_ok());
+}
+
+}  // namespace
+}  // namespace mloc

@@ -1,0 +1,624 @@
+// Tests for src/compress: bit I/O, Huffman, mzip, RLE, ISOBAR-like,
+// B-spline fitting, ISABELA-like (error-bound property sweeps), xor-delta,
+// registry, and corrupt-stream failure injection for every codec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "compress/bitstream.hpp"
+#include "compress/bspline.hpp"
+#include "compress/huffman.hpp"
+#include "compress/isabela.hpp"
+#include "compress/isobar.hpp"
+#include "compress/mzip.hpp"
+#include "compress/registry.hpp"
+#include "compress/rle.hpp"
+#include "compress/xor_delta.hpp"
+#include "util/rng.hpp"
+
+namespace mloc {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed, int alphabet = 256) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.next_below(alphabet));
+  }
+  return out;
+}
+
+std::vector<double> smooth_field(std::size_t n, std::uint64_t seed) {
+  // Sum of sinusoids + small noise: the value profile of simulation data.
+  Rng rng(seed);
+  std::vector<double> out(n);
+  const double f1 = rng.next_double(0.5, 3.0);
+  const double f2 = rng.next_double(5.0, 20.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / n;
+    out[i] = 100.0 + 40.0 * std::sin(f1 * 6.28 * x) +
+             5.0 * std::sin(f2 * 6.28 * x) + 0.1 * rng.next_gaussian();
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- bitstream
+
+TEST(BitStream, RoundTripMixedWidths) {
+  BitWriter w;
+  w.put_bits(0b101, 3);
+  w.put_bits(0xFFFF, 16);
+  w.put_bits(0, 1);
+  w.put_bits(0x123456789ABCDull, 50);
+  w.finish();
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.get_bits(3), 0b101u);
+  EXPECT_EQ(r.get_bits(16), 0xFFFFu);
+  EXPECT_EQ(r.get_bits(1), 0u);
+  EXPECT_EQ(r.get_bits(50), 0x123456789ABCDull);
+  EXPECT_FALSE(r.overrun());
+}
+
+TEST(BitStream, OverrunReadsZeroAndFlags) {
+  BitWriter w;
+  w.put_bits(1, 1);
+  w.finish();
+  BitReader r(w.bytes());
+  r.get_bits(8);  // consumes the only byte
+  EXPECT_EQ(r.get_bits(16), 0u);
+  EXPECT_TRUE(r.overrun());
+}
+
+TEST(BitStream, PeekDoesNotConsume) {
+  BitWriter w;
+  w.put_bits(0b1011, 4);
+  w.finish();
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.peek_bits(4), 0b1011u);
+  EXPECT_EQ(r.get_bits(4), 0b1011u);
+}
+
+// --------------------------------------------------------------- Huffman
+
+TEST(Huffman, RoundTripSkewedDistribution) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs['a'] = 1000;
+  freqs['b'] = 300;
+  freqs['c'] = 50;
+  freqs['z'] = 1;
+  const HuffmanCode code = HuffmanCode::from_frequencies(freqs);
+  EXPECT_LE(code.lengths()['a'], code.lengths()['z']);
+
+  BitWriter w;
+  const std::string msg = "abacabadzcabbaab";
+  // 'd' has zero frequency — give it one so it is encodable.
+  std::vector<std::uint64_t> freqs2 = freqs;
+  freqs2['d'] = 1;
+  const HuffmanCode code2 = HuffmanCode::from_frequencies(freqs2);
+  for (char ch : msg) code2.encode_symbol(w, static_cast<unsigned char>(ch));
+  w.finish();
+
+  BitReader r(w.bytes());
+  std::string back;
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    const int sym = code2.decode_symbol(r);
+    ASSERT_GE(sym, 0);
+    back.push_back(static_cast<char>(sym));
+  }
+  EXPECT_EQ(back, msg);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freqs(256, 0);
+  freqs[42] = 7;
+  const HuffmanCode code = HuffmanCode::from_frequencies(freqs);
+  EXPECT_EQ(code.lengths()[42], 1);
+  BitWriter w;
+  for (int i = 0; i < 5; ++i) code.encode_symbol(w, 42);
+  w.finish();
+  BitReader r(w.bytes());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(code.decode_symbol(r), 42);
+}
+
+TEST(Huffman, UniformDistributionNearLog2N) {
+  std::vector<std::uint64_t> freqs(256, 10);
+  const HuffmanCode code = HuffmanCode::from_frequencies(freqs);
+  for (int s = 0; s < 256; ++s) EXPECT_EQ(code.lengths()[s], 8);
+}
+
+TEST(Huffman, LengthsRespectLimit) {
+  // Fibonacci-like frequencies force very deep unbalanced trees; lengths
+  // must still be capped at kMaxCodeLen and remain decodable.
+  std::vector<std::uint64_t> freqs(40, 0);
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs[i] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const HuffmanCode code = HuffmanCode::from_frequencies(freqs);
+  for (auto l : code.lengths()) EXPECT_LE(l, HuffmanCode::kMaxCodeLen);
+
+  BitWriter w;
+  for (int s = 0; s < 40; ++s) code.encode_symbol(w, s);
+  w.finish();
+  BitReader r(w.bytes());
+  for (int s = 0; s < 40; ++s) EXPECT_EQ(code.decode_symbol(r), s);
+}
+
+TEST(Huffman, LengthTableSerializationRoundTrip) {
+  std::vector<std::uint64_t> freqs(300, 0);
+  for (int i = 0; i < 300; i += 3) freqs[i] = i + 1;
+  const HuffmanCode code = HuffmanCode::from_frequencies(freqs);
+  ByteWriter w;
+  code.serialize_lengths(w);
+  ByteReader r(w.bytes());
+  auto lens = HuffmanCode::deserialize_lengths(r, 300);
+  ASSERT_TRUE(lens.is_ok());
+  EXPECT_EQ(lens.value(), code.lengths());
+}
+
+TEST(Huffman, FromLengthsRejectsOversubscribed) {
+  std::vector<std::uint8_t> lens = {1, 1, 1};  // Kraft sum 1.5 > 1
+  EXPECT_FALSE(HuffmanCode::from_lengths(lens).is_ok());
+}
+
+TEST(Huffman, FromLengthsRejectsEmpty) {
+  std::vector<std::uint8_t> lens(16, 0);
+  EXPECT_FALSE(HuffmanCode::from_lengths(lens).is_ok());
+}
+
+// ------------------------------------------------------------------ mzip
+
+class MzipRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MzipRoundTrip, AdversarialBuffers) {
+  const int which = GetParam();
+  Bytes raw;
+  switch (which) {
+    case 0: raw = {}; break;
+    case 1: raw = {0x42}; break;
+    case 2: raw = Bytes(100000, 0xAA); break;                 // constant
+    case 3: raw = random_bytes(65536, 1); break;              // incompressible
+    case 4: raw = random_bytes(65536, 2, 4); break;           // small alphabet
+    case 5: {                                                 // periodic
+      for (int i = 0; i < 50000; ++i) raw.push_back("abcdefg"[i % 7]);
+      break;
+    }
+    case 6: {  // long-range self-similarity (window stress)
+      raw = random_bytes(1000, 3);
+      Bytes block = raw;
+      for (int rep = 0; rep < 64; ++rep) {
+        raw.insert(raw.end(), block.begin(), block.end());
+      }
+      break;
+    }
+    case 7: {  // overlapping-match pattern (dist < len)
+      raw = Bytes(3, 'x');
+      for (int i = 0; i < 1000; ++i) raw.push_back(raw[i]);
+      break;
+    }
+    case 8: {  // real-ish doubles image
+      auto field = smooth_field(8192, 4);
+      raw = doubles_to_bytes(field);
+      break;
+    }
+    default: break;
+  }
+  const MzipCodec codec;
+  auto enc = codec.encode(raw);
+  ASSERT_TRUE(enc.is_ok());
+  auto dec = codec.decode(enc.value());
+  ASSERT_TRUE(dec.is_ok()) << dec.status().to_string();
+  EXPECT_EQ(dec.value(), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, MzipRoundTrip, ::testing::Range(0, 9));
+
+TEST(Mzip, CompressesRepetitiveData) {
+  Bytes raw(200000, 0);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = static_cast<std::uint8_t>((i / 100) % 7);
+  }
+  const MzipCodec codec;
+  auto enc = codec.encode(raw);
+  ASSERT_TRUE(enc.is_ok());
+  EXPECT_LT(enc.value().size(), raw.size() / 20);
+}
+
+TEST(Mzip, RandomDataExpandsOnlySlightly) {
+  Bytes raw = random_bytes(100000, 9);
+  const MzipCodec codec;
+  auto enc = codec.encode(raw);
+  ASSERT_TRUE(enc.is_ok());
+  EXPECT_LT(enc.value().size(), raw.size() * 103 / 100 + 512);
+}
+
+TEST(Mzip, HigherChainImprovesOrMatchesRatio) {
+  Bytes raw;
+  Rng rng(12);
+  // Mildly repetitive text-like data where search depth matters.
+  const char* words[] = {"temperature", "pressure", "velocity", "entropy"};
+  for (int i = 0; i < 20000; ++i) {
+    const char* word = words[rng.next_below(4)];
+    raw.insert(raw.end(), word, word + std::strlen(word));
+  }
+  auto quick = MzipCodec(4).encode(raw);
+  auto deep = MzipCodec(256).encode(raw);
+  ASSERT_TRUE(quick.is_ok() && deep.is_ok());
+  EXPECT_LE(deep.value().size(), quick.value().size());
+  EXPECT_EQ(MzipCodec().decode(deep.value()).value(), raw);
+}
+
+TEST(Mzip, DecodeRejectsCorruptStreams) {
+  const MzipCodec codec;
+  Bytes raw = random_bytes(5000, 5);
+  Bytes enc = codec.encode(raw).value();
+
+  Bytes truncated(enc.begin(), enc.begin() + enc.size() / 2);
+  EXPECT_FALSE(codec.decode(truncated).is_ok());
+
+  Bytes flipped = enc;
+  flipped[flipped.size() / 2] ^= 0xFF;
+  auto res = codec.decode(flipped);
+  // Either detected as corrupt, or (rarely) decodes to wrong bytes of the
+  // right length — in which case the content must differ from raw, proving
+  // the header-size check ran. Accept only detected-corrupt or mismatch.
+  if (res.is_ok()) {
+    EXPECT_NE(res.value(), raw);
+  }
+
+  Bytes empty_claims_trailing = {0x00, 0x01};
+  EXPECT_FALSE(codec.decode(empty_claims_trailing).is_ok());
+}
+
+// ------------------------------------------------------------------- RLE
+
+TEST(Rle, RoundTripAndRatio) {
+  const RleCodec codec;
+  Bytes raw(100000, 7);
+  for (int i = 0; i < 100; ++i) raw[i * 997] = 9;
+  auto enc = codec.encode(raw);
+  ASSERT_TRUE(enc.is_ok());
+  EXPECT_LT(enc.value().size(), 2000u);
+  EXPECT_EQ(codec.decode(enc.value()).value(), raw);
+}
+
+TEST(Rle, RoundTripEmpty) {
+  const RleCodec codec;
+  auto enc = codec.encode({});
+  ASSERT_TRUE(enc.is_ok());
+  EXPECT_EQ(codec.decode(enc.value()).value(), Bytes{});
+}
+
+TEST(Rle, RoundTripNoRuns) {
+  const RleCodec codec;
+  Bytes raw;
+  for (int i = 0; i < 256; ++i) raw.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(codec.decode(codec.encode(raw).value()).value(), raw);
+}
+
+TEST(Rle, DecodeRejectsRunOverflow) {
+  const RleCodec codec;
+  ByteWriter w;
+  w.put_varint(10);  // declared size 10
+  w.put_u8(5);
+  w.put_varint(100);  // run of 100 overflows
+  EXPECT_FALSE(codec.decode(w.bytes()).is_ok());
+}
+
+TEST(Rle, DecodeRejectsTrailingBytes) {
+  const RleCodec codec;
+  ByteWriter w;
+  w.put_varint(2);
+  w.put_u8(5);
+  w.put_varint(2);
+  w.put_u8(99);  // trailing garbage
+  EXPECT_FALSE(codec.decode(w.bytes()).is_ok());
+}
+
+// ---------------------------------------------------------------- ISOBAR
+
+TEST(Isobar, ByteEntropyBounds) {
+  EXPECT_DOUBLE_EQ(IsobarCodec::byte_entropy({}), 0.0);
+  Bytes constant(1000, 42);
+  EXPECT_DOUBLE_EQ(IsobarCodec::byte_entropy(constant), 0.0);
+  Bytes uniform = random_bytes(1 << 16, 77);
+  EXPECT_GT(IsobarCodec::byte_entropy(uniform), 7.9);
+  EXPECT_LE(IsobarCodec::byte_entropy(uniform), 8.0);
+}
+
+TEST(Isobar, LosslessRoundTripSmoothField) {
+  const IsobarCodec codec;
+  auto field = smooth_field(10000, 21);
+  auto enc = codec.encode(field);
+  ASSERT_TRUE(enc.is_ok());
+  auto dec = codec.decode(enc.value());
+  ASSERT_TRUE(dec.is_ok());
+  EXPECT_EQ(dec.value(), field);
+}
+
+TEST(Isobar, LosslessRoundTripSpecialValues) {
+  const IsobarCodec codec;
+  std::vector<double> vals = {0.0,
+                              -0.0,
+                              std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity(),
+                              std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::denorm_min(),
+                              std::numeric_limits<double>::max(),
+                              1.0};
+  auto dec = codec.decode(codec.encode(vals).value());
+  ASSERT_TRUE(dec.is_ok());
+  ASSERT_EQ(dec.value().size(), vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    // Bit-exact comparison (NaN != NaN under operator==).
+    std::uint64_t a, b;
+    std::memcpy(&a, &vals[i], 8);
+    std::memcpy(&b, &dec.value()[i], 8);
+    EXPECT_EQ(a, b) << "at " << i;
+  }
+}
+
+TEST(Isobar, CompressesSmoothDataBeatsRawSize) {
+  const IsobarCodec codec;
+  auto field = smooth_field(50000, 31);
+  auto enc = codec.encode(field);
+  ASSERT_TRUE(enc.is_ok());
+  EXPECT_LT(enc.value().size(), field.size() * 8);
+}
+
+TEST(Isobar, EmptyInput) {
+  const IsobarCodec codec;
+  auto enc = codec.encode({});
+  ASSERT_TRUE(enc.is_ok());
+  EXPECT_TRUE(codec.decode(enc.value()).value().empty());
+}
+
+TEST(Isobar, DecodeRejectsBadPlaneFlag) {
+  const IsobarCodec codec;
+  auto field = smooth_field(100, 5);
+  Bytes enc = codec.encode(field).value();
+  // First plane flag comes right after the count varint; corrupt it.
+  ByteReader probe(enc);
+  (void)probe.get_varint();
+  const std::size_t flag_pos = probe.position();
+  enc[flag_pos] = 99;
+  EXPECT_FALSE(codec.decode(enc).is_ok());
+}
+
+TEST(Isobar, DecodeRejectsTruncation) {
+  const IsobarCodec codec;
+  auto field = smooth_field(1000, 6);
+  Bytes enc = codec.encode(field).value();
+  Bytes truncated(enc.begin(), enc.begin() + enc.size() * 2 / 3);
+  EXPECT_FALSE(codec.decode(truncated).is_ok());
+}
+
+// --------------------------------------------------------------- BSpline
+
+TEST(BSpline, PartitionOfUnity) {
+  const CubicBSpline s(std::vector<double>(12, 1.0));
+  for (double u = 0.0; u <= 1.0; u += 0.01) {
+    EXPECT_NEAR(s.evaluate(u), 1.0, 1e-12) << "u=" << u;
+  }
+  EXPECT_NEAR(s.evaluate(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(s.evaluate(1.0), 1.0, 1e-12);
+}
+
+TEST(BSpline, FitsLineExactly) {
+  std::vector<double> y(100);
+  for (int i = 0; i < 100; ++i) y[i] = 2.0 * i + 5.0;
+  const CubicBSpline s = CubicBSpline::fit(y, 8);
+  for (int i = 0; i < 100; ++i) {
+    const double u = i / 99.0;
+    EXPECT_NEAR(s.evaluate(u), y[i], 1e-6);
+  }
+}
+
+TEST(BSpline, FitsSmoothMonotoneCurveClosely) {
+  // The ISABELA use case: a sorted (monotone) sample of a smooth field.
+  auto field = smooth_field(1024, 41);
+  std::sort(field.begin(), field.end());
+  const CubicBSpline s = CubicBSpline::fit(field, 30);
+  double max_err = 0;
+  for (int i = 0; i < 1024; ++i) {
+    const double u = i / 1023.0;
+    max_err = std::max(max_err, std::abs(s.evaluate(u) - field[i]));
+  }
+  const double range = field.back() - field.front();
+  EXPECT_LT(max_err, 0.05 * range);
+}
+
+TEST(BSpline, HandlesTinyInputs) {
+  for (int n : {1, 2, 3, 4, 7}) {
+    std::vector<double> y(n, 3.5);
+    const CubicBSpline s = CubicBSpline::fit(y, 4);
+    EXPECT_NEAR(s.evaluate(0.0), 3.5, 1e-6) << n;
+    if (n > 1) {
+      EXPECT_NEAR(s.evaluate(1.0), 3.5, 1e-6) << n;
+    }
+  }
+}
+
+// --------------------------------------------------------------- ISABELA
+
+class IsabelaErrorBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(IsabelaErrorBound, PointwiseRelativeErrorGuaranteed) {
+  const double eps = GetParam();
+  IsabelaCodec codec({.error_bound = eps, .window = 512, .coefficients = 24});
+  auto field = smooth_field(5000, 51);
+  auto enc = codec.encode(field);
+  ASSERT_TRUE(enc.is_ok());
+  auto dec = codec.decode(enc.value());
+  ASSERT_TRUE(dec.is_ok()) << dec.status().to_string();
+  ASSERT_EQ(dec.value().size(), field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const double err = std::abs(dec.value()[i] - field[i]);
+    // Tiny tolerance on top of the bound absorbs final rounding.
+    ASSERT_LE(err, eps * std::abs(field[i]) * (1 + 1e-12) + 1e-300)
+        << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, IsabelaErrorBound,
+                         ::testing::Values(0.1, 0.01, 0.001, 0.0001));
+
+TEST(Isabela, AchievesStrongCompressionOnSmoothData) {
+  IsabelaCodec codec({.error_bound = 0.01, .window = 1024, .coefficients = 30});
+  auto field = smooth_field(100000, 61);
+  auto enc = codec.encode(field);
+  ASSERT_TRUE(enc.is_ok());
+  // Paper Table I: ISABELA reaches ~20% of raw (1.6 GB of 8 GB).
+  EXPECT_LT(enc.value().size(), field.size() * 8 / 3);
+}
+
+TEST(Isabela, HandlesSpecialValuesViaExceptions) {
+  IsabelaCodec codec({.error_bound = 0.01, .window = 64, .coefficients = 8});
+  std::vector<double> vals(200, 1.0);
+  vals[3] = 0.0;
+  vals[10] = -5.0;   // sign flip vs the mostly-positive fit
+  vals[50] = std::numeric_limits<double>::infinity();
+  vals[77] = std::numeric_limits<double>::quiet_NaN();
+  vals[120] = 1e-308;
+  auto dec = codec.decode(codec.encode(vals).value());
+  ASSERT_TRUE(dec.is_ok());
+  EXPECT_EQ(dec.value()[3], 0.0);
+  EXPECT_NEAR(dec.value()[10], -5.0, 0.05);
+  EXPECT_TRUE(std::isinf(dec.value()[50]));
+  EXPECT_TRUE(std::isnan(dec.value()[77]));
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (i == 3 || i == 50 || i == 77 || i == 120 || i == 10) continue;
+    EXPECT_NEAR(dec.value()[i], 1.0, 0.011);
+  }
+}
+
+TEST(Isabela, EmptyAndSingleValue) {
+  IsabelaCodec codec;
+  EXPECT_TRUE(codec.decode(codec.encode({}).value()).value().empty());
+  std::vector<double> one = {42.0};
+  auto dec = codec.decode(codec.encode(one).value());
+  ASSERT_TRUE(dec.is_ok());
+  EXPECT_NEAR(dec.value()[0], 42.0, 0.5);
+}
+
+TEST(Isabela, WindowNotMultipleOfInput) {
+  IsabelaCodec codec({.error_bound = 0.01, .window = 100, .coefficients = 8});
+  auto field = smooth_field(257, 71);  // 2 full windows + remainder of 57
+  auto dec = codec.decode(codec.encode(field).value());
+  ASSERT_TRUE(dec.is_ok());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_NEAR(dec.value()[i], field[i], 0.011 * std::abs(field[i]));
+  }
+}
+
+TEST(Isabela, DecodeRejectsCorruption) {
+  IsabelaCodec codec;
+  auto field = smooth_field(3000, 81);
+  Bytes enc = codec.encode(field).value();
+
+  Bytes truncated(enc.begin(), enc.begin() + enc.size() / 2);
+  EXPECT_FALSE(codec.decode(truncated).is_ok());
+
+  Bytes tiny = {0x05};  // claims 5 values then ends
+  EXPECT_FALSE(codec.decode(tiny).is_ok());
+}
+
+// ------------------------------------------------------------- xor-delta
+
+TEST(XorDelta, LosslessRoundTripSmoothAndRandom) {
+  const XorDeltaCodec codec;
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    auto field = smooth_field(20000, seed);
+    auto dec = codec.decode(codec.encode(field).value());
+    ASSERT_TRUE(dec.is_ok());
+    EXPECT_EQ(dec.value(), field);
+  }
+  // Random doubles (bit patterns from RNG).
+  Rng rng(3);
+  std::vector<double> vals(5000);
+  for (auto& v : vals) {
+    const std::uint64_t bits = rng.next_u64();
+    std::memcpy(&v, &bits, 8);
+    if (std::isnan(v)) v = 0.0;
+  }
+  auto dec = codec.decode(codec.encode(vals).value());
+  ASSERT_TRUE(dec.is_ok());
+  EXPECT_EQ(dec.value(), vals);
+}
+
+TEST(XorDelta, SmoothDataCompresses) {
+  const XorDeltaCodec codec;
+  // Slowly varying values share exponent and high mantissa bytes.
+  std::vector<double> vals(50000);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = 1000.0 + static_cast<double>(i) * 1e-7;
+  }
+  auto enc = codec.encode(vals);
+  ASSERT_TRUE(enc.is_ok());
+  EXPECT_LT(enc.value().size(), vals.size() * 8 / 2);
+}
+
+TEST(XorDelta, DecodeRejectsTruncation) {
+  const XorDeltaCodec codec;
+  auto field = smooth_field(1000, 91);
+  Bytes enc = codec.encode(field).value();
+  Bytes truncated(enc.begin(), enc.begin() + enc.size() / 3);
+  EXPECT_FALSE(codec.decode(truncated).is_ok());
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, ConstructsEveryRegisteredCodec) {
+  for (const auto& name : registered_codec_names()) {
+    auto codec = make_double_codec(name);
+    ASSERT_TRUE(codec.is_ok()) << name;
+    EXPECT_EQ(codec.value()->name(), name);
+  }
+}
+
+TEST(Registry, EveryCodecRoundTripsWithinItsErrorBound) {
+  auto field = smooth_field(4096, 99);
+  for (const auto& name : registered_codec_names()) {
+    auto codec = make_double_codec(name).value();
+    auto enc = codec->encode(field);
+    ASSERT_TRUE(enc.is_ok()) << name;
+    auto dec = codec->decode(enc.value());
+    ASSERT_TRUE(dec.is_ok()) << name;
+    ASSERT_EQ(dec.value().size(), field.size()) << name;
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      if (codec->lossless()) {
+        ASSERT_EQ(dec.value()[i], field[i]) << name << " at " << i;
+      } else {
+        ASSERT_LE(std::abs(dec.value()[i] - field[i]),
+                  codec->max_relative_error() * std::abs(field[i]) + 1e-300)
+            << name << " at " << i;
+      }
+    }
+  }
+}
+
+TEST(Registry, IsabelaParameterSuffix) {
+  auto codec = make_double_codec("isabela:0.001");
+  ASSERT_TRUE(codec.is_ok());
+  EXPECT_DOUBLE_EQ(codec.value()->max_relative_error(), 0.001);
+  EXPECT_FALSE(make_double_codec("isabela:2.0").is_ok());
+  EXPECT_FALSE(make_double_codec("isabela:-1").is_ok());
+}
+
+TEST(Registry, UnknownNameFails) {
+  auto res = make_double_codec("gzip");
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mloc

@@ -1,0 +1,114 @@
+// Tests for src/datagen: determinism, field properties the experiments
+// rely on (smoothness, value spread), and workload selectivity accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analytics/analytics.hpp"
+#include "datagen/datagen.hpp"
+
+namespace mloc::datagen {
+namespace {
+
+TEST(Datagen, GtsDeterministicPerSeed) {
+  Grid a = gts_like(32, 5);
+  Grid b = gts_like(32, 5);
+  Grid c = gts_like(32, 6);
+  EXPECT_TRUE(std::equal(a.values().begin(), a.values().end(),
+                         b.values().begin()));
+  EXPECT_FALSE(std::equal(a.values().begin(), a.values().end(),
+                          c.values().begin()));
+}
+
+TEST(Datagen, GtsHasSpatialCoherence) {
+  // Neighbor correlation: adjacent values much closer than random pairs.
+  Grid g = gts_like(64, 7);
+  double neighbor_diff = 0, random_diff = 0;
+  Rng rng(1);
+  int n = 0;
+  for (std::uint32_t i = 0; i < 63; ++i) {
+    for (std::uint32_t j = 0; j < 63; ++j) {
+      neighbor_diff += std::abs(g.at({i, j}) - g.at({i, j + 1}));
+      const Coord a{static_cast<std::uint32_t>(rng.next_below(64)),
+                    static_cast<std::uint32_t>(rng.next_below(64))};
+      const Coord b{static_cast<std::uint32_t>(rng.next_below(64)),
+                    static_cast<std::uint32_t>(rng.next_below(64))};
+      random_diff += std::abs(g.at(a) - g.at(b));
+      ++n;
+    }
+  }
+  EXPECT_LT(neighbor_diff, random_diff * 0.7);
+}
+
+TEST(Datagen, S3dTemperatureRangeIsPhysical) {
+  Grid g = s3d_like(24, 8);
+  const auto s = analytics::compute_stats(
+      std::vector<double>(g.values().begin(), g.values().end()));
+  EXPECT_GT(s.min, 500.0);
+  EXPECT_LT(s.max, 2700.0);
+  EXPECT_GT(s.max - s.min, 800.0);  // both burnt and unburnt regions exist
+}
+
+TEST(Datagen, SpeciesAntiCorrelatedWithTemperature) {
+  Grid t = s3d_like(20, 9);
+  Grid y = s3d_species_like(t, 10);
+  // Correlation coefficient must be clearly negative.
+  const auto ts = analytics::compute_stats(
+      std::vector<double>(t.values().begin(), t.values().end()));
+  const auto ys = analytics::compute_stats(
+      std::vector<double>(y.values().begin(), y.values().end()));
+  double cov = 0;
+  for (std::uint64_t i = 0; i < t.size(); ++i) {
+    cov += (t.at_linear(i) - ts.mean) * (y.at_linear(i) - ys.mean);
+  }
+  cov /= static_cast<double>(t.size());
+  const double corr = cov / std::sqrt(ts.variance * ys.variance);
+  EXPECT_LT(corr, -0.8);
+}
+
+class VcSelectivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(VcSelectivity, AchievesTargetWithin2x) {
+  const double target = GetParam();
+  Grid g = gts_like(128, 11);
+  Rng rng(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ValueConstraint vc = random_vc(g, target, rng);
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < g.size(); ++i) {
+      if (vc.matches(g.at_linear(i))) ++hits;
+    }
+    const double actual = static_cast<double>(hits) /
+                          static_cast<double>(g.size());
+    EXPECT_GT(actual, target / 2) << "trial " << trial;
+    EXPECT_LT(actual, target * 2 + 0.01) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, VcSelectivity,
+                         ::testing::Values(0.01, 0.05, 0.1));
+
+class ScSelectivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScSelectivity, VolumeMatchesTarget) {
+  const double target = GetParam();
+  Rng rng(13);
+  const NDShape shapes[] = {NDShape{256, 256}, NDShape{64, 64, 64}};
+  for (const auto& shape : shapes) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Region r = random_sc(shape, target, rng);
+      EXPECT_TRUE(Region::whole(shape).contains(r));
+      const double actual = static_cast<double>(r.volume()) /
+                            static_cast<double>(shape.volume());
+      EXPECT_GT(actual, target / 3);
+      EXPECT_LT(actual, target * 3 + 0.01);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, ScSelectivity,
+                         ::testing::Values(0.001, 0.01, 0.1));
+
+}  // namespace
+}  // namespace mloc::datagen

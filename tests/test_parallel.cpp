@@ -1,0 +1,113 @@
+// Tests for src/parallel: rank execution/aggregation, even splitting,
+// thread pool correctness under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/runtime.hpp"
+
+namespace mloc::parallel {
+namespace {
+
+TEST(RunRanks, ExecutesEveryRankOnce) {
+  std::vector<int> visited;
+  auto ctxs = run_ranks(5, [&](RankContext& ctx) {
+    visited.push_back(ctx.rank);
+    EXPECT_EQ(ctx.num_ranks, 5);
+  });
+  EXPECT_EQ(visited, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ctxs.size(), 5u);
+}
+
+TEST(RunRanks, MergedLogKeepsRankTags) {
+  auto ctxs = run_ranks(3, [&](RankContext& ctx) {
+    ctx.io_log.add(0, static_cast<std::uint64_t>(ctx.rank) * 100, 10,
+                   static_cast<std::uint32_t>(ctx.rank));
+  });
+  auto merged = merged_io_log(ctxs);
+  ASSERT_EQ(merged.records().size(), 3u);
+  EXPECT_EQ(merged.records()[2].rank, 2u);
+  EXPECT_EQ(merged.total_bytes(), 30u);
+}
+
+TEST(RunRanks, MaxRankTimesIsPerComponentMax) {
+  auto ctxs = run_ranks(3, [&](RankContext& ctx) {
+    ctx.times.decompress = 1.0 + ctx.rank;      // max at rank 2
+    ctx.times.reconstruct = 3.0 - ctx.rank;     // max at rank 0
+  });
+  const ComponentTimes t = max_rank_times(ctxs);
+  EXPECT_DOUBLE_EQ(t.decompress, 3.0);
+  EXPECT_DOUBLE_EQ(t.reconstruct, 3.0);
+}
+
+TEST(SplitEven, CoversWithoutOverlap) {
+  for (std::size_t n : {0ull, 1ull, 7ull, 100ull, 101ull}) {
+    for (int parts : {1, 2, 3, 8, 17}) {
+      auto chunks = split_even(n, parts);
+      ASSERT_EQ(chunks.size(), static_cast<std::size_t>(parts));
+      std::size_t expect_begin = 0;
+      for (auto [b, e] : chunks) {
+        EXPECT_EQ(b, expect_begin);
+        EXPECT_LE(b, e);
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, n);
+      // Balance: sizes differ by at most 1.
+      std::size_t mn = n, mx = 0;
+      for (auto [b, e] : chunks) {
+        mn = std::min(mn, e - b);
+        mx = std::max(mx, e - b);
+      }
+      if (n > 0) {
+      EXPECT_LE(mx - mn, 1u);
+    }
+    }
+  }
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, TasksCanAccumulateResults) {
+  ThreadPool pool(3);
+  std::vector<std::uint64_t> partial(16, 0);
+  for (int t = 0; t < 16; ++t) {
+    pool.submit([&partial, t] {
+      std::uint64_t sum = 0;
+      for (int i = 0; i <= 1000; ++i) sum += static_cast<std::uint64_t>(i);
+      partial[t] = sum;
+    });
+  }
+  pool.wait_idle();
+  for (auto v : partial) EXPECT_EQ(v, 500500u);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (batch + 1) * 50);
+  }
+}
+
+}  // namespace
+}  // namespace mloc::parallel

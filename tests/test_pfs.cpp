@@ -1,0 +1,258 @@
+// Tests for src/pfs: storage semantics, extent coalescing, and cost-model
+// invariants (monotonicity in bytes/seeks, striping speedup, contention
+// saturation with rank count — the mechanism behind paper Fig. 7).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pfs/pfs.hpp"
+
+namespace mloc::pfs {
+namespace {
+
+Bytes make_bytes(std::size_t n, std::uint8_t fill = 0xAB) {
+  return Bytes(n, fill);
+}
+
+// --------------------------------------------------------------- storage
+
+TEST(PfsStorage, CreateOpenAppendRead) {
+  PfsStorage fs;
+  auto id = fs.create("bin_0.dat");
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_TRUE(fs.append(id.value(), make_bytes(100, 1)).is_ok());
+  EXPECT_TRUE(fs.append(id.value(), make_bytes(50, 2)).is_ok());
+  EXPECT_EQ(fs.file_size(id.value()).value(), 150u);
+
+  auto data = fs.read(id.value(), 90, 20);
+  ASSERT_TRUE(data.is_ok());
+  EXPECT_EQ(data.value()[0], 1);
+  EXPECT_EQ(data.value()[19], 2);
+
+  EXPECT_EQ(fs.open("bin_0.dat").value(), id.value());
+  EXPECT_FALSE(fs.open("missing").is_ok());
+}
+
+TEST(PfsStorage, DuplicateCreateFails) {
+  PfsStorage fs;
+  ASSERT_TRUE(fs.create("x").is_ok());
+  EXPECT_FALSE(fs.create("x").is_ok());
+}
+
+TEST(PfsStorage, ReadPastEndFails) {
+  PfsStorage fs;
+  auto id = fs.create("f").value();
+  ASSERT_TRUE(fs.append(id, make_bytes(10)).is_ok());
+  EXPECT_FALSE(fs.read(id, 5, 10).is_ok());
+  EXPECT_TRUE(fs.read(id, 5, 5).is_ok());
+  EXPECT_TRUE(fs.read(id, 10, 0).is_ok());  // empty read at EOF is fine
+}
+
+TEST(PfsStorage, BadFileIdFails) {
+  PfsStorage fs;
+  EXPECT_FALSE(fs.read(99, 0, 1).is_ok());
+  EXPECT_FALSE(fs.append(99, make_bytes(1)).is_ok());
+  EXPECT_FALSE(fs.file_size(99).is_ok());
+}
+
+TEST(PfsStorage, TotalBytesAndListing) {
+  PfsStorage fs;
+  auto a = fs.create("a").value();
+  auto b = fs.create("b").value();
+  ASSERT_TRUE(fs.append(a, make_bytes(100)).is_ok());
+  ASSERT_TRUE(fs.append(b, make_bytes(250)).is_ok());
+  EXPECT_EQ(fs.total_bytes(), 350u);
+  auto listing = fs.listing();
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0].first, "a");
+  EXPECT_EQ(listing[1].second, 250u);
+}
+
+TEST(PfsStorage, ReadsAreLogged) {
+  PfsStorage fs;
+  auto id = fs.create("f").value();
+  ASSERT_TRUE(fs.append(id, make_bytes(1000)).is_ok());
+  IoLog log;
+  ASSERT_TRUE(fs.read(id, 10, 100, &log, 3).is_ok());
+  ASSERT_TRUE(fs.read(id, 500, 200, &log, 3).is_ok());
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].offset, 10u);
+  EXPECT_EQ(log.records()[1].len, 200u);
+  EXPECT_EQ(log.records()[1].rank, 3u);
+  EXPECT_EQ(log.total_bytes(), 300u);
+}
+
+TEST(PfsStorage, SaveLoadRoundTripsThroughHostFilesystem) {
+  const std::string dir = ::testing::TempDir() + "mloc_pfs_test";
+  {
+    PfsStorage fs;
+    auto a = fs.create("store.meta").value();
+    auto b = fs.create("store/var.bin0.dat").value();
+    ASSERT_TRUE(fs.append(a, make_bytes(100, 7)).is_ok());
+    ASSERT_TRUE(fs.append(b, make_bytes(5000, 9)).is_ok());
+    ASSERT_TRUE(fs.save_to_dir(dir).is_ok());
+  }
+  auto loaded = PfsStorage::load_from_dir(dir);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().num_files(), 2u);
+  auto a = loaded.value().open("store.meta");
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(loaded.value().file_size(a.value()).value(), 100u);
+  auto b = loaded.value().open("store/var.bin0.dat");
+  ASSERT_TRUE(b.is_ok());
+  auto content = loaded.value().read(b.value(), 4990, 10);
+  ASSERT_TRUE(content.is_ok());
+  EXPECT_EQ(content.value(), make_bytes(10, 9));
+}
+
+TEST(PfsStorage, LoadFromMissingDirFails) {
+  EXPECT_FALSE(PfsStorage::load_from_dir("/nonexistent/mloc").is_ok());
+}
+
+// ------------------------------------------------------------ cost model
+
+PfsConfig test_cfg() {
+  PfsConfig cfg;
+  cfg.num_osts = 4;
+  cfg.stripe_size = 1024;
+  cfg.seek_latency_s = 0.010;
+  cfg.ost_bandwidth_bps = 1.0e6;
+  cfg.open_latency_s = 0.001;
+  return cfg;
+}
+
+TEST(PfsModel, EmptyLogCostsNothing) {
+  IoLog log;
+  EXPECT_DOUBLE_EQ(model_makespan(test_cfg(), log, 1), 0.0);
+}
+
+TEST(PfsModel, SingleSmallReadCostsSeekPlusTransferPlusOpen) {
+  IoLog log;
+  log.add(0, 0, 1000, 0);  // fits one stripe
+  const auto cfg = test_cfg();
+  const double expect = 0.001 + 0.010 + 1000.0 / 1.0e6;
+  EXPECT_NEAR(model_makespan(cfg, log, 1), expect, 1e-12);
+}
+
+TEST(PfsModel, ContiguousReadsCoalesceIntoOneSeek) {
+  const auto cfg = test_cfg();
+  IoLog split;
+  split.add(0, 0, 500, 0);
+  split.add(0, 500, 500, 0);
+  IoLog whole;
+  whole.add(0, 0, 1000, 0);
+  EXPECT_DOUBLE_EQ(model_makespan(cfg, split, 1),
+                   model_makespan(cfg, whole, 1));
+}
+
+TEST(PfsModel, ScatteredReadsPayMoreSeeks) {
+  const auto cfg = test_cfg();
+  IoLog scattered;
+  IoLog contiguous;
+  // Same total bytes, 10 extents vs 1.
+  for (int i = 0; i < 10; ++i) {
+    scattered.add(0, static_cast<std::uint64_t>(i) * 10000, 100, 0);
+  }
+  contiguous.add(0, 0, 1000, 0);
+  EXPECT_GT(model_makespan(cfg, scattered, 1),
+            model_makespan(cfg, contiguous, 1) + 8 * cfg.seek_latency_s);
+}
+
+TEST(PfsModel, MoreBytesNeverCheaper) {
+  const auto cfg = test_cfg();
+  IoLog small, large;
+  small.add(0, 0, 10000, 0);
+  large.add(0, 0, 50000, 0);
+  EXPECT_LT(model_makespan(cfg, small, 1), model_makespan(cfg, large, 1));
+}
+
+TEST(PfsModel, StripedLargeReadRunsFasterThanSingleOst) {
+  const auto cfg = test_cfg();  // 4 OSTs, 1 KiB stripes
+  IoLog log;
+  log.add(0, 0, 64 * 1024, 0);  // spans 64 stripes -> all 4 OSTs
+  const double t = model_makespan(cfg, log, 1);
+  const double single_ost = 0.001 + 0.010 + 64.0 * 1024 / 1.0e6;
+  // Should approach a 4x transfer speedup (per-rank bound); the OST-load
+  // bound (each OST serves 1/4 of the bytes) does not dominate here.
+  EXPECT_LT(t, single_ost * 0.5);
+  EXPECT_GE(t, 0.001 + 0.010 + 64.0 * 1024 / (4 * 1.0e6) - 1e-12);
+}
+
+TEST(PfsModel, PerfectlyParallelRanksScaleUntilOstsSaturate) {
+  // Mechanism check for Fig. 7: doubling ranks halves per-rank time while
+  // OST aggregate stays constant; once per-OST load dominates, scaling
+  // stops.
+  const auto cfg = test_cfg();
+  // Seek-dominated workload: 1024 scattered small reads over 16 files.
+  const int total_reads = 1024;
+  std::vector<double> times;
+  for (int ranks : {1, 2, 4, 8, 16, 32}) {
+    IoLog log;
+    for (int i = 0; i < total_reads; ++i) {
+      const auto file = static_cast<FileId>(i % 16);
+      const std::uint64_t off = static_cast<std::uint64_t>(i) * 100000;
+      log.add(file, off, 512, static_cast<std::uint32_t>(i % ranks));
+    }
+    times.push_back(model_makespan(cfg, log, ranks));
+  }
+  EXPECT_LT(times[1], times[0] * 0.6);  // 2 ranks beat 1
+  EXPECT_LT(times[2], times[1] * 0.6);  // 4 beat 2
+  // Saturation: the last doubling gains little (<25% improvement) because
+  // the per-OST aggregate (seeks + bytes on 4 OSTs) becomes the bound.
+  EXPECT_GT(times[5], times[4] * 0.75);
+}
+
+TEST(PfsModel, DetailBoundsAreConsistent) {
+  const auto cfg = test_cfg();
+  IoLog log;
+  log.add(0, 0, 100000, 0);
+  log.add(1, 0, 100000, 1);
+  const auto detail = model_makespan_detail(cfg, log, 2);
+  EXPECT_GT(detail.slowest_rank_s, 0.0);
+  EXPECT_GT(detail.busiest_ost_s, 0.0);
+  EXPECT_DOUBLE_EQ(detail.makespan(),
+                   std::max(detail.slowest_rank_s, detail.busiest_ost_s));
+  EXPECT_DOUBLE_EQ(model_makespan(cfg, log, 2), detail.makespan());
+}
+
+TEST(PfsModel, OpensChargedPerDistinctFile) {
+  const auto cfg = test_cfg();
+  IoLog one_file, three_files;
+  for (int i = 0; i < 3; ++i) {
+    one_file.add(0, static_cast<std::uint64_t>(i) * 100000, 100, 0);
+    three_files.add(static_cast<FileId>(i), static_cast<std::uint64_t>(i) * 100000, 100, 0);
+  }
+  // Same seeks/bytes; the three-file log pays two extra opens.
+  EXPECT_NEAR(model_makespan(cfg, three_files, 1),
+              model_makespan(cfg, one_file, 1) + 2 * cfg.open_latency_s,
+              1e-9);
+}
+
+TEST(PfsModel, ColumnAssignmentTouchesFewerFilesThanRoundRobin) {
+  // Paper §III-D: assigning as many blocks as possible of a single bin
+  // (file) to one process minimizes opens/contention. Verify the model
+  // rewards that choice.
+  const auto cfg = test_cfg();
+  const int ranks = 4, files = 4, blocks_per_file = 8;
+  const std::uint64_t block = 1000;
+
+  IoLog column, round_robin;
+  int idx = 0;
+  for (int f = 0; f < files; ++f) {
+    for (int b = 0; b < blocks_per_file; ++b, ++idx) {
+      const std::uint64_t off = static_cast<std::uint64_t>(b) * 50000;
+      // Column order: file f entirely handled by rank f.
+      column.add(static_cast<FileId>(f), off, block,
+                 static_cast<std::uint32_t>(f));
+      // Round robin: block idx handled by rank idx % ranks.
+      round_robin.add(static_cast<FileId>(f), off, block,
+                      static_cast<std::uint32_t>(idx % ranks));
+    }
+  }
+  EXPECT_LT(model_makespan(cfg, column, ranks),
+            model_makespan(cfg, round_robin, ranks));
+}
+
+}  // namespace
+}  // namespace mloc::pfs

@@ -1,0 +1,165 @@
+// Tests for src/plod: shred/assemble round trips, the paper's error-bound
+// claims per level (Table VI magnitude check), midpoint-fill bias
+// properties, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "plod/plod.hpp"
+#include "util/rng.hpp"
+
+namespace mloc::plod {
+namespace {
+
+std::vector<double> sample_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) {
+    // Wide dynamic range, both signs.
+    const double mag = std::pow(10.0, rng.next_double(-6.0, 6.0));
+    v = (rng.next_double() < 0.5 ? -1.0 : 1.0) * mag;
+  }
+  return out;
+}
+
+TEST(Plod, GroupSizes) {
+  EXPECT_EQ(group_bytes(0), 2);
+  for (int g = 1; g < kNumGroups; ++g) EXPECT_EQ(group_bytes(g), 1);
+  EXPECT_EQ(level_bytes(1), 2);
+  EXPECT_EQ(level_bytes(2), 3);
+  EXPECT_EQ(level_bytes(7), 8);
+}
+
+TEST(Plod, ShredProducesCorrectPlaneSizes) {
+  auto vals = sample_values(100, 1);
+  Shredded s = shred(vals);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.groups[0].size(), 200u);
+  for (int g = 1; g < kNumGroups; ++g) {
+    EXPECT_EQ(s.groups[g].size(), 100u);
+  }
+}
+
+TEST(Plod, FullPrecisionRoundTripIsBitExact) {
+  auto vals = sample_values(1000, 2);
+  vals.push_back(0.0);
+  vals.push_back(-0.0);
+  vals.push_back(std::numeric_limits<double>::infinity());
+  vals.push_back(std::numeric_limits<double>::quiet_NaN());
+  vals.push_back(std::numeric_limits<double>::denorm_min());
+  Shredded s = shred(vals);
+  auto back = assemble(s, 7);
+  ASSERT_TRUE(back.is_ok());
+  ASSERT_EQ(back.value().size(), vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    std::uint64_t a, b;
+    std::memcpy(&a, &vals[i], 8);
+    std::memcpy(&b, &back.value()[i], 8);
+    EXPECT_EQ(a, b) << "index " << i;
+  }
+}
+
+class PlodLevelErrors : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlodLevelErrors, RelativeErrorWithinTheoreticalBound) {
+  const int level = GetParam();
+  auto vals = sample_values(20000, 42);
+  Shredded s = shred(vals);
+  auto approx = assemble(s, level);
+  ASSERT_TRUE(approx.is_ok());
+  const double bound = level_max_relative_error(level);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    const double rel =
+        std::abs(approx.value()[i] - vals[i]) / std::abs(vals[i]);
+    ASSERT_LE(rel, bound) << "level " << level << " index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, PlodLevelErrors, ::testing::Range(1, 8));
+
+TEST(Plod, ErrorBoundsShrinkByFactor256PerLevel) {
+  for (int level = 1; level < 6; ++level) {
+    EXPECT_DOUBLE_EQ(level_max_relative_error(level),
+                     256.0 * level_max_relative_error(level + 1));
+  }
+  EXPECT_EQ(level_max_relative_error(7), 0.0);
+}
+
+TEST(Plod, Level2MatchesPaperErrorScale) {
+  // Paper: PLoD level 2 (three bytes) gives max per-point relative error
+  // ~0.008% for mean-value analysis. The hard bound is 2^-13 ≈ 0.012%.
+  EXPECT_NEAR(level_max_relative_error(2), 1.22e-4, 1e-5);
+}
+
+TEST(Plod, MidpointFillBeatsZeroFillOnAverage) {
+  // The design rationale for 0x7F/0xFF fill: zero fill always truncates
+  // toward zero (biased); midpoint fill halves the expected error.
+  auto vals = sample_values(5000, 7);
+  Shredded s = shred(vals);
+  auto mid = assemble(s, 2).value();
+
+  // Zero-fill reference: mask the low 6 bytes.
+  double mid_err = 0, zero_err = 0;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &vals[i], 8);
+    bits &= 0xFFFFFF0000000000ull;
+    double z;
+    std::memcpy(&z, &bits, 8);
+    zero_err += std::abs(z - vals[i]) / std::abs(vals[i]);
+    mid_err += std::abs(mid[i] - vals[i]) / std::abs(vals[i]);
+  }
+  EXPECT_LT(mid_err, zero_err);
+}
+
+TEST(Plod, MeanAnalysisAtLevel2IsAccurate) {
+  // The paper's headline use case: mean-value analytics on 3-byte data.
+  Rng rng(11);
+  std::vector<double> vals(100000);
+  for (auto& v : vals) v = 300.0 + 50.0 * rng.next_gaussian();
+  Shredded s = shred(vals);
+  auto approx = assemble(s, 2).value();
+  double true_mean = 0, approx_mean = 0;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    true_mean += vals[i];
+    approx_mean += approx[i];
+  }
+  true_mean /= static_cast<double>(vals.size());
+  approx_mean /= static_cast<double>(vals.size());
+  EXPECT_LT(std::abs(approx_mean - true_mean) / std::abs(true_mean), 8e-5);
+}
+
+TEST(Plod, EmptyInput) {
+  Shredded s = shred({});
+  EXPECT_EQ(s.count, 0u);
+  auto back = assemble(s, 3);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(Plod, AssembleRejectsBadLevel) {
+  Shredded s = shred(std::vector<double>{1.0});
+  EXPECT_FALSE(assemble(s, 0).is_ok());
+  EXPECT_FALSE(assemble(s, 8).is_ok());
+}
+
+TEST(Plod, AssembleRejectsWrongPlaneSizes) {
+  std::vector<std::uint8_t> g0(6, 0);  // says 3 values
+  std::vector<std::uint8_t> g1(2, 0);  // but only 2 here
+  std::vector<std::span<const std::uint8_t>> groups = {g0, g1};
+  auto res = assemble(groups, 2, 3);
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(Plod, AssembleRejectsMissingGroups) {
+  std::vector<std::uint8_t> g0(4, 0);
+  std::vector<std::span<const std::uint8_t>> groups = {g0};
+  EXPECT_FALSE(assemble(groups, 3, 2).is_ok());
+}
+
+}  // namespace
+}  // namespace mloc::plod

@@ -1,0 +1,255 @@
+// Tests for src/sfc: Hilbert/Morton mappings, curve orders over lattices,
+// hierarchical multiresolution levels. Includes the locality property the
+// MLOC design leans on (Hilbert beats Morton on neighbor distance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sfc/hilbert.hpp"
+
+namespace mloc::sfc {
+namespace {
+
+int manhattan(const Coord& a, const Coord& b, int ndims) {
+  int d = 0;
+  for (int i = 0; i < ndims; ++i) {
+    d += std::abs(static_cast<long>(a[i]) - static_cast<long>(b[i]));
+  }
+  return d;
+}
+
+TEST(Hilbert, Order1In2DMatchesCanonicalU) {
+  // The order-1 2-D Hilbert curve visits (0,0),(0,1),(1,1),(1,0) (one of the
+  // standard reflections; verify it is a U shape: 4 distinct cells, each
+  // step adjacent).
+  std::vector<Coord> cells;
+  for (std::uint64_t i = 0; i < 4; ++i) cells.push_back(hilbert_axes(2, 1, i));
+  std::set<std::pair<std::uint32_t, std::uint32_t>> distinct;
+  for (auto& c : cells) distinct.insert({c[0], c[1]});
+  EXPECT_EQ(distinct.size(), 4u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(manhattan(cells[i - 1], cells[i], 2), 1);
+  }
+}
+
+// Parameterized bijectivity sweep over (ndims, order).
+class HilbertBijection
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HilbertBijection, IndexAxesRoundTrip) {
+  const auto [ndims, order] = GetParam();
+  const std::uint64_t total = 1ull << (ndims * order);
+  std::vector<bool> seen(total, false);
+  NDShape cube(ndims, [&] {
+    Coord c{};
+    for (int d = 0; d < ndims; ++d) c[d] = 1u << order;
+    return c;
+  }());
+  for (std::uint64_t off = 0; off < cube.volume(); ++off) {
+    const Coord axes = cube.delinearize(off);
+    const std::uint64_t h = hilbert_index(ndims, order, axes);
+    ASSERT_LT(h, total);
+    ASSERT_FALSE(seen[h]) << "collision at h=" << h;
+    seen[h] = true;
+    const Coord back = hilbert_axes(ndims, order, h);
+    for (int d = 0; d < ndims; ++d) ASSERT_EQ(back[d], axes[d]);
+  }
+}
+
+TEST_P(HilbertBijection, ConsecutiveIndicesAreFaceAdjacent) {
+  // Defining property of the Hilbert curve: each step moves to a cell at
+  // Manhattan distance exactly 1.
+  const auto [ndims, order] = GetParam();
+  const std::uint64_t total = 1ull << (ndims * order);
+  Coord prev = hilbert_axes(ndims, order, 0);
+  for (std::uint64_t h = 1; h < total; ++h) {
+    const Coord cur = hilbert_axes(ndims, order, h);
+    ASSERT_EQ(manhattan(prev, cur, ndims), 1) << "at h=" << h;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HilbertBijection,
+                         ::testing::Values(std::tuple{2, 1}, std::tuple{2, 2},
+                                           std::tuple{2, 3}, std::tuple{2, 5},
+                                           std::tuple{3, 1}, std::tuple{3, 2},
+                                           std::tuple{3, 3}, std::tuple{4, 1},
+                                           std::tuple{4, 2}));
+
+TEST(Morton, KnownInterleave2D) {
+  // Morton of (x=1,y=0) with x the first axis: bits interleave x-first.
+  EXPECT_EQ(morton_index(2, 1, {0, 0}), 0u);
+  EXPECT_EQ(morton_index(2, 1, {0, 1}), 1u);
+  EXPECT_EQ(morton_index(2, 1, {1, 0}), 2u);
+  EXPECT_EQ(morton_index(2, 1, {1, 1}), 3u);
+  EXPECT_EQ(morton_index(2, 2, {2, 3}), 0b1101u);
+}
+
+TEST(Morton, RoundTrip3D) {
+  const int order = 3;
+  for (std::uint64_t i = 0; i < (1ull << (3 * order)); ++i) {
+    const Coord a = morton_axes(3, order, i);
+    EXPECT_EQ(morton_index(3, order, a), i);
+  }
+}
+
+TEST(CoveringOrder, SmallestEnclosingPowerOfTwo) {
+  EXPECT_EQ(covering_order(NDShape{1}), 0);
+  EXPECT_EQ(covering_order(NDShape{2, 2}), 1);
+  EXPECT_EQ(covering_order(NDShape{3, 2}), 2);
+  EXPECT_EQ(covering_order(NDShape{16, 16, 16}), 4);
+  EXPECT_EQ(covering_order(NDShape{17, 4}), 5);
+}
+
+TEST(CurveOrder, RowMajorIsIdentity) {
+  auto co = CurveOrder::make(CurveKind::kRowMajor, NDShape{3, 4});
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(co.rank_of(i), i);
+    EXPECT_EQ(co.chunk_at(i), i);
+  }
+}
+
+class CurveOrderPermutation
+    : public ::testing::TestWithParam<std::tuple<CurveKind, int, int, int>> {};
+
+TEST_P(CurveOrderPermutation, IsBijectiveOverRaggedLattice) {
+  const auto [kind, a, b, c] = GetParam();
+  NDShape lattice = (c > 0) ? NDShape{static_cast<std::uint32_t>(a),
+                                      static_cast<std::uint32_t>(b),
+                                      static_cast<std::uint32_t>(c)}
+                            : NDShape{static_cast<std::uint32_t>(a),
+                                      static_cast<std::uint32_t>(b)};
+  auto co = CurveOrder::make(kind, lattice);
+  EXPECT_EQ(co.size(), lattice.volume());
+  std::vector<bool> seen(co.size(), false);
+  for (std::uint32_t rank = 0; rank < co.size(); ++rank) {
+    const ChunkId id = co.chunk_at(rank);
+    ASSERT_LT(id, co.size());
+    ASSERT_FALSE(seen[id]);
+    seen[id] = true;
+    EXPECT_EQ(co.rank_of(id), rank);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CurveOrderPermutation,
+    ::testing::Values(std::tuple{CurveKind::kHilbert, 4, 4, 0},
+                      std::tuple{CurveKind::kHilbert, 5, 3, 0},
+                      std::tuple{CurveKind::kHilbert, 7, 2, 3},
+                      std::tuple{CurveKind::kMorton, 4, 4, 0},
+                      std::tuple{CurveKind::kMorton, 6, 5, 0},
+                      std::tuple{CurveKind::kMorton, 3, 3, 3},
+                      std::tuple{CurveKind::kRowMajor, 5, 5, 0}));
+
+// Number of contiguous curve-rank runs ("clusters", i.e. seeks) needed to
+// cover every cell of `region` — the locality metric of Moon et al. that
+// MLOC's seek-reduction argument rests on.
+int cluster_count(const CurveOrder& co, const NDShape& lattice,
+                  const Region& region) {
+  std::vector<std::uint32_t> ranks;
+  region.for_each([&](const Coord& c) {
+    ranks.push_back(co.rank_of(static_cast<ChunkId>(lattice.linearize(c))));
+  });
+  std::sort(ranks.begin(), ranks.end());
+  int runs = ranks.empty() ? 0 : 1;
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    if (ranks[i] != ranks[i - 1] + 1) ++runs;
+  }
+  return runs;
+}
+
+TEST(CurveOrder, HilbertClusteringBeatsMortonOnRandomRects) {
+  // Moon et al. (TKDE'01): Hilbert achieves fewer clusters than Z-order for
+  // rectangular queries on average. Sweep a grid of rectangle shapes.
+  const NDShape lattice{32, 32};
+  auto hil = CurveOrder::make(CurveKind::kHilbert, lattice);
+  auto mor = CurveOrder::make(CurveKind::kMorton, lattice);
+  long hil_total = 0, mor_total = 0;
+  for (std::uint32_t w : {3u, 5u, 8u, 13u}) {
+    for (std::uint32_t h : {3u, 5u, 8u, 13u}) {
+      for (std::uint32_t x = 0; x + w <= 32; x += 5) {
+        for (std::uint32_t y = 0; y + h <= 32; y += 5) {
+          const Region q(2, {x, y}, {x + w, y + h});
+          hil_total += cluster_count(hil, lattice, q);
+          mor_total += cluster_count(mor, lattice, q);
+        }
+      }
+    }
+  }
+  EXPECT_LT(hil_total, mor_total);
+}
+
+TEST(CurveOrder, HilbertBeatsRowMajorOnSlowDimensionColumns) {
+  // A column along the slow (first) dimension costs one seek per cell in
+  // row-major order but few seeks in Hilbert order — the pathological case
+  // §III-B-2 motivates ("performance to access values in different
+  // dimensions may vary greatly").
+  const NDShape lattice{32, 32};
+  auto hil = CurveOrder::make(CurveKind::kHilbert, lattice);
+  auto row = CurveOrder::make(CurveKind::kRowMajor, lattice);
+  long hil_total = 0, row_total = 0;
+  for (std::uint32_t y = 0; y < 32; y += 3) {
+    const Region column(2, {0, y}, {32, y + 1});
+    hil_total += cluster_count(hil, lattice, column);
+    row_total += cluster_count(row, lattice, column);
+  }
+  EXPECT_LT(static_cast<double>(hil_total), 0.75 * static_cast<double>(row_total));
+}
+
+TEST(HierLevel, PartitionsPositionsByDivisibility) {
+  // 2-D, 3 levels, fanout 4: level 0 = positions divisible by 16,
+  // level 1 = divisible by 4 but not 16, level 2 = the rest.
+  const int levels = 3, ndims = 2;
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    const int lvl = hier_level(p, levels, ndims);
+    if (p % 16 == 0) {
+      EXPECT_EQ(lvl, 0) << p;
+    } else if (p % 4 == 0) {
+      EXPECT_EQ(lvl, 1) << p;
+    } else {
+      EXPECT_EQ(lvl, 2) << p;
+    }
+  }
+}
+
+TEST(HierLevel, SingleLevelIsAlwaysZero) {
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    EXPECT_EQ(hier_level(p, 1, 3), 0);
+  }
+}
+
+TEST(HierOrder, IsPermutationWithLevelsContiguous) {
+  const std::uint32_t total = 64;
+  auto order = hier_order(total, 3, 2);
+  ASSERT_EQ(order.size(), total);
+  std::vector<bool> seen(total, false);
+  int prev_level = 0;
+  for (std::uint32_t pos : order) {
+    ASSERT_LT(pos, total);
+    ASSERT_FALSE(seen[pos]);
+    seen[pos] = true;
+    const int lvl = hier_level(pos, 3, 2);
+    EXPECT_GE(lvl, prev_level);  // levels never decrease along the order
+    prev_level = lvl;
+  }
+}
+
+TEST(HierOrder, CoarsestLevelIsPrefix) {
+  // Reading a prefix of the reordered layout must yield exactly the
+  // level-0 subset — that is what makes subset-based multiresolution a
+  // single contiguous read.
+  auto order = hier_order(256, 3, 2);
+  const std::size_t level0_count = 256 / 16;
+  for (std::size_t i = 0; i < level0_count; ++i) {
+    EXPECT_EQ(hier_level(order[i], 3, 2), 0);
+  }
+  EXPECT_EQ(hier_level(order[level0_count], 3, 2), 1);
+}
+
+}  // namespace
+}  // namespace mloc::sfc

@@ -1,0 +1,297 @@
+// Unit tests for src/util: Status/Result, byte serialization, RNG, timers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace mloc {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "Ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = corrupt_data("bad magic");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kCorruptData);
+  EXPECT_EQ(s.message(), "bad magic");
+  EXPECT_EQ(s.to_string(), "CorruptData: bad magic");
+}
+
+TEST(Status, EveryCodeHasDistinctName) {
+  const ErrorCode codes[] = {
+      ErrorCode::kOk,          ErrorCode::kInvalidArgument,
+      ErrorCode::kOutOfRange,  ErrorCode::kNotFound,
+      ErrorCode::kCorruptData, ErrorCode::kUnsupported,
+      ErrorCode::kFailedPrecondition, ErrorCode::kIoError,
+      ErrorCode::kInternal};
+  std::vector<std::string_view> names;
+  for (auto c : codes) names.push_back(error_code_name(c));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = not_found("no such bin");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return invalid_argument("not positive");
+  return x;
+}
+
+Status use_assign_or_return(int x, int* out) {
+  MLOC_ASSIGN_OR_RETURN(int v, parse_positive(x));
+  *out = v * 2;
+  return Status::ok();
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(use_assign_or_return(21, &out).is_ok());
+  EXPECT_EQ(out, 42);
+  Status s = use_assign_or_return(-1, &out);
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------------- Bytes
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-77);
+  w.put_f64(3.14159);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8().value(), 0xAB);
+  EXPECT_EQ(r.get_u16().value(), 0xBEEF);
+  EXPECT_EQ(r.get_u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i64().value(), -77);
+  EXPECT_DOUBLE_EQ(r.get_f64().value(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x11223344u);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x44);
+  EXPECT_EQ(b[1], 0x33);
+  EXPECT_EQ(b[2], 0x22);
+  EXPECT_EQ(b[3], 0x11);
+}
+
+TEST(Bytes, VarintRoundTripBoundaries) {
+  const std::uint64_t cases[] = {0,      1,        127,        128,
+                                 16383,  16384,    (1ull << 32) - 1,
+                                 1ull << 32, ~0ull};
+  for (std::uint64_t v : cases) {
+    ByteWriter w;
+    w.put_varint(v);
+    ByteReader r(w.bytes());
+    auto back = r.get_varint();
+    ASSERT_TRUE(back.is_ok()) << v;
+    EXPECT_EQ(back.value(), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Bytes, VarintSmallValuesAreOneByte) {
+  ByteWriter w;
+  w.put_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.put_varint(128);
+  EXPECT_EQ(w.size(), 3u);  // 1 (prior) + 2
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string().value(), "hello");
+  EXPECT_EQ(r.get_string().value(), "");
+}
+
+TEST(Bytes, TruncatedReadsFail) {
+  ByteWriter w;
+  w.put_u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.get_u8().is_ok());
+  EXPECT_FALSE(r.get_u32().is_ok());
+  EXPECT_EQ(r.get_u32().status().code(), ErrorCode::kCorruptData);
+}
+
+TEST(Bytes, TruncatedVarintFails) {
+  Bytes b{0x80, 0x80};  // continuation bits set, stream ends
+  ByteReader r(b);
+  EXPECT_FALSE(r.get_varint().is_ok());
+}
+
+TEST(Bytes, OverlongVarintFails) {
+  Bytes b(11, 0x80);  // 11 continuation bytes > 64 bits
+  b.push_back(0x01);
+  ByteReader r(b);
+  EXPECT_FALSE(r.get_varint().is_ok());
+}
+
+TEST(Bytes, DoubleVectorRoundTrip) {
+  std::vector<double> vals = {0.0, -1.5, 1e300, -1e-300,
+                              std::numeric_limits<double>::infinity()};
+  Bytes b = doubles_to_bytes(vals);
+  EXPECT_EQ(b.size(), vals.size() * 8);
+  auto back = bytes_to_doubles(b);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), vals);
+}
+
+TEST(Bytes, MisalignedDoubleBytesFail) {
+  Bytes b(9, 0);
+  EXPECT_FALSE(bytes_to_doubles(b).is_ok());
+}
+
+TEST(Bytes, GetBytesBorrowsSpan) {
+  ByteWriter w;
+  w.put_u8(1);
+  w.put_u8(2);
+  w.put_u8(3);
+  ByteReader r(w.bytes());
+  auto span = r.get_bytes(2);
+  ASSERT_TRUE(span.is_ok());
+  EXPECT_EQ(span.value()[0], 1);
+  EXPECT_EQ(span.value()[1], 2);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.get_bytes(2).is_ok());
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::vector<int> hits(7, 0);
+  for (int i = 0; i < 7000; ++i) ++hits[rng.next_below(7)];
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform (expected 1000)
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.next_gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(42);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+// ----------------------------------------------------------------- Timer
+
+TEST(ComponentTimes, Accumulates) {
+  ComponentTimes a{1.0, 2.0, 3.0};
+  ComponentTimes b{0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.io, 1.5);
+  EXPECT_DOUBLE_EQ(a.decompress, 2.5);
+  EXPECT_DOUBLE_EQ(a.reconstruct, 3.5);
+  EXPECT_DOUBLE_EQ(a.total(), 7.5);
+}
+
+TEST(ComponentTimes, MaxWithTakesPerComponentMax) {
+  ComponentTimes a{1.0, 5.0, 2.0};
+  ComponentTimes b{3.0, 1.0, 2.5};
+  a.max_with(b);
+  EXPECT_DOUBLE_EQ(a.io, 3.0);
+  EXPECT_DOUBLE_EQ(a.decompress, 5.0);
+  EXPECT_DOUBLE_EQ(a.reconstruct, 2.5);
+}
+
+TEST(ComponentTimes, DividesForAveraging) {
+  ComponentTimes a{2.0, 4.0, 8.0};
+  a /= 2.0;
+  EXPECT_DOUBLE_EQ(a.io, 1.0);
+  EXPECT_DOUBLE_EQ(a.decompress, 2.0);
+  EXPECT_DOUBLE_EQ(a.reconstruct, 4.0);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  double t1 = sw.seconds();
+  double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace mloc
