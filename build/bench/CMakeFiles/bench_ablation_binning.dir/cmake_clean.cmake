@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_binning.dir/bench_ablation_binning.cpp.o"
+  "CMakeFiles/bench_ablation_binning.dir/bench_ablation_binning.cpp.o.d"
+  "bench_ablation_binning"
+  "bench_ablation_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

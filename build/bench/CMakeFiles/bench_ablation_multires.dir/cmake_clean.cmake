@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multires.dir/bench_ablation_multires.cpp.o"
+  "CMakeFiles/bench_ablation_multires.dir/bench_ablation_multires.cpp.o.d"
+  "bench_ablation_multires"
+  "bench_ablation_multires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_components.dir/bench_fig6_components.cpp.o"
+  "CMakeFiles/bench_fig6_components.dir/bench_fig6_components.cpp.o.d"
+  "bench_fig6_components"
+  "bench_fig6_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

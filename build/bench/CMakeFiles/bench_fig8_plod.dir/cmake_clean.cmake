@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_plod.dir/bench_fig8_plod.cpp.o"
+  "CMakeFiles/bench_fig8_plod.dir/bench_fig8_plod.cpp.o.d"
+  "bench_fig8_plod"
+  "bench_fig8_plod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_plod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_region_8gb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_value_8gb.dir/bench_table3_value_8gb.cpp.o"
+  "CMakeFiles/bench_table3_value_8gb.dir/bench_table3_value_8gb.cpp.o.d"
+  "bench_table3_value_8gb"
+  "bench_table3_value_8gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_value_8gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

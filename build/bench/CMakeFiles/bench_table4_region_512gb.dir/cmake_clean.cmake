@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_region_512gb.dir/bench_table4_region_512gb.cpp.o"
+  "CMakeFiles/bench_table4_region_512gb.dir/bench_table4_region_512gb.cpp.o.d"
+  "bench_table4_region_512gb"
+  "bench_table4_region_512gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_region_512gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

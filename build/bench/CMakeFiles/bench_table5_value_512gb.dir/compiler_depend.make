@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table5_value_512gb.
+# This may be replaced when dependencies are built.

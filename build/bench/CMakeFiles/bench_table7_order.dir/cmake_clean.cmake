@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_order.dir/bench_table7_order.cpp.o"
+  "CMakeFiles/bench_table7_order.dir/bench_table7_order.cpp.o.d"
+  "bench_table7_order"
+  "bench_table7_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mloc_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/mloc_bench_common.dir/common/bench_common.cpp.o.d"
+  "libmloc_bench_common.a"
+  "libmloc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mloc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

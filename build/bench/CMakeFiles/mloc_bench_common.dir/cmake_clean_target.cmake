@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmloc_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_region_analysis.dir/climate_region_analysis.cpp.o"
+  "CMakeFiles/climate_region_analysis.dir/climate_region_analysis.cpp.o.d"
+  "climate_region_analysis"
+  "climate_region_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_region_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_threshold_query.dir/fusion_threshold_query.cpp.o"
+  "CMakeFiles/fusion_threshold_query.dir/fusion_threshold_query.cpp.o.d"
+  "fusion_threshold_query"
+  "fusion_threshold_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_threshold_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

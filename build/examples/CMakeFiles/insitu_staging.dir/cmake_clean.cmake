@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_staging.dir/insitu_staging.cpp.o"
+  "CMakeFiles/insitu_staging.dir/insitu_staging.cpp.o.d"
+  "insitu_staging"
+  "insitu_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

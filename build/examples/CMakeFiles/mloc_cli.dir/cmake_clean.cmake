@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mloc_cli.dir/mloc_cli.cpp.o"
+  "CMakeFiles/mloc_cli.dir/mloc_cli.cpp.o.d"
+  "mloc_cli"
+  "mloc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mloc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multires_explorer.dir/multires_explorer.cpp.o"
+  "CMakeFiles/multires_explorer.dir/multires_explorer.cpp.o.d"
+  "multires_explorer"
+  "multires_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multires_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

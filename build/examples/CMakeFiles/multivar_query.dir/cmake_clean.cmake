@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivar_query.dir/multivar_query.cpp.o"
+  "CMakeFiles/multivar_query.dir/multivar_query.cpp.o.d"
+  "multivar_query"
+  "multivar_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivar_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

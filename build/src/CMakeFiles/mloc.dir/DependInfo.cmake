@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/analytics.cpp" "src/CMakeFiles/mloc.dir/analytics/analytics.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/analytics/analytics.cpp.o.d"
+  "/root/repo/src/array/chunking.cpp" "src/CMakeFiles/mloc.dir/array/chunking.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/array/chunking.cpp.o.d"
+  "/root/repo/src/array/grid.cpp" "src/CMakeFiles/mloc.dir/array/grid.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/array/grid.cpp.o.d"
+  "/root/repo/src/array/region.cpp" "src/CMakeFiles/mloc.dir/array/region.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/array/region.cpp.o.d"
+  "/root/repo/src/array/shape.cpp" "src/CMakeFiles/mloc.dir/array/shape.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/array/shape.cpp.o.d"
+  "/root/repo/src/baselines/fastbit_like.cpp" "src/CMakeFiles/mloc.dir/baselines/fastbit_like.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/baselines/fastbit_like.cpp.o.d"
+  "/root/repo/src/baselines/scidb_like.cpp" "src/CMakeFiles/mloc.dir/baselines/scidb_like.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/baselines/scidb_like.cpp.o.d"
+  "/root/repo/src/baselines/seqscan.cpp" "src/CMakeFiles/mloc.dir/baselines/seqscan.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/baselines/seqscan.cpp.o.d"
+  "/root/repo/src/binning/binning.cpp" "src/CMakeFiles/mloc.dir/binning/binning.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/binning/binning.cpp.o.d"
+  "/root/repo/src/bitmap/bitmap.cpp" "src/CMakeFiles/mloc.dir/bitmap/bitmap.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/bitmap/bitmap.cpp.o.d"
+  "/root/repo/src/compress/bspline.cpp" "src/CMakeFiles/mloc.dir/compress/bspline.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/bspline.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/CMakeFiles/mloc.dir/compress/huffman.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/huffman.cpp.o.d"
+  "/root/repo/src/compress/isabela.cpp" "src/CMakeFiles/mloc.dir/compress/isabela.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/isabela.cpp.o.d"
+  "/root/repo/src/compress/isobar.cpp" "src/CMakeFiles/mloc.dir/compress/isobar.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/isobar.cpp.o.d"
+  "/root/repo/src/compress/mzip.cpp" "src/CMakeFiles/mloc.dir/compress/mzip.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/mzip.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/CMakeFiles/mloc.dir/compress/registry.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/registry.cpp.o.d"
+  "/root/repo/src/compress/rle.cpp" "src/CMakeFiles/mloc.dir/compress/rle.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/rle.cpp.o.d"
+  "/root/repo/src/compress/xor_delta.cpp" "src/CMakeFiles/mloc.dir/compress/xor_delta.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/compress/xor_delta.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/CMakeFiles/mloc.dir/core/layout.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/core/layout.cpp.o.d"
+  "/root/repo/src/core/store.cpp" "src/CMakeFiles/mloc.dir/core/store.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/core/store.cpp.o.d"
+  "/root/repo/src/datagen/datagen.cpp" "src/CMakeFiles/mloc.dir/datagen/datagen.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/datagen/datagen.cpp.o.d"
+  "/root/repo/src/multires/subset.cpp" "src/CMakeFiles/mloc.dir/multires/subset.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/multires/subset.cpp.o.d"
+  "/root/repo/src/parallel/runtime.cpp" "src/CMakeFiles/mloc.dir/parallel/runtime.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/parallel/runtime.cpp.o.d"
+  "/root/repo/src/pfs/pfs.cpp" "src/CMakeFiles/mloc.dir/pfs/pfs.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/pfs/pfs.cpp.o.d"
+  "/root/repo/src/planner/planner.cpp" "src/CMakeFiles/mloc.dir/planner/planner.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/planner/planner.cpp.o.d"
+  "/root/repo/src/plod/plod.cpp" "src/CMakeFiles/mloc.dir/plod/plod.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/plod/plod.cpp.o.d"
+  "/root/repo/src/sfc/hilbert.cpp" "src/CMakeFiles/mloc.dir/sfc/hilbert.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/sfc/hilbert.cpp.o.d"
+  "/root/repo/src/staging/staging.cpp" "src/CMakeFiles/mloc.dir/staging/staging.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/staging/staging.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/mloc.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/mloc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/mloc.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/util/status.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/mloc.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/mloc.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitmap.dir/test_bitmap.cpp.o"
+  "CMakeFiles/test_bitmap.dir/test_bitmap.cpp.o.d"
+  "test_bitmap"
+  "test_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_multires.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plod.dir/test_plod.cpp.o"
+  "CMakeFiles/test_plod.dir/test_plod.cpp.o.d"
+  "test_plod"
+  "test_plod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_random.dir/test_store_random.cpp.o"
+  "CMakeFiles/test_store_random.dir/test_store_random.cpp.o.d"
+  "test_store_random"
+  "test_store_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
