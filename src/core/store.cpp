@@ -364,28 +364,74 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid) {
 // ------------------------------------------------------------ query path
 
 Result<std::vector<double>> MlocStore::fetch_fragment_values(
-    const BinFiles& files, const FragmentInfo& frag, int level,
-    parallel::RankContext& ctx) const {
+    const VariableState& vs, int bin, const FragmentInfo& frag, int level,
+    parallel::RankContext& ctx, CacheStats& cache) const {
+  const BinFiles& files = vs.bins[bin];
+  FragmentProvider* provider = provider_;
   if (plod_capable()) {
-    std::vector<Bytes> planes(level);
-    for (int g = 0; g < level; ++g) {
-      MLOC_ASSIGN_OR_RETURN(
-          Bytes raw, fs_->read(files.dat, frag.groups[g].offset,
-                               frag.groups[g].length, &ctx.io_log,
-                               static_cast<std::uint32_t>(ctx.rank)));
-      if (fnv1a64(raw) != frag.groups[g].checksum) {
-        return corrupt_data("fragment segment failed checksum");
+    // Consult the provider for a decoded byte-group prefix. Any entry at
+    // least `level` deep is a full hit; a shallower one still saves its
+    // planes (prefix reuse) and gets deepened after the partial fetch.
+    std::shared_ptr<const FragmentData> hit;
+    if (provider != nullptr) {
+      hit = provider->lookup({vs.name, bin, frag.chunk});
+      if (hit != nullptr && (hit->count != frag.count || hit->planes.empty())) {
+        hit = nullptr;  // foreign/degenerate entry: treat as a miss
       }
-      Stopwatch sw;
-      MLOC_ASSIGN_OR_RETURN(planes[g], byte_codec_->decode(raw));
-      ctx.times.decompress += sw.seconds();
     }
+    const int have = hit == nullptr ? 0 : std::min(hit->depth(), level);
+    for (int g = 0; g < have; ++g) {
+      cache.bytes_saved += frag.groups[g].length;
+    }
+
+    // Cached planes answer groups [0, have); the PFS covers [have, level).
+    std::shared_ptr<FragmentData> fresh;
+    if (have < level) {
+      fresh = std::make_shared<FragmentData>();
+      fresh->count = frag.count;
+      fresh->planes.reserve(static_cast<std::size_t>(level));
+      for (int g = 0; g < have; ++g) fresh->planes.push_back(hit->planes[g]);
+      for (int g = have; g < level; ++g) {
+        MLOC_ASSIGN_OR_RETURN(
+            Bytes raw, fs_->read(files.dat, frag.groups[g].offset,
+                                 frag.groups[g].length, &ctx.io_log,
+                                 static_cast<std::uint32_t>(ctx.rank)));
+        if (fnv1a64(raw) != frag.groups[g].checksum) {
+          return corrupt_data("fragment segment failed checksum");
+        }
+        Stopwatch sw;
+        MLOC_ASSIGN_OR_RETURN(Bytes plane, byte_codec_->decode(raw));
+        ctx.times.decompress += sw.seconds();
+        fresh->planes.push_back(std::move(plane));
+      }
+    }
+    if (provider != nullptr) {
+      if (have >= level) {
+        ++cache.hits;
+      } else {
+        have > 0 ? ++cache.partial_hits : ++cache.misses;
+        provider->insert({vs.name, bin, frag.chunk}, fresh);
+      }
+    }
+
     Stopwatch sw;
-    std::vector<std::span<const std::uint8_t>> spans(planes.begin(),
-                                                     planes.end());
+    const auto& planes = fresh != nullptr ? fresh->planes : hit->planes;
+    std::vector<std::span<const std::uint8_t>> spans;
+    spans.reserve(static_cast<std::size_t>(level));
+    for (int g = 0; g < level; ++g) spans.emplace_back(planes[g]);
     auto assembled = plod::assemble(spans, level, frag.count);
     ctx.times.reconstruct += sw.seconds();
     return assembled;
+  }
+
+  // Whole-value mode: the decoded buffer is cached at full precision.
+  if (provider != nullptr) {
+    auto hit = provider->lookup({vs.name, bin, frag.chunk});
+    if (hit != nullptr && hit->count == frag.count && !hit->values.empty()) {
+      ++cache.hits;
+      cache.bytes_saved += frag.groups[0].length;
+      return hit->values;
+    }
   }
   MLOC_ASSIGN_OR_RETURN(
       Bytes raw, fs_->read(files.dat, frag.groups[0].offset,
@@ -397,6 +443,15 @@ Result<std::vector<double>> MlocStore::fetch_fragment_values(
   Stopwatch sw;
   auto decoded = double_codec_->decode(raw);
   ctx.times.decompress += sw.seconds();
+  if (provider != nullptr && decoded.is_ok()) {
+    ++cache.misses;
+    if (decoded.value().size() == frag.count) {
+      auto fresh = std::make_shared<FragmentData>();
+      fresh->count = frag.count;
+      fresh->values = decoded.value();
+      provider->insert({vs.name, bin, frag.chunk}, std::move(fresh));
+    }
+  }
   return decoded;
 }
 
@@ -422,6 +477,12 @@ Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
   (void)max_level;
   if (q.sc.has_value() && q.sc->ndims() != cfg_.shape.ndims()) {
     return invalid_argument("query: SC dimensionality mismatch");
+  }
+  // A degenerate ([lo, lo)) or NaN value range can never match; surface it
+  // as a caller error rather than silently returning an empty result.
+  if (q.vc.has_value() && !q.vc->valid()) {
+    return invalid_argument(
+        "query: value constraint is empty or NaN (requires lo < hi)");
   }
 
   QueryResult result;
@@ -518,6 +579,7 @@ Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
     std::vector<double> values;
     std::uint64_t fragments_read = 0;
     std::uint64_t fragments_skipped = 0;
+    CacheStats cache;
   };
   std::vector<RankOutput> outputs(num_ranks);
   Status phase2_status = Status::ok();
@@ -553,25 +615,51 @@ Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
       }
 
       // Positional index blob (always needed: positions are the output key
-      // and drive SC / bitmap filtering).
-      auto blob = fs_->read(files.idx, files.header_len + frag.positions.offset,
-                            frag.positions.length, &ctx.io_log,
-                            static_cast<std::uint32_t>(ctx.rank));
-      if (!blob.is_ok()) {
-        phase2_status = blob.status();
-        return;
+      // and drive SC / bitmap filtering). A provider hit serves the decoded
+      // positions without touching the PFS; a miss publishes them so later
+      // queries over the same fragment skip the read and the decode.
+      std::shared_ptr<const FragmentData> pos_hit;
+      if (provider_ != nullptr) {
+        pos_hit = provider_->lookup({vs.name, bw.bin, frag.chunk});
+        if (pos_hit != nullptr &&
+            (pos_hit->positions.empty() || pos_hit->count != frag.count)) {
+          pos_hit = nullptr;
+        }
       }
-      if (fnv1a64(blob.value()) != frag.positions.checksum) {
-        phase2_status = corrupt_data("position blob failed checksum");
-        return;
+      std::vector<std::uint32_t> decoded_positions;
+      const std::vector<std::uint32_t>* local = nullptr;
+      if (pos_hit != nullptr) {
+        out.cache.bytes_saved += frag.positions.length;
+        local = &pos_hit->positions;
+      } else {
+        auto blob =
+            fs_->read(files.idx, files.header_len + frag.positions.offset,
+                      frag.positions.length, &ctx.io_log,
+                      static_cast<std::uint32_t>(ctx.rank));
+        if (!blob.is_ok()) {
+          phase2_status = blob.status();
+          return;
+        }
+        if (fnv1a64(blob.value()) != frag.positions.checksum) {
+          phase2_status = corrupt_data("position blob failed checksum");
+          return;
+        }
+        Stopwatch sw_pos;
+        auto decoded = decode_positions(blob.value(), frag.count);
+        if (!decoded.is_ok()) {
+          phase2_status = decoded.status();
+          return;
+        }
+        decoded_positions = std::move(decoded).value();
+        ctx.times.reconstruct += sw_pos.seconds();
+        local = &decoded_positions;
+        if (provider_ != nullptr) {
+          auto fresh = std::make_shared<FragmentData>();
+          fresh->count = frag.count;
+          fresh->positions = decoded_positions;
+          provider_->insert({vs.name, bw.bin, frag.chunk}, std::move(fresh));
+        }
       }
-      Stopwatch sw_pos;
-      auto local = decode_positions(blob.value(), frag.count);
-      if (!local.is_ok()) {
-        phase2_status = local.status();
-        return;
-      }
-      ctx.times.reconstruct += sw_pos.seconds();
 
       // Values: needed when the caller wants them, or when a misaligned
       // bin/fragment forces VC re-filtering. VC filtering always runs on
@@ -585,7 +673,8 @@ Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
       std::vector<double> vals;       // at fetch_level (filtering basis)
       std::vector<double> out_vals;   // at q.plod_level (returned values)
       if (fetch_values) {
-        auto fetched = fetch_fragment_values(files, frag, fetch_level, ctx);
+        auto fetched = fetch_fragment_values(vs, bw.bin, frag, fetch_level,
+                                             ctx, out.cache);
         if (!fetched.is_ok()) {
           phase2_status = fetched.status();
           return;
@@ -617,8 +706,8 @@ Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
       Stopwatch sw;
       const Region chunk_region = chunk_grid_.chunk_region(frag.chunk);
       const NDShape local_shape = region_shape(chunk_region);
-      for (std::size_t k = 0; k < local.value().size(); ++k) {
-        Coord coord = local_shape.delinearize(local.value()[k]);
+      for (std::size_t k = 0; k < local->size(); ++k) {
+        Coord coord = local_shape.delinearize((*local)[k]);
         for (int d = 0; d < cfg_.shape.ndims(); ++d) {
           coord[d] += chunk_region.lo(d);
         }
@@ -647,6 +736,7 @@ Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
   for (auto& o : outputs) {
     result.fragments_read += o.fragments_read;
     result.fragments_skipped += o.fragments_skipped;
+    result.cache += o.cache;
     for (std::size_t k = 0; k < o.positions.size(); ++k) {
       merged.emplace_back(o.positions[k],
                           q.values_needed ? o.values[k] : 0.0);
@@ -720,6 +810,7 @@ Result<QueryResult> MlocStore::multivar_select(
     accumulated.aligned_bins += selected.aligned_bins;
     accumulated.fragments_read += selected.fragments_read;
     accumulated.bytes_read += selected.bytes_read;
+    accumulated.cache += selected.cache;
   }
 
   Stopwatch sw;
@@ -759,6 +850,7 @@ Result<QueryResult> MlocStore::multivar_select(
   fetched.aligned_bins += accumulated.aligned_bins;
   fetched.fragments_read += accumulated.fragments_read;
   fetched.bytes_read += accumulated.bytes_read;
+  fetched.cache += accumulated.cache;
   return fetched;
 }
 

@@ -31,6 +31,66 @@
 
 namespace mloc {
 
+/// Identity of one fragment's decompressed payload: the (variable, bin,
+/// chunk) cell of a store. The PLoD level is deliberately not part of the
+/// key — a cached entry holds the *deepest* decoded byte-group prefix seen
+/// so far, and any request at level <= that depth is a hit (a level-3 entry
+/// serves a level-2 request).
+struct FragmentKey {
+  std::string var;
+  int bin = 0;
+  ChunkId chunk = 0;
+
+  [[nodiscard]] bool operator==(const FragmentKey&) const = default;
+};
+
+/// Decompressed state of one fragment, as much as has been decoded so
+/// far. In PLoD mode `planes` holds the decoded byte-group planes
+/// 0..depth-1 (`values` empty); in whole-value mode `values` holds the
+/// full decoded buffer (`planes` empty). `positions` holds the decoded
+/// chunk-local positional index (empty until a query has decoded it).
+/// Immutable once published to a provider — providers merge rather than
+/// mutate.
+struct FragmentData {
+  std::vector<Bytes> planes;   ///< decoded byte-group planes, prefix order
+  std::vector<double> values;  ///< whole-value mode payload
+  std::vector<std::uint32_t> positions;  ///< decoded chunk-local positions
+  std::uint64_t count = 0;     ///< points in the fragment (sanity check)
+
+  /// PLoD depth of the prefix (0 in whole-value mode).
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(planes.size());
+  }
+  /// Approximate heap footprint, for byte-budget accounting.
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    std::size_t b = sizeof(FragmentData);
+    for (const auto& p : planes) b += p.size();
+    return b + values.size() * sizeof(double) +
+           positions.size() * sizeof(std::uint32_t);
+  }
+};
+
+/// Serving-layer hook (src/service): a provider may hold decompressed
+/// fragment payloads and positional indexes between queries. Cached
+/// planes/positions bypass PFS reads entirely — they produce no IoLog
+/// records, so the cost model charges only the misses — while misses
+/// flow through the store's normal fetch path unchanged. Implementations must be thread-safe: concurrent
+/// MlocStore::execute() calls consult the provider without locking.
+class FragmentProvider {
+ public:
+  virtual ~FragmentProvider() = default;
+
+  /// Return the cached payload for `key`, or nullptr on miss. The returned
+  /// object must stay immutable and alive for the shared_ptr's lifetime
+  /// even if the provider evicts it concurrently.
+  virtual std::shared_ptr<const FragmentData> lookup(const FragmentKey& key) = 0;
+
+  /// Offer a freshly decoded payload. The provider may ignore it (budget)
+  /// or replace a shallower entry for the same key.
+  virtual void insert(const FragmentKey& key,
+                      std::shared_ptr<const FragmentData> data) = 0;
+};
+
 class MlocStore {
  public:
   /// Create an empty store named `name` on `fs` (non-owning; must outlive
@@ -104,6 +164,17 @@ class MlocStore {
   [[nodiscard]] std::uint64_t data_bytes() const;
   [[nodiscard]] std::uint64_t index_bytes() const;
 
+  /// Attach a decompressed-fragment provider (nullptr detaches). Non-owning;
+  /// the provider must outlive the store and be thread-safe. Queries are
+  /// otherwise safe to run concurrently from multiple threads (const reads
+  /// throughout), so set this once before serving traffic.
+  void set_fragment_provider(FragmentProvider* provider) noexcept {
+    provider_ = provider;
+  }
+  [[nodiscard]] FragmentProvider* fragment_provider() const noexcept {
+    return provider_;
+  }
+
  private:
   struct BinFiles {
     pfs::FileId idx = 0;
@@ -130,10 +201,12 @@ class MlocStore {
                                    const Bitmap* position_filter) const;
 
   /// Read and decode the value payload of one fragment at `level`
-  /// (1..num_groups). Returns the fragment's values in index order.
+  /// (1..num_groups), consulting the attached FragmentProvider first.
+  /// Returns the fragment's values in index order; provider hit/miss
+  /// accounting accumulates into `cache`.
   Result<std::vector<double>> fetch_fragment_values(
-      const BinFiles& files, const FragmentInfo& frag, int level,
-      parallel::RankContext& ctx) const;
+      const VariableState& vs, int bin, const FragmentInfo& frag, int level,
+      parallel::RankContext& ctx, CacheStats& cache) const;
 
   pfs::PfsStorage* fs_ = nullptr;
   std::string name_;
@@ -144,6 +217,7 @@ class MlocStore {
   std::vector<VariableState> vars_;
   std::shared_ptr<const ByteCodec> byte_codec_;      // PLoD/COL mode
   std::shared_ptr<const DoubleCodec> double_codec_;  // whole-value mode
+  FragmentProvider* provider_ = nullptr;             // serving-layer cache
 };
 
 }  // namespace mloc

@@ -7,6 +7,7 @@
 // a position bitmap (§III-D-4).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -22,6 +23,14 @@ namespace mloc {
 struct ValueConstraint {
   double lo = -std::numeric_limits<double>::infinity();
   double hi = std::numeric_limits<double>::infinity();
+
+  /// A constraint is well-formed when both bounds are non-NaN and the
+  /// half-open range is non-empty (lo < hi). A degenerate range (lo == hi)
+  /// or a NaN bound can never match anything; MlocStore rejects such
+  /// queries with InvalidArgument instead of silently returning nothing.
+  [[nodiscard]] bool valid() const noexcept {
+    return !std::isnan(lo) && !std::isnan(hi) && lo < hi;
+  }
 
   [[nodiscard]] bool matches(double v) const noexcept {
     return v >= lo && v < hi;
@@ -41,6 +50,23 @@ struct Query {
   bool values_needed = true;          ///< false = region-only access
 };
 
+/// FragmentProvider (serving-layer cache) accounting for one query. All
+/// counters stay zero when the store has no provider attached (cold access).
+struct CacheStats {
+  std::uint64_t hits = 0;          ///< fragments fully served from cache
+  std::uint64_t partial_hits = 0;  ///< PLoD prefix reuse: some planes cached
+  std::uint64_t misses = 0;        ///< provider consulted, nothing usable
+  std::uint64_t bytes_saved = 0;   ///< compressed payload bytes not re-read
+
+  CacheStats& operator+=(const CacheStats& o) noexcept {
+    hits += o.hits;
+    partial_hits += o.partial_hits;
+    misses += o.misses;
+    bytes_saved += o.bytes_saved;
+    return *this;
+  }
+};
+
 /// Result of one query execution.
 struct QueryResult {
   /// Qualifying positions as row-major linear offsets into the variable's
@@ -56,6 +82,7 @@ struct QueryResult {
   std::uint64_t fragments_read = 0; ///< (bin, chunk) cells fetched from data
   std::uint64_t fragments_skipped = 0;  ///< pruned by zone maps (VC disjoint)
   std::uint64_t bytes_read = 0;     ///< payload bytes fetched from the PFS
+  CacheStats cache;                 ///< fragment-provider hit/miss accounting
 };
 
 }  // namespace mloc

@@ -1,0 +1,129 @@
+#include "service/fragment_cache.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace mloc::service {
+
+std::size_t FragmentCache::KeyHash::operator()(
+    const FragmentKey& key) const noexcept {
+  std::uint64_t h = fnv1a64(
+      {reinterpret_cast<const std::uint8_t*>(key.var.data()), key.var.size()});
+  h ^= static_cast<std::uint64_t>(key.bin) * kFnvPrime;
+  h ^= (static_cast<std::uint64_t>(key.chunk) + 0x9e3779b97f4a7c15ull) *
+       kFnvPrime;
+  return static_cast<std::size_t>(h);
+}
+
+FragmentCache::FragmentCache(Config cfg) : cfg_(cfg) {
+  MLOC_CHECK(cfg_.shards >= 1);
+  shard_budget_ = cfg_.budget_bytes / static_cast<std::uint64_t>(cfg_.shards);
+  shards_.reserve(static_cast<std::size_t>(cfg_.shards));
+  for (int s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+FragmentCache::Shard& FragmentCache::shard_for(const FragmentKey& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const FragmentData> FragmentCache::lookup(
+    const FragmentKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  ++shard.stats.lookups;
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+  return it->second->data;
+}
+
+void FragmentCache::insert(const FragmentKey& key,
+                           std::shared_ptr<const FragmentData> data) {
+  if (data == nullptr) return;
+  const std::uint64_t bytes = data->byte_size();
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    Entry& existing = *it->second;
+    // Merge: an entry accumulates the union of what queries have decoded
+    // for this fragment — the deepest PLoD prefix (or the whole-value
+    // buffer, already full precision) plus the positional index. Published
+    // FragmentData is immutable, so a gain produces a fresh merged object.
+    const bool deeper = existing.data->values.empty() &&
+                        data->depth() > existing.data->depth();
+    const bool gains_values =
+        existing.data->values.empty() && !data->values.empty();
+    const bool gains_positions =
+        existing.data->positions.empty() && !data->positions.empty();
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (!deeper && !gains_values && !gains_positions) return;
+    auto merged = std::make_shared<FragmentData>(*existing.data);
+    if (deeper) merged->planes = data->planes;
+    if (gains_values) merged->values = data->values;
+    if (gains_positions) merged->positions = data->positions;
+    merged->count = existing.data->count != 0 ? existing.data->count
+                                              : data->count;
+    const std::uint64_t merged_bytes = merged->byte_size();
+    shard.bytes -= existing.bytes;
+    shard.bytes += merged_bytes;
+    existing.data = std::move(merged);
+    existing.bytes = merged_bytes;
+    ++shard.stats.upgrades;
+  } else {
+    shard.lru.push_front(Entry{key, std::move(data), bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.stats.insertions;
+  }
+  evict_to_budget(shard);
+  shard.stats.bytes_cached = shard.bytes;
+  shard.stats.entries = shard.index.size();
+}
+
+void FragmentCache::evict_to_budget(Shard& shard) {
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+void FragmentCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+    shard->stats.bytes_cached = 0;
+    shard->stats.entries = 0;
+  }
+}
+
+FragmentCache::Stats FragmentCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    out.lookups += shard->stats.lookups;
+    out.hits += shard->stats.hits;
+    out.misses += shard->stats.misses;
+    out.insertions += shard->stats.insertions;
+    out.upgrades += shard->stats.upgrades;
+    out.evictions += shard->stats.evictions;
+    out.bytes_cached += shard->bytes;
+    out.entries += shard->index.size();
+  }
+  return out;
+}
+
+}  // namespace mloc::service

@@ -1,0 +1,93 @@
+// Sharded LRU cache of decompressed fragment payloads — the serving
+// layer's highest-leverage component (exploratory workloads revisit the
+// same regions and precision prefixes over and over).
+//
+// Keyed by (variable, bin, chunk); the entry stores the deepest decoded
+// PLoD byte-group prefix seen so far (or the whole decoded buffer in
+// whole-value mode). Because a prefix at depth D answers any request at
+// level <= D, a level-3 entry serves a level-2 query outright, and a
+// level-7 query only fetches the missing planes 3..6 from the PFS
+// (MlocStore::fetch_fragment_values does the splice; this class only
+// stores and evicts).
+//
+// Eviction is byte-budgeted LRU, independently per shard (shard budget =
+// total budget / shards). Sharding by key hash keeps lock contention flat
+// as the client count grows; entries are handed out as shared_ptr, so an
+// eviction never invalidates a payload a concurrent query is reading.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/store.hpp"
+
+namespace mloc::service {
+
+class FragmentCache final : public FragmentProvider {
+ public:
+  struct Config {
+    std::uint64_t budget_bytes = 64ull << 20;  ///< total across shards
+    int shards = 8;
+  };
+
+  /// Global counters (summed over shards; approximate under concurrency).
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;        ///< lookup returned an entry
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;  ///< new keys admitted
+    std::uint64_t upgrades = 0;    ///< existing entry replaced by a deeper one
+    std::uint64_t evictions = 0;   ///< entries dropped to fit the budget
+    std::uint64_t bytes_cached = 0;
+    std::uint64_t entries = 0;
+  };
+
+  FragmentCache() : FragmentCache(Config{}) {}
+  explicit FragmentCache(Config cfg);
+
+  FragmentCache(const FragmentCache&) = delete;
+  FragmentCache& operator=(const FragmentCache&) = delete;
+
+  // FragmentProvider interface (thread-safe).
+  std::shared_ptr<const FragmentData> lookup(const FragmentKey& key) override;
+  void insert(const FragmentKey& key,
+              std::shared_ptr<const FragmentData> data) override;
+
+  /// Drop every entry (budget and counters for bytes/entries reset; the
+  /// cumulative hit/miss/eviction counters are kept).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const FragmentKey& key) const noexcept;
+  };
+  struct Entry {
+    FragmentKey key;
+    std::shared_ptr<const FragmentData> data;
+    std::uint64_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<FragmentKey, std::list<Entry>::iterator, KeyHash> index;
+    std::uint64_t bytes = 0;
+    Stats stats;  ///< bytes_cached/entries maintained on the fly
+  };
+
+  Shard& shard_for(const FragmentKey& key);
+  /// Pop LRU entries until the shard fits its budget. Caller holds the lock.
+  void evict_to_budget(Shard& shard);
+
+  Config cfg_;
+  std::uint64_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mloc::service

@@ -1,0 +1,247 @@
+#include "service/query_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace mloc::service {
+
+QueryService::QueryService(MlocStore store, ServiceConfig cfg)
+    : cfg_(cfg),
+      store_(std::move(store)),
+      cache_(cfg.cache),
+      paused_(cfg.start_paused) {
+  MLOC_CHECK(cfg_.num_workers >= 1);
+  MLOC_CHECK(cfg_.max_queue_depth >= 1);
+  if (cfg_.cache.budget_bytes > 0) {
+    store_.set_fragment_provider(&cache_);
+  }
+  pool_ = std::make_unique<parallel::ThreadPool>(cfg_.num_workers);
+}
+
+QueryService::~QueryService() {
+  std::deque<std::unique_ptr<PendingQuery>> orphans;
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+    orphans.swap(pending_);
+  }
+  for (auto& p : orphans) {
+    Response resp;
+    resp.status = failed_precondition("service shutting down");
+    resp.stats.query_id = p->id;
+    resp.stats.session = p->session;
+    resp.stats.queue_wait_s = p->queued.seconds();
+    p->promise.set_value(std::move(resp));
+  }
+  // pool_ destruction drains in-flight dispatch tasks; they find an empty
+  // queue and return.
+}
+
+Result<SessionId> QueryService::open_session(std::string label) {
+  std::lock_guard lock(mutex_);
+  if (shutdown_) return failed_precondition("service shutting down");
+  const SessionId id = next_session_++;
+  SessionState& s = sessions_[id];
+  s.stats.label = std::move(label);
+  s.stats.open = true;
+  ++agg_.sessions_opened;
+  ++agg_.sessions_open;
+  return id;
+}
+
+Status QueryService::close_session(SessionId id) {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return not_found("no such session");
+  if (!it->second.stats.open) {
+    return failed_precondition("session already closed");
+  }
+  it->second.stats.open = false;
+  --agg_.sessions_open;
+  return Status::ok();
+}
+
+Submission QueryService::submit(SessionId session, Request req) {
+  auto p = std::make_unique<PendingQuery>();
+  Submission out;
+  out.response = p->promise.get_future();
+  p->session = session;
+
+  Status reject = Status::ok();
+  bool dispatch = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = sessions_.find(session);
+    if (shutdown_) {
+      reject = failed_precondition("service shutting down");
+      ++agg_.rejected;
+    } else if (it == sessions_.end()) {
+      reject = not_found("no such session");
+      ++agg_.rejected;
+    } else if (!it->second.stats.open) {
+      reject = failed_precondition("session closed");
+      ++agg_.rejected;
+    } else {
+      ++agg_.submitted;
+      ++it->second.stats.submitted;
+      if (pending_.size() >= cfg_.max_queue_depth) {
+        ++agg_.rejected;
+        ++it->second.stats.failed;
+        reject = resource_exhausted("admission queue full");
+      }
+    }
+    if (reject.is_ok()) {
+      p->id = out.id = next_query_++;
+      p->deadline_s =
+          req.deadline_s < 0 ? cfg_.default_deadline_s : req.deadline_s;
+      p->req = std::move(req);
+      pending_.push_back(std::move(p));
+      agg_.peak_queue_depth = std::max(agg_.peak_queue_depth, pending_.size());
+      if (paused_) {
+        ++undispatched_;
+      } else {
+        dispatch = true;
+      }
+    }
+  }
+  if (!reject.is_ok()) {
+    Response resp;
+    resp.status = std::move(reject);
+    resp.stats.session = session;
+    p->promise.set_value(std::move(resp));
+    return out;
+  }
+  if (dispatch) {
+    pool_->submit([this] { dispatch_one(); });
+  }
+  return out;
+}
+
+Response QueryService::run(SessionId session, Request req) {
+  return submit(session, std::move(req)).response.get();
+}
+
+Status QueryService::cancel(QueryId id) {
+  std::lock_guard lock(mutex_);
+  for (auto& p : pending_) {
+    if (p->id == id) {
+      if (p->cancelled) return failed_precondition("already cancelled");
+      p->cancelled = true;
+      return Status::ok();
+    }
+  }
+  return not_found("query not queued (already dispatched or unknown)");
+}
+
+void QueryService::pause() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void QueryService::resume() {
+  std::size_t n = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (!paused_) return;
+    paused_ = false;
+    n = undispatched_;
+    undispatched_ = 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_->submit([this] { dispatch_one(); });
+  }
+}
+
+void QueryService::dispatch_one() {
+  std::unique_ptr<PendingQuery> p;
+  bool was_cancelled = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (pending_.empty()) return;  // raced with shutdown/another worker
+    std::size_t pick = 0;
+    if (cfg_.policy == SchedulingPolicy::kPriority) {
+      for (std::size_t i = 1; i < pending_.size(); ++i) {
+        if (pending_[i]->req.priority > pending_[pick]->req.priority) pick = i;
+      }
+    }
+    p = std::move(pending_[pick]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+    was_cancelled = p->cancelled;
+  }
+
+  Response resp;
+  resp.stats.query_id = p->id;
+  resp.stats.session = p->session;
+  resp.stats.queue_wait_s = p->queued.seconds();
+
+  if (was_cancelled) {
+    resp.status = cancelled("cancelled while queued");
+    finish(std::move(p), std::move(resp));
+    return;
+  }
+  if (p->deadline_s > 0 && resp.stats.queue_wait_s > p->deadline_s) {
+    resp.status = deadline_exceeded("deadline passed while queued");
+    finish(std::move(p), std::move(resp));
+    return;
+  }
+
+  const int ranks =
+      p->req.num_ranks > 0 ? p->req.num_ranks : cfg_.default_num_ranks;
+  Stopwatch sw;
+  auto result = store_.execute(p->req.var, p->req.query, ranks);
+  resp.stats.exec_wall_s = sw.seconds();
+  if (!result.is_ok()) {
+    resp.status = result.status();
+  } else {
+    resp.result = std::move(result).value();
+    resp.stats.modeled_s = resp.result.times.total();
+    resp.stats.cache = resp.result.cache;
+    if (p->deadline_s > 0 &&
+        p->queued.seconds() > p->deadline_s) {
+      resp.status = deadline_exceeded("execution overran the deadline");
+      resp.result = QueryResult{};
+    }
+  }
+  finish(std::move(p), std::move(resp));
+}
+
+void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
+  {
+    std::lock_guard lock(mutex_);
+    agg_.total_queue_wait_s += resp.stats.queue_wait_s;
+    agg_.total_exec_wall_s += resp.stats.exec_wall_s;
+    agg_.total_modeled_s += resp.stats.modeled_s;
+    agg_.cache += resp.stats.cache;
+    switch (resp.status.code()) {
+      case ErrorCode::kOk: ++agg_.completed; break;
+      case ErrorCode::kDeadlineExceeded: ++agg_.expired; break;
+      case ErrorCode::kCancelled: ++agg_.cancelled; break;
+      default: ++agg_.failed; break;
+    }
+    auto it = sessions_.find(p->session);
+    if (it != sessions_.end()) {
+      SessionStats& s = it->second.stats;
+      resp.status.is_ok() ? ++s.completed : ++s.failed;
+      s.cache += resp.stats.cache;
+      s.total_queue_wait_s += resp.stats.queue_wait_s;
+      s.total_modeled_s += resp.stats.modeled_s;
+    }
+  }
+  p->promise.set_value(std::move(resp));
+}
+
+AggregateStats QueryService::aggregate() const {
+  std::lock_guard lock(mutex_);
+  return agg_;
+}
+
+Result<SessionStats> QueryService::session_stats(SessionId id) const {
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return not_found("no such session");
+  return it->second.stats;
+}
+
+}  // namespace mloc::service

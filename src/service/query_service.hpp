@@ -1,0 +1,205 @@
+// Concurrent query service — the serving layer over one MlocStore.
+//
+// The paper's access protocol (§III-D) runs one-shot cold queries; a
+// production deployment instead serves many concurrent clients whose
+// exploratory queries revisit the same regions and precision prefixes.
+// QueryService provides that layer:
+//
+//   * sessions — clients open a session, submit queries against it, and
+//     read per-session aggregates; closing a session stops new submissions
+//     while in-flight queries finish normally;
+//   * admission control — at most `max_queue_depth` queries wait at once;
+//     submissions beyond it are rejected immediately (ResourceExhausted)
+//     so overload produces fast feedback instead of unbounded queues;
+//   * bounded concurrency — execution happens on a parallel::ThreadPool of
+//     `num_workers` threads (the max-in-flight limit);
+//   * scheduling — FIFO by default, or highest-priority-first (FIFO among
+//     equals) with SchedulingPolicy::kPriority;
+//   * deadlines/cancellation — a query whose deadline passes while queued
+//     (or whose execution overruns it) resolves to DeadlineExceeded; a
+//     queued query can be cancelled by id;
+//   * a shared FragmentCache attached to the store as FragmentProvider, so
+//     decompressed fragments are amortized across queries and clients;
+//   * per-query ServiceStats (queue wait, cache hits/misses, bytes saved,
+//     modeled vs measured time) plus service- and session-level aggregates.
+//
+// Thread-safety: every public method may be called from any thread.
+// MlocStore::execute is const and reads only immutable state, so worker
+// threads run queries concurrently without a store lock; the cache is
+// internally sharded and locked.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/store.hpp"
+#include "parallel/runtime.hpp"
+#include "service/fragment_cache.hpp"
+
+namespace mloc::service {
+
+using SessionId = std::uint64_t;
+using QueryId = std::uint64_t;
+
+enum class SchedulingPolicy : std::uint8_t {
+  kFifo = 0,      ///< strict submission order
+  kPriority = 1,  ///< highest Request::priority first, FIFO among equals
+};
+
+struct ServiceConfig {
+  int num_workers = 4;               ///< max queries executing at once
+  std::size_t max_queue_depth = 256; ///< admission limit on waiting queries
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  FragmentCache::Config cache;       ///< budget 0 disables the cache
+  double default_deadline_s = 0.0;   ///< 0 = no deadline
+  int default_num_ranks = 1;         ///< emulated ranks per query
+  /// Start with dispatch suspended; no query runs until resume(). Used by
+  /// tests and maintenance windows to stage a queue deterministically.
+  bool start_paused = false;
+};
+
+/// One query submission. Unset fields fall back to the service defaults.
+struct Request {
+  std::string var;
+  Query query;
+  int priority = 0;        ///< larger runs earlier under kPriority
+  double deadline_s = -1;  ///< seconds from submission; <0 = default, 0 = none
+  int num_ranks = 0;       ///< 0 = service default
+};
+
+/// Per-query serving metrics, returned alongside the result.
+struct ServiceStats {
+  QueryId query_id = 0;
+  SessionId session = 0;
+  double queue_wait_s = 0.0;  ///< submission -> dispatch (wall clock)
+  double exec_wall_s = 0.0;   ///< measured wall time inside the store
+  double modeled_s = 0.0;     ///< QueryResult::times.total(): modeled io+cpu
+  CacheStats cache;           ///< fragment-cache accounting for this query
+};
+
+/// Everything a client gets back for one submission.
+struct Response {
+  Status status;       ///< ok, or why the query produced no result
+  QueryResult result;  ///< valid only when status.is_ok()
+  ServiceStats stats;
+};
+
+/// A submitted query: its id (usable with cancel()) and pending response.
+struct Submission {
+  QueryId id = 0;
+  std::future<Response> response;
+};
+
+/// Service-wide counters (a consistent snapshot under one lock).
+struct AggregateStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;   ///< resolved ok
+  std::uint64_t failed = 0;      ///< store returned an error
+  std::uint64_t rejected = 0;    ///< refused at admission (queue full/closed)
+  std::uint64_t expired = 0;     ///< deadline passed
+  std::uint64_t cancelled = 0;
+  CacheStats cache;              ///< summed per-query cache stats
+  double total_queue_wait_s = 0.0;
+  double total_exec_wall_s = 0.0;
+  double total_modeled_s = 0.0;
+  std::size_t peak_queue_depth = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_open = 0;
+};
+
+/// Per-session slice of the aggregates.
+struct SessionStats {
+  std::string label;
+  bool open = false;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;    ///< any non-ok resolution
+  CacheStats cache;
+  double total_queue_wait_s = 0.0;
+  double total_modeled_s = 0.0;
+};
+
+class QueryService {
+ public:
+  /// Takes ownership of the store; `cfg.cache.budget_bytes > 0` attaches a
+  /// FragmentCache to it as the FragmentProvider.
+  explicit QueryService(MlocStore store, ServiceConfig cfg = {});
+
+  /// Fails queued-but-undispatched queries with FailedPrecondition, then
+  /// drains in-flight queries to completion.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  Result<SessionId> open_session(std::string label = "");
+  Status close_session(SessionId id);
+
+  /// Submit a query. Always returns a Submission; admission rejections and
+  /// execution errors surface through Response::status.
+  Submission submit(SessionId session, Request req);
+
+  /// Convenience: submit and block for the response.
+  Response run(SessionId session, Request req);
+
+  /// Cancel a queued query. Fails with NotFound once it has been
+  /// dispatched (running queries are not interrupted).
+  Status cancel(QueryId id);
+
+  /// Suspend/resume dispatch. pause() lets already-dispatched queries
+  /// finish but keeps new arrivals queued; admission control still applies.
+  void pause();
+  void resume();
+
+  [[nodiscard]] AggregateStats aggregate() const;
+  [[nodiscard]] Result<SessionStats> session_stats(SessionId id) const;
+  [[nodiscard]] FragmentCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] const MlocStore& store() const noexcept { return store_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct PendingQuery {
+    QueryId id = 0;
+    SessionId session = 0;
+    Request req;
+    std::promise<Response> promise;
+    Stopwatch queued;  ///< started at submission; read at dispatch
+    double deadline_s = 0.0;  ///< 0 = none, relative to submission
+    bool cancelled = false;
+  };
+  struct SessionState {
+    SessionStats stats;
+  };
+
+  /// Worker-thread body: pop the scheduled pending query and execute it.
+  void dispatch_one();
+  /// Resolve a query and fold its stats into the aggregates.
+  void finish(std::unique_ptr<PendingQuery> p, Response resp);
+
+  ServiceConfig cfg_;
+  MlocStore store_;
+  FragmentCache cache_;
+
+  mutable std::mutex mutex_;
+  std::deque<std::unique_ptr<PendingQuery>> pending_;
+  std::size_t undispatched_ = 0;  ///< queued while paused (no pool task yet)
+  bool paused_ = false;
+  bool shutdown_ = false;
+  QueryId next_query_ = 1;
+  SessionId next_session_ = 1;
+  std::map<SessionId, SessionState> sessions_;
+  AggregateStats agg_;
+
+  /// Declared last: its destructor drains worker tasks that touch the
+  /// members above, so it must be destroyed first.
+  std::unique_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace mloc::service

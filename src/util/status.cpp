@@ -13,6 +13,9 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kFailedPrecondition: return "FailedPrecondition";
     case ErrorCode::kIoError: return "IoError";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

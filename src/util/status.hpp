@@ -25,6 +25,9 @@ enum class ErrorCode {
   kFailedPrecondition,// object not in the required state (e.g. store closed)
   kIoError,           // backing store read/write failed
   kInternal,          // invariant broke; indicates a bug in MLOC itself
+  kResourceExhausted, // admission/backpressure limit hit; retry later
+  kDeadlineExceeded,  // query deadline passed before completion
+  kCancelled,         // caller withdrew the request before it ran
 };
 
 /// Human-readable name of an error code ("InvalidArgument", ...).
@@ -76,6 +79,15 @@ inline Status io_error(std::string msg) {
 }
 inline Status internal_error(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status deadline_exceeded(std::string msg) {
+  return {ErrorCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status cancelled(std::string msg) {
+  return {ErrorCode::kCancelled, std::move(msg)};
 }
 
 /// Value-or-Status. Like std::expected<T, Status> (not available pre-C++23).

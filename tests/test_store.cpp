@@ -668,18 +668,36 @@ TEST(Store, ZoneMapAlignedFragmentsAvoidDecompression) {
   EXPECT_LT(res.value().fragments_read, 8u);
 }
 
-TEST(Store, EmptyVcRangeYieldsEmptyResult) {
+TEST(Store, DegenerateOrNanVcRejected) {
   pfs::PfsStorage fs;
   Grid grid = test_grid_2d();
   auto store = MlocStore::create(
       &fs, "t", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
   ASSERT_TRUE(store.is_ok());
   ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
+
+  // An empty half-open range ([lo, lo)) can never match: surfaced as an
+  // error instead of a silently empty result.
+  EXPECT_FALSE((ValueConstraint{5.0, 5.0}).valid());
   Query q;
   q.vc = ValueConstraint{5.0, 5.0};
   auto res = store.value().execute("phi", q);
-  ASSERT_TRUE(res.is_ok());
-  EXPECT_TRUE(res.value().positions.empty());
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kInvalidArgument);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& vc :
+       {ValueConstraint{nan, 1.0}, ValueConstraint{0.0, nan},
+        ValueConstraint{2.0, 1.0}}) {
+    EXPECT_FALSE(vc.valid());
+    q.vc = vc;
+    auto bad = store.value().execute("phi", q);
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+  }
+
+  // The default (unbounded) constraint stays valid.
+  EXPECT_TRUE(ValueConstraint{}.valid());
 }
 
 TEST(Store, UnknownVariableFails) {
