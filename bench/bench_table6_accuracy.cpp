@@ -29,8 +29,6 @@ int main() {
   };
   const std::vector<std::vector<double>> vars = {values_of(vu), values_of(vv),
                                                  values_of(vw)};
-  const char* names[3] = {"vu", "vv", "vw"};
-
   TablePrinter table(
       "Table VI: histogram error and K-means misclassification (%)",
       {"hist vu", "hist vv", "hist vw", "kmeans vv+vw"});

@@ -1,6 +1,35 @@
 #include "core/layout.hpp"
 
+#include "util/assert.hpp"
+#include "util/crc32.hpp"
+
 namespace mloc {
+
+void append_subfile_footer(Bytes& file) {
+  ByteWriter w;
+  w.put_u32(crc32(file));
+  w.put_u32(kSubfileFooterMagic);
+  const Bytes footer = std::move(w).take();
+  file.insert(file.end(), footer.begin(), footer.end());
+}
+
+Result<std::uint64_t> verify_subfile_footer(
+    std::span<const std::uint8_t> file) {
+  if (file.size() < kSubfileFooterSize) {
+    return corrupt_data("subfile footer: file shorter than footer");
+  }
+  const std::uint64_t payload = file.size() - kSubfileFooterSize;
+  ByteReader r(file.subspan(payload));
+  MLOC_ASSIGN_OR_RETURN(std::uint32_t stored_crc, r.get_u32());
+  MLOC_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
+  if (magic != kSubfileFooterMagic) {
+    return corrupt_data("subfile footer: bad magic");
+  }
+  if (stored_crc != crc32(file.first(payload))) {
+    return corrupt_data("subfile footer: CRC mismatch");
+  }
+  return payload;
+}
 
 void BinLayout::serialize(ByteWriter& w) const {
   w.put_varint(fragments.size());
@@ -76,10 +105,15 @@ Result<std::vector<std::uint32_t>> decode_positions(
   std::uint64_t prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     MLOC_ASSIGN_OR_RETURN(std::uint64_t delta, r.get_varint());
+    if (i != 0 && delta == 0) {
+      return corrupt_data("position index not strictly ascending");
+    }
     const std::uint64_t value = (i == 0) ? delta : prev + delta;
     if (value > 0xFFFFFFFFull) {
       return corrupt_data("position index exceeds 32 bits");
     }
+    MLOC_DCHECK(out.size() == i);
+    MLOC_DCHECK(i == 0 || value > prev);
     out.push_back(static_cast<std::uint32_t>(value));
     prev = value;
   }

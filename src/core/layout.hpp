@@ -63,6 +63,26 @@ struct BinLayout {
   [[nodiscard]] bool operator==(const BinLayout&) const = default;
 };
 
+// --- Subfile footer -------------------------------------------------------
+//
+// Every subfile MlocStore writes (.meta, .idx, .dat) ends with a fixed
+// 8-byte footer: CRC-32 of the payload (all preceding bytes, little-endian
+// u32) followed by the magic "MLCF". Per-segment FNV checksums only cover
+// extents a query happens to read; the footer covers the whole file — in
+// particular the fragment-table header bytes — so fsck and first-read
+// verification catch truncation, extension, and header damage too.
+
+inline constexpr std::uint32_t kSubfileFooterMagic = 0x4643'4C4Du;  // "MLCF"
+inline constexpr std::size_t kSubfileFooterSize = 8;
+
+/// Append the CRC footer to a finished subfile image.
+void append_subfile_footer(Bytes& file);
+
+/// Validate the footer of a subfile image; returns the payload length
+/// (file size minus footer) or CorruptData on a missing/mismatched footer.
+Result<std::uint64_t> verify_subfile_footer(
+    std::span<const std::uint8_t> file);
+
 /// Encode ascending local offsets as delta varints (first absolute).
 Bytes encode_positions(std::span<const std::uint32_t> local_offsets);
 

@@ -14,7 +14,7 @@ namespace mloc {
 namespace {
 
 constexpr std::uint32_t kMetaMagic = 0x4D4C4F43;  // "MLOC"
-constexpr std::uint32_t kMetaVersion = 1;
+constexpr std::uint32_t kMetaVersion = 2;         // v2: CRC subfile footers
 
 std::string idx_name(const std::string& store, const std::string& var,
                      int bin) {
@@ -109,7 +109,9 @@ Status MlocStore::write_meta() {
     w.put_varint(v.bins.size());
     for (const auto& b : v.bins) w.put_varint(b.header_len);
   }
-  return fs_->set_contents(meta_file_, std::move(w).take());
+  Bytes meta = std::move(w).take();
+  append_subfile_footer(meta);
+  return fs_->set_contents(meta_file_, std::move(meta));
 }
 
 Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
@@ -122,7 +124,9 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
   MLOC_ASSIGN_OR_RETURN(std::uint64_t meta_size,
                         fs->file_size(store.meta_file_));
   MLOC_ASSIGN_OR_RETURN(Bytes meta, fs->read(store.meta_file_, 0, meta_size));
-  ByteReader r(meta);
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t meta_payload,
+                        verify_subfile_footer(meta));
+  ByteReader r(std::span<const std::uint8_t>(meta).first(meta_payload));
 
   MLOC_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
   if (magic != kMetaMagic) return corrupt_data("meta: bad magic");
@@ -183,6 +187,17 @@ std::vector<std::string> MlocStore::variables() const {
 Result<const BinningScheme*> MlocStore::binning(const std::string& var) const {
   MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
   return &vs->scheme;
+}
+
+Result<std::vector<MlocStore::BinSubfiles>> MlocStore::bin_subfiles(
+    const std::string& var) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  std::vector<BinSubfiles> out;
+  out.reserve(vs->bins.size());
+  for (const auto& b : vs->bins) {
+    out.push_back({b.idx, b.dat, b.header_len});
+  }
+  return out;
 }
 
 Result<const MlocStore::VariableState*> MlocStore::find_var(
@@ -352,8 +367,12 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid) {
     files.header_len = header.size();
     Bytes idx = std::move(header).take();
     idx.insert(idx.end(), blob_section.begin(), blob_section.end());
+    append_subfile_footer(idx);
+    append_subfile_footer(dat);
     MLOC_RETURN_IF_ERROR(fs_->set_contents(files.idx, std::move(idx)));
     MLOC_RETURN_IF_ERROR(fs_->set_contents(files.dat, std::move(dat)));
+    // We wrote these bytes ourselves: no need to re-verify on first read.
+    files.footer_state->store(3);
     vs.bins.push_back(files);
   }
 
@@ -362,6 +381,22 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid) {
 }
 
 // ------------------------------------------------------------ query path
+
+Status MlocStore::ensure_subfile_verified(const BinFiles& files,
+                                          bool dat_file) const {
+  const std::uint8_t bit = dat_file ? 2 : 1;
+  if ((files.footer_state->load(std::memory_order_acquire) & bit) != 0) {
+    return Status::ok();
+  }
+  const pfs::FileId id = dat_file ? files.dat : files.idx;
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t size, fs_->file_size(id));
+  // Integrity scan, not query I/O: read without the IoLog so the cost
+  // model charges only what the query itself fetches.
+  MLOC_ASSIGN_OR_RETURN(Bytes content, fs_->read(id, 0, size));
+  MLOC_RETURN_IF_ERROR(verify_subfile_footer(content).status());
+  files.footer_state->fetch_or(bit, std::memory_order_acq_rel);
+  return Status::ok();
+}
 
 Result<std::vector<double>> MlocStore::fetch_fragment_values(
     const VariableState& vs, int bin, const FragmentInfo& frag, int level,
@@ -387,6 +422,7 @@ Result<std::vector<double>> MlocStore::fetch_fragment_values(
     // Cached planes answer groups [0, have); the PFS covers [have, level).
     std::shared_ptr<FragmentData> fresh;
     if (have < level) {
+      MLOC_RETURN_IF_ERROR(ensure_subfile_verified(files, /*dat_file=*/true));
       fresh = std::make_shared<FragmentData>();
       fresh->count = frag.count;
       fresh->planes.reserve(static_cast<std::size_t>(level));
@@ -433,6 +469,7 @@ Result<std::vector<double>> MlocStore::fetch_fragment_values(
       return hit->values;
     }
   }
+  MLOC_RETURN_IF_ERROR(ensure_subfile_verified(files, /*dat_file=*/true));
   MLOC_ASSIGN_OR_RETURN(
       Bytes raw, fs_->read(files.dat, frag.groups[0].offset,
                            frag.groups[0].length, &ctx.io_log,
@@ -632,6 +669,11 @@ Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
         out.cache.bytes_saved += frag.positions.length;
         local = &pos_hit->positions;
       } else {
+        if (Status s = ensure_subfile_verified(files, /*dat_file=*/false);
+            !s.is_ok()) {
+          phase2_status = s;
+          return;
+        }
         auto blob =
             fs_->read(files.idx, files.header_len + frag.positions.offset,
                       frag.positions.length, &ctx.io_log,

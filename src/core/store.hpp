@@ -13,6 +13,7 @@
 // model's I/O makespan with measured per-rank decompress/reconstruct CPU.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -145,6 +146,15 @@ class MlocStore {
   /// Metadata accessors for the query planner.
   [[nodiscard]] Result<const BinningScheme*> binning(
       const std::string& var) const;
+  /// Subfile locations of one variable's bins, for offline tooling
+  /// (tools/fsck's LayoutVerifier walks the raw layout through these).
+  struct BinSubfiles {
+    pfs::FileId idx = 0;
+    pfs::FileId dat = 0;
+    std::uint64_t header_len = 0;  ///< fragment-table bytes at .idx start
+  };
+  [[nodiscard]] Result<std::vector<BinSubfiles>> bin_subfiles(
+      const std::string& var) const;
   [[nodiscard]] const ChunkGrid& chunk_grid() const noexcept {
     return chunk_grid_;
   }
@@ -180,6 +190,12 @@ class MlocStore {
     pfs::FileId idx = 0;
     pfs::FileId dat = 0;
     std::uint64_t header_len = 0;  ///< fragment-table bytes at .idx start
+    /// Lazy footer-verification state, shared across copies: bit 0 set once
+    /// the .idx footer CRC has been checked, bit 1 for .dat. Stores opened
+    /// from existing files start unverified; the first cache-miss read of
+    /// each subfile pays one full-file CRC scan.
+    std::shared_ptr<std::atomic<std::uint8_t>> footer_state =
+        std::make_shared<std::atomic<std::uint8_t>>(0);
   };
   struct VariableState {
     std::string name;
@@ -191,6 +207,10 @@ class MlocStore {
 
   Status init_codecs();
   Status write_meta();
+
+  /// Verify the footer CRC of one bin subfile if not already done (lazy,
+  /// thread-safe; reads the whole file outside the modeled I/O log).
+  Status ensure_subfile_verified(const BinFiles& files, bool dat_file) const;
   [[nodiscard]] Result<const VariableState*> find_var(
       const std::string& var) const;
 

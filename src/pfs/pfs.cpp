@@ -177,9 +177,17 @@ Status PfsStorage::save_to_dir(const std::string& dir) const {
     }
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) return io_error("pfs: cannot open " + path.string());
-    out.write(reinterpret_cast<const char*>(files_[i].data()),
-              static_cast<std::streamsize>(files_[i].size()));
+    if (!files_[i].empty()) {
+      out.write(reinterpret_cast<const char*>(files_[i].data()),
+                static_cast<std::streamsize>(files_[i].size()));
+    }
+    out.flush();
     if (!out) return io_error("pfs: short write to " + path.string());
+    // A stream can report good until close flushes the last buffer; close
+    // explicitly and re-check so a full disk surfaces as IoError here, not
+    // as silent truncation discovered at load time.
+    out.close();
+    if (out.fail()) return io_error("pfs: close failed for " + path.string());
   }
   return Status::ok();
 }
@@ -205,12 +213,21 @@ Result<PfsStorage> PfsStorage::load_from_dir(const std::string& dir,
     if (ec) return io_error("pfs: relative path failure");
     std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in) return io_error("pfs: cannot open " + path.string());
-    const auto size = static_cast<std::size_t>(in.tellg());
+    const std::streamoff end = in.tellg();
+    if (end < 0) return io_error("pfs: cannot size " + path.string());
+    const auto size = static_cast<std::size_t>(end);
     in.seekg(0);
+    if (!in) return io_error("pfs: cannot rewind " + path.string());
     Bytes content(size);
-    in.read(reinterpret_cast<char*>(content.data()),
-            static_cast<std::streamsize>(size));
-    if (!in) return io_error("pfs: short read from " + path.string());
+    if (size > 0) {
+      in.read(reinterpret_cast<char*>(content.data()),
+              static_cast<std::streamsize>(size));
+      // in.read sets failbit on a short read, but check gcount explicitly:
+      // the file may have shrunk between tellg and read.
+      if (!in || static_cast<std::size_t>(in.gcount()) != size) {
+        return io_error("pfs: short read from " + path.string());
+      }
+    }
     MLOC_ASSIGN_OR_RETURN(FileId id, storage.create(name));
     MLOC_RETURN_IF_ERROR(storage.set_contents(id, std::move(content)));
   }

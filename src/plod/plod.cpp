@@ -67,10 +67,12 @@ Result<std::vector<double>> assemble(
 
   std::vector<double> out(count);
   for (std::size_t i = 0; i < count; ++i) {
+    MLOC_DCHECK(2 * i + 1 < groups[0].size());
     std::uint64_t bits =
         (static_cast<std::uint64_t>(groups[0][2 * i]) << 56) |
         (static_cast<std::uint64_t>(groups[0][2 * i + 1]) << 48);
     for (int g = 1; g < level; ++g) {
+      MLOC_DCHECK(i < groups[g].size());
       bits |= static_cast<std::uint64_t>(groups[g][i]) << (8 * (6 - g));
     }
     bits |= fill;

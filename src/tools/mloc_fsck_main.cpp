@@ -1,0 +1,81 @@
+// mloc_fsck — offline layout-invariant checker (CLI half).
+//
+// Usage:
+//   mloc_fsck [--json] [--no-decode] [--max-issues N] <dir> [store...]
+//
+// Loads the PFS image saved under <dir> (the directory written by
+// PfsStorage::save_to_dir / the mloc_cli "build" step), then verifies every
+// on-disk invariant of the named stores (all discovered stores when none are
+// named). Human report on stdout by default; --json emits one JSON object
+// per store for CI consumption.
+//
+// Exit codes: 0 all stores clean, 1 invariant violations found, 2 bad
+// usage or unreadable input.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pfs/pfs.hpp"
+#include "tools/fsck.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mloc_fsck [--json] [--no-decode] [--max-issues N] "
+               "<dir> [store...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  mloc::fsck::Options opts;
+  std::string dir;
+  std::vector<std::string> stores;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-decode") {
+      opts.decode_payloads = false;
+    } else if (arg == "--max-issues") {
+      if (i + 1 >= argc) return usage();
+      opts.max_issues = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg.starts_with("--")) {
+      return usage();
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      stores.push_back(arg);
+    }
+  }
+  if (dir.empty()) return usage();
+
+  auto loaded = mloc::pfs::PfsStorage::load_from_dir(dir);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "mloc_fsck: %s\n",
+                 loaded.status().to_string().c_str());
+    return 2;
+  }
+  mloc::pfs::PfsStorage fs = std::move(loaded).value();
+
+  mloc::fsck::LayoutVerifier verifier(&fs, opts);
+  if (stores.empty()) stores = verifier.discover_stores();
+  if (stores.empty()) {
+    std::fprintf(stderr, "mloc_fsck: no MLOC stores found in %s\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  bool all_ok = true;
+  for (const auto& name : stores) {
+    const mloc::fsck::Report report = verifier.verify_store(name);
+    all_ok = all_ok && report.ok();
+    const std::string rendered = json ? report.json() + "\n" : report.human();
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the subfile
+// footer checksum. FNV-1a (hash.hpp) guards individual segments; the CRC
+// footer covers a subfile's entire payload so truncation, extension, and
+// damage to the fragment-table bytes themselves are also caught (those
+// bytes are not covered by any per-segment checksum).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mloc {
+
+/// CRC-32 of `bytes`, optionally continuing from a previous value (pass the
+/// prior return value to checksum a file in pieces).
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t crc = 0) noexcept;
+
+}  // namespace mloc

@@ -447,11 +447,13 @@ TEST(StorePersistence, CorruptPositionBlobDetectedByChecksum) {
   ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
 
   // Corrupt the blob section (bytes after the header) of every .idx file.
+  // The last kSubfileFooterSize bytes are the CRC footer, so the last blob
+  // byte sits just before it.
   for (auto& [name, size] : fs.listing()) {
-    if (name.ends_with(".idx") && size > 8) {
+    if (name.ends_with(".idx") && size > 2 * kSubfileFooterSize) {
       auto id = fs.open(name).value();
       Bytes content = fs.read(id, 0, size).value();
-      content[size - 1] ^= 0xFF;  // last blob byte
+      content[size - kSubfileFooterSize - 1] ^= 0xFF;  // last blob byte
       ASSERT_TRUE(fs.set_contents(id, std::move(content)).is_ok());
     }
   }
