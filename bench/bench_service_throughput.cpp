@@ -2,10 +2,20 @@
 // a repeated-region exploration workload (the access pattern §II calls
 // heterogeneous exploration: clients revisit overlapping regions at mixed
 // PLoD levels). Reports queries/sec both in wall-clock terms and in the
-// repo's modeled time (PFS cost model + measured CPU), plus the cache
-// hit ratio and payload bytes never re-read — the counters that prove the
-// speedup comes from the cache, not timing noise.
+// repo's modeled time (PFS cost model + measured CPU), plus p50/p95
+// per-query latency, the cache hit ratio and payload bytes never re-read.
+//
+// A second section exercises the staged execution engine directly:
+// the same query mix runs cold vs warm (shared FragmentCache) and
+// coalesced vs naive (ExecOptions::naive_io), and the extent/seek
+// counters land in a machine-readable BENCH_engine.json so the perf
+// trajectory is tracked across PRs. Exits non-zero if coalescing fails
+// to reduce extents — CI runs this as a smoke test of the engine's
+// core claim.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,10 +28,22 @@ using namespace mloc::bench;
 
 namespace {
 
+/// Nearest-rank percentile over an unsorted sample (sorted in place).
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
 struct CellResult {
   double wall_qps = 0;
   double modeled_qps = 0;
-  double mean_modeled_ms = 0;
+  double p50_modeled_ms = 0;
+  double p95_modeled_ms = 0;
+  double p50_wall_ms = 0;
+  double p95_wall_ms = 0;
   double hit_ratio = 0;
   double mib_saved = 0;
 };
@@ -33,6 +55,9 @@ CellResult run_cell(service::QueryService& svc, int clients, int rounds,
   std::vector<CacheStats> cache(clients);
   std::vector<double> modeled(clients, 0.0);
   std::vector<std::uint64_t> done(clients, 0);
+  std::mutex lat_mutex;
+  std::vector<double> modeled_lat;  // seconds, one entry per query
+  std::vector<double> wall_lat;     // queue wait + store wall, per query
 
   Stopwatch wall;
   std::vector<std::thread> threads;
@@ -40,6 +65,7 @@ CellResult run_cell(service::QueryService& svc, int clients, int rounds,
     threads.emplace_back([&, t] {
       auto sid = svc.open_session("bench-" + std::to_string(t));
       MLOC_CHECK(sid.is_ok());
+      std::vector<double> my_modeled, my_wall;
       for (int r = 0; r < rounds; ++r) {
         for (std::size_t i = 0; i < regions.size(); ++i) {
           service::Request req;
@@ -53,9 +79,15 @@ CellResult run_cell(service::QueryService& svc, int clients, int rounds,
                          resp.status.to_string().c_str());
           cache[t] += resp.stats.cache;
           modeled[t] += resp.stats.modeled_s;
+          my_modeled.push_back(resp.stats.modeled_s);
+          my_wall.push_back(resp.stats.queue_wait_s + resp.stats.exec_wall_s);
           ++done[t];
         }
       }
+      std::lock_guard lock(lat_mutex);
+      modeled_lat.insert(modeled_lat.end(), my_modeled.begin(),
+                         my_modeled.end());
+      wall_lat.insert(wall_lat.end(), my_wall.begin(), my_wall.end());
     });
   }
   for (auto& th : threads) th.join();
@@ -74,7 +106,10 @@ CellResult run_cell(service::QueryService& svc, int clients, int rounds,
   // Modeled latencies accrue per client; with `clients` concurrent
   // sessions the modeled steady-state throughput is n / (sum / clients).
   out.modeled_qps = static_cast<double>(n) / (total_modeled / clients);
-  out.mean_modeled_ms = total_modeled / static_cast<double>(n) * 1e3;
+  out.p50_modeled_ms = percentile(modeled_lat, 0.50) * 1e3;
+  out.p95_modeled_ms = percentile(modeled_lat, 0.95) * 1e3;
+  out.p50_wall_ms = percentile(wall_lat, 0.50) * 1e3;
+  out.p95_wall_ms = percentile(wall_lat, 0.95) * 1e3;
   const std::uint64_t consults =
       total_cache.hits + total_cache.partial_hits + total_cache.misses;
   out.hit_ratio =
@@ -84,6 +119,41 @@ CellResult run_cell(service::QueryService& svc, int clients, int rounds,
                 static_cast<double>(consults);
   out.mib_saved = static_cast<double>(total_cache.bytes_saved) / (1 << 20);
   return out;
+}
+
+/// Engine counters for one pass of the query mix through a store.
+struct EnginePass {
+  ExecStats exec;
+  double modeled_io_s = 0;
+};
+
+EnginePass run_mix(MlocStore& store, const std::vector<Query>& mix,
+                   const exec::ExecOptions& opts) {
+  EnginePass out;
+  for (const Query& q : mix) {
+    auto r = store.execute("v", q, 2, opts);
+    MLOC_CHECK_MSG(r.is_ok(), r.status().to_string().c_str());
+    out.exec += r.value().exec;
+    out.modeled_io_s += r.value().times.io;
+  }
+  return out;
+}
+
+void json_exec(std::FILE* f, const char* key, const EnginePass& p,
+               const char* tail) {
+  std::fprintf(
+      f,
+      "    \"%s\": {\"bytes_planned\": %llu, \"bytes_read\": %llu, "
+      "\"bytes_from_cache\": %llu, \"extents_naive\": %llu, "
+      "\"extents_coalesced\": %llu, \"modeled_seeks\": %llu, "
+      "\"modeled_io_s\": %.9f}%s\n",
+      key, static_cast<unsigned long long>(p.exec.bytes_planned),
+      static_cast<unsigned long long>(p.exec.bytes_read),
+      static_cast<unsigned long long>(p.exec.bytes_from_cache),
+      static_cast<unsigned long long>(p.exec.extents_naive),
+      static_cast<unsigned long long>(p.exec.extents_coalesced),
+      static_cast<unsigned long long>(p.exec.modeled_seeks), p.modeled_io_s,
+      tail);
 }
 
 }  // namespace
@@ -113,12 +183,15 @@ int main() {
   };
   const std::vector<int> client_counts = {1, 2, 4, 8};
 
-  // cold_qps[clients index] for the speedup summary.
+  // cold_qps[clients index] for the speedup summary; warm cells also feed
+  // the JSON trajectory file.
   std::vector<double> cold_modeled_qps(client_counts.size(), 0);
   std::vector<double> warm_modeled_qps(client_counts.size(), 0);
   std::vector<double> cold_wall_qps(client_counts.size(), 0);
   std::vector<double> warm_wall_qps(client_counts.size(), 0);
   std::vector<double> warm_hit(client_counts.size(), 0);
+  std::vector<CellResult> cold_cells(client_counts.size());
+  std::vector<CellResult> warm_cells(client_counts.size());
 
   for (std::size_t b = 0; b < budgets.size(); ++b) {
     pfs::PfsStorage fs(default_pfs());
@@ -132,21 +205,24 @@ int main() {
     service::QueryService svc(std::move(store).value(), svc_cfg);
 
     TablePrinter table(std::string("Service throughput — ") + budgets[b].first,
-                       {"q/s (wall)", "q/s (modeled)", "modeled ms/q",
+                       {"q/s (wall)", "q/s (modeled)", "p50 ms", "p95 ms",
                         "hit %", "MiB saved"});
     for (std::size_t c = 0; c < client_counts.size(); ++c) {
       const CellResult cell =
           run_cell(svc, client_counts[c], rounds, regions);
       table.add_row(std::to_string(client_counts[c]) + " clients",
-                    {cell.wall_qps, cell.modeled_qps, cell.mean_modeled_ms,
-                     cell.hit_ratio * 100.0, cell.mib_saved});
+                    {cell.wall_qps, cell.modeled_qps, cell.p50_modeled_ms,
+                     cell.p95_modeled_ms, cell.hit_ratio * 100.0,
+                     cell.mib_saved});
       if (budgets[b].second == 0) {
         cold_modeled_qps[c] = cell.modeled_qps;
         cold_wall_qps[c] = cell.wall_qps;
+        cold_cells[c] = cell;
       } else if (b + 1 == budgets.size()) {
         warm_modeled_qps[c] = cell.modeled_qps;
         warm_wall_qps[c] = cell.wall_qps;
         warm_hit[c] = cell.hit_ratio;
+        warm_cells[c] = cell;
       }
     }
     table.print();
@@ -160,9 +236,102 @@ int main() {
         client_counts[c], warm_modeled_qps[c] / cold_modeled_qps[c],
         warm_wall_qps[c] / cold_wall_qps[c], warm_hit[c] * 100.0);
   }
-  std::printf(
-      "\nThe hit/miss counters above attribute the gap: warm runs serve"
-      " fragments\nfrom the cache (payload reads avoided), cold runs pay"
-      " the full PFS + decode\npath on every query.\n");
+
+  // ------------------------------------------------------ engine section
+  // Same mix, driven through MlocStore::execute so ExecOptions is under
+  // our control: coalesced vs naive scheduling on a cold store, then a
+  // cold -> warm pass against a shared FragmentCache.
+  std::vector<Query> mix;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    Query q;
+    q.sc = regions[i];
+    q.plod_level = i % 2 == 0 ? 3 : 7;
+    mix.push_back(q);
+  }
+
+  pfs::PfsStorage engine_fs(default_pfs());
+  auto engine_store = build_mloc(&engine_fs, "engine", ds, kMlocCol,
+                                 LevelOrder::kVMS, sfc::CurveKind::kHilbert,
+                                 /*num_bins=*/16);
+  MLOC_CHECK_MSG(engine_store.is_ok(),
+                 engine_store.status().to_string().c_str());
+  MlocStore& es = engine_store.value();
+
+  exec::ExecOptions coalesced_opts;
+  exec::ExecOptions naive_opts;
+  naive_opts.naive_io = true;
+  // No fragment provider attached: both passes pay full payload I/O, so
+  // the only difference is the schedule.
+  const EnginePass naive = run_mix(es, mix, naive_opts);
+  const EnginePass coalesced = run_mix(es, mix, coalesced_opts);
+
+  service::FragmentCache engine_cache;
+  es.set_fragment_provider(&engine_cache);
+  const EnginePass cold = run_mix(es, mix, coalesced_opts);
+  const EnginePass warm = run_mix(es, mix, coalesced_opts);
+  es.set_fragment_provider(nullptr);
+
+  const bool coalescing_ok =
+      coalesced.exec.extents_coalesced < coalesced.exec.extents_naive &&
+      coalesced.exec.modeled_seeks < naive.exec.modeled_seeks &&
+      coalesced.modeled_io_s <= naive.modeled_io_s;
+
+  std::printf("\nEngine (16-bin V-M-S store, %zu-query mix, 2 ranks):\n",
+              mix.size());
+  std::printf("  extents: %llu naive -> %llu coalesced\n",
+              static_cast<unsigned long long>(coalesced.exec.extents_naive),
+              static_cast<unsigned long long>(
+                  coalesced.exec.extents_coalesced));
+  std::printf("  modeled seeks: %llu naive -> %llu coalesced\n",
+              static_cast<unsigned long long>(naive.exec.modeled_seeks),
+              static_cast<unsigned long long>(coalesced.exec.modeled_seeks));
+  std::printf("  warm cache: %.1f MiB served from cache (%.1f MiB read"
+              " cold)\n",
+              static_cast<double>(warm.exec.bytes_from_cache) / (1 << 20),
+              static_cast<double>(cold.exec.bytes_read) / (1 << 20));
+
+  const char* json_path = std::getenv("MLOC_BENCH_JSON");
+  if (json_path == nullptr) json_path = "BENCH_engine.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  MLOC_CHECK_MSG(f != nullptr, "cannot open BENCH_engine.json for writing");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"service_throughput\",\n");
+  std::fprintf(f, "  \"scale\": %.3f,\n", cfg.scale);
+  std::fprintf(f, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(f, "  \"throughput\": [\n");
+  for (std::size_t c = 0; c < client_counts.size(); ++c) {
+    for (int warm_row = 0; warm_row < 2; ++warm_row) {
+      const CellResult& cell = warm_row ? warm_cells[c] : cold_cells[c];
+      std::fprintf(
+          f,
+          "    {\"clients\": %d, \"cache\": \"%s\", \"wall_qps\": %.3f, "
+          "\"modeled_qps\": %.3f, \"p50_modeled_ms\": %.4f, "
+          "\"p95_modeled_ms\": %.4f, \"p50_wall_ms\": %.4f, "
+          "\"p95_wall_ms\": %.4f, \"hit_ratio\": %.4f}%s\n",
+          client_counts[c], warm_row ? "warm64MiB" : "cold", cell.wall_qps,
+          cell.modeled_qps, cell.p50_modeled_ms, cell.p95_modeled_ms,
+          cell.p50_wall_ms, cell.p95_wall_ms, cell.hit_ratio,
+          c + 1 == client_counts.size() && warm_row == 1 ? "" : ",");
+    }
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"engine\": {\n");
+  json_exec(f, "naive", naive, ",");
+  json_exec(f, "coalesced", coalesced, ",");
+  json_exec(f, "cold", cold, ",");
+  json_exec(f, "warm", warm, ",");
+  std::fprintf(f, "    \"coalescing_ok\": %s\n",
+               coalescing_ok ? "true" : "false");
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (coalescing_ok=%s)\n", json_path,
+              coalescing_ok ? "true" : "false");
+
+  if (!coalescing_ok) {
+    std::fprintf(stderr,
+                 "FAIL: coalescing did not reduce extents/seeks vs the"
+                 " naive schedule\n");
+    return 1;
+  }
   return 0;
 }

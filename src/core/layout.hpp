@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "array/chunking.hpp"
@@ -61,6 +64,30 @@ struct BinLayout {
   static Result<BinLayout> deserialize(ByteReader& r);
 
   [[nodiscard]] bool operator==(const BinLayout&) const = default;
+};
+
+/// One-slot cache for a bin's decoded fragment table. A bin's .idx header
+/// is immutable once written, so the first decode (or the writer itself)
+/// publishes the layout and every later query skips the header read and
+/// re-parse entirely — repeated queries stop paying one header extent per
+/// (rank, bin) in both wall time and the modeled seek count.
+class BinHeaderCache {
+ public:
+  [[nodiscard]] std::shared_ptr<const BinLayout> get() const {
+    std::lock_guard lock(mu_);
+    return layout_;
+  }
+
+  /// First writer wins; later calls are no-ops (the header is immutable,
+  /// so any decoded copy is as good as another).
+  void put(std::shared_ptr<const BinLayout> layout) {
+    std::lock_guard lock(mu_);
+    if (!layout_) layout_ = std::move(layout);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const BinLayout> layout_;
 };
 
 // --- Subfile footer -------------------------------------------------------

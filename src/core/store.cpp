@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <set>
 
 #include "compress/registry.hpp"
+#include "exec/engine.hpp"
 #include "plod/plod.hpp"
 #include "util/hash.hpp"
 #include "util/timer.hpp"
@@ -41,13 +41,6 @@ Result<NDShape> deserialize_shape(ByteReader& r) {
     if (extents[d] == 0) return corrupt_data("meta: zero extent");
   }
   return NDShape(ndims, extents);
-}
-
-/// Row-major shape of a region (for local-offset <-> coord mapping).
-NDShape region_shape(const Region& region) {
-  Coord extents{};
-  for (int d = 0; d < region.ndims(); ++d) extents[d] = region.extent(d);
-  return {region.ndims(), extents};
 }
 
 }  // namespace
@@ -371,8 +364,12 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid) {
     append_subfile_footer(dat);
     MLOC_RETURN_IF_ERROR(fs_->set_contents(files.idx, std::move(idx)));
     MLOC_RETURN_IF_ERROR(fs_->set_contents(files.dat, std::move(dat)));
-    // We wrote these bytes ourselves: no need to re-verify on first read.
+    // We wrote these bytes ourselves: no need to re-verify on first read,
+    // and the fragment table is in hand — publish it to the header cache so
+    // queries against a freshly created store never re-read bin headers.
     files.footer_state->store(3);
+    files.header_cache->put(
+        std::make_shared<const BinLayout>(std::move(layout)));
     vs.bins.push_back(files);
   }
 
@@ -398,413 +395,52 @@ Status MlocStore::ensure_subfile_verified(const BinFiles& files,
   return Status::ok();
 }
 
-Result<std::vector<double>> MlocStore::fetch_fragment_values(
-    const VariableState& vs, int bin, const FragmentInfo& frag, int level,
-    parallel::RankContext& ctx, CacheStats& cache) const {
-  const BinFiles& files = vs.bins[bin];
-  FragmentProvider* provider = provider_;
-  if (plod_capable()) {
-    // Consult the provider for a decoded byte-group prefix. Any entry at
-    // least `level` deep is a full hit; a shallower one still saves its
-    // planes (prefix reuse) and gets deepened after the partial fetch.
-    std::shared_ptr<const FragmentData> hit;
-    if (provider != nullptr) {
-      hit = provider->lookup({vs.name, bin, frag.chunk});
-      if (hit != nullptr && (hit->count != frag.count || hit->planes.empty())) {
-        hit = nullptr;  // foreign/degenerate entry: treat as a miss
-      }
-    }
-    const int have = hit == nullptr ? 0 : std::min(hit->depth(), level);
-    for (int g = 0; g < have; ++g) {
-      cache.bytes_saved += frag.groups[g].length;
-    }
-
-    // Cached planes answer groups [0, have); the PFS covers [have, level).
-    std::shared_ptr<FragmentData> fresh;
-    if (have < level) {
-      MLOC_RETURN_IF_ERROR(ensure_subfile_verified(files, /*dat_file=*/true));
-      fresh = std::make_shared<FragmentData>();
-      fresh->count = frag.count;
-      fresh->planes.reserve(static_cast<std::size_t>(level));
-      for (int g = 0; g < have; ++g) fresh->planes.push_back(hit->planes[g]);
-      for (int g = have; g < level; ++g) {
-        MLOC_ASSIGN_OR_RETURN(
-            Bytes raw, fs_->read(files.dat, frag.groups[g].offset,
-                                 frag.groups[g].length, &ctx.io_log,
-                                 static_cast<std::uint32_t>(ctx.rank)));
-        if (fnv1a64(raw) != frag.groups[g].checksum) {
-          return corrupt_data("fragment segment failed checksum");
-        }
-        Stopwatch sw;
-        MLOC_ASSIGN_OR_RETURN(Bytes plane, byte_codec_->decode(raw));
-        ctx.times.decompress += sw.seconds();
-        fresh->planes.push_back(std::move(plane));
-      }
-    }
-    if (provider != nullptr) {
-      if (have >= level) {
-        ++cache.hits;
-      } else {
-        have > 0 ? ++cache.partial_hits : ++cache.misses;
-        provider->insert({vs.name, bin, frag.chunk}, fresh);
-      }
-    }
-
-    Stopwatch sw;
-    const auto& planes = fresh != nullptr ? fresh->planes : hit->planes;
-    std::vector<std::span<const std::uint8_t>> spans;
-    spans.reserve(static_cast<std::size_t>(level));
-    for (int g = 0; g < level; ++g) spans.emplace_back(planes[g]);
-    auto assembled = plod::assemble(spans, level, frag.count);
-    ctx.times.reconstruct += sw.seconds();
-    return assembled;
-  }
-
-  // Whole-value mode: the decoded buffer is cached at full precision.
-  if (provider != nullptr) {
-    auto hit = provider->lookup({vs.name, bin, frag.chunk});
-    if (hit != nullptr && hit->count == frag.count && !hit->values.empty()) {
-      ++cache.hits;
-      cache.bytes_saved += frag.groups[0].length;
-      return hit->values;
-    }
-  }
-  MLOC_RETURN_IF_ERROR(ensure_subfile_verified(files, /*dat_file=*/true));
-  MLOC_ASSIGN_OR_RETURN(
-      Bytes raw, fs_->read(files.dat, frag.groups[0].offset,
-                           frag.groups[0].length, &ctx.io_log,
-                           static_cast<std::uint32_t>(ctx.rank)));
-  if (fnv1a64(raw) != frag.groups[0].checksum) {
-    return corrupt_data("fragment segment failed checksum");
-  }
-  Stopwatch sw;
-  auto decoded = double_codec_->decode(raw);
-  ctx.times.decompress += sw.seconds();
-  if (provider != nullptr && decoded.is_ok()) {
-    ++cache.misses;
-    if (decoded.value().size() == frag.count) {
-      auto fresh = std::make_shared<FragmentData>();
-      fresh->count = frag.count;
-      fresh->values = decoded.value();
-      provider->insert({vs.name, bin, frag.chunk}, std::move(fresh));
-    }
-  }
-  return decoded;
+Result<QueryResult> MlocStore::execute(const std::string& var, const Query& q,
+                                       int num_ranks) const {
+  return execute(var, q, num_ranks, exec::ExecOptions{});
 }
 
 Result<QueryResult> MlocStore::execute(const std::string& var, const Query& q,
-                                       int num_ranks) const {
+                                       int num_ranks,
+                                       const exec::ExecOptions& opts) const {
   MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
-  return execute_impl(*vs, q, num_ranks, nullptr);
+  return execute_impl(*vs, q, num_ranks, nullptr, opts);
 }
 
-Result<QueryResult> MlocStore::execute_impl(const VariableState& vs,
-                                            const Query& q, int num_ranks,
-                                            const Bitmap* position_filter) const {
-  if (num_ranks < 1) return invalid_argument("query: num_ranks must be >= 1");
-  const int max_level = num_groups() == 1 ? 7 : plod::kNumGroups;
-  if (q.plod_level < 1 || q.plod_level > 7) {
-    return invalid_argument("query: PLoD level must be in [1,7]");
-  }
-  if (q.plod_level < 7 && !plod_capable()) {
-    return unsupported(
-        "query: PLoD levels below full precision need a byte-column codec "
-        "(MLOC-COL); this store uses " + cfg_.codec);
-  }
-  (void)max_level;
-  if (q.sc.has_value() && q.sc->ndims() != cfg_.shape.ndims()) {
-    return invalid_argument("query: SC dimensionality mismatch");
-  }
-  // A degenerate ([lo, lo)) or NaN value range can never match; surface it
-  // as a caller error rather than silently returning an empty result.
-  if (q.vc.has_value() && !q.vc->valid()) {
-    return invalid_argument(
-        "query: value constraint is empty or NaN (requires lo < hi)");
-  }
+Result<exec::PlanSummary> MlocStore::plan(const std::string& var,
+                                          const Query& q, int num_ranks,
+                                          const exec::ExecOptions& opts) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  return exec::plan_query(make_view(*vs), q, num_ranks, opts);
+}
 
-  QueryResult result;
-
-  // --- Step 1 (paper Fig. 5): bins to access, from the VC vs bin bounds.
-  int first_bin = 0;
-  int last_bin = vs.scheme.num_bins() - 1;
-  if (q.vc.has_value()) {
-    const auto span = vs.scheme.bins_overlapping(q.vc->lo, q.vc->hi);
-    if (span.empty()) return result;  // no bin can match
-    first_bin = span.first;
-    last_bin = span.last;
+exec::StoreView MlocStore::make_view(const VariableState& vs) const {
+  exec::StoreView view;
+  view.fs = fs_;
+  view.cfg = &cfg_;
+  view.chunk_grid = &chunk_grid_;
+  view.var = &vs.name;
+  view.scheme = &vs.scheme;
+  view.bins.reserve(vs.bins.size());
+  for (const BinFiles& files : vs.bins) {
+    view.bins.push_back(
+        {files.idx, files.dat, files.header_len, files.header_cache.get()});
   }
-
-  // --- Step 2: chunks to access, from the SC mapped to the chunk lattice.
-  std::optional<std::set<ChunkId>> chunk_filter;
-  if (q.sc.has_value()) {
-    if (q.sc->empty()) return result;
-    const auto hits = chunk_grid_.chunks_overlapping(*q.sc);
-    chunk_filter.emplace(hits.begin(), hits.end());
-  }
-
-  const int nbins_touched = last_bin - first_bin + 1;
-  result.bins_touched = static_cast<std::uint64_t>(nbins_touched);
-
-  // --- Phase 1: read fragment tables of the touched bins. Bins are split
-  // across ranks; each rank reads headers (index I/O) and keeps the
-  // fragments passing the chunk filter.
-  struct BinWork {
-    int bin = 0;
-    bool aligned = false;
-    BinLayout layout;  // filtered
+  view.byte_codec = byte_codec_.get();
+  view.double_codec = double_codec_.get();
+  view.provider = provider_;
+  view.verify_subfile = [this, &vs](int bin, bool dat_file) {
+    return ensure_subfile_verified(vs.bins[static_cast<std::size_t>(bin)],
+                                   dat_file);
   };
-  std::vector<BinWork> bin_work(nbins_touched);
-  Status phase1_status = Status::ok();
-  auto phase1 = parallel::run_ranks(num_ranks, [&](parallel::RankContext& ctx) {
-    if (!phase1_status.is_ok()) return;
-    const auto ranges = parallel::split_even(
-        static_cast<std::size_t>(nbins_touched), ctx.num_ranks);
-    for (std::size_t i = ranges[ctx.rank].first; i < ranges[ctx.rank].second;
-         ++i) {
-      const int bin = first_bin + static_cast<int>(i);
-      const BinFiles& files = vs.bins[bin];
-      auto header = fs_->read(files.idx, 0, files.header_len, &ctx.io_log,
-                              static_cast<std::uint32_t>(ctx.rank));
-      if (!header.is_ok()) {
-        phase1_status = header.status();
-        return;
-      }
-      Stopwatch sw;
-      ByteReader r(header.value());
-      auto layout = BinLayout::deserialize(r);
-      if (!layout.is_ok()) {
-        phase1_status = layout.status();
-        return;
-      }
-      BinWork& w = bin_work[i];
-      w.bin = bin;
-      // Aligned-bin fast path: the VC contains the bin's interval, so all
-      // (original) values qualify without decompression.
-      w.aligned = q.vc.has_value() &&
-                  vs.scheme.aligned(bin, q.vc->lo, q.vc->hi);
-      if (chunk_filter.has_value()) {
-        for (auto& f : layout.value().fragments) {
-          if (chunk_filter->contains(f.chunk)) {
-            w.layout.fragments.push_back(std::move(f));
-          }
-        }
-      } else {
-        w.layout = std::move(layout).value();
-      }
-      ctx.times.reconstruct += sw.seconds();
-    }
-  });
-  MLOC_RETURN_IF_ERROR(phase1_status);
+  return view;
+}
 
-  for (const auto& w : bin_work) {
-    if (w.aligned) ++result.aligned_bins;
-  }
-
-  // --- Phase 2: flatten work items in column (bin-major) order and split
-  // them evenly across ranks; each rank fetches, decompresses, filters.
-  struct Item {
-    const BinWork* bin;
-    const FragmentInfo* frag;
-  };
-  std::vector<Item> items;
-  for (const auto& w : bin_work) {
-    for (const auto& f : w.layout.fragments) items.push_back({&w, &f});
-  }
-
-  struct RankOutput {
-    std::vector<std::uint64_t> positions;
-    std::vector<double> values;
-    std::uint64_t fragments_read = 0;
-    std::uint64_t fragments_skipped = 0;
-    CacheStats cache;
-  };
-  std::vector<RankOutput> outputs(num_ranks);
-  Status phase2_status = Status::ok();
-
-  // Region-only access to an aligned bin answers from the index alone; the
-  // values qualify by bin construction (paper §III-D-1).
-  const bool need_values_for_filter =
-      q.vc.has_value();  // misaligned bins must reconstruct to test the VC
-  auto phase2 = parallel::run_ranks(num_ranks, [&](parallel::RankContext& ctx) {
-    if (!phase2_status.is_ok()) return;
-    RankOutput& out = outputs[ctx.rank];
-    const auto ranges = parallel::split_even(items.size(), ctx.num_ranks);
-    for (std::size_t i = ranges[ctx.rank].first; i < ranges[ctx.rank].second;
-         ++i) {
-      const BinWork& bw = *items[i].bin;
-      const FragmentInfo& frag = *items[i].frag;
-      const BinFiles& files = vs.bins[bw.bin];
-
-      // Zone-map fast paths for misaligned bins (extension of the paper's
-      // aligned-bin rule to fragment granularity): a VC disjoint from the
-      // fragment's value range skips it entirely; a VC containing the
-      // range qualifies every point without decompression. Like binning,
-      // zone maps range over original values — the semantics VC filtering
-      // uses (see Query::plod_level).
-      bool frag_aligned = false;
-      if (q.vc.has_value() && !bw.aligned) {
-        if (frag.max_value < q.vc->lo || frag.min_value >= q.vc->hi) {
-          ++out.fragments_skipped;
-          continue;
-        }
-        frag_aligned =
-            q.vc->lo <= frag.min_value && frag.max_value < q.vc->hi;
-      }
-
-      // Positional index blob (always needed: positions are the output key
-      // and drive SC / bitmap filtering). A provider hit serves the decoded
-      // positions without touching the PFS; a miss publishes them so later
-      // queries over the same fragment skip the read and the decode.
-      std::shared_ptr<const FragmentData> pos_hit;
-      if (provider_ != nullptr) {
-        pos_hit = provider_->lookup({vs.name, bw.bin, frag.chunk});
-        if (pos_hit != nullptr &&
-            (pos_hit->positions.empty() || pos_hit->count != frag.count)) {
-          pos_hit = nullptr;
-        }
-      }
-      std::vector<std::uint32_t> decoded_positions;
-      const std::vector<std::uint32_t>* local = nullptr;
-      if (pos_hit != nullptr) {
-        out.cache.bytes_saved += frag.positions.length;
-        local = &pos_hit->positions;
-      } else {
-        if (Status s = ensure_subfile_verified(files, /*dat_file=*/false);
-            !s.is_ok()) {
-          phase2_status = s;
-          return;
-        }
-        auto blob =
-            fs_->read(files.idx, files.header_len + frag.positions.offset,
-                      frag.positions.length, &ctx.io_log,
-                      static_cast<std::uint32_t>(ctx.rank));
-        if (!blob.is_ok()) {
-          phase2_status = blob.status();
-          return;
-        }
-        if (fnv1a64(blob.value()) != frag.positions.checksum) {
-          phase2_status = corrupt_data("position blob failed checksum");
-          return;
-        }
-        Stopwatch sw_pos;
-        auto decoded = decode_positions(blob.value(), frag.count);
-        if (!decoded.is_ok()) {
-          phase2_status = decoded.status();
-          return;
-        }
-        decoded_positions = std::move(decoded).value();
-        ctx.times.reconstruct += sw_pos.seconds();
-        local = &decoded_positions;
-        if (provider_ != nullptr) {
-          auto fresh = std::make_shared<FragmentData>();
-          fresh->count = frag.count;
-          fresh->positions = decoded_positions;
-          provider_->insert({vs.name, bw.bin, frag.chunk}, std::move(fresh));
-        }
-      }
-
-      // Values: needed when the caller wants them, or when a misaligned
-      // bin/fragment forces VC re-filtering. VC filtering always runs on
-      // full-precision values (the data the index was built from), so a
-      // filtered fragment is fetched at full precision even when the
-      // caller asked for a reduced PLoD level.
-      const bool needs_vc_filter =
-          need_values_for_filter && !bw.aligned && !frag_aligned;
-      const bool fetch_values = q.values_needed || needs_vc_filter;
-      const int fetch_level = needs_vc_filter ? 7 : q.plod_level;
-      std::vector<double> vals;       // at fetch_level (filtering basis)
-      std::vector<double> out_vals;   // at q.plod_level (returned values)
-      if (fetch_values) {
-        auto fetched = fetch_fragment_values(vs, bw.bin, frag, fetch_level,
-                                             ctx, out.cache);
-        if (!fetched.is_ok()) {
-          phase2_status = fetched.status();
-          return;
-        }
-        vals = std::move(fetched).value();
-        if (vals.size() != frag.count) {
-          phase2_status = corrupt_data("fragment value count mismatch");
-          return;
-        }
-        ++out.fragments_read;
-        if (q.values_needed) {
-          if (fetch_level != q.plod_level) {
-            Stopwatch sw_degrade;
-            auto degraded =
-                plod::assemble(plod::shred(vals), q.plod_level);
-            if (!degraded.is_ok()) {
-              phase2_status = degraded.status();
-              return;
-            }
-            out_vals = std::move(degraded).value();
-            ctx.times.reconstruct += sw_degrade.seconds();
-          } else {
-            out_vals = vals;
-          }
-        }
-      }
-
-      // Filter + emit (reconstruction).
-      Stopwatch sw;
-      const Region chunk_region = chunk_grid_.chunk_region(frag.chunk);
-      const NDShape local_shape = region_shape(chunk_region);
-      for (std::size_t k = 0; k < local->size(); ++k) {
-        Coord coord = local_shape.delinearize((*local)[k]);
-        for (int d = 0; d < cfg_.shape.ndims(); ++d) {
-          coord[d] += chunk_region.lo(d);
-        }
-        if (q.sc.has_value() && !q.sc->contains(coord)) continue;
-        const std::uint64_t linear = cfg_.shape.linearize(coord);
-        if (position_filter != nullptr && !position_filter->get(linear)) {
-          continue;
-        }
-        if (needs_vc_filter && !q.vc->matches(vals[k])) {
-          continue;
-        }
-        out.positions.push_back(linear);
-        if (q.values_needed) out.values.push_back(out_vals[k]);
-      }
-      ctx.times.reconstruct += sw.seconds();
-    }
-  });
-  MLOC_RETURN_IF_ERROR(phase2_status);
-
-  // --- Gather: merge rank outputs sorted by position (root process role).
-  Stopwatch sw_gather;
-  std::size_t total = 0;
-  for (const auto& o : outputs) total += o.positions.size();
-  std::vector<std::pair<std::uint64_t, double>> merged;
-  merged.reserve(total);
-  for (auto& o : outputs) {
-    result.fragments_read += o.fragments_read;
-    result.fragments_skipped += o.fragments_skipped;
-    result.cache += o.cache;
-    for (std::size_t k = 0; k < o.positions.size(); ++k) {
-      merged.emplace_back(o.positions[k],
-                          q.values_needed ? o.values[k] : 0.0);
-    }
-  }
-  std::sort(merged.begin(), merged.end());
-  result.positions.reserve(merged.size());
-  if (q.values_needed) result.values.reserve(merged.size());
-  for (const auto& [pos, val] : merged) {
-    result.positions.push_back(pos);
-    if (q.values_needed) result.values.push_back(val);
-  }
-  const double gather_s = sw_gather.seconds();
-
-  // --- Timing: modeled I/O makespan over both phases' merged logs plus
-  // per-phase CPU maxima (ranks synchronize at phase barriers).
-  pfs::IoLog io;
-  io.merge_from(parallel::merged_io_log(phase1));
-  io.merge_from(parallel::merged_io_log(phase2));
-  result.bytes_read = io.total_bytes();
-  result.times.io = pfs::model_makespan(fs_->config(), io, num_ranks);
-  const ComponentTimes cpu1 = parallel::max_rank_times(phase1);
-  const ComponentTimes cpu2 = parallel::max_rank_times(phase2);
-  result.times.decompress = cpu1.decompress + cpu2.decompress;
-  result.times.reconstruct = cpu1.reconstruct + cpu2.reconstruct + gather_s;
-  return result;
+Result<QueryResult> MlocStore::execute_impl(
+    const VariableState& vs, const Query& q, int num_ranks,
+    const Bitmap* position_filter, const exec::ExecOptions& opts) const {
+  return exec::execute_query(make_view(vs), q, num_ranks, position_filter,
+                             opts);
 }
 
 Result<QueryResult> MlocStore::multivar_query(const std::string& select_var,
@@ -833,8 +469,9 @@ Result<QueryResult> MlocStore::multivar_select(
     Query region_q;
     region_q.vc = pred.vc;
     region_q.values_needed = false;
-    MLOC_ASSIGN_OR_RETURN(QueryResult selected,
-                          execute_impl(*vs, region_q, num_ranks, nullptr));
+    MLOC_ASSIGN_OR_RETURN(
+        QueryResult selected,
+        execute_impl(*vs, region_q, num_ranks, nullptr, exec::ExecOptions{}));
     Stopwatch sw;
     Bitmap plain(cfg_.shape.volume());
     for (std::uint64_t p : selected.positions) plain.set(p);
@@ -853,6 +490,7 @@ Result<QueryResult> MlocStore::multivar_select(
     accumulated.fragments_read += selected.fragments_read;
     accumulated.bytes_read += selected.bytes_read;
     accumulated.cache += selected.cache;
+    accumulated.exec += selected.exec;
   }
 
   Stopwatch sw;
@@ -884,8 +522,10 @@ Result<QueryResult> MlocStore::multivar_select(
   }
   for (int d = 0; d < cfg_.shape.ndims(); ++d) ++hi[d];
   fetch_q.sc = Region(cfg_.shape.ndims(), lo, hi);
-  MLOC_ASSIGN_OR_RETURN(QueryResult fetched,
-                        execute_impl(*fetch, fetch_q, num_ranks, &positions));
+  MLOC_ASSIGN_OR_RETURN(
+      QueryResult fetched,
+      execute_impl(*fetch, fetch_q, num_ranks, &positions,
+                   exec::ExecOptions{}));
 
   fetched.times += accumulated.times;
   fetched.bins_touched += accumulated.bins_touched;
@@ -893,6 +533,7 @@ Result<QueryResult> MlocStore::multivar_select(
   fetched.fragments_read += accumulated.fragments_read;
   fetched.bytes_read += accumulated.bytes_read;
   fetched.cache += accumulated.cache;
+  fetched.exec += accumulated.exec;
   return fetched;
 }
 

@@ -26,11 +26,16 @@
 #include "compress/codec.hpp"
 #include "core/config.hpp"
 #include "core/layout.hpp"
+#include "exec/read_plan.hpp"
 #include "parallel/runtime.hpp"
 #include "pfs/pfs.hpp"
 #include "query/query.hpp"
 
 namespace mloc {
+
+namespace exec {
+struct StoreView;  // engine-facing projection (exec/engine.hpp)
+}  // namespace exec
 
 /// Identity of one fragment's decompressed payload: the (variable, bin,
 /// chunk) cell of a store. The PLoD level is deliberately not part of the
@@ -110,6 +115,24 @@ class MlocStore {
   /// emulated; results are identical for any rank count.
   Result<QueryResult> execute(const std::string& var, const Query& q,
                               int num_ranks = 1) const;
+
+  /// Execute with explicit engine options (coalescing gap, naive I/O for
+  /// A/B comparison, decode worker count). The overload above uses
+  /// exec::ExecOptions defaults.
+  Result<QueryResult> execute(const std::string& var, const Query& q,
+                              int num_ranks,
+                              const exec::ExecOptions& opts) const;
+
+  /// Cost a query without executing it: the PlanSummary of the exact
+  /// ReadPlan execute() would run. Side-effect-free — consults the bin
+  /// header cache and any attached FragmentProvider but never warms them.
+  /// Feeding summary.planned_io to pfs::model_makespan reproduces the
+  /// modeled I/O seconds execution would report; on cold caches the byte
+  /// and extent counts match execution exactly. Drives
+  /// QueryPlanner::estimate.
+  Result<exec::PlanSummary> plan(const std::string& var, const Query& q,
+                                 int num_ranks = 1,
+                                 const exec::ExecOptions& opts = {}) const;
 
   /// Multi-variable access (§III-D-4): select positions where `select_var`
   /// satisfies `vc` (region-only pass), then retrieve `fetch_var` values at
@@ -196,6 +219,11 @@ class MlocStore {
     /// each subfile pays one full-file CRC scan.
     std::shared_ptr<std::atomic<std::uint8_t>> footer_state =
         std::make_shared<std::atomic<std::uint8_t>>(0);
+    /// Decoded fragment-table header, shared across copies. Populated at
+    /// write time (created stores query header-warm) or by the first query
+    /// that parses the header (reopened stores pay one cold read per bin).
+    std::shared_ptr<BinHeaderCache> header_cache =
+        std::make_shared<BinHeaderCache>();
   };
   struct VariableState {
     std::string name;
@@ -214,19 +242,16 @@ class MlocStore {
   [[nodiscard]] Result<const VariableState*> find_var(
       const std::string& var) const;
 
-  /// Shared query engine; `position_filter` (over linear grid offsets)
-  /// implements the multi-variable second pass.
+  /// Shared query engine entry; `position_filter` (over linear grid
+  /// offsets) implements the multi-variable second pass. Delegates to
+  /// exec::execute_query over make_view(vs).
   Result<QueryResult> execute_impl(const VariableState& vs, const Query& q,
-                                   int num_ranks,
-                                   const Bitmap* position_filter) const;
+                                   int num_ranks, const Bitmap* position_filter,
+                                   const exec::ExecOptions& opts) const;
 
-  /// Read and decode the value payload of one fragment at `level`
-  /// (1..num_groups), consulting the attached FragmentProvider first.
-  /// Returns the fragment's values in index order; provider hit/miss
-  /// accounting accumulates into `cache`.
-  Result<std::vector<double>> fetch_fragment_values(
-      const VariableState& vs, int bin, const FragmentInfo& frag, int level,
-      parallel::RankContext& ctx, CacheStats& cache) const;
+  /// Build the engine-facing projection of one variable (non-owning; valid
+  /// while `vs` and this store are alive and unmodified).
+  exec::StoreView make_view(const VariableState& vs) const;
 
   pfs::PfsStorage* fs_ = nullptr;
   std::string name_;

@@ -1,0 +1,201 @@
+#include "exec/decode_pipeline.hpp"
+
+#include <utility>
+
+#include "plod/plod.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace mloc::exec {
+namespace {
+
+/// Row-major shape of a region (local-offset <-> coord mapping).
+NDShape region_shape(const Region& region) {
+  Coord extents{};
+  for (int d = 0; d < region.ndims(); ++d) extents[d] = region.extent(d);
+  return {region.ndims(), extents};
+}
+
+}  // namespace
+
+DecodedFragment decode_fragment(const DecodeInput& in) {
+  DecodedFragment out;
+  const StoreView& view = *in.view;
+  const Query& q = *in.q;
+  const FragmentTask& task = *in.task;
+  const FragmentInfo& frag = *task.frag;
+
+  std::size_t si = 0;  // cursor over the task's segments
+  auto next_bytes = [&]() -> std::span<const std::uint8_t> {
+    const PlannedSegment& seg = in.segments[si];
+    const SlotRef& slot = in.slots[si];
+    ++si;
+    if (slot.extent < 0) return {};
+    return std::span<const std::uint8_t>((*in.buffers)[slot.extent])
+        .subspan(slot.delta, seg.len);
+  };
+
+  // --- Positional index: cached decode or blob decode from the batch.
+  std::vector<std::uint32_t> decoded_positions;
+  const std::vector<std::uint32_t>* local = nullptr;
+  if (task.blob_cached) {
+    local = &task.cached->positions;
+  } else {
+    const std::span<const std::uint8_t> blob = next_bytes();
+    if (fnv1a64(blob) != frag.positions.checksum) {
+      out.status = corrupt_data("position blob failed checksum");
+      return out;
+    }
+    Stopwatch sw_pos;
+    auto decoded = decode_positions(blob, frag.count);
+    if (!decoded.is_ok()) {
+      out.status = decoded.status();
+      return out;
+    }
+    decoded_positions = std::move(decoded).value();
+    out.reconstruct_s += sw_pos.seconds();
+    local = &decoded_positions;
+    if (view.provider != nullptr) {
+      auto fresh = std::make_shared<FragmentData>();
+      fresh->count = frag.count;
+      fresh->positions = decoded_positions;
+      out.fresh_positions = std::move(fresh);
+    }
+  }
+
+  // --- Values: decode at fetch_level, degrade to the requested level.
+  std::vector<double> vals;      // at fetch_level (filtering basis)
+  std::vector<double> out_vals;  // at q.plod_level (returned values)
+  if (task.fetch_values) {
+    if (view.plod_capable()) {
+      // Cached planes answer groups [0, cached_depth); the batch buffers
+      // cover [cached_depth, fetch_level).
+      std::shared_ptr<FragmentData> fresh;
+      if (task.cached_depth < task.fetch_level) {
+        fresh = std::make_shared<FragmentData>();
+        fresh->count = frag.count;
+        fresh->planes.reserve(static_cast<std::size_t>(task.fetch_level));
+        for (int g = 0; g < task.cached_depth; ++g) {
+          fresh->planes.push_back(task.cached->planes[g]);
+        }
+        for (int g = task.cached_depth; g < task.fetch_level; ++g) {
+          const std::span<const std::uint8_t> raw = next_bytes();
+          if (fnv1a64(raw) != frag.groups[g].checksum) {
+            out.status = corrupt_data("fragment segment failed checksum");
+            return out;
+          }
+          Stopwatch sw;
+          auto plane = view.byte_codec->decode(raw);
+          out.decompress_s += sw.seconds();
+          if (!plane.is_ok()) {
+            out.status = plane.status();
+            return out;
+          }
+          fresh->planes.push_back(std::move(plane).value());
+        }
+        if (view.provider != nullptr) out.fresh_payload = fresh;
+      }
+      Stopwatch sw;
+      const auto& planes =
+          fresh != nullptr ? fresh->planes : task.cached->planes;
+      std::vector<std::span<const std::uint8_t>> spans;
+      spans.reserve(static_cast<std::size_t>(task.fetch_level));
+      for (int g = 0; g < task.fetch_level; ++g) spans.emplace_back(planes[g]);
+      auto assembled = plod::assemble(spans, task.fetch_level, frag.count);
+      out.reconstruct_s += sw.seconds();
+      if (!assembled.is_ok()) {
+        out.status = assembled.status();
+        return out;
+      }
+      vals = std::move(assembled).value();
+    } else {
+      // Whole-value mode: the decoded buffer is cached at full precision.
+      if (task.cached_depth > 0) {
+        vals = task.cached->values;
+      } else {
+        const std::span<const std::uint8_t> raw = next_bytes();
+        if (fnv1a64(raw) != frag.groups[0].checksum) {
+          out.status = corrupt_data("fragment segment failed checksum");
+          return out;
+        }
+        Stopwatch sw;
+        auto decoded = view.double_codec->decode(raw);
+        out.decompress_s += sw.seconds();
+        if (!decoded.is_ok()) {
+          out.status = decoded.status();
+          return out;
+        }
+        vals = std::move(decoded).value();
+        if (view.provider != nullptr && vals.size() == frag.count) {
+          auto fresh = std::make_shared<FragmentData>();
+          fresh->count = frag.count;
+          fresh->values = vals;
+          out.fresh_payload = std::move(fresh);
+        }
+      }
+    }
+    if (vals.size() != frag.count) {
+      out.status = corrupt_data("fragment value count mismatch");
+      return out;
+    }
+    if (q.values_needed) {
+      if (view.plod_capable() && task.fetch_level != q.plod_level) {
+        Stopwatch sw_degrade;
+        auto degraded = plod::assemble(plod::shred(vals), q.plod_level);
+        if (!degraded.is_ok()) {
+          out.status = degraded.status();
+          return out;
+        }
+        out_vals = std::move(degraded).value();
+        out.reconstruct_s += sw_degrade.seconds();
+      } else {
+        out_vals = vals;
+      }
+    }
+  }
+
+  // --- Filter + emit (reconstruction).
+  Stopwatch sw;
+  const Region chunk_region = view.chunk_grid->chunk_region(frag.chunk);
+  const NDShape local_shape = region_shape(chunk_region);
+  const NDShape& shape = view.cfg->shape;
+  for (std::size_t k = 0; k < local->size(); ++k) {
+    Coord coord = local_shape.delinearize((*local)[k]);
+    for (int d = 0; d < shape.ndims(); ++d) {
+      coord[d] += chunk_region.lo(d);
+    }
+    if (q.sc.has_value() && !q.sc->contains(coord)) continue;
+    const std::uint64_t linear = shape.linearize(coord);
+    if (in.position_filter != nullptr && !in.position_filter->get(linear)) {
+      continue;
+    }
+    if (task.needs_vc_filter && !q.vc->matches(vals[k])) {
+      continue;
+    }
+    out.positions.push_back(linear);
+    if (q.values_needed) out.values.push_back(out_vals[k]);
+  }
+  out.reconstruct_s += sw.seconds();
+  return out;
+}
+
+DecodePipeline::DecodePipeline(int workers, std::size_t expected_tasks,
+                               std::size_t min_tasks) {
+  if (workers > 0 && expected_tasks >= min_tasks) {
+    pool_ = std::make_unique<parallel::ThreadPool>(workers);
+  }
+}
+
+void DecodePipeline::submit(std::function<void()> job) {
+  if (pool_ != nullptr) {
+    pool_->submit(std::move(job));
+  } else {
+    job();
+  }
+}
+
+void DecodePipeline::wait() {
+  if (pool_ != nullptr) pool_->wait_idle();
+}
+
+}  // namespace mloc::exec

@@ -1,0 +1,70 @@
+// DecodePipeline — stage 3 of the query engine.
+//
+// decode_fragment() is the decode-only successor of the old
+// MlocStore::fetch_fragment_values: it is fed pre-fetched buffers (the
+// merged batch-read extents) and performs positional-index decode, codec
+// decode, PLoD reassembly/degrade, and the VC/SC/bitmap filter for one
+// fragment. It touches no shared state — results, provider candidates,
+// and CPU timings come back in a DecodedFragment — so the pipeline can run
+// it on worker threads while the owning rank issues the next bin's batch
+// read. The rank folds results strictly in task order after wait(), which
+// keeps output and provider contents deterministic for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bitmap/bitmap.hpp"
+#include "exec/engine.hpp"
+#include "exec/io_scheduler.hpp"
+#include "parallel/runtime.hpp"
+#include "query/query.hpp"
+#include "util/bytes.hpp"
+
+namespace mloc::exec {
+
+/// Everything decode_fragment needs, all read-only and owned elsewhere.
+struct DecodeInput {
+  const StoreView* view = nullptr;
+  const Query* q = nullptr;
+  const Bitmap* position_filter = nullptr;
+  const FragmentTask* task = nullptr;
+  /// The task's planned segments and their slots into `buffers`.
+  std::span<const PlannedSegment> segments;
+  std::span<const SlotRef> slots;
+  const std::vector<Bytes>* buffers = nullptr;
+};
+
+/// Output of one fragment's decode+filter, private to the task.
+struct DecodedFragment {
+  Status status = Status::ok();
+  std::vector<std::uint64_t> positions;  ///< qualifying linear positions
+  std::vector<double> values;            ///< parallel (values_needed only)
+  double decompress_s = 0.0;
+  double reconstruct_s = 0.0;
+  /// Provider-insert candidates, published by the rank in task order.
+  std::shared_ptr<FragmentData> fresh_positions;
+  std::shared_ptr<FragmentData> fresh_payload;
+};
+
+DecodedFragment decode_fragment(const DecodeInput& in);
+
+/// Tiny wrapper around parallel::ThreadPool that degrades to inline
+/// execution when no workers are configured (or the task count is too
+/// small to amortize thread spawn).
+class DecodePipeline {
+ public:
+  DecodePipeline(int workers, std::size_t expected_tasks,
+                 std::size_t min_tasks);
+
+  void submit(std::function<void()> job);
+  void wait();
+
+ private:
+  std::unique_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace mloc::exec

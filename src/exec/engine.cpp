@@ -1,0 +1,227 @@
+// execute_query — stages 2 and 3 of the query engine.
+//
+// Per rank (sequential, deterministic): inject the plan-time header reads
+// into the rank's IoLog, then walk the rank's tasks in consecutive
+// same-bin runs. Each run's segments are merged by the IoScheduler into a
+// handful of batch extents, fetched with one vectorized read_batch call,
+// and the per-fragment decode+filter jobs are handed to the DecodePipeline
+// — so workers decode bin N while the rank issues bin N+1's batch read.
+// Results are folded strictly in task order after the pipeline drains,
+// keeping output and provider contents identical for any worker count.
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/decode_pipeline.hpp"
+#include "exec/engine.hpp"
+#include "exec/io_scheduler.hpp"
+#include "parallel/runtime.hpp"
+#include "plod/plod.hpp"
+#include "util/timer.hpp"
+
+namespace mloc::exec {
+
+Result<QueryResult> execute_query(const StoreView& view, const Query& q,
+                                  int num_ranks, const Bitmap* position_filter,
+                                  const ExecOptions& opts) {
+  if (num_ranks < 1) return invalid_argument("query: num_ranks must be >= 1");
+  if (q.plod_level < 1 || q.plod_level > 7) {
+    return invalid_argument("query: PLoD level must be in [1,7]");
+  }
+  if (q.plod_level < 7 && !view.plod_capable()) {
+    return unsupported(
+        "query: PLoD levels below full precision need a byte-column codec "
+        "(MLOC-COL); this store uses " + view.cfg->codec);
+  }
+  if (q.sc.has_value() && q.sc->ndims() != view.cfg->shape.ndims()) {
+    return invalid_argument("query: SC dimensionality mismatch");
+  }
+  // A degenerate ([lo, lo)) or NaN value range can never match; surface it
+  // as a caller error rather than silently returning an empty result.
+  if (q.vc.has_value() && !q.vc->valid()) {
+    return invalid_argument(
+        "query: value constraint is empty or NaN (requires lo < hi)");
+  }
+
+  MLOC_ASSIGN_OR_RETURN(ReadPlan plan,
+                        build_plan(view, q, num_ranks, opts, /*warm=*/true));
+  const PlanSummary& sum = plan.summary;
+
+  QueryResult result;
+  result.bins_touched = sum.bins_touched;
+  result.aligned_bins = sum.aligned_bins;
+  result.fragments_read = sum.fragments_to_fetch;
+  result.fragments_skipped = sum.fragments_skipped;
+  result.cache = sum.cache;
+  result.exec = sum.stats;
+
+  struct RankOutput {
+    std::vector<std::uint64_t> positions;
+    std::vector<double> values;
+  };
+  std::vector<RankOutput> outputs(static_cast<std::size_t>(num_ranks));
+  Status exec_status = Status::ok();
+
+  auto contexts = parallel::run_ranks(num_ranks, [&](parallel::RankContext&
+                                                         ctx) {
+    if (!exec_status.is_ok()) return;
+    RankPlan& rp = plan.ranks[static_cast<std::size_t>(ctx.rank)];
+
+    // Cold header bytes were consumed by the plan builder; execution is
+    // charged for them here so the IoLog matches the planned I/O exactly.
+    for (const auto& rec : rp.header_reads) {
+      ctx.io_log.add(rec.file, rec.offset, rec.len, rec.rank);
+    }
+    ctx.times.reconstruct += rp.header_parse_s;
+
+    DecodePipeline pipe(opts.decode_workers, rp.tasks.size(),
+                        opts.min_decode_tasks);
+    std::vector<DecodedFragment> decoded(rp.tasks.size());
+    // Batch buffers and slot tables live until the pipeline drains; jobs
+    // hold spans into them.
+    std::vector<std::shared_ptr<std::vector<Bytes>>> buffer_sets;
+    std::vector<std::shared_ptr<std::vector<SlotRef>>> slot_sets;
+    Status rank_status = Status::ok();
+    std::size_t folded_end = 0;  // tasks whose decode was dispatched
+
+    std::size_t a = 0;
+    while (a < rp.tasks.size()) {
+      std::size_t b = a;
+      while (b < rp.tasks.size() && rp.tasks[b].bin == rp.tasks[a].bin) ++b;
+      const int bin = rp.tasks[a].bin;
+      const StoreView::BinRef& ref = view.bins[static_cast<std::size_t>(bin)];
+      const std::size_t seg_begin = rp.tasks[a].seg_begin;
+      const std::size_t seg_end =
+          rp.tasks[b - 1].seg_begin + rp.tasks[b - 1].seg_count;
+
+      // Lazy footer verification, once per touched subfile per run — the
+      // same checks the monolithic path made before its first reads.
+      bool need_idx = false;
+      bool need_dat = false;
+      for (std::size_t s = seg_begin; s < seg_end; ++s) {
+        (rp.segments[s].file == ref.idx ? need_idx : need_dat) = true;
+      }
+      if (view.verify_subfile) {
+        if (need_idx) {
+          if (Status st = view.verify_subfile(bin, false); !st.is_ok()) {
+            rank_status = std::move(st);
+            break;
+          }
+        }
+        if (need_dat) {
+          if (Status st = view.verify_subfile(bin, true); !st.is_ok()) {
+            rank_status = std::move(st);
+            break;
+          }
+        }
+      }
+
+      // Stage 2: merge the run's segments and fetch them in one batch.
+      auto slots = std::make_shared<std::vector<SlotRef>>();
+      const std::span<const PlannedSegment> run_segs(
+          rp.segments.data() + seg_begin, seg_end - seg_begin);
+      const std::vector<pfs::ReadRequest> requests =
+          opts.naive_io
+              ? naive_schedule(run_segs, slots.get())
+              : coalesce_segments(run_segs, opts.coalesce_gap_bytes,
+                                  slots.get());
+      auto bufs = view.fs->read_batch(requests, &ctx.io_log,
+                                      static_cast<std::uint32_t>(ctx.rank));
+      if (!bufs.is_ok()) {
+        rank_status = bufs.status();
+        break;
+      }
+      auto buffers =
+          std::make_shared<std::vector<Bytes>>(std::move(bufs).value());
+      buffer_sets.push_back(buffers);
+      slot_sets.push_back(slots);
+
+      // Stage 3: dispatch decode+filter jobs; workers overlap the next
+      // run's batch read.
+      for (std::size_t ti = a; ti < b; ++ti) {
+        const FragmentTask& task = rp.tasks[ti];
+        if (task.skipped) continue;  // decoded[ti] stays empty/ok
+        DecodeInput in;
+        in.view = &view;
+        in.q = &q;
+        in.position_filter = position_filter;
+        in.task = &task;
+        in.segments = std::span<const PlannedSegment>(rp.segments)
+                          .subspan(task.seg_begin, task.seg_count);
+        in.slots = std::span<const SlotRef>(*slots).subspan(
+            task.seg_begin - seg_begin, task.seg_count);
+        in.buffers = buffers.get();
+        pipe.submit(
+            [&decoded, ti, in]() { decoded[ti] = decode_fragment(in); });
+      }
+      folded_end = b;
+      a = b;
+    }
+    pipe.wait();
+
+    // Fold in task order: first decode failure wins, then any run-boundary
+    // failure (verify/batch read) that stopped dispatch.
+    RankOutput& out = outputs[static_cast<std::size_t>(ctx.rank)];
+    for (std::size_t ti = 0; ti < folded_end; ++ti) {
+      const FragmentTask& task = rp.tasks[ti];
+      DecodedFragment& d = decoded[ti];
+      if (!d.status.is_ok()) {
+        exec_status = std::move(d.status);
+        return;
+      }
+      if (task.skipped) continue;
+      ctx.times.decompress += d.decompress_s;
+      ctx.times.reconstruct += d.reconstruct_s;
+      if (view.provider != nullptr) {
+        const FragmentKey key{*view.var, task.bin, task.frag->chunk};
+        if (d.fresh_positions != nullptr) {
+          view.provider->insert(key, std::move(d.fresh_positions));
+        }
+        if (d.fresh_payload != nullptr) {
+          view.provider->insert(key, std::move(d.fresh_payload));
+        }
+      }
+      out.positions.insert(out.positions.end(), d.positions.begin(),
+                           d.positions.end());
+      out.values.insert(out.values.end(), d.values.begin(), d.values.end());
+    }
+    if (!rank_status.is_ok()) exec_status = std::move(rank_status);
+  });
+  MLOC_RETURN_IF_ERROR(exec_status);
+
+  // --- Gather: merge rank outputs sorted by position (root process role).
+  Stopwatch sw_gather;
+  std::size_t total = 0;
+  for (const auto& o : outputs) total += o.positions.size();
+  std::vector<std::pair<std::uint64_t, double>> merged;
+  merged.reserve(total);
+  for (const auto& o : outputs) {
+    for (std::size_t k = 0; k < o.positions.size(); ++k) {
+      merged.emplace_back(o.positions[k],
+                          q.values_needed ? o.values[k] : 0.0);
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  result.positions.reserve(merged.size());
+  if (q.values_needed) result.values.reserve(merged.size());
+  for (const auto& [pos, val] : merged) {
+    result.positions.push_back(pos);
+    if (q.values_needed) result.values.push_back(val);
+  }
+  const double gather_s = sw_gather.seconds();
+
+  // --- Timing: modeled I/O makespan over the merged logs plus per-rank
+  // CPU maxima (ranks synchronize before the gather).
+  const pfs::IoLog io = parallel::merged_io_log(contexts);
+  result.bytes_read = io.total_bytes();
+  result.exec.bytes_read = io.total_bytes();
+  result.exec.modeled_seeks = pfs::coalesced_extent_count(io);
+  result.times.io = pfs::model_makespan(view.fs->config(), io, num_ranks);
+  const ComponentTimes cpu = parallel::max_rank_times(contexts);
+  result.times.decompress = cpu.decompress;
+  result.times.reconstruct = cpu.reconstruct + gather_s;
+  return result;
+}
+
+}  // namespace mloc::exec

@@ -1,0 +1,135 @@
+// Staged query engine (paper §III-D executed in three explicit stages).
+//
+// MlocStore::execute / multivar_* are thin wrappers over execute_query;
+// QueryPlanner::estimate costs the identical plan through plan_query.
+// Both consume a StoreView — a non-owning projection of one variable's
+// state — so the engine stays free of MlocStore internals.
+//
+// Pipeline per query:
+//   build_plan     resolves bins → fragments → segments; consults the
+//                  FragmentProvider and the per-bin header cache so every
+//                  cache decision is made before the first payload read;
+//   IoScheduler    merges each rank's segments into batch extents
+//                  (exec/io_scheduler.hpp);
+//   DecodePipeline decodes + filters fragments on worker threads while
+//                  the rank issues the next bin's batch read
+//                  (exec/decode_pipeline.hpp).
+//
+// Determinism: rank bodies run sequentially (parallel::run_ranks); decode
+// workers write disjoint per-task slots and are joined before any state is
+// folded, in task order — results and provider contents are identical for
+// any rank/worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/chunking.hpp"
+#include "binning/binning.hpp"
+#include "bitmap/bitmap.hpp"
+#include "compress/codec.hpp"
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "core/store.hpp"
+#include "exec/read_plan.hpp"
+#include "pfs/pfs.hpp"
+#include "query/query.hpp"
+
+namespace mloc::exec {
+
+/// Non-owning view of one variable of a store — everything the engine
+/// needs, nothing it doesn't. Valid only for the duration of one
+/// execute_query/plan_query call.
+struct StoreView {
+  const pfs::PfsStorage* fs = nullptr;
+  const MlocConfig* cfg = nullptr;
+  const ChunkGrid* chunk_grid = nullptr;
+  const std::string* var = nullptr;
+  const BinningScheme* scheme = nullptr;
+
+  struct BinRef {
+    pfs::FileId idx = 0;
+    pfs::FileId dat = 0;
+    std::uint64_t header_len = 0;
+    BinHeaderCache* header_cache = nullptr;
+  };
+  std::vector<BinRef> bins;
+
+  const ByteCodec* byte_codec = nullptr;      ///< PLoD/COL mode
+  const DoubleCodec* double_codec = nullptr;  ///< whole-value mode
+  FragmentProvider* provider = nullptr;
+  /// Lazy footer verification of bin subfiles (absolute bin index).
+  std::function<Status(int bin, bool dat_file)> verify_subfile;
+
+  [[nodiscard]] bool plod_capable() const noexcept {
+    return byte_codec != nullptr;
+  }
+  [[nodiscard]] int num_groups() const noexcept;
+};
+
+/// One fragment's resolved work: what to read (slots into the owning
+/// rank's segment array) and how to decode/filter it.
+struct FragmentTask {
+  int bin = 0;                       ///< absolute bin index
+  const FragmentInfo* frag = nullptr;
+  bool skipped = false;              ///< zone-map pruned (no I/O, no output)
+  bool bin_aligned = false;
+  bool frag_aligned = false;
+  bool needs_vc_filter = false;
+  bool fetch_values = false;
+  int fetch_level = 0;               ///< groups needed for decode
+  int cached_depth = 0;              ///< planes already held by the provider
+  bool blob_cached = false;          ///< positions served from the provider
+  std::shared_ptr<const FragmentData> cached;  ///< provider entry, if any
+
+  /// This task's segments: rank.segments[seg_begin, seg_begin+seg_count).
+  /// Layout: [positions blob if !blob_cached][payload groups
+  /// cached_depth..fetch_level, or the single whole-value segment].
+  std::size_t seg_begin = 0;
+  std::size_t seg_count = 0;
+};
+
+struct RankPlan {
+  /// Cold fragment-table reads this rank is charged for (the bytes were
+  /// already consumed by the plan builder; execution only logs them).
+  std::vector<pfs::IoRecord> header_reads;
+  double header_parse_s = 0.0;       ///< measured parse+filter CPU
+  std::vector<FragmentTask> tasks;   ///< bin-major order
+  std::vector<PlannedSegment> segments;
+};
+
+struct ReadPlan {
+  int num_ranks = 1;
+  std::vector<RankPlan> ranks;
+  PlanSummary summary;
+  /// Keeps FragmentInfo pointers in tasks alive (headers come from the
+  /// BinHeaderCache or from a plan-time parse).
+  std::vector<std::shared_ptr<const BinLayout>> layouts;
+};
+
+/// Stage 1: resolve a query into a ReadPlan. `warm` = execution mode:
+/// freshly parsed headers are published to the bin header cache. With
+/// `warm == false` (planner mode) the call is side-effect-free — it reads
+/// the caches but never mutates them.
+Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
+                            int num_ranks, const ExecOptions& opts, bool warm);
+
+/// Execute a query end to end (validation, plan, batch I/O, overlapped
+/// decode, gather). `position_filter` implements the multi-variable
+/// second pass, as before the refactor.
+Result<QueryResult> execute_query(const StoreView& view, const Query& q,
+                                  int num_ranks, const Bitmap* position_filter,
+                                  const ExecOptions& opts);
+
+/// Cost a query without executing it: the PlanSummary of the same plan
+/// execute_query would run, with no side effects on any cache. Feeding
+/// summary.planned_io to pfs::model_makespan reproduces the modeled I/O
+/// seconds execution will report; on a cold provider the byte and extent
+/// counts match the executed plan exactly.
+Result<PlanSummary> plan_query(const StoreView& view, const Query& q,
+                               int num_ranks, const ExecOptions& opts);
+
+}  // namespace mloc::exec

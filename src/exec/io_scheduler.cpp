@@ -1,0 +1,73 @@
+#include "exec/io_scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mloc::exec {
+
+std::vector<pfs::ReadRequest> coalesce_segments(
+    std::span<const PlannedSegment> segments, std::uint64_t max_gap_bytes,
+    std::vector<SlotRef>* slots) {
+  if (slots != nullptr) {
+    slots->assign(segments.size(), SlotRef{});
+  }
+  // Sort indices, not segments, so each input keeps its slot.
+  std::vector<std::size_t> order(segments.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const PlannedSegment& x = segments[a];
+    const PlannedSegment& y = segments[b];
+    if (x.file != y.file) return x.file < y.file;
+    if (x.offset != y.offset) return x.offset < y.offset;
+    return x.len < y.len;
+  });
+
+  std::vector<pfs::ReadRequest> merged;
+  std::uint32_t tail_class = 0;
+  for (const std::size_t i : order) {
+    const PlannedSegment& s = segments[i];
+    if (s.len == 0) continue;  // nothing to read; slot stays extent = -1
+    bool extend = false;
+    if (!merged.empty() && merged.back().file == s.file) {
+      const std::uint64_t tail_end = merged.back().offset + merged.back().len;
+      if (s.offset <= tail_end) {
+        extend = true;  // overlapping or exactly adjacent: free merge
+      } else if (s.merge_class == tail_class &&
+                 s.offset - tail_end <= max_gap_bytes) {
+        extend = true;  // same stream, small gap: bridge it
+      }
+    }
+    if (extend) {
+      pfs::ReadRequest& tail = merged.back();
+      const std::uint64_t end =
+          std::max(tail.offset + tail.len, s.offset + s.len);
+      tail.len = end - tail.offset;
+    } else {
+      merged.push_back({s.file, s.offset, s.len});
+    }
+    tail_class = s.merge_class;
+    if (slots != nullptr) {
+      (*slots)[i] = {static_cast<int>(merged.size()) - 1,
+                     s.offset - merged.back().offset};
+    }
+  }
+  return merged;
+}
+
+std::vector<pfs::ReadRequest> naive_schedule(
+    std::span<const PlannedSegment> segments, std::vector<SlotRef>* slots) {
+  std::vector<pfs::ReadRequest> out;
+  out.reserve(segments.size());
+  if (slots != nullptr) slots->assign(segments.size(), SlotRef{});
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const PlannedSegment& s = segments[i];
+    if (s.len == 0) continue;
+    out.push_back({s.file, s.offset, s.len});
+    if (slots != nullptr) {
+      (*slots)[i] = {static_cast<int>(out.size()) - 1, 0};
+    }
+  }
+  return out;
+}
+
+}  // namespace mloc::exec

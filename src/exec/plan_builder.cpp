@@ -1,0 +1,332 @@
+// PlanBuilder — stage 1 of the query engine: resolve a query into a
+// ReadPlan and its costable PlanSummary.
+//
+// Every decision the old monolithic execute path made mid-read is made
+// here, up front:
+//   - bins from the VC, chunks from the SC (paper Fig. 5 steps 1-2);
+//   - fragment-table headers via the per-bin BinHeaderCache (cold reads
+//     are consumed here and charged to the owning phase-1 rank);
+//   - zone-map pruning and aligned-bin/-fragment classification;
+//   - FragmentProvider consultation: cache hits prune their extents from
+//     the plan (hit/miss/bytes_saved accounting is fixed at plan time);
+//   - per-rank segment lists with merge classes for the IoScheduler.
+//
+// The same function serves execution (warm=true) and planner estimation
+// (warm=false, side-effect-free), which is what makes planner predictions
+// match the executed plan exactly.
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "exec/engine.hpp"
+#include "exec/io_scheduler.hpp"
+#include "parallel/runtime.hpp"
+#include "plod/plod.hpp"
+#include "util/timer.hpp"
+
+namespace mloc::exec {
+namespace {
+
+// Merge classes (unique within a bin; cross-bin collisions are harmless
+// because segments of different bins live in different files).
+constexpr std::uint32_t kBlobClass = 1;     ///< positional-index blob stream
+constexpr std::uint32_t kStreamClass = 2;   ///< whole-fragment payload scan
+constexpr std::uint32_t kSectionClassBase = 3;  ///< VMS byte-group sections
+constexpr std::uint32_t kPrivateClassBase = 16; ///< per-task (no bridging)
+
+/// Fraction of a chunk's volume the SC overlaps (1 when there is no SC).
+double sc_fraction(const Region& chunk_region, const std::optional<Region>& sc) {
+  if (!sc.has_value()) return 1.0;
+  const Region overlap = chunk_region.intersection(*sc);
+  if (overlap.empty() || chunk_region.volume() == 0) return 0.0;
+  return static_cast<double>(overlap.volume()) /
+         static_cast<double>(chunk_region.volume());
+}
+
+}  // namespace
+
+int StoreView::num_groups() const noexcept {
+  return plod_capable() ? plod::kNumGroups : 1;
+}
+
+Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
+                            int num_ranks, const ExecOptions& opts,
+                            bool warm) {
+  ReadPlan plan;
+  plan.num_ranks = num_ranks;
+  plan.ranks.resize(static_cast<std::size_t>(num_ranks));
+  PlanSummary& sum = plan.summary;
+
+  const bool plod = view.plod_capable();
+  const int ngroups = view.num_groups();
+  // Planner calls clamp instead of rejecting; execute_query validates the
+  // raw level before planning, so clamping never changes execution.
+  const int req_level = plod ? std::clamp(q.plod_level, 1, ngroups) : 1;
+
+  // --- Step 1 (paper Fig. 5): bins to access, from the VC vs bin bounds.
+  int first_bin = 0;
+  int last_bin = view.scheme->num_bins() - 1;
+  if (q.vc.has_value()) {
+    const auto span = view.scheme->bins_overlapping(q.vc->lo, q.vc->hi);
+    if (span.empty()) return plan;  // no bin can match
+    first_bin = span.first;
+    last_bin = span.last;
+  }
+
+  // --- Step 2: chunks to access, from the SC mapped to the chunk lattice.
+  std::optional<std::set<ChunkId>> chunk_filter;
+  if (q.sc.has_value()) {
+    if (q.sc->empty()) return plan;
+    const auto hits = view.chunk_grid->chunks_overlapping(*q.sc);
+    chunk_filter.emplace(hits.begin(), hits.end());
+  }
+
+  const int nbins_touched = last_bin - first_bin + 1;
+  sum.bins_touched = static_cast<std::uint64_t>(nbins_touched);
+
+  // --- Headers: bins split across ranks (phase-1 assignment). A cached
+  // header costs nothing; a cold one is read+parsed here and charged to
+  // the rank that owns the bin.
+  struct BinWork {
+    int bin = 0;
+    bool aligned = false;
+    std::vector<const FragmentInfo*> frags;  ///< chunk-filtered, curve order
+  };
+  std::vector<BinWork> bin_work(static_cast<std::size_t>(nbins_touched));
+  const auto bin_ranges = parallel::split_even(
+      static_cast<std::size_t>(nbins_touched), num_ranks);
+  for (int r = 0; r < num_ranks; ++r) {
+    RankPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+    for (std::size_t i = bin_ranges[static_cast<std::size_t>(r)].first;
+         i < bin_ranges[static_cast<std::size_t>(r)].second; ++i) {
+      const int bin = first_bin + static_cast<int>(i);
+      const StoreView::BinRef& ref = view.bins[static_cast<std::size_t>(bin)];
+      std::shared_ptr<const BinLayout> layout =
+          ref.header_cache != nullptr ? ref.header_cache->get() : nullptr;
+      if (layout == nullptr) {
+        MLOC_ASSIGN_OR_RETURN(
+            Bytes header, view.fs->read(ref.idx, 0, ref.header_len));
+        Stopwatch sw;
+        ByteReader rd(header);
+        MLOC_ASSIGN_OR_RETURN(BinLayout parsed, BinLayout::deserialize(rd));
+        auto owned = std::make_shared<const BinLayout>(std::move(parsed));
+        rp.header_parse_s += sw.seconds();
+        if (ref.header_len > 0) {
+          rp.header_reads.push_back(
+              {ref.idx, 0, ref.header_len, static_cast<std::uint32_t>(r)});
+        }
+        if (warm && ref.header_cache != nullptr) {
+          ref.header_cache->put(owned);
+        }
+        layout = std::move(owned);
+      }
+      BinWork& w = bin_work[i];
+      w.bin = bin;
+      // Aligned-bin fast path: the VC contains the bin's interval, so all
+      // (original) values qualify without decompression.
+      w.aligned = q.vc.has_value() &&
+                  view.scheme->aligned(bin, q.vc->lo, q.vc->hi);
+      for (const auto& f : layout->fragments) {
+        if (!chunk_filter.has_value() || chunk_filter->contains(f.chunk)) {
+          w.frags.push_back(&f);
+        }
+      }
+      plan.layouts.push_back(std::move(layout));
+    }
+  }
+  for (const auto& w : bin_work) {
+    if (w.aligned) ++sum.aligned_bins;
+  }
+
+  // --- Fragments: flatten in column (bin-major) order and split evenly
+  // across ranks (phase-2 assignment, unchanged from the monolith).
+  struct ItemRef {
+    const BinWork* bin;
+    const FragmentInfo* frag;
+  };
+  std::vector<ItemRef> items;
+  for (const auto& w : bin_work) {
+    for (const FragmentInfo* f : w.frags) items.push_back({&w, f});
+  }
+
+  const auto item_ranges = parallel::split_even(items.size(), num_ranks);
+  std::uint32_t next_private_class = kPrivateClassBase;
+  std::uint64_t planned_seg_bytes = 0;
+  std::uint64_t planned_seg_count = 0;
+  for (int r = 0; r < num_ranks; ++r) {
+    RankPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+    for (std::size_t i = item_ranges[static_cast<std::size_t>(r)].first;
+         i < item_ranges[static_cast<std::size_t>(r)].second; ++i) {
+      const BinWork& bw = *items[i].bin;
+      const FragmentInfo& frag = *items[i].frag;
+      FragmentTask task;
+      task.bin = bw.bin;
+      task.frag = &frag;
+      task.bin_aligned = bw.aligned;
+      // Empty range even for skipped tasks, so consecutive-run segment
+      // arithmetic in the executor stays valid.
+      task.seg_begin = rp.segments.size();
+
+      // Zone-map fast paths for misaligned bins: a VC disjoint from the
+      // fragment's value range skips it entirely; a VC containing the
+      // range qualifies every point without decompression.
+      if (q.vc.has_value() && !bw.aligned) {
+        if (frag.max_value < q.vc->lo || frag.min_value >= q.vc->hi) {
+          task.skipped = true;
+          ++sum.fragments_skipped;
+          rp.tasks.push_back(std::move(task));
+          continue;
+        }
+        task.frag_aligned =
+            q.vc->lo <= frag.min_value && frag.max_value < q.vc->hi;
+      }
+
+      // One provider lookup decides both the positional index and the
+      // payload prefix — cache hits prune their extents from the plan.
+      std::shared_ptr<const FragmentData> hit;
+      if (view.provider != nullptr) {
+        hit = view.provider->lookup({*view.var, bw.bin, frag.chunk});
+      }
+      task.cached = hit;
+
+      const bool pos_usable = hit != nullptr && hit->count == frag.count &&
+                              !hit->positions.empty();
+      if (pos_usable) {
+        task.blob_cached = true;
+        sum.cache.bytes_saved += frag.positions.length;
+      } else {
+        const StoreView::BinRef& ref =
+            view.bins[static_cast<std::size_t>(bw.bin)];
+        rp.segments.push_back({ref.idx,
+                               ref.header_len + frag.positions.offset,
+                               frag.positions.length, kBlobClass});
+      }
+
+      task.needs_vc_filter =
+          q.vc.has_value() && !bw.aligned && !task.frag_aligned;
+      task.fetch_values = q.values_needed || task.needs_vc_filter;
+      task.fetch_level =
+          plod ? (task.needs_vc_filter ? ngroups : req_level) : 1;
+
+      if (task.fetch_values) {
+        ++sum.fragments_to_fetch;
+        const StoreView::BinRef& ref =
+            view.bins[static_cast<std::size_t>(bw.bin)];
+        if (plod) {
+          const bool planes_usable = hit != nullptr &&
+                                     hit->count == frag.count &&
+                                     !hit->planes.empty();
+          task.cached_depth =
+              planes_usable ? std::min(hit->depth(), task.fetch_level) : 0;
+          for (int g = 0; g < task.cached_depth; ++g) {
+            sum.cache.bytes_saved += frag.groups[g].length;
+          }
+          if (view.provider != nullptr) {
+            if (task.cached_depth >= task.fetch_level) {
+              ++sum.cache.hits;
+            } else {
+              task.cached_depth > 0 ? ++sum.cache.partial_hits
+                                    : ++sum.cache.misses;
+            }
+          }
+          // Merge class: VMS sections bridge within a byte-group section;
+          // a VSM full scan bridges across skipped fragments; a VSM
+          // partial/reduced fetch stays private so bridging never re-reads
+          // the planes the level (or the cache) skipped.
+          std::uint32_t cls;
+          if (view.cfg->order == LevelOrder::kVMS) {
+            cls = 0;  // per-group, assigned below
+          } else if (task.cached_depth == 0 && task.fetch_level == ngroups) {
+            cls = kStreamClass;
+          } else {
+            cls = next_private_class++;
+          }
+          for (int g = task.cached_depth; g < task.fetch_level; ++g) {
+            const std::uint32_t group_cls =
+                view.cfg->order == LevelOrder::kVMS
+                    ? kSectionClassBase + static_cast<std::uint32_t>(g)
+                    : cls;
+            rp.segments.push_back({ref.dat, frag.groups[g].offset,
+                                   frag.groups[g].length, group_cls});
+          }
+        } else {
+          const bool vals_usable = hit != nullptr &&
+                                   hit->count == frag.count &&
+                                   !hit->values.empty();
+          if (vals_usable) {
+            task.cached_depth = 1;  // full hit: no payload segment
+            if (view.provider != nullptr) ++sum.cache.hits;
+            sum.cache.bytes_saved += frag.groups[0].length;
+          } else {
+            if (view.provider != nullptr) ++sum.cache.misses;
+            rp.segments.push_back({ref.dat, frag.groups[0].offset,
+                                   frag.groups[0].length, kStreamClass});
+          }
+        }
+      }
+      task.seg_count = rp.segments.size() - task.seg_begin;
+
+      // Expected qualifying points: fragment count scaled by the SC's
+      // chunk-overlap fraction and the VC survival rate (aligned => 1,
+      // misaligned => 1/2 in expectation).
+      double vc_frac = 1.0;
+      if (q.vc.has_value() && !bw.aligned && !task.frag_aligned) {
+        vc_frac = 0.5;
+      }
+      sum.est_points +=
+          static_cast<double>(frag.count) * vc_frac *
+          sc_fraction(view.chunk_grid->chunk_region(frag.chunk), q.sc);
+
+      rp.tasks.push_back(std::move(task));
+    }
+
+    // Predicted I/O for this rank: cold header reads plus the merged
+    // extents the IoScheduler will issue.
+    for (const auto& rec : rp.header_reads) {
+      sum.planned_io.add(rec.file, rec.offset, rec.len, rec.rank);
+    }
+    const std::vector<pfs::ReadRequest> merged =
+        opts.naive_io
+            ? naive_schedule(rp.segments, nullptr)
+            : coalesce_segments(rp.segments, opts.coalesce_gap_bytes, nullptr);
+    for (const auto& m : merged) {
+      sum.planned_io.add(m.file, m.offset, m.len,
+                         static_cast<std::uint32_t>(r));
+    }
+    std::uint64_t rank_naive = 0;
+    for (const auto& s : rp.segments) {
+      planned_seg_bytes += s.len;
+      if (s.len > 0) ++rank_naive;
+    }
+    planned_seg_count += rank_naive;
+    sum.stats.extents_naive += rank_naive + rp.header_reads.size();
+    sum.stats.extents_coalesced += merged.size() + rp.header_reads.size();
+  }
+  (void)planned_seg_count;
+
+  std::uint64_t header_bytes = 0;
+  for (const auto& rp : plan.ranks) {
+    for (const auto& rec : rp.header_reads) header_bytes += rec.len;
+  }
+  sum.stats.bytes_from_cache = sum.cache.bytes_saved;
+  sum.stats.bytes_planned =
+      planned_seg_bytes + header_bytes + sum.cache.bytes_saved;
+  sum.stats.bytes_read = sum.planned_io.total_bytes();
+  sum.stats.modeled_seeks = pfs::coalesced_extent_count(sum.planned_io);
+  return plan;
+}
+
+Result<PlanSummary> plan_query(const StoreView& view, const Query& q,
+                               int num_ranks, const ExecOptions& opts) {
+  if (num_ranks < 1) {
+    return invalid_argument("query: num_ranks must be >= 1");
+  }
+  if (q.sc.has_value() && q.sc->ndims() != view.cfg->shape.ndims()) {
+    return invalid_argument("query: SC dimensionality mismatch");
+  }
+  MLOC_ASSIGN_OR_RETURN(ReadPlan plan,
+                        build_plan(view, q, num_ranks, opts, /*warm=*/false));
+  return std::move(plan.summary);
+}
+
+}  // namespace mloc::exec

@@ -8,11 +8,10 @@
 #include "util/assert.hpp"
 
 namespace mloc::pfs {
-namespace {
 
 /// Merge a rank's records into maximal contiguous per-file extents
 /// (adjacent or overlapping reads cost one seek, like readahead would).
-std::vector<IoRecord> coalesce(std::vector<IoRecord> records) {
+std::vector<IoRecord> coalesce_extents(std::vector<IoRecord> records) {
   std::sort(records.begin(), records.end(),
             [](const IoRecord& a, const IoRecord& b) {
               if (a.file != b.file) return a.file < b.file;
@@ -32,6 +31,18 @@ std::vector<IoRecord> coalesce(std::vector<IoRecord> records) {
   }
   return merged;
 }
+
+std::uint64_t coalesced_extent_count(const IoLog& log) {
+  std::map<std::uint32_t, std::vector<IoRecord>> by_rank;
+  for (const auto& r : log.records()) by_rank[r.rank].push_back(r);
+  std::uint64_t n = 0;
+  for (auto& [rank, records] : by_rank) {
+    n += coalesce_extents(std::move(records)).size();
+  }
+  return n;
+}
+
+namespace {
 
 /// OSTs touched by an extent, given round-robin striping.
 int stripes_spanned(const PfsConfig& cfg, const IoRecord& extent) {
@@ -66,7 +77,7 @@ MakespanDetail model_makespan_detail(const PfsConfig& cfg, const IoLog& log,
   std::vector<double> ost_busy(cfg.num_osts, 0.0);
 
   for (int rank = 0; rank < num_ranks; ++rank) {
-    const auto extents = coalesce(std::move(by_rank[rank]));
+    const auto extents = coalesce_extents(std::move(by_rank[rank]));
     // Metadata opens: one per distinct file this rank touches.
     std::set<FileId> files;
     double rank_time = 0.0;
@@ -141,6 +152,27 @@ Result<Bytes> PfsStorage::read(FileId file, std::uint64_t offset,
   if (log != nullptr && len > 0) log->add(file, offset, len, rank);
   return Bytes(data.begin() + static_cast<std::ptrdiff_t>(offset),
                data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+}
+
+Result<std::vector<Bytes>> PfsStorage::read_batch(
+    std::span<const ReadRequest> requests, IoLog* log,
+    std::uint32_t rank) const {
+  for (const auto& r : requests) {
+    if (r.file >= files_.size()) return not_found("pfs: bad file id");
+    const Bytes& data = files_[r.file];
+    if (r.offset + r.len > data.size() || r.offset + r.len < r.offset) {
+      return out_of_range("pfs: read past end of " + names_[r.file]);
+    }
+  }
+  std::vector<Bytes> out;
+  out.reserve(requests.size());
+  for (const auto& r : requests) {
+    const Bytes& data = files_[r.file];
+    if (log != nullptr && r.len > 0) log->add(r.file, r.offset, r.len, rank);
+    out.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(r.offset),
+                     data.begin() + static_cast<std::ptrdiff_t>(r.offset + r.len));
+  }
+  return out;
 }
 
 Result<std::uint64_t> PfsStorage::file_size(FileId file) const {

@@ -51,6 +51,13 @@ struct IoRecord {
   std::uint32_t rank = 0;
 };
 
+/// One entry of a vectorized read (see PfsStorage::read_batch).
+struct ReadRequest {
+  FileId file = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+};
+
 /// Per-access-pattern I/O log consumed by the cost model.
 class IoLog {
  public:
@@ -75,6 +82,16 @@ class IoLog {
  private:
   std::vector<IoRecord> records_;
 };
+
+/// Merge records (all assumed issued by one rank) into maximal contiguous
+/// per-file extents, sorted by (file, offset) — the exact merge the cost
+/// model applies before charging seeks. Exposed so the execution engine and
+/// the planner count modeled seeks with the same rule the model uses.
+std::vector<IoRecord> coalesce_extents(std::vector<IoRecord> records);
+
+/// Number of seek-charged extents in `log`: records are partitioned by
+/// rank tag and coalesced per rank, mirroring model_makespan's accounting.
+std::uint64_t coalesced_extent_count(const IoLog& log);
 
 /// Modeled wall-clock seconds for the logged accesses executed by
 /// `num_ranks` concurrent processes.
@@ -115,6 +132,15 @@ class PfsStorage {
   [[nodiscard]] Result<Bytes> read(FileId file, std::uint64_t offset,
                                    std::uint64_t len, IoLog* log = nullptr,
                                    std::uint32_t rank = 0) const;
+
+  /// Vectorized read: one buffer per request, in request order. All
+  /// requests are validated before any byte moves or any record is logged,
+  /// so a bad request fails the whole batch atomically. Each request logs
+  /// one IoRecord (when len > 0) — callers coalesce adjacent extents
+  /// *before* batching, making one merged extent cost one modeled seek.
+  [[nodiscard]] Result<std::vector<Bytes>> read_batch(
+      std::span<const ReadRequest> requests, IoLog* log = nullptr,
+      std::uint32_t rank = 0) const;
 
   [[nodiscard]] Result<std::uint64_t> file_size(FileId file) const;
 

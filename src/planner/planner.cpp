@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "plod/plod.hpp"
-
 namespace mloc::planner {
 
 QueryPlanner::QueryPlanner(const MlocStore* store) : store_(store) {
@@ -15,125 +13,37 @@ Result<CostEstimate> QueryPlanner::estimate(const std::string& var,
                                             const Query& q,
                                             int num_ranks) const {
   if (num_ranks < 1) return invalid_argument("planner: num_ranks >= 1");
-  MLOC_ASSIGN_OR_RETURN(const BinningScheme* scheme, store_->binning(var));
-  const MlocConfig& cfg = store_->config();
-  const ChunkGrid& chunks = store_->chunk_grid();
-  const pfs::PfsConfig& pfs = store_->pfs_config();
+
+  // Cost the exact ReadPlan the engine would execute (exec::plan_query is
+  // side-effect-free: it consults the header cache and any attached
+  // FragmentProvider but never warms them). Bin, fragment, byte, and
+  // extent counts are therefore *predictions of the real plan*, not
+  // closed-form approximations — on cold caches they match execution
+  // exactly.
+  MLOC_ASSIGN_OR_RETURN(exec::PlanSummary sum,
+                        store_->plan(var, q, num_ranks));
 
   CostEstimate est;
+  est.bins_touched = sum.bins_touched;
+  est.aligned_bins = sum.aligned_bins;
+  est.est_fragments = sum.fragments_to_fetch;
+  est.est_seeks = sum.stats.modeled_seeks;
+  est.est_bytes = sum.stats.bytes_read;
+  est.est_points = sum.est_points;
 
-  // --- Bins: from the VC vs bin bounds (the engine's step 1).
-  int first_bin = 0, last_bin = scheme->num_bins() - 1;
-  if (q.vc.has_value()) {
-    const auto span = scheme->bins_overlapping(q.vc->lo, q.vc->hi);
-    if (span.empty()) return est;
-    first_bin = span.first;
-    last_bin = span.last;
-    for (int b = first_bin; b <= last_bin; ++b) {
-      if (scheme->aligned(b, q.vc->lo, q.vc->hi)) ++est.aligned_bins;
-    }
+  // Makespan: the engine's rank split is not guaranteed monotone in the
+  // rank count (a lucky split at fewer ranks can beat an unlucky one at
+  // more), but a scheduler granted `num_ranks` processes may always leave
+  // some idle. Cost the plan at every power-of-two candidate up to
+  // num_ranks and take the best — candidates nest along the power-of-two
+  // chain, so more ranks never estimate slower.
+  const pfs::PfsConfig& pfs = store_->pfs_config();
+  double best = pfs::model_makespan(pfs, sum.planned_io, num_ranks);
+  for (int r = 1; r < num_ranks; r *= 2) {
+    MLOC_ASSIGN_OR_RETURN(exec::PlanSummary s, store_->plan(var, q, r));
+    best = std::min(best, pfs::model_makespan(pfs, s.planned_io, r));
   }
-  est.bins_touched = static_cast<std::uint64_t>(last_bin - first_bin + 1);
-
-  // --- Chunks: from the SC mapped to the lattice.
-  std::uint64_t chunks_touched = chunks.num_chunks();
-  double sc_fraction = 1.0;
-  if (q.sc.has_value()) {
-    if (q.sc->empty()) return est;
-    chunks_touched = chunks.chunks_overlapping(*q.sc).size();
-    sc_fraction = static_cast<double>(q.sc->volume()) /
-                  static_cast<double>(cfg.shape.volume());
-  }
-
-  // --- Selectivity: equal-frequency bins each hold ~1/num_bins of the
-  // points; aligned bins contribute all of theirs, edge bins roughly half.
-  const double bin_fraction =
-      q.vc.has_value()
-          ? (static_cast<double>(est.aligned_bins) +
-             0.5 * static_cast<double>(est.bins_touched - est.aligned_bins)) /
-                scheme->num_bins()
-          : 1.0;
-  est.est_points = bin_fraction * sc_fraction *
-                   static_cast<double>(cfg.shape.volume());
-
-  // --- Fragments: every touched (bin, chunk) cell is expected occupied
-  // when chunks hold many points per bin (occupancy correction for small
-  // chunks: 1 - (1-1/bins)^points_per_chunk).
-  const double points_per_chunk =
-      static_cast<double>(chunks.max_chunk_elements());
-  const double occupancy =
-      1.0 - std::pow(1.0 - 1.0 / scheme->num_bins(), points_per_chunk);
-  const double frag_per_bin = static_cast<double>(chunks_touched) * occupancy;
-  // Only non-answerable-from-index bins fetch data for region-only access.
-  const double data_bins =
-      (q.values_needed || !q.vc.has_value())
-          ? static_cast<double>(est.bins_touched)
-          : static_cast<double>(est.bins_touched - est.aligned_bins);
-  est.est_fragments =
-      static_cast<std::uint64_t>(std::ceil(frag_per_bin * data_bins));
-
-  // --- Bytes: fragments are fetched whole, so payload scales with the
-  // *chunk coverage* of the SC (not the SC's exact volume), at the queried
-  // PLoD fraction, plus positional index blobs for every fetched fragment.
-  const int level = store_->plod_capable() ? q.plod_level : 7;
-  const double level_fraction =
-      static_cast<double>(plod::level_bytes(level)) / 8.0;
-  const double chunk_coverage = static_cast<double>(chunks_touched) /
-                                static_cast<double>(chunks.num_chunks());
-  const double fetched_points =
-      bin_fraction * chunk_coverage * static_cast<double>(cfg.shape.volume());
-  const double payload_bytes =
-      (data_bins > 0 && est.bins_touched > 0
-           ? fetched_points * (data_bins / static_cast<double>(est.bins_touched))
-           : 0) *
-      8.0 * level_fraction;
-  const double index_bytes =
-      fetched_points * 1.5 /*delta varints*/ +
-      static_cast<double>(est.bins_touched) * 256 /*headers*/;
-  // Per-segment codec framing: a DEFLATE-style stream carries ~170 bytes
-  // of Huffman tables regardless of payload, which dominates when
-  // fragments are small.
-  const int groups_read_for_bytes = store_->plod_capable() ? level : 1;
-  const double codec_overhead =
-      static_cast<double>(est.est_fragments) * groups_read_for_bytes * 170.0;
-  est.est_bytes =
-      static_cast<std::uint64_t>(payload_bytes + index_bytes + codec_overhead);
-
-  // --- Seeks: under V-M-S each touched bin pays one run per byte group
-  // read (groups are bin-contiguous); under V-S-M one run per fragment
-  // for reduced precision, one per contiguous fragment run for full.
-  const int groups_read = store_->plod_capable() ? level : 1;
-  // Hilbert clustering: contiguous fragment runs ~= fragments / 3 when a
-  // spatial subset is touched, 1 when the whole bin streams.
-  const double runs_per_bin =
-      q.sc.has_value()
-          ? std::max(1.0, frag_per_bin / 3.0)
-          : 1.0;
-  double seeks = 0;
-  if (cfg.order == LevelOrder::kVMS) {
-    seeks = data_bins * runs_per_bin * groups_read;
-  } else {
-    const bool prefix_contiguous = (groups_read == store_->num_groups());
-    seeks = data_bins *
-            (prefix_contiguous ? runs_per_bin : frag_per_bin);
-  }
-  seeks += static_cast<double>(est.bins_touched);  // index blob runs
-  est.est_seeks = static_cast<std::uint64_t>(std::ceil(seeks));
-
-  // --- Modeled makespan: per-rank critical path vs per-OST aggregate, the
-  // same two bounds as pfs::model_makespan.
-  const double opens =
-      2.0 * static_cast<double>(est.bins_touched);  // idx + dat per bin
-  const double per_rank =
-      (opens * pfs.open_latency_s + seeks * pfs.seek_latency_s +
-       static_cast<double>(est.est_bytes) /
-           (pfs.ost_bandwidth_bps * std::min(pfs.num_osts, 4))) /
-      num_ranks;
-  const double ost_bound =
-      static_cast<double>(est.est_bytes) /
-          (pfs.ost_bandwidth_bps * pfs.num_osts) +
-      seeks * pfs.seek_latency_s / pfs.num_osts;
-  est.est_io_seconds = std::max(per_rank, ost_bound);
+  est.est_io_seconds = best;
   return est;
 }
 
@@ -158,14 +68,24 @@ LevelOrder recommend_order(const WorkloadProfile& workload,
   //          precision touches all 7.
   //   V-S-M: full precision streams fragments in one run; reduced
   //          precision seeks once per fragment.
+  // The comparison is scale-invariant, so fractions need not sum to 1 —
+  // but negative or non-finite inputs would make it meaningless. Clamp
+  // each weight to a finite non-negative value, and the fragment count to
+  // at least one fragment per bin (a bin never holds fewer).
+  const auto weight = [](double w) {
+    return std::isfinite(w) && w > 0.0 ? w : 0.0;
+  };
+  const double region = weight(workload.region_queries);
+  const double full = weight(workload.value_full_precision);
+  const double reduced = weight(workload.value_reduced);
+  const double frags_per_bin = std::isfinite(avg_fragments_per_bin)
+                                   ? std::max(1.0, avg_fragments_per_bin)
+                                   : 1.0;
   const double reduced_groups =
       static_cast<double>(std::clamp(workload.reduced_level, 1, 7));
-  const double vms = workload.value_reduced * reduced_groups +
-                     workload.value_full_precision * 7.0 +
-                     workload.region_queries * 1.0;
-  const double vsm = workload.value_reduced * avg_fragments_per_bin +
-                     workload.value_full_precision * 1.0 +
-                     workload.region_queries * 1.0;
+  const double vms =
+      reduced * reduced_groups + full * 7.0 + region * 1.0;
+  const double vsm = reduced * frags_per_bin + full * 1.0 + region * 1.0;
   return vms <= vsm ? LevelOrder::kVMS : LevelOrder::kVSM;
 }
 

@@ -5,8 +5,9 @@
 // most frequently used access patterns", §IV-D Table VII). This module
 // makes that decision systematic:
 //  * QueryPlanner::estimate — predict a query's bins, fragments, bytes,
-//    and modeled I/O from store metadata alone (no data reads), using the
-//    same seek/stripe/contention formulas as the PFS cost model;
+//    and modeled I/O by building the exact ReadPlan the staged engine
+//    would execute (exec::plan_query; metadata only, no payload reads)
+//    and feeding its planned extents to the PFS cost model;
 //  * QueryPlanner::recommend_ranks — smallest process count whose
 //    estimated makespan is within tolerance of the saturation point;
 //  * recommend_order — given a workload mix (fractions of region queries,

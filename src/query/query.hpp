@@ -67,6 +67,30 @@ struct CacheStats {
   }
 };
 
+/// Read-plan / batch-I/O accounting for one query through the staged
+/// execution engine (src/exec). `extents_naive` counts the read requests
+/// the plan would issue without coalescing (one per segment/header, the
+/// pre-engine behavior); `extents_coalesced` counts the requests actually
+/// issued after the IoScheduler merged adjacent and near-adjacent extents.
+struct ExecStats {
+  std::uint64_t bytes_planned = 0;    ///< bytes the plan needed pre-cache
+  std::uint64_t bytes_read = 0;       ///< bytes issued to the PFS (merged)
+  std::uint64_t bytes_from_cache = 0; ///< bytes pruned at plan time
+  std::uint64_t extents_naive = 0;     ///< read requests before coalescing
+  std::uint64_t extents_coalesced = 0; ///< read requests actually issued
+  std::uint64_t modeled_seeks = 0;     ///< per-rank coalesced extents (model)
+
+  ExecStats& operator+=(const ExecStats& o) noexcept {
+    bytes_planned += o.bytes_planned;
+    bytes_read += o.bytes_read;
+    bytes_from_cache += o.bytes_from_cache;
+    extents_naive += o.extents_naive;
+    extents_coalesced += o.extents_coalesced;
+    modeled_seeks += o.modeled_seeks;
+    return *this;
+  }
+};
+
 /// Result of one query execution.
 struct QueryResult {
   /// Qualifying positions as row-major linear offsets into the variable's
@@ -83,6 +107,7 @@ struct QueryResult {
   std::uint64_t fragments_skipped = 0;  ///< pruned by zone maps (VC disjoint)
   std::uint64_t bytes_read = 0;     ///< payload bytes fetched from the PFS
   CacheStats cache;                 ///< fragment-provider hit/miss accounting
+  ExecStats exec;                   ///< read-plan / coalescing accounting
 };
 
 }  // namespace mloc

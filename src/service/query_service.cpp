@@ -198,6 +198,7 @@ void QueryService::dispatch_one() {
     resp.result = std::move(result).value();
     resp.stats.modeled_s = resp.result.times.total();
     resp.stats.cache = resp.result.cache;
+    resp.stats.exec = resp.result.exec;
     if (p->deadline_s > 0 &&
         p->queued.seconds() > p->deadline_s) {
       resp.status = deadline_exceeded("execution overran the deadline");
@@ -214,6 +215,7 @@ void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
     agg_.total_exec_wall_s += resp.stats.exec_wall_s;
     agg_.total_modeled_s += resp.stats.modeled_s;
     agg_.cache += resp.stats.cache;
+    agg_.exec += resp.stats.exec;
     switch (resp.status.code()) {
       case ErrorCode::kOk: ++agg_.completed; break;
       case ErrorCode::kDeadlineExceeded: ++agg_.expired; break;
@@ -225,6 +227,7 @@ void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
       SessionStats& s = it->second.stats;
       resp.status.is_ok() ? ++s.completed : ++s.failed;
       s.cache += resp.stats.cache;
+      s.exec += resp.stats.exec;
       s.total_queue_wait_s += resp.stats.queue_wait_s;
       s.total_modeled_s += resp.stats.modeled_s;
     }

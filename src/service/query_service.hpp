@@ -80,6 +80,8 @@ struct ServiceStats {
   double exec_wall_s = 0.0;   ///< measured wall time inside the store
   double modeled_s = 0.0;     ///< QueryResult::times.total(): modeled io+cpu
   CacheStats cache;           ///< fragment-cache accounting for this query
+  ExecStats exec;             ///< engine accounting: bytes planned/read/
+                              ///< cached, extents before/after coalescing
 };
 
 /// Everything a client gets back for one submission.
@@ -104,6 +106,7 @@ struct AggregateStats {
   std::uint64_t expired = 0;     ///< deadline passed
   std::uint64_t cancelled = 0;
   CacheStats cache;              ///< summed per-query cache stats
+  ExecStats exec;                ///< summed per-query engine stats
   double total_queue_wait_s = 0.0;
   double total_exec_wall_s = 0.0;
   double total_modeled_s = 0.0;
@@ -120,6 +123,7 @@ struct SessionStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;    ///< any non-ok resolution
   CacheStats cache;
+  ExecStats exec;
   double total_queue_wait_s = 0.0;
   double total_modeled_s = 0.0;
 };

@@ -1,0 +1,342 @@
+// Staged query engine tests: IoScheduler coalescing rules (unit level),
+// coalesced-vs-naive bit-identical results across every layout config,
+// extent/seek reduction on a Table-VI-style query mix, planner exact-match
+// against execution on cold caches, header-cache reuse on reopened stores,
+// fsck cleanliness after engine queries, and a threads x shared-cache
+// stress for TSan.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/store.hpp"
+#include "datagen/datagen.hpp"
+#include "exec/io_scheduler.hpp"
+#include "planner/planner.hpp"
+#include "service/fragment_cache.hpp"
+#include "tools/fsck.hpp"
+
+namespace mloc {
+namespace {
+
+MlocConfig small_config(const NDShape& shape, const NDShape& chunk,
+                        const std::string& codec,
+                        LevelOrder order = LevelOrder::kVMS) {
+  MlocConfig cfg;
+  cfg.shape = shape;
+  cfg.chunk_shape = chunk;
+  cfg.num_bins = 16;
+  cfg.codec = codec;
+  cfg.order = order;
+  cfg.sample_stride = 7;
+  return cfg;
+}
+
+Result<MlocStore> build_store(pfs::PfsStorage& fs, const std::string& codec,
+                              LevelOrder order) {
+  Grid grid = datagen::gts_like(64, 42);
+  auto store = MlocStore::create(
+      &fs, "s", small_config(grid.shape(), NDShape{16, 16}, codec, order));
+  if (!store.is_ok()) return store;
+  MLOC_RETURN_IF_ERROR(store.value().write_variable("phi", grid));
+  return store;
+}
+
+/// Table-VI-style mix: value retrieval over a spatial subset (so fragment
+/// runs have gaps), plus a VC + full-domain retrieval, at two PLoD levels.
+std::vector<Query> query_mix(bool plod) {
+  std::vector<Query> mix;
+  {
+    Query q;
+    q.sc = Region(2, {8, 8}, {56, 40});
+    mix.push_back(q);
+  }
+  {
+    Query q;
+    q.sc = Region(2, {0, 16}, {64, 48});
+    if (plod) q.plod_level = 2;
+    mix.push_back(q);
+  }
+  {
+    Query q;
+    q.vc = ValueConstraint{-0.5, 0.75};
+    mix.push_back(q);
+  }
+  return mix;
+}
+
+// ------------------------------------------------------ IoScheduler unit
+
+TEST(IoScheduler, AdjacentAndOverlappingSegmentsAlwaysMerge) {
+  // Touching or overlapping extents merge regardless of merge class.
+  const std::vector<exec::PlannedSegment> segs = {
+      {1, 0, 100, 7}, {1, 100, 50, 9}, {1, 120, 100, 3}};
+  std::vector<exec::SlotRef> slots;
+  const auto merged = exec::coalesce_segments(segs, 0, &slots);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].offset, 0u);
+  EXPECT_EQ(merged[0].len, 220u);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(slots[i].extent, 0);
+    EXPECT_EQ(slots[i].delta, segs[i].offset);
+  }
+}
+
+TEST(IoScheduler, SameClassGapBridgesWithinLimitOnly) {
+  const std::vector<exec::PlannedSegment> same = {{1, 0, 10, 2},
+                                                  {1, 40, 10, 2}};
+  EXPECT_EQ(exec::coalesce_segments(same, 64, nullptr).size(), 1u);
+  EXPECT_EQ(exec::coalesce_segments(same, 16, nullptr).size(), 2u);
+
+  // Same gap, different classes: never bridged.
+  const std::vector<exec::PlannedSegment> cross = {{1, 0, 10, 2},
+                                                   {1, 40, 10, 3}};
+  EXPECT_EQ(exec::coalesce_segments(cross, 64, nullptr).size(), 2u);
+}
+
+TEST(IoScheduler, DifferentFilesNeverMerge) {
+  const std::vector<exec::PlannedSegment> segs = {{1, 0, 10, 2},
+                                                  {2, 10, 10, 2}};
+  EXPECT_EQ(exec::coalesce_segments(segs, 1 << 20, nullptr).size(), 2u);
+}
+
+TEST(IoScheduler, SlotsAddressOriginalBytesAfterBridging) {
+  const std::vector<exec::PlannedSegment> segs = {
+      {1, 100, 10, 2}, {1, 0, 10, 2}, {1, 30, 10, 2}};
+  std::vector<exec::SlotRef> slots;
+  const auto merged = exec::coalesce_segments(segs, 64, &slots);
+  ASSERT_EQ(merged.size(), 1u);  // sorted then bridged: [0, 110)
+  EXPECT_EQ(merged[0].offset, 0u);
+  EXPECT_EQ(merged[0].len, 110u);
+  EXPECT_EQ(slots[0].delta, 100u);
+  EXPECT_EQ(slots[1].delta, 0u);
+  EXPECT_EQ(slots[2].delta, 30u);
+}
+
+TEST(IoScheduler, ZeroLengthSegmentsGetNoExtent) {
+  const std::vector<exec::PlannedSegment> segs = {{1, 0, 0, 2}, {1, 5, 10, 2}};
+  std::vector<exec::SlotRef> slots;
+  const auto merged = exec::coalesce_segments(segs, 0, &slots);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(slots[0].extent, -1);
+  EXPECT_EQ(slots[1].extent, 0);
+
+  const auto naive = exec::naive_schedule(segs, &slots);
+  ASSERT_EQ(naive.size(), 1u);
+  EXPECT_EQ(slots[0].extent, -1);
+}
+
+TEST(IoScheduler, NaiveScheduleIsOneExtentPerSegment) {
+  const std::vector<exec::PlannedSegment> segs = {
+      {1, 0, 10, 2}, {1, 10, 10, 2}, {1, 20, 10, 2}};
+  std::vector<exec::SlotRef> slots;
+  const auto naive = exec::naive_schedule(segs, &slots);
+  ASSERT_EQ(naive.size(), 3u);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(slots[i].extent, static_cast<int>(i));
+    EXPECT_EQ(slots[i].delta, 0u);
+  }
+}
+
+// ------------------------------------------- engine end-to-end invariants
+
+class EngineConfigs
+    : public ::testing::TestWithParam<std::tuple<std::string, LevelOrder>> {};
+
+TEST_P(EngineConfigs, CoalescedAndNaiveAreBitIdentical) {
+  const auto& [codec, order] = GetParam();
+  pfs::PfsStorage fs;
+  auto store = build_store(fs, codec, order);
+  ASSERT_TRUE(store.is_ok()) << store.status().to_string();
+
+  exec::ExecOptions coalesced;
+  exec::ExecOptions naive;
+  naive.naive_io = true;
+  naive.decode_workers = 0;  // also exercise the inline-decode path
+
+  const bool plod = store.value().plod_capable();
+  for (const Query& q : query_mix(plod)) {
+    for (int ranks : {1, 3}) {
+      auto a = store.value().execute("phi", q, ranks, coalesced);
+      auto b = store.value().execute("phi", q, ranks, naive);
+      ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+      ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+      EXPECT_EQ(a.value().positions, b.value().positions);
+      EXPECT_EQ(a.value().values, b.value().values);
+      // Same plan, different scheduling: identical logical counters.
+      EXPECT_EQ(a.value().fragments_read, b.value().fragments_read);
+      EXPECT_EQ(a.value().fragments_skipped, b.value().fragments_skipped);
+      EXPECT_EQ(a.value().exec.extents_naive, b.value().exec.extents_naive);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, EngineConfigs,
+    ::testing::Values(
+        std::make_tuple("mzip", LevelOrder::kVMS),
+        std::make_tuple("mzip", LevelOrder::kVSM),
+        std::make_tuple("rle", LevelOrder::kVMS),
+        std::make_tuple("xor-delta", LevelOrder::kVMS),
+        std::make_tuple("isabela:0.01", LevelOrder::kVMS)));
+
+TEST(Engine, CoalescingReducesExtentsAndModeledSeeks) {
+  pfs::PfsStorage fs;
+  auto store = build_store(fs, "mzip", LevelOrder::kVMS);
+  ASSERT_TRUE(store.is_ok());
+
+  // Sanity: the fixture really has >= 4 fragments per touched bin on
+  // average (the acceptance bar for this comparison).
+  Query probe;
+  auto probed = store.value().execute("phi", probe);
+  ASSERT_TRUE(probed.is_ok());
+  ASSERT_GE(probed.value().fragments_read,
+            4 * probed.value().bins_touched);
+
+  exec::ExecOptions naive;
+  naive.naive_io = true;
+  for (const Query& q : query_mix(/*plod=*/true)) {
+    for (int ranks : {1, 3}) {
+      auto n = store.value().execute("phi", q, ranks, naive);
+      auto c = store.value().execute("phi", q, ranks, exec::ExecOptions{});
+      ASSERT_TRUE(n.is_ok() && c.is_ok());
+      // Strictly fewer IoLog extents and strictly fewer modeled seeks.
+      EXPECT_LT(c.value().exec.extents_coalesced,
+                c.value().exec.extents_naive);
+      EXPECT_LT(c.value().exec.modeled_seeks, n.value().exec.modeled_seeks);
+      EXPECT_LE(c.value().times.io, n.value().times.io);
+    }
+  }
+}
+
+TEST(Engine, PlannerEstimateMatchesColdExecutionExactly) {
+  pfs::PfsStorage fs;
+  {
+    auto created = build_store(fs, "mzip", LevelOrder::kVMS);
+    ASSERT_TRUE(created.is_ok());
+  }
+  for (const Query& q : query_mix(/*plod=*/true)) {
+    // Reopen per query: cold header cache, so the estimate must predict
+    // the header reads too.
+    auto store = MlocStore::open(&fs, "s");
+    ASSERT_TRUE(store.is_ok());
+    planner::QueryPlanner planner(&store.value());
+    auto est = planner.estimate("phi", q, 1);
+    ASSERT_TRUE(est.is_ok());
+    auto run = store.value().execute("phi", q, 1);
+    ASSERT_TRUE(run.is_ok());
+    EXPECT_EQ(est.value().bins_touched, run.value().bins_touched);
+    EXPECT_EQ(est.value().aligned_bins, run.value().aligned_bins);
+    EXPECT_EQ(est.value().est_fragments, run.value().fragments_read);
+    EXPECT_EQ(est.value().est_bytes, run.value().bytes_read);
+    EXPECT_EQ(est.value().est_seeks, run.value().exec.modeled_seeks);
+    EXPECT_DOUBLE_EQ(est.value().est_io_seconds, run.value().times.io);
+  }
+}
+
+TEST(Engine, HeaderCacheEliminatesRereadsAfterFirstQuery) {
+  pfs::PfsStorage fs;
+  {
+    auto created = build_store(fs, "mzip", LevelOrder::kVMS);
+    ASSERT_TRUE(created.is_ok());
+  }
+  auto store = MlocStore::open(&fs, "s");
+  ASSERT_TRUE(store.is_ok());
+  Query q;
+  q.sc = Region(2, {8, 8}, {56, 40});
+  auto cold = store.value().execute("phi", q);
+  auto warm = store.value().execute("phi", q);
+  ASSERT_TRUE(cold.is_ok() && warm.is_ok());
+  // No FragmentProvider attached: only the header reads can disappear.
+  EXPECT_LT(warm.value().bytes_read, cold.value().bytes_read);
+  EXPECT_EQ(warm.value().positions, cold.value().positions);
+
+  // A freshly created store is header-warm from the start: both runs read
+  // the same bytes.
+  pfs::PfsStorage fs2;
+  auto created = build_store(fs2, "mzip", LevelOrder::kVMS);
+  ASSERT_TRUE(created.is_ok());
+  auto first = created.value().execute("phi", q);
+  auto second = created.value().execute("phi", q);
+  ASSERT_TRUE(first.is_ok() && second.is_ok());
+  EXPECT_EQ(first.value().bytes_read, second.value().bytes_read);
+}
+
+TEST(Engine, CacheStatsSplitPlannedReadAndSavedBytes) {
+  pfs::PfsStorage fs;
+  auto store = build_store(fs, "mzip", LevelOrder::kVMS);
+  ASSERT_TRUE(store.is_ok());
+  service::FragmentCache cache;
+  store.value().set_fragment_provider(&cache);
+
+  Query q;
+  q.sc = Region(2, {8, 8}, {56, 40});
+  auto cold = store.value().execute("phi", q);
+  auto warm = store.value().execute("phi", q);
+  ASSERT_TRUE(cold.is_ok() && warm.is_ok());
+
+  EXPECT_EQ(cold.value().exec.bytes_from_cache, 0u);
+  EXPECT_GT(cold.value().exec.bytes_planned, 0u);
+  EXPECT_GT(warm.value().exec.bytes_from_cache, 0u);
+  EXPECT_LT(warm.value().bytes_read, cold.value().bytes_read);
+  EXPECT_EQ(warm.value().positions, cold.value().positions);
+  EXPECT_EQ(warm.value().values, cold.value().values);
+  store.value().set_fragment_provider(nullptr);
+}
+
+TEST(Engine, FsckPassesOnStoreQueriedThroughEngine) {
+  pfs::PfsStorage fs;
+  auto store = build_store(fs, "mzip", LevelOrder::kVMS);
+  ASSERT_TRUE(store.is_ok());
+  for (const Query& q : query_mix(/*plod=*/true)) {
+    ASSERT_TRUE(store.value().execute("phi", q, 3).is_ok());
+  }
+  fsck::LayoutVerifier verifier(&fs);
+  const fsck::Report report = verifier.verify_store("s");
+  EXPECT_TRUE(report.ok()) << report.human();
+}
+
+TEST(Engine, ConcurrentQueriesWithSharedCacheAndWorkers) {
+  pfs::PfsStorage fs;
+  auto store = build_store(fs, "mzip", LevelOrder::kVMS);
+  ASSERT_TRUE(store.is_ok());
+  service::FragmentCache cache;
+  store.value().set_fragment_provider(&cache);
+
+  exec::ExecOptions opts;
+  opts.decode_workers = 2;
+  opts.min_decode_tasks = 1;  // force the worker pool on
+
+  Query q;
+  q.vc = ValueConstraint{-0.5, 0.75};
+  auto expected = store.value().execute("phi", q, 1, opts);
+  ASSERT_TRUE(expected.is_ok());
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(kThreads, Status::ok());
+  std::vector<std::vector<std::uint64_t>> positions(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int iter = 0; iter < 3; ++iter) {
+        auto r = store.value().execute("phi", q, 2, opts);
+        if (!r.is_ok()) {
+          statuses[t] = r.status();
+          return;
+        }
+        positions[t] = std::move(r.value().positions);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(statuses[t].is_ok()) << statuses[t].to_string();
+    EXPECT_EQ(positions[t], expected.value().positions);
+  }
+  store.value().set_fragment_provider(nullptr);
+}
+
+}  // namespace
+}  // namespace mloc

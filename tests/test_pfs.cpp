@@ -56,6 +56,45 @@ TEST(PfsStorage, BadFileIdFails) {
   EXPECT_FALSE(fs.file_size(99).is_ok());
 }
 
+TEST(PfsStorage, ReadBatchReturnsPerRequestBuffersAndLogsEachExtent) {
+  PfsStorage fs;
+  auto a = fs.create("a").value();
+  auto b = fs.create("b").value();
+  ASSERT_TRUE(fs.append(a, make_bytes(100, 1)).is_ok());
+  ASSERT_TRUE(fs.append(b, make_bytes(100, 2)).is_ok());
+
+  const std::vector<ReadRequest> reqs = {
+      {a, 10, 20}, {b, 0, 50}, {a, 90, 10}, {a, 0, 0}};
+  IoLog log;
+  auto out = fs.read_batch(reqs, &log, /*rank=*/3);
+  ASSERT_TRUE(out.is_ok());
+  ASSERT_EQ(out.value().size(), 4u);
+  EXPECT_EQ(out.value()[0].size(), 20u);
+  EXPECT_EQ(out.value()[0][0], 1);
+  EXPECT_EQ(out.value()[1].size(), 50u);
+  EXPECT_EQ(out.value()[1][0], 2);
+  EXPECT_EQ(out.value()[3].size(), 0u);
+  // One IoRecord per non-empty request, all tagged with the caller's rank.
+  ASSERT_EQ(log.records().size(), 3u);
+  for (const auto& rec : log.records()) EXPECT_EQ(rec.rank, 3u);
+  EXPECT_EQ(log.total_bytes(), 80u);
+}
+
+TEST(PfsStorage, ReadBatchFailsAtomically) {
+  PfsStorage fs;
+  auto a = fs.create("a").value();
+  ASSERT_TRUE(fs.append(a, make_bytes(100)).is_ok());
+
+  // Any invalid request fails the whole batch before a byte is read or
+  // logged — no partial results.
+  IoLog log;
+  const std::vector<ReadRequest> past_end = {{a, 0, 10}, {a, 95, 10}};
+  EXPECT_FALSE(fs.read_batch(past_end, &log).is_ok());
+  const std::vector<ReadRequest> bad_id = {{a, 0, 10}, {99, 0, 1}};
+  EXPECT_FALSE(fs.read_batch(bad_id, &log).is_ok());
+  EXPECT_TRUE(log.records().empty());
+}
+
 TEST(PfsStorage, TotalBytesAndListing) {
   PfsStorage fs;
   auto a = fs.create("a").value();

@@ -3,6 +3,8 @@
 // order advisor's Table VII crossover.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/store.hpp"
 #include "datagen/datagen.hpp"
 #include "planner/planner.hpp"
@@ -209,6 +211,50 @@ TEST(OrderAdvisor, AdviceMatchesMeasuredTableVII) {
   const bool vms_wins_full =
       vms_full.value().times.io < vsm_full.value().times.io;
   EXPECT_EQ(pick_full == LevelOrder::kVMS, vms_wins_full);
+}
+
+TEST(OrderAdvisor, DecisionIsScaleInvariant) {
+  // Fractions need not sum to 1: query *counts* work just as well.
+  WorkloadProfile normalized;
+  normalized.value_reduced = 0.8;
+  normalized.value_full_precision = 0.1;
+  normalized.region_queries = 0.1;
+  normalized.reduced_level = 2;
+  WorkloadProfile counts = normalized;
+  counts.value_reduced *= 1000;
+  counts.value_full_precision *= 1000;
+  counts.region_queries *= 1000;
+  EXPECT_EQ(recommend_order(normalized), recommend_order(counts));
+}
+
+TEST(OrderAdvisor, AllZeroProfileDefaultsToVms) {
+  EXPECT_EQ(recommend_order(WorkloadProfile{}), LevelOrder::kVMS);
+}
+
+TEST(OrderAdvisor, FragmentsPerBinClampedToAtLeastOne) {
+  // With <= 1 fragment per bin, V-S-M's reduced-precision read is a single
+  // run: it must win over V-M-S's per-group runs, even when the caller
+  // passes a degenerate (fractional, zero, or negative) average.
+  WorkloadProfile reduced_heavy;
+  reduced_heavy.value_reduced = 1.0;
+  reduced_heavy.reduced_level = 2;
+  for (double frags : {1.0, 0.2, 0.0, -3.0}) {
+    EXPECT_EQ(recommend_order(reduced_heavy, frags), LevelOrder::kVSM)
+        << frags;
+  }
+  // Sanity: with many fragments per bin the same workload flips to V-M-S.
+  EXPECT_EQ(recommend_order(reduced_heavy, 16.0), LevelOrder::kVMS);
+}
+
+TEST(OrderAdvisor, NonFiniteAndNegativeWeightsAreIgnored) {
+  WorkloadProfile w;
+  w.value_full_precision = 0.9;
+  w.value_reduced = -5.0;  // nonsense: must not drag the decision
+  EXPECT_EQ(recommend_order(w), LevelOrder::kVSM);
+  w.value_reduced = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(recommend_order(w), LevelOrder::kVSM);
+  w.value_reduced = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(recommend_order(w), LevelOrder::kVSM);
 }
 
 }  // namespace
