@@ -3,7 +3,7 @@
 //
 //   mloc_cli build --out DIR [--dataset gts|s3d|velocity] [--edge N]
 //            [--chunk C] [--bins B] [--codec NAME] [--order vms|vsm]
-//            [--seed S] [--var NAME]
+//            [--seed S] [--var NAME] [--threads T] [--write-behind]
 //   mloc_cli info  --store DIR
 //   mloc_cli query --store DIR [--var NAME] [--vc LO:HI]
 //            [--sc LO:HI[,LO:HI...]] [--plod L] [--ranks R] [--region-only]
@@ -68,7 +68,7 @@ int usage() {
       "usage:\n"
       "  mloc_cli build --out DIR [--dataset gts|s3d|velocity] [--edge N]\n"
       "           [--chunk C] [--bins B] [--codec NAME] [--order vms|vsm]\n"
-      "           [--seed S] [--var NAME]\n"
+      "           [--seed S] [--var NAME] [--threads T] [--write-behind]\n"
       "  mloc_cli info  --store DIR\n"
       "  mloc_cli query --store DIR [--var NAME] [--vc LO:HI]\n"
       "           [--sc LO:HI[,LO:HI...]] [--plod L] [--ranks R]"
@@ -119,16 +119,25 @@ int cmd_build(const Args& args) {
   auto store = MlocStore::create(&fs, "store", cfg);
   if (!store.is_ok()) return fail(store.status());
   const std::string var = args.get("var", "v");
-  if (Status s = store.value().write_variable(var, grid); !s.is_ok()) {
+  ingest::WriteOptions wopts;
+  wopts.threads = std::max(1, std::atoi(args.get("threads", "1").c_str()));
+  wopts.write_behind = args.has_flag("write-behind");
+  if (Status s = store.value().write_variable(var, grid, wopts); !s.is_ok()) {
     return fail(s);
   }
   if (Status s = fs.save_to_dir(out); !s.is_ok()) return fail(s);
+  const ingest::IngestStats ist = store.value().ingest_stats();
   std::printf(
-      "built %s %s store: %llu points, %.2f MB data + %.2f MB index -> %s\n",
+      "built %s %s store: %llu points, %.2f MB data + %.2f MB index -> %s\n"
+      "ingest: %d thread(s)%s, %.3fs wall (partition %.3fs, encode %.3fs,"
+      " fold %.3fs, flush %.3fs), %llu fragments\n",
       dataset.c_str(), cfg.codec.c_str(),
       static_cast<unsigned long long>(grid.size()),
       static_cast<double>(store.value().data_bytes()) / 1e6,
-      static_cast<double>(store.value().index_bytes()) / 1e6, out.c_str());
+      static_cast<double>(store.value().index_bytes()) / 1e6, out.c_str(),
+      ist.threads, ist.write_behind ? " + write-behind" : "", ist.wall_s,
+      ist.partition_s, ist.encode_s, ist.fold_s, ist.flush_s,
+      static_cast<unsigned long long>(ist.fragments_encoded));
   return 0;
 }
 

@@ -19,7 +19,11 @@ std::string Region::to_string() const {
   std::string out = "{";
   for (int d = 0; d < ndims_; ++d) {
     if (d) out += ", ";
-    out += "[" + std::to_string(lo_[d]) + "," + std::to_string(hi_[d]) + ")";
+    out += '[';
+    out += std::to_string(lo_[d]);
+    out += ',';
+    out += std::to_string(hi_[d]);
+    out += ')';
   }
   out += "}";
   return out;

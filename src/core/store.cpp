@@ -6,6 +6,7 @@
 
 #include "compress/registry.hpp"
 #include "exec/engine.hpp"
+#include "ingest/ingest.hpp"
 #include "plod/plod.hpp"
 #include "util/hash.hpp"
 #include "util/timer.hpp"
@@ -15,15 +16,6 @@ namespace {
 
 constexpr std::uint32_t kMetaMagic = 0x4D4C4F43;  // "MLOC"
 constexpr std::uint32_t kMetaVersion = 2;         // v2: CRC subfile footers
-
-std::string idx_name(const std::string& store, const std::string& var,
-                     int bin) {
-  return store + "/" + var + ".bin" + std::to_string(bin) + ".idx";
-}
-std::string dat_name(const std::string& store, const std::string& var,
-                     int bin) {
-  return store + "/" + var + ".bin" + std::to_string(bin) + ".dat";
-}
 
 void serialize_shape(ByteWriter& w, const NDShape& s) {
   w.put_u8(static_cast<std::uint8_t>(s.ndims()));
@@ -95,12 +87,15 @@ Status MlocStore::write_meta() {
   w.put_u8(static_cast<std::uint8_t>(cfg_.order));
   w.put_string(cfg_.codec);
   w.put_u32(cfg_.sample_stride);
-  w.put_varint(vars_.size());
-  for (const auto& v : vars_) {
-    w.put_string(v.name);
-    v.scheme.serialize(w);
-    w.put_varint(v.bins.size());
-    for (const auto& b : v.bins) w.put_varint(b.header_len);
+  {
+    std::shared_lock lock(*vars_mu_);
+    w.put_varint(vars_.size());
+    for (const auto& v : vars_) {
+      w.put_string(v->name);
+      v->scheme.serialize(w);
+      w.put_varint(v->bins.size());
+      for (const auto& b : v->bins) w.put_varint(b.header_len);
+    }
   }
   Bytes meta = std::move(w).take();
   append_subfile_footer(meta);
@@ -160,20 +155,21 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
       MLOC_ASSIGN_OR_RETURN(vs.bins[b].header_len, r.get_varint());
       MLOC_ASSIGN_OR_RETURN(
           vs.bins[b].idx,
-          fs->open(idx_name(name, vs.name, static_cast<int>(b))));
+          fs->open(ingest::idx_name(name, vs.name, static_cast<int>(b))));
       MLOC_ASSIGN_OR_RETURN(
           vs.bins[b].dat,
-          fs->open(dat_name(name, vs.name, static_cast<int>(b))));
+          fs->open(ingest::dat_name(name, vs.name, static_cast<int>(b))));
     }
-    store.vars_.push_back(std::move(vs));
+    store.vars_.push_back(std::make_shared<VariableState>(std::move(vs)));
   }
   return store;
 }
 
 std::vector<std::string> MlocStore::variables() const {
+  std::shared_lock lock(*vars_mu_);
   std::vector<std::string> out;
   out.reserve(vars_.size());
-  for (const auto& v : vars_) out.push_back(v.name);
+  for (const auto& v : vars_) out.push_back(v->name);
   return out;
 }
 
@@ -195,16 +191,18 @@ Result<std::vector<MlocStore::BinSubfiles>> MlocStore::bin_subfiles(
 
 Result<const MlocStore::VariableState*> MlocStore::find_var(
     const std::string& var) const {
+  std::shared_lock lock(*vars_mu_);
   for (const auto& v : vars_) {
-    if (v.name == var) return &v;
+    if (v->name == var) return v.get();
   }
   return not_found("store: no variable named " + var);
 }
 
 std::uint64_t MlocStore::data_bytes() const {
+  std::shared_lock lock(*vars_mu_);
   std::uint64_t total = 0;
   for (const auto& v : vars_) {
-    for (const auto& b : v.bins) {
+    for (const auto& b : v->bins) {
       total += fs_->file_size(b.dat).value_or(0);
     }
   }
@@ -212,9 +210,10 @@ std::uint64_t MlocStore::data_bytes() const {
 }
 
 std::uint64_t MlocStore::index_bytes() const {
+  std::shared_lock lock(*vars_mu_);
   std::uint64_t total = fs_->file_size(meta_file_).value_or(0);
   for (const auto& v : vars_) {
-    for (const auto& b : v.bins) {
+    for (const auto& b : v->bins) {
       total += fs_->file_size(b.idx).value_or(0);
     }
   }
@@ -224,157 +223,74 @@ std::uint64_t MlocStore::index_bytes() const {
 // ------------------------------------------------------------ write path
 
 Status MlocStore::write_variable(const std::string& var, const Grid& grid) {
+  return write_variable(var, grid, ingest::WriteOptions{});
+}
+
+Status MlocStore::write_variable(const std::string& var, const Grid& grid,
+                                 const ingest::WriteOptions& opts) {
   if (!(grid.shape() == cfg_.shape)) {
     return invalid_argument("store: grid shape mismatches config");
   }
-  if (find_var(var).is_ok()) {
-    return invalid_argument("store: variable exists: " + var);
-  }
+  // One ingest at a time; queries keep running against the published state.
+  std::lock_guard ingest_lock(*ingest_mu_);
 
-  // --- Level V: equal-frequency binning boundaries from a sample.
-  std::vector<double> sample;
-  sample.reserve(grid.size() / cfg_.sample_stride + 1);
-  for (std::uint64_t i = 0; i < grid.size(); i += cfg_.sample_stride) {
-    sample.push_back(grid.at_linear(i));
-  }
-  VariableState vs;
-  vs.name = var;
-  if (cfg_.binning == BinningKind::kEqualFrequency) {
-    vs.scheme = BinningScheme::equal_frequency(sample, cfg_.num_bins);
-  } else {
-    double lo = sample[0], hi = sample[0];
-    for (double v : sample) {
-      if (std::isnan(v)) continue;
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-    if (!(hi > lo)) hi = lo + 1.0;
-    vs.scheme = BinningScheme::equal_width(lo, hi, cfg_.num_bins);
-  }
-  const int nbins = vs.scheme.num_bins();
+  ingest::StoreWriter writer;
+  writer.fs = fs_;
+  writer.cfg = &cfg_;
+  writer.chunk_grid = &chunk_grid_;
+  writer.curve = &curve_order_;
+  writer.byte_codec = byte_codec_.get();
+  writer.double_codec = double_codec_.get();
+  writer.store_name = name_;
+  MLOC_ASSIGN_OR_RETURN(ingest::IngestOutput out,
+                        ingest::ingest_variable(writer, var, grid, opts));
 
-  // --- Stage fragments: iterate chunks in curve order (level S), routing
-  // each chunk's points to bins (level V).
-  struct FragStage {
-    ChunkId chunk;
-    std::vector<std::uint32_t> offsets;  // local, ascending
-    std::vector<double> values;          // parallel to offsets
-  };
-  std::vector<std::vector<FragStage>> staged(nbins);
-
-  std::vector<std::vector<std::uint32_t>> chunk_offs(nbins);
-  std::vector<std::vector<double>> chunk_vals(nbins);
-  for (std::uint32_t rank = 0; rank < chunk_grid_.num_chunks(); ++rank) {
-    const ChunkId chunk = curve_order_.chunk_at(rank);
-    const Region region = chunk_grid_.chunk_region(chunk);
-    const std::vector<double> vals = grid.extract(region);
-    for (auto& o : chunk_offs) o.clear();
-    for (auto& v : chunk_vals) v.clear();
-    for (std::uint32_t i = 0; i < vals.size(); ++i) {
-      const int b = vs.scheme.bin_of(vals[i]);
-      chunk_offs[b].push_back(i);
-      chunk_vals[b].push_back(vals[i]);
-    }
-    for (int b = 0; b < nbins; ++b) {
-      if (chunk_offs[b].empty()) continue;
-      FragStage frag{chunk, std::move(chunk_offs[b]),
-                     std::move(chunk_vals[b])};
-      staged[b].push_back(std::move(frag));
-      chunk_offs[b] = {};
-      chunk_vals[b] = {};
-    }
-  }
-
-  // --- Emit per-bin subfiles: positional index (level V's index), then the
-  // payload laid out by the configured M/S order, compressed per segment.
-  const int groups = num_groups();
-  for (int b = 0; b < nbins; ++b) {
+  auto vs = std::make_shared<VariableState>();
+  vs->name = var;
+  vs->scheme = std::move(out.scheme);
+  vs->bins.reserve(out.bins.size());
+  for (auto& bin : out.bins) {
     BinFiles files;
-    MLOC_ASSIGN_OR_RETURN(files.idx, fs_->create(idx_name(name_, var, b)));
-    MLOC_ASSIGN_OR_RETURN(files.dat, fs_->create(dat_name(name_, var, b)));
-
-    BinLayout layout;
-    layout.fragments.resize(staged[b].size());
-    Bytes blob_section;
-    for (std::size_t f = 0; f < staged[b].size(); ++f) {
-      FragmentInfo& info = layout.fragments[f];
-      info.chunk = staged[b][f].chunk;
-      info.count = staged[b][f].offsets.size();
-      const Bytes blob = encode_positions(staged[b][f].offsets);
-      info.positions = {blob_section.size(), blob.size(), fnv1a64(blob)};
-      blob_section.insert(blob_section.end(), blob.begin(), blob.end());
-      info.groups.resize(groups);
-      // Zone map over the original values (NaNs excluded: they never
-      // satisfy a VC, and an empty range reads as VC-disjoint).
-      info.min_value = std::numeric_limits<double>::infinity();
-      info.max_value = -std::numeric_limits<double>::infinity();
-      for (double v : staged[b][f].values) {
-        if (std::isnan(v)) continue;
-        info.min_value = std::min(info.min_value, v);
-        info.max_value = std::max(info.max_value, v);
-      }
-    }
-
-    // Payload emission. In PLoD mode each fragment is shredded into byte
-    // planes; the (M, S) order decides whether groups or fragments are the
-    // outer loop of the .dat file.
-    Bytes dat;
-    auto append_segment = [&](Segment* seg, const Bytes& encoded) {
-      seg->offset = dat.size();
-      seg->length = encoded.size();
-      seg->checksum = fnv1a64(encoded);
-      dat.insert(dat.end(), encoded.begin(), encoded.end());
-    };
-    if (plod_capable()) {
-      std::vector<plod::Shredded> shredded(staged[b].size());
-      for (std::size_t f = 0; f < staged[b].size(); ++f) {
-        shredded[f] = plod::shred(staged[b][f].values);
-      }
-      if (cfg_.order == LevelOrder::kVMS) {
-        for (int g = 0; g < groups; ++g) {
-          for (std::size_t f = 0; f < staged[b].size(); ++f) {
-            MLOC_ASSIGN_OR_RETURN(Bytes enc,
-                                  byte_codec_->encode(shredded[f].groups[g]));
-            append_segment(&layout.fragments[f].groups[g], enc);
-          }
-        }
-      } else {  // kVSM: fragments outer, byte groups inner
-        for (std::size_t f = 0; f < staged[b].size(); ++f) {
-          for (int g = 0; g < groups; ++g) {
-            MLOC_ASSIGN_OR_RETURN(Bytes enc,
-                                  byte_codec_->encode(shredded[f].groups[g]));
-            append_segment(&layout.fragments[f].groups[g], enc);
-          }
-        }
-      }
-    } else {
-      for (std::size_t f = 0; f < staged[b].size(); ++f) {
-        MLOC_ASSIGN_OR_RETURN(Bytes enc,
-                              double_codec_->encode(staged[b][f].values));
-        append_segment(&layout.fragments[f].groups[0], enc);
-      }
-    }
-
-    ByteWriter header;
-    layout.serialize(header);
-    files.header_len = header.size();
-    Bytes idx = std::move(header).take();
-    idx.insert(idx.end(), blob_section.begin(), blob_section.end());
-    append_subfile_footer(idx);
-    append_subfile_footer(dat);
-    MLOC_RETURN_IF_ERROR(fs_->set_contents(files.idx, std::move(idx)));
-    MLOC_RETURN_IF_ERROR(fs_->set_contents(files.dat, std::move(dat)));
+    files.idx = bin.idx;
+    files.dat = bin.dat;
+    files.header_len = bin.header_len;
     // We wrote these bytes ourselves: no need to re-verify on first read,
     // and the fragment table is in hand — publish it to the header cache so
-    // queries against a freshly created store never re-read bin headers.
+    // queries against a freshly written variable never re-read bin headers.
     files.footer_state->store(3);
-    files.header_cache->put(
-        std::make_shared<const BinLayout>(std::move(layout)));
-    vs.bins.push_back(files);
+    files.header_cache->put(std::move(bin.layout));
+    vs->bins.push_back(std::move(files));
   }
 
-  vars_.push_back(std::move(vs));
+  {
+    std::unique_lock lock(*vars_mu_);
+    vs->epoch = next_epoch_++;
+    bool replaced = false;
+    for (auto& existing : vars_) {
+      if (existing->name == var) {
+        // Re-ingest: swap the fresh state in place (meta order preserved)
+        // and retire the old one, keeping every raw pointer ever handed
+        // out by find_var/binning valid. In-flight queries on the old
+        // state fail cleanly on checksum mismatch against the reused
+        // subfiles rather than reading mixed generations.
+        retired_.push_back(std::move(existing));
+        existing = vs;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) vars_.push_back(std::move(vs));
+    ingest_stats_ += out.stats;
+  }
+  // The epoch bump already hides the replaced variable's cached fragments;
+  // erase reclaims their provider budget eagerly.
+  if (provider_ != nullptr) provider_->erase(var);
   return write_meta();
+}
+
+ingest::IngestStats MlocStore::ingest_stats() const {
+  std::shared_lock lock(*vars_mu_);
+  return ingest_stats_;
 }
 
 // ------------------------------------------------------------ query path
@@ -421,6 +337,7 @@ exec::StoreView MlocStore::make_view(const VariableState& vs) const {
   view.chunk_grid = &chunk_grid_;
   view.var = &vs.name;
   view.scheme = &vs.scheme;
+  view.epoch = vs.epoch;
   view.bins.reserve(vs.bins.size());
   for (const BinFiles& files : vs.bins) {
     view.bins.push_back(

@@ -15,7 +15,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "core/config.hpp"
 #include "core/layout.hpp"
 #include "exec/read_plan.hpp"
+#include "ingest/ingest.hpp"
 #include "parallel/runtime.hpp"
 #include "pfs/pfs.hpp"
 #include "query/query.hpp"
@@ -46,6 +49,10 @@ struct FragmentKey {
   std::string var;
   int bin = 0;
   ChunkId chunk = 0;
+  /// Ingest generation of the variable. Bumped on every re-ingest, so
+  /// entries cached before a rewrite can never answer queries against the
+  /// fresh layout (the store additionally asks the provider to erase them).
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] bool operator==(const FragmentKey&) const = default;
 };
@@ -95,6 +102,11 @@ class FragmentProvider {
   /// or replace a shallower entry for the same key.
   virtual void insert(const FragmentKey& key,
                       std::shared_ptr<const FragmentData> data) = 0;
+
+  /// Drop every cached entry of `var`, regardless of epoch. Called by the
+  /// store after a re-ingest: the epoch bump already makes stale entries
+  /// unreachable, erase reclaims their byte budget.
+  virtual void erase(const std::string& var) { (void)var; }
 };
 
 class MlocStore {
@@ -107,9 +119,23 @@ class MlocStore {
   /// Re-open a store previously created on `fs` from its metadata file.
   static Result<MlocStore> open(pfs::PfsStorage* fs, const std::string& name);
 
-  /// Ingest one variable through the layout pipeline. The grid shape must
-  /// match the store config; the variable name must be new.
+  /// Ingest one variable through the layout pipeline (serial reference
+  /// path). The grid shape must match the store config. Writing a name
+  /// that already exists replaces it: the fresh layout is published
+  /// atomically, the fragment-provider entries of the old generation are
+  /// dropped, and in-flight queries against the old state fail cleanly
+  /// (checksum mismatch) rather than reading mixed generations.
   Status write_variable(const std::string& var, const Grid& grid);
+
+  /// Ingest with explicit pipeline options (worker threads, write-behind
+  /// subfile flushing — see ingest::WriteOptions). Output bytes are
+  /// identical for any option combination. One ingest runs at a time
+  /// (internally serialized); queries may run concurrently.
+  Status write_variable(const std::string& var, const Grid& grid,
+                        const ingest::WriteOptions& opts);
+
+  /// Cumulative write-path accounting across all write_variable calls.
+  [[nodiscard]] ingest::IngestStats ingest_stats() const;
 
   /// Execute a query (paper §III-D). `num_ranks` parallel processes are
   /// emulated; results are identical for any rank count.
@@ -229,6 +255,7 @@ class MlocStore {
     std::string name;
     BinningScheme scheme;
     std::vector<BinFiles> bins;  ///< size = scheme.num_bins()
+    std::uint64_t epoch = 0;     ///< ingest generation (FragmentKey::epoch)
   };
 
   MlocStore() = default;
@@ -259,7 +286,19 @@ class MlocStore {
   ChunkGrid chunk_grid_;
   sfc::CurveOrder curve_order_;
   pfs::FileId meta_file_ = 0;
-  std::vector<VariableState> vars_;
+  /// Published variable states. Reader/writer gated by vars_mu_; states
+  /// are handed out as raw pointers (find_var/binning), so a replaced
+  /// state is moved to retired_ instead of destroyed — every pointer ever
+  /// returned stays valid for the store's lifetime. Mutexes live behind
+  /// shared_ptr so the store stays movable (moves happen only at setup).
+  std::vector<std::shared_ptr<VariableState>> vars_;
+  std::vector<std::shared_ptr<VariableState>> retired_;
+  std::shared_ptr<std::shared_mutex> vars_mu_ =
+      std::make_shared<std::shared_mutex>();
+  /// Serializes whole write_variable calls (one ingest at a time).
+  std::shared_ptr<std::mutex> ingest_mu_ = std::make_shared<std::mutex>();
+  std::uint64_t next_epoch_ = 1;      // guarded by vars_mu_; 0 = opened state
+  ingest::IngestStats ingest_stats_;  // guarded by vars_mu_
   std::shared_ptr<const ByteCodec> byte_codec_;      // PLoD/COL mode
   std::shared_ptr<const DoubleCodec> double_codec_;  // whole-value mode
   FragmentProvider* provider_ = nullptr;             // serving-layer cache

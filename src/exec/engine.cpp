@@ -174,7 +174,8 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
       ctx.times.decompress += d.decompress_s;
       ctx.times.reconstruct += d.reconstruct_s;
       if (view.provider != nullptr) {
-        const FragmentKey key{*view.var, task.bin, task.frag->chunk};
+        const FragmentKey key{*view.var, task.bin, task.frag->chunk,
+                              view.epoch};
         if (d.fresh_positions != nullptr) {
           view.provider->insert(key, std::move(d.fresh_positions));
         }

@@ -49,6 +49,8 @@ struct StoreView {
   const ChunkGrid* chunk_grid = nullptr;
   const std::string* var = nullptr;
   const BinningScheme* scheme = nullptr;
+  /// Ingest generation of the variable (FragmentKey::epoch).
+  std::uint64_t epoch = 0;
 
   struct BinRef {
     pfs::FileId idx = 0;

@@ -185,7 +185,8 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
       // payload prefix — cache hits prune their extents from the plan.
       std::shared_ptr<const FragmentData> hit;
       if (view.provider != nullptr) {
-        hit = view.provider->lookup({*view.var, bw.bin, frag.chunk});
+        hit = view.provider->lookup(
+            {*view.var, bw.bin, frag.chunk, view.epoch});
       }
       task.cached = hit;
 

@@ -1,0 +1,385 @@
+#include "ingest/ingest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "parallel/runtime.hpp"
+#include "plod/plod.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace mloc::ingest {
+
+std::string idx_name(const std::string& store, const std::string& var,
+                     int bin) {
+  return store + "/" + var + ".bin" + std::to_string(bin) + ".idx";
+}
+std::string dat_name(const std::string& store, const std::string& var,
+                     int bin) {
+  return store + "/" + var + ".bin" + std::to_string(bin) + ".dat";
+}
+
+namespace {
+
+/// Open the subfile if it exists (re-ingest of an existing variable reuses
+/// its files), otherwise create it.
+Result<pfs::FileId> open_or_create(pfs::PfsStorage* fs,
+                                   const std::string& name) {
+  auto existing = fs->open(name);
+  if (existing.is_ok()) return existing;
+  return fs->create(name);
+}
+
+/// One fragment's staged cells: the points of one chunk that fall into one
+/// bin, in chunk-local row-major order.
+struct FragStage {
+  ChunkId chunk = 0;
+  std::vector<std::uint32_t> offsets;  ///< local, ascending
+  std::vector<double> values;          ///< parallel to offsets
+};
+
+/// Partition-task output for one chunk: its non-empty bins (ascending) and
+/// the staged fragment for each.
+struct ChunkRouting {
+  std::vector<int> bins;
+  std::vector<FragStage> frags;
+  double route_s = 0.0;
+};
+
+/// Route one chunk's cells to bins. Two passes: a bin histogram first, so
+/// every staging buffer is reserved to its exact final size (no realloc in
+/// the push loop); bin ids are memoized so bin_of runs once per cell.
+ChunkRouting route_chunk(const Grid& grid, const ChunkGrid& chunk_grid,
+                         const BinningScheme& scheme, ChunkId chunk,
+                         int nbins) {
+  Stopwatch sw;
+  ChunkRouting out;
+  out.frags.clear();
+  const Region region = chunk_grid.chunk_region(chunk);
+  const std::vector<double> vals = grid.extract(region);
+
+  std::vector<std::uint32_t> histogram(static_cast<std::size_t>(nbins), 0);
+  std::vector<int> bin_ids(vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    const int b = scheme.bin_of(vals[i]);
+    bin_ids[i] = b;
+    ++histogram[static_cast<std::size_t>(b)];
+  }
+
+  std::vector<int> slot_of(static_cast<std::size_t>(nbins), -1);
+  for (int b = 0; b < nbins; ++b) {
+    const std::uint32_t n = histogram[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    slot_of[static_cast<std::size_t>(b)] = static_cast<int>(out.bins.size());
+    out.bins.push_back(b);
+    FragStage frag;
+    frag.chunk = chunk;
+    frag.offsets.reserve(n);
+    frag.values.reserve(n);
+    out.frags.push_back(std::move(frag));
+  }
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    FragStage& frag = out.frags[static_cast<std::size_t>(
+        slot_of[static_cast<std::size_t>(bin_ids[i])])];
+    frag.offsets.push_back(static_cast<std::uint32_t>(i));
+    frag.values.push_back(vals[i]);
+  }
+  out.route_s = sw.seconds();
+  return out;
+}
+
+/// Encode-task output: everything the fold stage needs to lay the fragment
+/// into the bin images, plus its private error and timing slots.
+struct EncodedFragment {
+  Status status = Status::ok();
+  ChunkId chunk = 0;
+  std::uint64_t count = 0;
+  Bytes pos_blob;
+  std::uint64_t pos_checksum = 0;
+  double min_value = std::numeric_limits<double>::infinity();
+  double max_value = -std::numeric_limits<double>::infinity();
+  std::vector<Bytes> groups;  ///< one encoded payload per byte group
+  double encode_s = 0.0;
+};
+
+/// Encode one staged fragment: positional index, zone map, PLoD shredding,
+/// and per-group codec encode. Pure function of the stage — encoded bytes
+/// are identical regardless of which thread runs it, which is what makes
+/// the fold stage's output byte-identical to a serial write.
+EncodedFragment encode_fragment(const StoreWriter& writer,
+                                const FragStage& stage, int groups) {
+  Stopwatch sw;
+  EncodedFragment out;
+  out.chunk = stage.chunk;
+  out.count = stage.offsets.size();
+  out.pos_blob = encode_positions(stage.offsets);
+  out.pos_checksum = fnv1a64(out.pos_blob);
+  // Zone map over the original values (NaNs excluded: they never satisfy
+  // a VC, and an empty range reads as VC-disjoint).
+  for (double v : stage.values) {
+    if (std::isnan(v)) continue;
+    out.min_value = std::min(out.min_value, v);
+    out.max_value = std::max(out.max_value, v);
+  }
+  out.groups.resize(static_cast<std::size_t>(groups));
+  if (writer.plod_capable()) {
+    const plod::Shredded shredded = plod::shred(stage.values);
+    for (int g = 0; g < groups; ++g) {
+      auto enc = writer.byte_codec->encode(shredded.groups[g]);
+      if (!enc.is_ok()) {
+        out.status = enc.status();
+        return out;
+      }
+      out.groups[static_cast<std::size_t>(g)] = std::move(enc).value();
+    }
+  } else {
+    auto enc = writer.double_codec->encode(stage.values);
+    if (!enc.is_ok()) {
+      out.status = enc.status();
+      return out;
+    }
+    out.groups[0] = std::move(enc).value();
+  }
+  out.encode_s = sw.seconds();
+  return out;
+}
+
+/// Flush-task output (write-behind lands these off-thread).
+struct FlushSlot {
+  Status status = Status::ok();
+  std::uint64_t bytes = 0;
+  double flush_s = 0.0;
+};
+
+}  // namespace
+
+Result<IngestOutput> ingest_variable(const StoreWriter& writer,
+                                     const std::string& var, const Grid& grid,
+                                     const WriteOptions& opts) {
+  Stopwatch sw_wall;
+  const MlocConfig& cfg = *writer.cfg;
+  const ChunkGrid& chunk_grid = *writer.chunk_grid;
+  IngestOutput out;
+  out.stats.threads = std::max(1, opts.threads);
+  out.stats.write_behind = opts.write_behind && opts.threads > 1;
+  out.stats.cells_routed = grid.size();
+
+  // --- Level V: equal-frequency binning boundaries from a sample.
+  Stopwatch sw_sample;
+  std::vector<double> sample;
+  sample.reserve(grid.size() / cfg.sample_stride + 1);
+  for (std::uint64_t i = 0; i < grid.size(); i += cfg.sample_stride) {
+    sample.push_back(grid.at_linear(i));
+  }
+  if (cfg.binning == BinningKind::kEqualFrequency) {
+    out.scheme = BinningScheme::equal_frequency(sample, cfg.num_bins);
+  } else {
+    double lo = sample[0], hi = sample[0];
+    for (double v : sample) {
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > lo)) hi = lo + 1.0;
+    out.scheme = BinningScheme::equal_width(lo, hi, cfg.num_bins);
+  }
+  const int nbins = out.scheme.num_bins();
+  const int groups = writer.plod_capable() ? plod::kNumGroups : 1;
+  out.stats.partition_s += sw_sample.seconds();
+
+  // Subfiles for every bin, created (or reused on re-ingest) upfront in
+  // bin order so FileIds match a serial write and write-behind flushing
+  // never mutates the storage's file table concurrently with queries.
+  out.bins.resize(static_cast<std::size_t>(nbins));
+  for (int b = 0; b < nbins; ++b) {
+    auto& bin = out.bins[static_cast<std::size_t>(b)];
+    MLOC_ASSIGN_OR_RETURN(
+        bin.idx,
+        open_or_create(writer.fs, idx_name(writer.store_name, var, b)));
+    MLOC_ASSIGN_OR_RETURN(
+        bin.dat,
+        open_or_create(writer.fs, dat_name(writer.store_name, var, b)));
+  }
+
+  // The data all stages share. Declared before the pool so an early error
+  // return destroys the pool (joining every in-flight task) first.
+  const std::uint32_t num_chunks = chunk_grid.num_chunks();
+  std::vector<ChunkRouting> routing(num_chunks);
+  std::vector<parallel::TaskHandle> route_handles;
+  // Per-bin encoded fragments in chunk-rank order. deque: push_back keeps
+  // references to earlier elements stable while workers fill them.
+  std::vector<std::deque<EncodedFragment>> encoded(
+      static_cast<std::size_t>(nbins));
+  std::vector<std::vector<parallel::TaskHandle>> encode_handles(
+      static_cast<std::size_t>(nbins));
+  std::vector<FlushSlot> flush_slots(static_cast<std::size_t>(nbins));
+  std::vector<parallel::TaskHandle> flush_handles;
+
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (opts.threads > 1) {
+    pool = std::make_unique<parallel::ThreadPool>(opts.threads);
+  }
+
+  // --- Stage 1 (partition): route each Hilbert-ordered chunk's cells to
+  // bins, one independent task per chunk.
+  if (pool != nullptr) {
+    route_handles.reserve(num_chunks);
+    for (std::uint32_t rank = 0; rank < num_chunks; ++rank) {
+      const ChunkId chunk = writer.curve->chunk_at(rank);
+      route_handles.push_back(pool->submit_waitable([&, rank, chunk] {
+        routing[rank] =
+            route_chunk(grid, chunk_grid, out.scheme, chunk, nbins);
+      }));
+    }
+  }
+
+  // --- Stage 2 (encode): as each chunk's routing lands (in rank order, so
+  // fragment order inside every bin matches a serial write), hand its
+  // fragments to encode tasks.
+  for (std::uint32_t rank = 0; rank < num_chunks; ++rank) {
+    if (pool != nullptr) {
+      route_handles[rank].wait();
+    } else {
+      const ChunkId chunk = writer.curve->chunk_at(rank);
+      routing[rank] =
+          route_chunk(grid, chunk_grid, out.scheme, chunk, nbins);
+    }
+    ChunkRouting& routed = routing[rank];
+    out.stats.partition_s += routed.route_s;
+    for (std::size_t k = 0; k < routed.bins.size(); ++k) {
+      const auto b = static_cast<std::size_t>(routed.bins[k]);
+      encoded[b].emplace_back();
+      EncodedFragment* slot = &encoded[b].back();
+      ++out.stats.fragments_encoded;
+      if (pool != nullptr) {
+        auto stage =
+            std::make_shared<FragStage>(std::move(routed.frags[k]));
+        encode_handles[b].push_back(pool->submit_waitable(
+            [slot, stage, &writer, groups] {
+              *slot = encode_fragment(writer, *stage, groups);
+            }));
+      } else {
+        *slot = encode_fragment(writer, routed.frags[k], groups);
+        out.stats.encode_s += slot->encode_s;
+        routed.frags[k] = FragStage{};  // release staged cells eagerly
+      }
+    }
+    routed = ChunkRouting{};  // routing for this chunk is consumed
+  }
+
+  // --- Stages 3+4 (fold + flush): bins in order; each bin folds once its
+  // fragments are encoded and flushes while later bins still encode.
+  for (int b = 0; b < nbins; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    for (auto& handle : encode_handles[bi]) handle.wait();
+    std::deque<EncodedFragment>& frags = encoded[bi];
+    for (EncodedFragment& f : frags) {
+      MLOC_RETURN_IF_ERROR(f.status);
+      if (pool != nullptr) out.stats.encode_s += f.encode_s;
+    }
+
+    Stopwatch sw_fold;
+    BinLayout layout;
+    layout.fragments.resize(frags.size());
+    std::uint64_t blob_total = 0;
+    std::uint64_t dat_total = 0;
+    for (const EncodedFragment& f : frags) {
+      blob_total += f.pos_blob.size();
+      for (const Bytes& g : f.groups) dat_total += g.size();
+    }
+
+    // Fragment table + positional-index blob section, fragment order.
+    Bytes blob_section;
+    blob_section.reserve(blob_total);
+    for (std::size_t f = 0; f < frags.size(); ++f) {
+      FragmentInfo& info = layout.fragments[f];
+      info.chunk = frags[f].chunk;
+      info.count = frags[f].count;
+      info.positions = {blob_section.size(), frags[f].pos_blob.size(),
+                        frags[f].pos_checksum};
+      blob_section.insert(blob_section.end(), frags[f].pos_blob.begin(),
+                          frags[f].pos_blob.end());
+      info.groups.resize(static_cast<std::size_t>(groups));
+      info.min_value = frags[f].min_value;
+      info.max_value = frags[f].max_value;
+    }
+
+    // Payload concatenation in the exact serial order: the (M, S) level
+    // order decides whether byte groups or fragments are the outer loop.
+    Bytes dat;
+    dat.reserve(dat_total + kSubfileFooterSize);
+    auto append_segment = [&dat](Segment* seg, const Bytes& encoded_bytes) {
+      seg->offset = dat.size();
+      seg->length = encoded_bytes.size();
+      seg->checksum = fnv1a64(encoded_bytes);
+      dat.insert(dat.end(), encoded_bytes.begin(), encoded_bytes.end());
+    };
+    if (writer.plod_capable() && cfg.order == LevelOrder::kVMS) {
+      for (int g = 0; g < groups; ++g) {
+        for (std::size_t f = 0; f < frags.size(); ++f) {
+          append_segment(
+              &layout.fragments[f].groups[static_cast<std::size_t>(g)],
+              frags[f].groups[static_cast<std::size_t>(g)]);
+        }
+      }
+    } else {  // kVSM (fragments outer) and whole-value mode (one group)
+      for (std::size_t f = 0; f < frags.size(); ++f) {
+        for (int g = 0; g < groups; ++g) {
+          append_segment(
+              &layout.fragments[f].groups[static_cast<std::size_t>(g)],
+              frags[f].groups[static_cast<std::size_t>(g)]);
+        }
+      }
+    }
+    frags.clear();  // encoded segments are folded; release them
+
+    ByteWriter header;
+    layout.serialize(header);
+    auto& bin = out.bins[bi];
+    bin.header_len = header.size();
+    Bytes idx = std::move(header).take();
+    idx.reserve(idx.size() + blob_section.size() + kSubfileFooterSize);
+    idx.insert(idx.end(), blob_section.begin(), blob_section.end());
+    append_subfile_footer(idx);
+    append_subfile_footer(dat);
+    bin.layout = std::make_shared<const BinLayout>(std::move(layout));
+    out.stats.fold_s += sw_fold.seconds();
+
+    FlushSlot* slot = &flush_slots[bi];
+    auto flush = [fs = writer.fs, idx_id = bin.idx, dat_id = bin.dat, slot](
+                     Bytes idx_bytes, Bytes dat_bytes) {
+      Stopwatch sw_flush;
+      slot->bytes = idx_bytes.size() + dat_bytes.size();
+      slot->status = fs->set_contents(idx_id, std::move(idx_bytes));
+      if (slot->status.is_ok()) {
+        slot->status = fs->set_contents(dat_id, std::move(dat_bytes));
+      }
+      slot->flush_s = sw_flush.seconds();
+    };
+    if (pool != nullptr && opts.write_behind) {
+      auto idx_ptr = std::make_shared<Bytes>(std::move(idx));
+      auto dat_ptr = std::make_shared<Bytes>(std::move(dat));
+      flush_handles.push_back(pool->submit_waitable([flush, idx_ptr, dat_ptr] {
+        flush(std::move(*idx_ptr), std::move(*dat_ptr));
+      }));
+    } else {
+      flush(std::move(idx), std::move(dat));
+    }
+  }
+
+  for (auto& handle : flush_handles) handle.wait();
+  for (int b = 0; b < nbins; ++b) {
+    const FlushSlot& slot = flush_slots[static_cast<std::size_t>(b)];
+    MLOC_RETURN_IF_ERROR(slot.status);
+    out.stats.bytes_written += slot.bytes;
+    out.stats.flush_s += slot.flush_s;
+  }
+  out.stats.bins_written = static_cast<std::uint64_t>(nbins);
+  out.stats.wall_s = sw_wall.seconds();
+  return out;
+}
+
+}  // namespace mloc::ingest

@@ -71,6 +71,16 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+TaskHandle ThreadPool::submit_waitable(std::function<void()> task) {
+  // packaged_task is move-only; std::function requires copyable targets, so
+  // the queue entry holds it through a shared_ptr.
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  TaskHandle handle(packaged->get_future());
+  submit([packaged] { (*packaged)(); });
+  return handle;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });

@@ -19,6 +19,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -54,6 +56,29 @@ ComponentTimes max_rank_times(const std::vector<RankContext>& ranks);
 std::vector<std::pair<std::size_t, std::size_t>> split_even(std::size_t n,
                                                             int parts);
 
+/// Waitable handle for one submitted task (ThreadPool::submit_waitable).
+/// wait() blocks until the task has run; an exception thrown by the task is
+/// captured on the worker and rethrown from wait() — the safe path back to
+/// the caller that plain submit() lacks (there an escaping exception
+/// terminates the process). Handles are single-use: wait() at most once.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  /// True until wait() consumes the handle.
+  [[nodiscard]] bool valid() const noexcept { return future_.valid(); }
+
+  /// Block until the task finished; rethrows the task's exception, if any.
+  void wait() { future_.get(); }
+
+ private:
+  friend class ThreadPool;
+  explicit TaskHandle(std::future<void> future)
+      : future_(std::move(future)) {}
+
+  std::future<void> future_;
+};
+
 /// Minimal fixed-size thread pool (used where per-rank attribution is not
 /// needed, e.g. speculative codec trials in the ablation bench).
 class ThreadPool {
@@ -66,6 +91,12 @@ class ThreadPool {
 
   /// Enqueue a task; runs on some worker thread.
   void submit(std::function<void()> task);
+
+  /// Enqueue a task and get a handle that joins it individually, with
+  /// exception propagation. Used by the ingest pipeline to fold encoded
+  /// fragments per bin while later bins are still encoding (wait_idle
+  /// would serialize on the whole queue).
+  TaskHandle submit_waitable(std::function<void()> task);
 
   /// Block until every submitted task has finished.
   void wait_idle();

@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -110,9 +112,32 @@ MakespanDetail model_makespan_detail(const PfsConfig& cfg, const IoLog& log,
                                      int num_ranks);
 
 /// In-memory named-file store with byte-exact contents.
+///
+/// Thread-safety: reads (open/read/read_batch/file_size/total_bytes/
+/// listing) take a shared lock and writes (create/append/set_contents) an
+/// exclusive one, so concurrent queries are wait-free against each other
+/// and safe against a concurrent ingest creating or rewriting files. Each
+/// call is individually atomic — a read issued during set_contents sees
+/// either the old or the new bytes, never a mix. Moving a PfsStorage while
+/// any other thread uses it is undefined (moves happen only at setup).
 class PfsStorage {
  public:
   explicit PfsStorage(PfsConfig cfg = {}) : cfg_(cfg) {}
+
+  PfsStorage(PfsStorage&& other) noexcept
+      : cfg_(other.cfg_),
+        files_(std::move(other.files_)),
+        names_(std::move(other.names_)),
+        by_name_(std::move(other.by_name_)) {}
+  PfsStorage& operator=(PfsStorage&& other) noexcept {
+    if (this != &other) {
+      cfg_ = other.cfg_;
+      files_ = std::move(other.files_);
+      names_ = std::move(other.names_);
+      by_name_ = std::move(other.by_name_);
+    }
+    return *this;
+  }
 
   [[nodiscard]] const PfsConfig& config() const noexcept { return cfg_; }
 
@@ -145,11 +170,9 @@ class PfsStorage {
   [[nodiscard]] Result<std::uint64_t> file_size(FileId file) const;
 
   /// Total bytes across all files (Table I storage accounting).
-  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t total_bytes() const;
 
-  [[nodiscard]] std::size_t num_files() const noexcept {
-    return files_.size();
-  }
+  [[nodiscard]] std::size_t num_files() const;
 
   /// Names and sizes of all files, creation order.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> listing()
@@ -166,6 +189,10 @@ class PfsStorage {
 
  private:
   PfsConfig cfg_;
+  /// Reader/writer gate over the three containers below. Held through a
+  /// unique_ptr so the storage stays movable; never shared across a move.
+  std::unique_ptr<std::shared_mutex> mu_ =
+      std::make_unique<std::shared_mutex>();
   std::vector<Bytes> files_;
   std::vector<std::string> names_;
   std::map<std::string, FileId> by_name_;

@@ -14,6 +14,7 @@ std::size_t FragmentCache::KeyHash::operator()(
   h ^= static_cast<std::uint64_t>(key.bin) * kFnvPrime;
   h ^= (static_cast<std::uint64_t>(key.chunk) + 0x9e3779b97f4a7c15ull) *
        kFnvPrime;
+  h ^= (key.epoch + 0xc2b2ae3d27d4eb4full) * kFnvPrime;
   return static_cast<std::size_t>(h);
 }
 
@@ -96,6 +97,27 @@ void FragmentCache::evict_to_budget(Shard& shard) {
     shard.index.erase(victim.key);
     shard.lru.pop_back();
     ++shard.stats.evictions;
+  }
+}
+
+void FragmentCache::erase(const std::string& var) {
+  // Entries of one variable scatter across shards (the key hash mixes bin
+  // and chunk), so every shard is scanned. Runs once per re-ingest; shard
+  // locks are taken one at a time, so concurrent queries only ever wait on
+  // the shard being swept.
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.var == var) {
+        shard->bytes -= it->bytes;
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    shard->stats.bytes_cached = shard->bytes;
+    shard->stats.entries = shard->index.size();
   }
 }
 

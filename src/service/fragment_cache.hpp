@@ -56,6 +56,8 @@ class FragmentCache final : public FragmentProvider {
   std::shared_ptr<const FragmentData> lookup(const FragmentKey& key) override;
   void insert(const FragmentKey& key,
               std::shared_ptr<const FragmentData> data) override;
+  /// Drop all entries of `var` across every epoch (re-ingest invalidation).
+  void erase(const std::string& var) override;
 
   /// Drop every entry (budget and counters for bytes/entries reset; the
   /// cumulative hit/miss/eviction counters are kept).

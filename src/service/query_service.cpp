@@ -135,6 +135,20 @@ Status QueryService::cancel(QueryId id) {
   return not_found("query not queued (already dispatched or unknown)");
 }
 
+Status QueryService::ingest(const std::string& var, const Grid& grid) {
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) return failed_precondition("service shutting down");
+  }
+  // No service lock while writing: the store serializes ingests itself and
+  // queries proceed against the published state throughout.
+  Status st = store_.write_variable(var, grid, cfg_.ingest);
+  std::lock_guard lock(mutex_);
+  st.is_ok() ? ++agg_.ingests : ++agg_.ingest_failures;
+  agg_.ingest = store_.ingest_stats();
+  return st;
+}
+
 void QueryService::pause() {
   std::lock_guard lock(mutex_);
   paused_ = true;

@@ -58,6 +58,9 @@ struct ServiceConfig {
   FragmentCache::Config cache;       ///< budget 0 disables the cache
   double default_deadline_s = 0.0;   ///< 0 = no deadline
   int default_num_ranks = 1;         ///< emulated ranks per query
+  /// Write-path options applied by QueryService::ingest (pipeline threads,
+  /// write-behind flushing).
+  ingest::WriteOptions ingest;
   /// Start with dispatch suspended; no query runs until resume(). Used by
   /// tests and maintenance windows to stage a queue deterministically.
   bool start_paused = false;
@@ -113,6 +116,10 @@ struct AggregateStats {
   std::size_t peak_queue_depth = 0;
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_open = 0;
+  std::uint64_t ingests = 0;          ///< successful QueryService::ingest calls
+  std::uint64_t ingest_failures = 0;
+  /// Cumulative write-path accounting (MlocStore::ingest_stats snapshot).
+  ingest::IngestStats ingest;
 };
 
 /// Per-session slice of the aggregates.
@@ -154,6 +161,15 @@ class QueryService {
   /// Cancel a queued query. Fails with NotFound once it has been
   /// dispatched (running queries are not interrupted).
   Status cancel(QueryId id);
+
+  /// Write (or re-write) a variable through the parallel ingestion
+  /// pipeline with the configured ServiceConfig::ingest options, while
+  /// queries keep executing. Runs on the caller's thread — the query
+  /// worker pool is never blocked by a write — and the store serializes
+  /// concurrent ingests internally. On a re-ingest the fragment cache
+  /// entries of the old generation are dropped (epoch bump + erase) so
+  /// later queries see only fresh data.
+  Status ingest(const std::string& var, const Grid& grid);
 
   /// Suspend/resume dispatch. pause() lets already-dispatched queries
   /// finish but keeps new arrivals queued; admission control still applies.

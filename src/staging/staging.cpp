@@ -49,7 +49,14 @@ void StagingPipeline::staging_loop() {
       cv_space_.notify_all();
     }
     Stopwatch sw;
-    Status status = store_->write_variable(item.var, item.grid);
+    bool duplicate = false;
+    {
+      std::lock_guard lock(mutex_);
+      duplicate = !staged_names_.insert(item.var).second;
+    }
+    Status status =
+        duplicate ? invalid_argument("staging: duplicate step " + item.var)
+                  : store_->write_variable(item.var, item.grid);
     const double elapsed = sw.seconds();
     {
       std::lock_guard lock(mutex_);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -74,6 +75,11 @@ class StagingPipeline {
   std::condition_variable cv_space_;
   std::condition_variable cv_work_;
   std::deque<Item> queue_;
+  /// Step names already staged. The store itself replaces on re-write
+  /// (re-ingest), but a simulation emitting the same time step twice is a
+  /// producer bug — the pipeline rejects it rather than silently
+  /// overwriting the earlier step.
+  std::set<std::string> staged_names_;
   bool stopping_ = false;
   Status first_error_;
   Stats stats_;

@@ -1,0 +1,230 @@
+// Parallel ingestion pipeline tests: byte-identical store output for any
+// thread count / write-behind combination across every layout config, fsck
+// cleanliness of pipeline-written stores, ingest stats accounting,
+// re-ingest freshness through the fragment cache, and a concurrent
+// ingest+query hammer for TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/store.hpp"
+#include "datagen/datagen.hpp"
+#include "ingest/ingest.hpp"
+#include "service/fragment_cache.hpp"
+#include "tools/fsck.hpp"
+
+namespace mloc {
+namespace {
+
+MlocConfig small_config(const NDShape& shape, const NDShape& chunk,
+                        const std::string& codec,
+                        LevelOrder order = LevelOrder::kVMS) {
+  MlocConfig cfg;
+  cfg.shape = shape;
+  cfg.chunk_shape = chunk;
+  cfg.num_bins = 16;
+  cfg.codec = codec;
+  cfg.order = order;
+  cfg.sample_stride = 7;
+  return cfg;
+}
+
+Result<MlocStore> build_store(pfs::PfsStorage& fs, const std::string& codec,
+                              LevelOrder order,
+                              const ingest::WriteOptions& opts) {
+  Grid grid = datagen::gts_like(64, 42);
+  auto store = MlocStore::create(
+      &fs, "s", small_config(grid.shape(), NDShape{16, 16}, codec, order));
+  if (!store.is_ok()) return store;
+  MLOC_RETURN_IF_ERROR(store.value().write_variable("phi", grid, opts));
+  return store;
+}
+
+/// Every file's exact bytes, keyed by name — the byte-identity oracle.
+std::map<std::string, Bytes> snapshot(const pfs::PfsStorage& fs) {
+  std::map<std::string, Bytes> out;
+  for (const auto& [name, size] : fs.listing()) {
+    auto id = fs.open(name);
+    EXPECT_TRUE(id.is_ok());
+    auto bytes = fs.read(id.value(), 0, size);
+    EXPECT_TRUE(bytes.is_ok());
+    out[name] = std::move(bytes).value();
+  }
+  return out;
+}
+
+// -------------------------------------------------- byte-identity sweeps
+
+class IngestConfigs
+    : public ::testing::TestWithParam<std::tuple<std::string, LevelOrder>> {};
+
+TEST_P(IngestConfigs, ParallelOutputByteIdenticalToSerial) {
+  const auto& [codec, order] = GetParam();
+  pfs::PfsStorage fs_serial;
+  auto serial = build_store(fs_serial, codec, order, {});
+  ASSERT_TRUE(serial.is_ok()) << serial.status().to_string();
+  const auto want = snapshot(fs_serial);
+  ASSERT_FALSE(want.empty());
+
+  for (const int threads : {2, 8}) {
+    for (const bool write_behind : {false, true}) {
+      pfs::PfsStorage fs;
+      auto store = build_store(fs, codec, order,
+                               {.threads = threads,
+                                .write_behind = write_behind});
+      ASSERT_TRUE(store.is_ok()) << store.status().to_string();
+      const auto got = snapshot(fs);
+      ASSERT_EQ(got.size(), want.size());
+      for (const auto& [name, bytes] : want) {
+        auto it = got.find(name);
+        ASSERT_NE(it, got.end()) << name;
+        EXPECT_EQ(it->second, bytes)
+            << name << " differs at threads=" << threads
+            << " write_behind=" << write_behind;
+      }
+    }
+  }
+}
+
+TEST_P(IngestConfigs, FsckCleanOnPipelineStores) {
+  const auto& [codec, order] = GetParam();
+  for (const bool write_behind : {false, true}) {
+    pfs::PfsStorage fs;
+    auto store =
+        build_store(fs, codec, order,
+                    {.threads = 4, .write_behind = write_behind});
+    ASSERT_TRUE(store.is_ok()) << store.status().to_string();
+    fsck::LayoutVerifier verifier(&fs);
+    const fsck::Report report = verifier.verify_store("s");
+    EXPECT_TRUE(report.ok()) << report.human();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, IngestConfigs,
+    ::testing::Values(
+        std::make_tuple("mzip", LevelOrder::kVMS),
+        std::make_tuple("mzip", LevelOrder::kVSM),
+        std::make_tuple("rle", LevelOrder::kVMS),
+        std::make_tuple("xor-delta", LevelOrder::kVMS),
+        std::make_tuple("isabela:0.01", LevelOrder::kVMS)));
+
+// ------------------------------------------------------- stats and reuse
+
+TEST(Ingest, StatsAccountForTheWrite) {
+  pfs::PfsStorage fs;
+  Grid grid = datagen::gts_like(64, 42);
+  auto store = MlocStore::create(
+      &fs, "s", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(store.value()
+                  .write_variable("phi", grid, {.threads = 2})
+                  .is_ok());
+  const ingest::IngestStats stats = store.value().ingest_stats();
+  EXPECT_EQ(stats.cells_routed, grid.size());
+  EXPECT_GT(stats.fragments_encoded, 0u);
+  EXPECT_EQ(stats.bins_written, 16u);
+  EXPECT_GT(stats.bytes_written, 0u);
+  EXPECT_GT(stats.wall_s, 0.0);
+  EXPECT_EQ(stats.threads, 2);
+
+  // A second write accumulates.
+  ASSERT_TRUE(store.value().write_variable("psi", grid).is_ok());
+  const ingest::IngestStats two = store.value().ingest_stats();
+  EXPECT_EQ(two.cells_routed, 2 * grid.size());
+  EXPECT_EQ(two.bins_written, 32u);
+  EXPECT_EQ(two.threads, 1);  // last write's configuration
+}
+
+TEST(Ingest, ReingestServesFreshDataThroughWarmCache) {
+  // A query warms the fragment cache; re-writing the variable must not let
+  // stale decompressed payloads answer for the new data (epoch bump +
+  // provider erase).
+  pfs::PfsStorage fs;
+  Grid grid = datagen::gts_like(64, 42);
+  auto store = MlocStore::create(
+      &fs, "s", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+  ASSERT_TRUE(store.is_ok());
+  service::FragmentCache cache;
+  store.value().set_fragment_provider(&cache);
+  ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
+
+  Query q;
+  q.sc = Region(2, {0, 0}, {16, 16});
+  q.values_needed = true;
+  auto cold = store.value().execute("phi", q);
+  ASSERT_TRUE(cold.is_ok());
+  ASSERT_GT(cache.stats().entries, 0u);  // the cache really is warm
+
+  Grid fresh = datagen::gts_like(64, 99);
+  ASSERT_TRUE(
+      store.value().write_variable("phi", fresh, {.threads = 2}).is_ok());
+  EXPECT_EQ(cache.stats().entries, 0u);  // old generation erased
+
+  auto warm = store.value().execute("phi", q);
+  ASSERT_TRUE(warm.is_ok());
+  ASSERT_EQ(warm.value().values.size(), 256u);
+  for (std::size_t i = 0; i < warm.value().values.size(); ++i) {
+    const Coord c = fresh.shape().delinearize(warm.value().positions[i]);
+    EXPECT_EQ(warm.value().values[i], fresh.at(c)) << i;
+  }
+}
+
+// ------------------------------------------------------------ TSan hammer
+
+TEST(Ingest, ConcurrentIngestAndQueryHammer) {
+  // Queries against a stable variable run from several threads while the
+  // main thread repeatedly re-ingests a second variable through the
+  // parallel pipeline with write-behind. Every query must succeed: ingest
+  // touches only "hot"'s subfiles and the store publishes states under its
+  // reader/writer gate.
+  pfs::PfsStorage fs;
+  Grid grid = datagen::gts_like(64, 42);
+  auto store = MlocStore::create(
+      &fs, "s", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+  ASSERT_TRUE(store.is_ok());
+  service::FragmentCache cache;
+  store.value().set_fragment_provider(&cache);
+  ASSERT_TRUE(store.value().write_variable("stable", grid).is_ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Query q;
+      q.sc = Region(2, {0, 0}, {32, 32});
+      q.values_needed = true;
+      if (t == 1) q.vc = ValueConstraint{-0.5, 0.75};
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto res = store.value().execute("stable", q, 2);
+        if (!res.is_ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int round = 0; round < 6; ++round) {
+    Grid hot = datagen::gts_like(64, 100 + round);
+    ASSERT_TRUE(store.value()
+                    .write_variable("hot", hot,
+                                    {.threads = 2, .write_behind = true})
+                    .is_ok())
+        << round;
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The hammered store is still structurally sound.
+  fsck::LayoutVerifier verifier(&fs);
+  const fsck::Report report = verifier.verify_store("s");
+  EXPECT_TRUE(report.ok()) << report.human();
+}
+
+}  // namespace
+}  // namespace mloc

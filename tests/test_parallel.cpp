@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "parallel/runtime.hpp"
@@ -95,6 +96,36 @@ TEST(ThreadPool, TasksCanAccumulateResults) {
   }
   pool.wait_idle();
   for (auto v : partial) EXPECT_EQ(v, 500500u);
+}
+
+TEST(ThreadPool, SubmitWaitableCompletesBeforeWaitReturns) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::vector<TaskHandle> handles;
+  handles.reserve(32);
+  for (int i = 0; i < 32; ++i) {
+    handles.push_back(pool.submit_waitable(
+        [&done] { done.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& h : handles) {
+    EXPECT_TRUE(h.valid());
+    h.wait();
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SubmitWaitablePropagatesExceptions) {
+  ThreadPool pool(2);
+  TaskHandle ok = pool.submit_waitable([] {});
+  TaskHandle bad = pool.submit_waitable(
+      [] { throw std::runtime_error("task failed"); });
+  ok.wait();  // unaffected sibling completes normally
+  EXPECT_THROW(bad.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultTaskHandleIsInvalid) {
+  TaskHandle h;
+  EXPECT_FALSE(h.valid());
 }
 
 TEST(ThreadPool, ReusableAcrossBatches) {

@@ -471,5 +471,98 @@ TEST(QueryService, HammerMatchesColdExecution) {
   EXPECT_GT(svc.cache_stats().entries, 0u);
 }
 
+// ----------------------------------------------------------- live ingest
+
+TEST(QueryService, ReingestInvalidatesCachedFragments) {
+  // Regression: before epoch-keyed FragmentKeys, a warm cache kept serving
+  // the replaced generation's decompressed payloads after a re-ingest.
+  pfs::PfsStorage fs;
+  auto store = make_store(&fs);
+  ASSERT_TRUE(store.is_ok());
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.cache.budget_bytes = 8 << 20;
+  cfg.ingest = {.threads = 2, .write_behind = true};
+  QueryService svc(std::move(store).value(), cfg);
+  auto sid = svc.open_session("reingest");
+  ASSERT_TRUE(sid.is_ok());
+
+  Request req;
+  req.var = "phi";
+  req.query.sc = Region(2, {0, 0}, {32, 32});
+  req.query.values_needed = true;
+  Response cold = svc.run(sid.value(), req);
+  ASSERT_TRUE(cold.status.is_ok());
+  ASSERT_GT(svc.cache_stats().entries, 0u);
+
+  Grid fresh = datagen::gts_like(64, 4242);
+  ASSERT_TRUE(svc.ingest("phi", fresh).is_ok());
+  EXPECT_EQ(svc.cache_stats().entries, 0u);  // old generation erased
+
+  Response warm = svc.run(sid.value(), req);
+  ASSERT_TRUE(warm.status.is_ok());
+  ASSERT_EQ(warm.result.values.size(), 1024u);
+  for (std::size_t i = 0; i < warm.result.values.size(); ++i) {
+    const Coord c = fresh.shape().delinearize(warm.result.positions[i]);
+    ASSERT_EQ(warm.result.values[i], fresh.at(c)) << i;
+  }
+
+  const auto agg = svc.aggregate();
+  EXPECT_EQ(agg.ingests, 1u);
+  EXPECT_EQ(agg.ingest_failures, 0u);
+  // Cumulative across the store's lifetime: initial write + re-ingest.
+  EXPECT_EQ(agg.ingest.cells_routed, 2 * fresh.size());
+  EXPECT_TRUE(agg.ingest.write_behind);
+}
+
+TEST(QueryService, IngestWhileServingHammer) {
+  // Clients query a stable variable while the main thread streams new
+  // variables in through the parallel pipeline; every query must succeed
+  // and match cold execution.
+  pfs::PfsStorage fs;
+  auto store = make_store(&fs);
+  ASSERT_TRUE(store.is_ok());
+
+  Query q;
+  q.sc = Region(2, {8, 8}, {40, 56});
+  q.values_needed = true;
+  auto expected = store.value().execute("phi", q, 2);
+  ASSERT_TRUE(expected.is_ok());
+
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.cache.budget_bytes = 8 << 20;
+  cfg.ingest = {.threads = 2, .write_behind = true};
+  QueryService svc(std::move(store).value(), cfg);
+
+  std::vector<std::thread> clients;
+  clients.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&, t] {
+      auto sid = svc.open_session("hammer-" + std::to_string(t));
+      ASSERT_TRUE(sid.is_ok());
+      Request req;
+      req.var = "phi";
+      req.query = q;
+      req.num_ranks = 2;
+      for (int i = 0; i < 8; ++i) {
+        Response resp = svc.run(sid.value(), req);
+        ASSERT_TRUE(resp.status.is_ok()) << resp.status.to_string();
+        EXPECT_EQ(resp.result.values, expected.value().values);
+      }
+    });
+  }
+  for (int round = 0; round < 4; ++round) {
+    Grid hot = datagen::gts_like(64, 300 + round);
+    ASSERT_TRUE(
+        svc.ingest("hot" + std::to_string(round % 2), hot).is_ok());
+  }
+  for (auto& c : clients) c.join();
+
+  const auto agg = svc.aggregate();
+  EXPECT_EQ(agg.ingests, 4u);
+  EXPECT_EQ(agg.failed, 0u);
+}
+
 }  // namespace
 }  // namespace mloc

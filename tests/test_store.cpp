@@ -711,14 +711,29 @@ TEST(Store, UnknownVariableFails) {
   EXPECT_FALSE(store.value().execute("ghost", Query{}).is_ok());
 }
 
-TEST(Store, DuplicateVariableRejected) {
+TEST(Store, RewriteReplacesVariable) {
+  // Writing an existing name re-ingests: same subfiles (no file-table
+  // growth), one variable entry, and queries see only the fresh data.
   pfs::PfsStorage fs;
   Grid grid = test_grid_2d();
   auto store = MlocStore::create(
       &fs, "t", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
   ASSERT_TRUE(store.is_ok());
   ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
-  EXPECT_FALSE(store.value().write_variable("phi", grid).is_ok());
+  const std::size_t files_before = fs.num_files();
+
+  Grid fresh = datagen::gts_like(64, 77);
+  ASSERT_TRUE(store.value().write_variable("phi", fresh).is_ok());
+  EXPECT_EQ(fs.num_files(), files_before);
+  EXPECT_EQ(store.value().variables().size(), 1u);
+
+  Query q;
+  q.sc = Region(2, {0, 0}, {8, 8});
+  q.values_needed = true;
+  auto res = store.value().execute("phi", q);
+  ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+  const Truth want = brute_force(fresh, q);
+  EXPECT_EQ(res.value().values, want.values);
 }
 
 TEST(Store, ShapeMismatchRejected) {
