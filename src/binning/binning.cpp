@@ -1,11 +1,41 @@
 #include "binning/binning.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/assert.hpp"
 
 namespace mloc {
+
+BinningScheme::BinningScheme(std::vector<double> interior)
+    : interior_(std::move(interior)) {
+  build_search_index();
+}
+
+void BinningScheme::build_search_index() {
+  // Up to 64 boundaries (8 cache lines) the flat array searched by a
+  // branchless lowered binary search is fastest; past that, rebuild in
+  // Eytzinger order so each probe's children share the probe's cache line
+  // neighborhood near the root.
+  constexpr std::size_t kEytzingerThreshold = 64;
+  const std::size_t m = interior_.size();
+  eyt_.clear();
+  eyt_rank_.clear();
+  if (m <= kEytzingerThreshold) return;
+  eyt_.resize(m + 1);
+  eyt_rank_.resize(m + 1);
+  std::size_t next = 0;
+  auto fill = [&](auto&& self, std::size_t k) -> void {
+    if (k > m) return;
+    self(self, 2 * k);
+    eyt_[k] = interior_[next];
+    eyt_rank_[k] = static_cast<int>(next);
+    ++next;
+    self(self, 2 * k + 1);
+  };
+  fill(fill, 1);
+}
 
 BinningScheme BinningScheme::equal_frequency(std::span<const double> sample,
                                              int num_bins) {
@@ -55,6 +85,86 @@ int BinningScheme::bin_of(double v) const noexcept {
   // bin, matching the half-open [lower, upper) interval convention.
   const auto it = std::upper_bound(interior_.begin(), interior_.end(), v);
   return static_cast<int>(it - interior_.begin());
+}
+
+void BinningScheme::bin_of_batch(std::span<const double> values,
+                                 std::span<int> bins) const noexcept {
+  MLOC_DCHECK(bins.size() == values.size());
+  const std::size_t m = interior_.size();
+  if (m == 0) {
+    std::fill(bins.begin(), bins.end(), 0);
+    return;
+  }
+  const int last = static_cast<int>(m);  // NaN routes to the last bin
+
+  if (!eyt_.empty()) {
+    // Eytzinger upper_bound: descend right while boundary <= v; the path
+    // word's trailing ones encode where the successor (first boundary > v)
+    // was last seen. k == 0 after the shift means v >= every boundary.
+    const double* eyt = eyt_.data();
+    const int* rank = eyt_rank_.data();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double v = values[i];
+      std::size_t k = 1;
+      while (k <= m) k = 2 * k + (eyt[k] <= v ? 1 : 0);
+      k >>= static_cast<unsigned>(std::countr_one(k)) + 1;
+      const int idx = k == 0 ? last : rank[k];
+      bins[i] = std::isnan(v) ? last : idx;
+    }
+    return;
+  }
+
+  // Branchless lowered binary search: the halving loop has a fixed trip
+  // count per scheme and the base adjustment compiles to a conditional
+  // move, so there are no data-dependent branch mispredictions. Four values
+  // run in lockstep — the halving sequence is data-independent, so the four
+  // conditional-move dependency chains overlap instead of serializing.
+  const double* boundaries = interior_.data();
+  std::size_t i = 0;
+  for (; i + 4 <= values.size(); i += 4) {
+    const double v0 = values[i];
+    const double v1 = values[i + 1];
+    const double v2 = values[i + 2];
+    const double v3 = values[i + 3];
+    const double* b0 = boundaries;
+    const double* b1 = boundaries;
+    const double* b2 = boundaries;
+    const double* b3 = boundaries;
+    std::size_t n = m;
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      b0 += (b0[half - 1] <= v0) ? half : 0;
+      b1 += (b1[half - 1] <= v1) ? half : 0;
+      b2 += (b2[half - 1] <= v2) ? half : 0;
+      b3 += (b3[half - 1] <= v3) ? half : 0;
+      n -= half;
+    }
+    bins[i] = std::isnan(v0)
+                  ? last
+                  : static_cast<int>(b0 - boundaries) + (*b0 <= v0 ? 1 : 0);
+    bins[i + 1] = std::isnan(v1)
+                      ? last
+                      : static_cast<int>(b1 - boundaries) + (*b1 <= v1 ? 1 : 0);
+    bins[i + 2] = std::isnan(v2)
+                      ? last
+                      : static_cast<int>(b2 - boundaries) + (*b2 <= v2 ? 1 : 0);
+    bins[i + 3] = std::isnan(v3)
+                      ? last
+                      : static_cast<int>(b3 - boundaries) + (*b3 <= v3 ? 1 : 0);
+  }
+  for (; i < values.size(); ++i) {
+    const double v = values[i];
+    const double* base = boundaries;
+    std::size_t n = m;
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      base += (base[half - 1] <= v) ? half : 0;
+      n -= half;
+    }
+    const int idx =
+        static_cast<int>(base - boundaries) + (*base <= v ? 1 : 0);
+    bins[i] = std::isnan(v) ? last : idx;
+  }
 }
 
 double BinningScheme::lower(int bin) const noexcept {
@@ -107,5 +217,17 @@ Result<BinningScheme> BinningScheme::deserialize(ByteReader& r) {
   }
   return BinningScheme(std::move(interior));
 }
+
+namespace detail::scalar {
+
+void bin_of_batch(const BinningScheme& scheme, std::span<const double> values,
+                  std::span<int> bins) {
+  MLOC_CHECK(bins.size() == values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    bins[i] = scheme.bin_of(values[i]);
+  }
+}
+
+}  // namespace detail::scalar
 
 }  // namespace mloc

@@ -21,6 +21,15 @@
 
 namespace mloc {
 
+class BinningScheme;
+
+namespace detail::scalar {
+/// Retained per-value reference (bin_of via std::upper_bound in a loop) for
+/// differential tests and bench_kernels A/B runs against bin_of_batch.
+void bin_of_batch(const BinningScheme& scheme, std::span<const double> values,
+                  std::span<int> bins);
+}  // namespace detail::scalar
+
 class BinningScheme {
  public:
   BinningScheme() = default;
@@ -40,6 +49,14 @@ class BinningScheme {
 
   /// Bin index of a value (NaN -> last bin).
   [[nodiscard]] int bin_of(double v) const noexcept;
+
+  /// Batched bin_of: bins[i] = bin_of(values[i]) for the whole span. The
+  /// ingest partition stage routes every cell through this. Runs a
+  /// branchless lowered binary search over the boundary array, switching to
+  /// a cache-friendly Eytzinger (BFS) layout once num_bins > 64 — see
+  /// DESIGN.md §11. Precondition: bins.size() == values.size().
+  void bin_of_batch(std::span<const double> values,
+                    std::span<int> bins) const noexcept;
 
   /// Interval endpoints of a bin (-inf / +inf at the extremes).
   [[nodiscard]] double lower(int bin) const noexcept;
@@ -67,11 +84,21 @@ class BinningScheme {
   }
 
  private:
-  explicit BinningScheme(std::vector<double> interior)
-      : interior_(std::move(interior)) {}
+  explicit BinningScheme(std::vector<double> interior);
+
+  void build_search_index();
 
   // Interior boundaries, strictly increasing, size = num_bins - 1.
   std::vector<double> interior_;
+
+  // Eytzinger (BFS heap order) copy of interior_ used by bin_of_batch when
+  // the boundary array outgrows a couple of cache lines (num_bins > 64).
+  // 1-based: eyt_[0] unused; eyt_rank_[k] = sorted rank of eyt_[k], i.e. the
+  // bin index for a search ending just above that boundary. Derived from
+  // interior_ (rebuilt by the constructor funnel), so excluded from
+  // operator== and serialization.
+  std::vector<double> eyt_;
+  std::vector<int> eyt_rank_;
 };
 
 }  // namespace mloc

@@ -49,6 +49,17 @@ class GroupCursor {
     }
   }
 
+  /// Consume n groups across run boundaries without exposing payloads —
+  /// used to stream past the other operand's annihilator fills.
+  void skip(std::uint32_t n) noexcept {
+    while (n > 0 && !done_) {
+      const std::uint32_t step = std::min(n, run_remaining());
+      consume(step);
+      n -= step;
+    }
+    MLOC_DCHECK(n == 0);
+  }
+
  private:
   void advance_word() noexcept {
     if (pos_ >= words_.size()) {
@@ -79,9 +90,29 @@ class GroupCursor {
 }  // namespace
 
 std::uint64_t Bitmap::count() const noexcept {
-  std::uint64_t c = 0;
-  for (auto w : words_) c += static_cast<std::uint64_t>(std::popcount(w));
-  return c;
+  // 8-way unrolled with 4 accumulators: breaks the add dependency chain so
+  // the popcounts pipeline (DESIGN.md §11).
+  const std::uint64_t* w = words_.data();
+  const std::size_t nw = words_.size();
+  std::uint64_t c0 = 0;
+  std::uint64_t c1 = 0;
+  std::uint64_t c2 = 0;
+  std::uint64_t c3 = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= nw; i += 8) {
+    c0 += static_cast<std::uint64_t>(std::popcount(w[i + 0])) +
+          static_cast<std::uint64_t>(std::popcount(w[i + 4]));
+    c1 += static_cast<std::uint64_t>(std::popcount(w[i + 1])) +
+          static_cast<std::uint64_t>(std::popcount(w[i + 5]));
+    c2 += static_cast<std::uint64_t>(std::popcount(w[i + 2])) +
+          static_cast<std::uint64_t>(std::popcount(w[i + 6]));
+    c3 += static_cast<std::uint64_t>(std::popcount(w[i + 3])) +
+          static_cast<std::uint64_t>(std::popcount(w[i + 7]));
+  }
+  for (; i < nw; ++i) {
+    c0 += static_cast<std::uint64_t>(std::popcount(w[i]));
+  }
+  return c0 + c1 + c2 + c3;
 }
 
 Bitmap& Bitmap::operator&=(const Bitmap& o) noexcept {
@@ -195,7 +226,59 @@ std::uint64_t WahBitmap::count() const noexcept {
 }
 
 template <typename Op>
-WahBitmap WahBitmap::binary_op(const WahBitmap& a, const WahBitmap& b, Op op) {
+WahBitmap WahBitmap::binary_op(const WahBitmap& a, const WahBitmap& b, Op op,
+                               bool ann) {
+  MLOC_CHECK(a.nbits_ == b.nbits_);
+  WahBitmap out;
+  out.nbits_ = a.nbits_;
+  GroupCursor ca(a.words_);
+  GroupCursor cb(b.words_);
+  while (!ca.done() && !cb.done()) {
+    // Annihilator fast path: a fill of the op's absorbing value (0-fill for
+    // AND, 1-fill for OR) forces the result for its whole run, so the other
+    // operand's groups are skipped wholesale, never decoded. append_fill's
+    // coalescing makes the output identical to the group-at-a-time
+    // reference below.
+    if (ca.run_is_fill() && ca.run_fill_value() == ann) {
+      const std::uint32_t n = ca.run_remaining();
+      out.append_fill(ann, n);
+      ca.consume(n);
+      cb.skip(n);
+    } else if (cb.run_is_fill() && cb.run_fill_value() == ann) {
+      const std::uint32_t n = cb.run_remaining();
+      out.append_fill(ann, n);
+      cb.consume(n);
+      ca.skip(n);
+    } else if (ca.run_is_fill() && cb.run_is_fill()) {
+      // Both identity fills: op(!ann, !ann) for the overlapping run.
+      const std::uint32_t n = std::min(ca.run_remaining(), cb.run_remaining());
+      const bool v = op(ca.run_fill_value(), cb.run_fill_value());
+      out.append_fill(v, n);
+      ca.consume(n);
+      cb.consume(n);
+    } else if (ca.run_is_fill()) {
+      // a is an identity fill, b a literal: the result is b's group.
+      out.append_group(cb.payload());
+      ca.consume(1);
+      cb.consume(1);
+    } else if (cb.run_is_fill()) {
+      out.append_group(ca.payload());
+      ca.consume(1);
+      cb.consume(1);
+    } else {
+      const std::uint32_t merged = op(ca.payload(), cb.payload()) & kPayloadMask;
+      out.append_group(merged);
+      ca.consume(1);
+      cb.consume(1);
+    }
+  }
+  MLOC_CHECK(ca.done() == cb.done());  // equal sizes → streams end together
+  return out;
+}
+
+template <typename Op>
+WahBitmap WahBitmap::binary_op_reference(const WahBitmap& a, const WahBitmap& b,
+                                         Op op) {
   MLOC_CHECK(a.nbits_ == b.nbits_);
   WahBitmap out;
   out.nbits_ = a.nbits_;
@@ -220,11 +303,13 @@ WahBitmap WahBitmap::binary_op(const WahBitmap& a, const WahBitmap& b, Op op) {
 }
 
 WahBitmap WahBitmap::logical_and(const WahBitmap& a, const WahBitmap& b) {
-  return binary_op(a, b, [](auto x, auto y) { return x & y; });
+  return binary_op(
+      a, b, [](auto x, auto y) { return x & y; }, /*ann=*/false);
 }
 
 WahBitmap WahBitmap::logical_or(const WahBitmap& a, const WahBitmap& b) {
-  return binary_op(a, b, [](auto x, auto y) { return x | y; });
+  return binary_op(
+      a, b, [](auto x, auto y) { return x | y; }, /*ann=*/true);
 }
 
 void WahBitmap::serialize(ByteWriter& w) const {
@@ -256,5 +341,35 @@ Result<WahBitmap> WahBitmap::deserialize(ByteReader& r) {
   }
   return out;
 }
+
+namespace detail::scalar {
+
+std::uint64_t bitmap_count(const Bitmap& bm) {
+  std::uint64_t c = 0;
+  for (std::uint64_t i = 0; i < bm.size(); ++i) {
+    c += bm.get(i) ? 1 : 0;
+  }
+  return c;
+}
+
+std::uint64_t bitmap_collect_set(const Bitmap& bm,
+                                 std::vector<std::uint64_t>& out) {
+  for (std::uint64_t i = 0; i < bm.size(); ++i) {
+    if (bm.get(i)) out.push_back(i);
+  }
+  return out.size();
+}
+
+WahBitmap wah_logical_and(const WahBitmap& a, const WahBitmap& b) {
+  return WahBitmap::binary_op_reference(
+      a, b, [](auto x, auto y) { return x & y; });
+}
+
+WahBitmap wah_logical_or(const WahBitmap& a, const WahBitmap& b) {
+  return WahBitmap::binary_op_reference(
+      a, b, [](auto x, auto y) { return x | y; });
+}
+
+}  // namespace detail::scalar
 
 }  // namespace mloc

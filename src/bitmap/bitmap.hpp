@@ -13,6 +13,7 @@
 // compressed form.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -21,6 +22,19 @@
 #include "util/status.hpp"
 
 namespace mloc {
+
+class Bitmap;
+class WahBitmap;
+
+namespace detail::scalar {
+/// Retained bit-at-a-time / group-at-a-time references for differential
+/// tests and bench_kernels A/B runs against the word-level fast paths.
+std::uint64_t bitmap_count(const Bitmap& bm);
+std::uint64_t bitmap_collect_set(const Bitmap& bm,
+                                 std::vector<std::uint64_t>& out);
+WahBitmap wah_logical_and(const WahBitmap& a, const WahBitmap& b);
+WahBitmap wah_logical_or(const WahBitmap& a, const WahBitmap& b);
+}  // namespace detail::scalar
 
 /// Uncompressed dynamic bitset.
 class Bitmap {
@@ -43,7 +57,7 @@ class Bitmap {
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
 
-  /// Number of set bits.
+  /// Number of set bits (8-way unrolled word popcount; see DESIGN.md §11).
   [[nodiscard]] std::uint64_t count() const noexcept;
 
   /// In-place logical ops. Preconditions: equal sizes.
@@ -56,14 +70,16 @@ class Bitmap {
     return nbits_ == o.nbits_ && words_ == o.words_;
   }
 
-  /// Invoke fn(index) for every set bit, ascending.
+  /// Invoke fn(index) for every set bit, ascending. Word-level: zero words
+  /// (the common case in sparse filter results) cost one load + compare;
+  /// set bits are extracted via ctz + clear-lowest, never per-bit get().
   template <typename Fn>
   void for_each_set(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       std::uint64_t word = words_[w];
       while (word != 0) {
-        const int bit = __builtin_ctzll(word);
-        fn(static_cast<std::uint64_t>(w) * 64 + bit);
+        const int bit = std::countr_zero(word);
+        fn(static_cast<std::uint64_t>(w) * 64 + static_cast<unsigned>(bit));
         word &= word - 1;
       }
     }
@@ -98,6 +114,10 @@ class WahBitmap {
   [[nodiscard]] std::uint64_t count() const noexcept;
 
   /// Compressed-domain logical ops. Preconditions: equal size_bits().
+  /// Runs of the op's annihilator fill (zero fills for AND, one fills for
+  /// OR) are skipped whole — the other operand's groups are never decoded
+  /// across them. Output is canonical and byte-identical to the retained
+  /// group-at-a-time reference (detail::scalar::wah_logical_*).
   static WahBitmap logical_and(const WahBitmap& a, const WahBitmap& b);
   static WahBitmap logical_or(const WahBitmap& a, const WahBitmap& b);
 
@@ -109,8 +129,21 @@ class WahBitmap {
   }
 
  private:
+  friend WahBitmap detail::scalar::wah_logical_and(const WahBitmap& a,
+                                                   const WahBitmap& b);
+  friend WahBitmap detail::scalar::wah_logical_or(const WahBitmap& a,
+                                                  const WahBitmap& b);
+
+  /// Fast merge: `ann` is the op's annihilating fill value (false for AND,
+  /// true for OR); runs of it pass through without decoding the other side.
   template <typename Op>
-  static WahBitmap binary_op(const WahBitmap& a, const WahBitmap& b, Op op);
+  static WahBitmap binary_op(const WahBitmap& a, const WahBitmap& b, Op op,
+                             bool ann);
+  /// Retained group-at-a-time merge (no annihilator skipping), reachable
+  /// via detail::scalar::wah_logical_* for A/B runs.
+  template <typename Op>
+  static WahBitmap binary_op_reference(const WahBitmap& a, const WahBitmap& b,
+                                       Op op);
 
   void append_group(std::uint32_t group31);  // with run coalescing
   void append_fill(bool bit, std::uint32_t ngroups);

@@ -12,21 +12,21 @@ namespace mloc {
 
 class BitWriter {
  public:
-  /// Append up to 57 bits (LSB-first) to the stream.
+  /// Append up to 57 bits (LSB-first) to the stream. Bits accumulate in a
+  /// 64-bit word and drain to the buffer only when the next append could
+  /// overflow it — one resize per ~8 calls instead of push_back per byte;
+  /// put_bits is the inner loop of Huffman emission.
   void put_bits(std::uint64_t bits, int count) {
     MLOC_DCHECK(count >= 0 && count <= 57);
     MLOC_DCHECK(count == 64 || (bits >> count) == 0);
+    if (nbits_ + count > 64) drain_bytes();
     acc_ |= bits << nbits_;
     nbits_ += count;
-    while (nbits_ >= 8) {
-      buf_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ >>= 8;
-      nbits_ -= 8;
-    }
   }
 
   /// Flush the final partial byte (zero-padded). Call exactly once at end.
   void finish() {
+    drain_bytes();
     if (nbits_ > 0) {
       buf_.push_back(static_cast<std::uint8_t>(acc_));
       acc_ = 0;
@@ -38,6 +38,20 @@ class BitWriter {
   [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
 
  private:
+  /// Move every complete byte of the accumulator into the buffer.
+  void drain_bytes() {
+    const int nb = nbits_ >> 3;
+    if (nb == 0) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + static_cast<std::size_t>(nb));
+    std::uint8_t* p = buf_.data() + old;
+    for (int k = 0; k < nb; ++k) {
+      p[k] = static_cast<std::uint8_t>(acc_);
+      acc_ >>= 8;
+    }
+    nbits_ &= 7;
+  }
+
   Bytes buf_;
   std::uint64_t acc_ = 0;
   int nbits_ = 0;

@@ -39,6 +39,17 @@ class HuffmanCode {
     w.put_bits(code_[symbol], len_[symbol]);
   }
 
+  /// Raw code bits / length for a symbol, for callers that fuse several
+  /// fields into one put_bits call. LSB-first, same as encode_symbol emits.
+  [[nodiscard]] std::uint32_t code_bits(int symbol) const noexcept {
+    MLOC_DCHECK(symbol >= 0 && static_cast<std::size_t>(symbol) < len_.size());
+    return code_[symbol];
+  }
+  [[nodiscard]] int code_length(int symbol) const noexcept {
+    MLOC_DCHECK(symbol >= 0 && static_cast<std::size_t>(symbol) < len_.size());
+    return len_[symbol];
+  }
+
   /// Decode one symbol; -1 on invalid/corrupt bit pattern.
   [[nodiscard]] int decode_symbol(BitReader& r) const {
     const auto window = static_cast<std::uint32_t>(r.peek_bits(max_len_));

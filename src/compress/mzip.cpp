@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstring>
+#include <memory>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 #include "compress/huffman.hpp"
 
@@ -35,21 +41,39 @@ constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3, 3,
                                             4, 4, 5,  5,  6,  6,  7,  7,  8, 8,
                                             9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
 
+// len -> length-symbol lookup, indexed by len - kMinMatch. Replaces a
+// 29-entry linear scan that ran worst-case for the most common (short)
+// lengths — this is on the shared emission path, twice per match.
+constexpr std::array<std::uint16_t, kMaxMatch - kMinMatch + 1> kLenSym = [] {
+  std::array<std::uint16_t, kMaxMatch - kMinMatch + 1> t{};
+  for (int len = kMinMatch; len <= kMaxMatch; ++len) {
+    int sym = 0;
+    for (int i = 28; i >= 0; --i) {
+      if (len >= kLenBase[i]) {
+        sym = 257 + i;
+        break;
+      }
+    }
+    t[static_cast<std::size_t>(len - kMinMatch)] =
+        static_cast<std::uint16_t>(sym);
+  }
+  return t;
+}();
+
 int length_symbol(int len) {
   MLOC_DCHECK(len >= kMinMatch && len <= kMaxMatch);
-  // Linear scan is fine: called per match, table has 29 entries.
-  for (int i = 28; i >= 0; --i) {
-    if (len >= kLenBase[i]) return 257 + i;
-  }
-  return 257;
+  return kLenSym[static_cast<std::size_t>(len - kMinMatch)];
 }
 
 int distance_symbol(int dist) {
   MLOC_DCHECK(dist >= 1 && dist <= kWindowSize);
-  for (int i = 29; i >= 0; --i) {
-    if (dist >= kDistBase[i]) return i;
-  }
-  return 0;
+  // Distance codes pair up by power of two: symbols 2b-2 and 2b-1 split
+  // [2^(b-1)+1, 2^b] in half, so the symbol falls out of the bit width of
+  // dist - 1 plus its next-to-top bit. Matches the kDistBase table scan.
+  const unsigned d = static_cast<unsigned>(dist) - 1;
+  if (d < 4) return static_cast<int>(d);
+  const int b = std::bit_width(d);
+  return 2 * (b - 1) + static_cast<int>((d >> (b - 2)) & 1u);
 }
 
 std::uint32_t hash3(const std::uint8_t* p) {
@@ -60,42 +84,143 @@ std::uint32_t hash3(const std::uint8_t* p) {
   return (v * 0x9E3779B1u) >> (32 - kHashBits);
 }
 
+/// hash3 via one 4-byte load (top byte masked off) when alignment-free
+/// word access matches the byte order; falls back to byte loads otherwise
+/// or near the buffer end. Same value as hash3 in all cases.
+std::uint32_t hash3_fast(const std::uint8_t* p, std::size_t avail) {
+  if constexpr (std::endian::native == std::endian::little) {
+    if (avail >= 4) {
+      std::uint32_t v;
+      std::memcpy(&v, p, sizeof v);
+      return ((v & 0x00FFFFFFu) * 0x9E3779B1u) >> (32 - kHashBits);
+    }
+  }
+  return hash3(p);
+}
+
+int match_length_ref(const std::uint8_t* a, const std::uint8_t* b,
+                     int max_len) {
+  int len = 0;
+  while (len < max_len && a[len] == b[len]) ++len;
+  return len;
+}
+
+/// Byte-identical to match_length_ref: compares 8 bytes per step via
+/// XOR + ctz (first differing byte = trailing-zero count / 8 on
+/// little-endian), with an optional 32-byte AVX2 round on top.
+int match_length_fast(const std::uint8_t* a, const std::uint8_t* b,
+                      int max_len) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return match_length_ref(a, b, max_len);
+  }
+  int len = 0;
+#if defined(__AVX2__)
+  while (len + 32 <= max_len) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + len));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + len));
+    const auto eq = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xFFFFFFFFu) return len + std::countr_zero(~eq);
+    len += 32;
+  }
+#endif
+  while (len + 8 <= max_len) {
+    std::uint64_t wa;
+    std::uint64_t wb;
+    std::memcpy(&wa, a + len, sizeof wa);
+    std::memcpy(&wb, b + len, sizeof wb);
+    const std::uint64_t x = wa ^ wb;
+    if (x != 0) return len + (std::countr_zero(x) >> 3);
+    len += 8;
+  }
+  while (len < max_len && a[len] == b[len]) ++len;
+  return len;
+}
+
 struct Token {
   // literal: dist == 0, len = byte value. match: dist >= 1, len >= kMinMatch.
   std::uint32_t len;
   std::uint32_t dist;
 };
 
-}  // namespace
+// Skip-ahead on incompressible stretches (zlib/LZ4-style): after miss_run
+// consecutive match misses, each miss emits 1 + min(miss_run/32, 31)
+// literals, searching and chain-indexing only the first. Part of the
+// tokenizer contract — both instantiations below must apply it identically.
+constexpr std::uint32_t kSkipShift = 5;
+constexpr std::size_t kMaxSkipStep = 32;
 
-Result<Bytes> MzipCodec::encode(std::span<const std::uint8_t> raw) const {
-  ByteWriter out;
-  out.put_varint(raw.size());
-  if (raw.empty()) return std::move(out).take();
-
-  // ---- LZ77 tokenization with hash chains.
-  std::vector<Token> tokens;
-  tokens.reserve(raw.size() / 2 + 16);
+/// LZ77 tokenizer. The token stream depends only on the contract (chain
+/// walk order and budget, first-strictly-longest match, post-walk chain
+/// insertion, interior-match indexing, skip-ahead) — never on kFast. The
+/// kFast=true instantiation swaps in word-level hash/compare kernels and a
+/// prefilter that skips candidates which disagree at offset best_len (such
+/// candidates can't produce a strictly longer match, so skipping their
+/// length computation is output-neutral). kFast=false is the retained
+/// byte-at-a-time reference.
+template <bool kFast>
+void tokenize(std::span<const std::uint8_t> raw, int max_chain,
+              std::vector<Token>& tokens) {
+  const std::size_t n = raw.size();
+  // Every token consumes at least one input byte, so n bounds the token
+  // count; reserving it up front avoids a multi-MB realloc+copy mid-stream.
+  // Untouched reserved pages are never faulted in, so the bound is free.
+  tokens.reserve(n);
   std::vector<std::int32_t> head(kHashSize, -1);
-  std::vector<std::int32_t> prev(raw.size(), -1);
+  // prev is written before it is read on every path (a candidate index only
+  // ever comes from a chain it was inserted into), so skip the O(n) fill.
+  const auto prev = std::make_unique_for_overwrite<std::int32_t[]>(n);
 
-  const auto n = raw.size();
   std::size_t pos = 0;
+  std::uint32_t miss_run = 0;
   while (pos < n) {
     int best_len = 0;
     int best_dist = 0;
     if (pos + kMinMatch <= n) {
-      const std::uint32_t h = hash3(raw.data() + pos);
+      const std::uint8_t* a = raw.data() + pos;
+      const std::uint32_t h =
+          kFast ? hash3_fast(a, n - pos) : hash3(a);
       std::int32_t cand = head[h];
-      int chain = max_chain_;
+      int chain = max_chain;
       const int max_len =
           static_cast<int>(std::min<std::size_t>(kMaxMatch, n - pos));
       while (cand >= 0 && chain-- > 0 &&
              pos - static_cast<std::size_t>(cand) <= kWindowSize) {
-        const std::uint8_t* a = raw.data() + pos;
         const std::uint8_t* b = raw.data() + cand;
-        int len = 0;
-        while (len < max_len && a[len] == b[len]) ++len;
+        if constexpr (kFast) {
+          // A strictly longer match needs bytes [best_len-1, best_len] to
+          // agree (16-bit probe) and, once best_len >= 3, the candidate's
+          // first four bytes to equal a's (one 32-bit compare that also
+          // rejects hash collisions). Both reads stay in bounds because
+          // best_len < max_len here (the walk breaks at max_len), and both
+          // are equality tests, so byte order does not matter. Skipped
+          // candidates cannot beat best_len, so the token stream is
+          // unchanged.
+          if (best_len > 0) {
+            std::uint16_t wa;
+            std::uint16_t wb;
+            std::memcpy(&wa, a + best_len - 1, sizeof wa);
+            std::memcpy(&wb, b + best_len - 1, sizeof wb);
+            if (wa != wb) {
+              cand = prev[cand];
+              continue;
+            }
+            if (best_len >= 3) {
+              std::uint32_t da;
+              std::uint32_t db;
+              std::memcpy(&da, a, sizeof da);
+              std::memcpy(&db, b, sizeof db);
+              if (da != db) {
+                cand = prev[cand];
+                continue;
+              }
+            }
+          }
+        }
+        const int len = kFast ? match_length_fast(a, b, max_len)
+                              : match_length_ref(a, b, max_len);
         if (len > best_len) {
           best_len = len;
           best_dist = static_cast<int>(pos - static_cast<std::size_t>(cand));
@@ -109,23 +234,39 @@ Result<Bytes> MzipCodec::encode(std::span<const std::uint8_t> raw) const {
     }
 
     if (best_len >= kMinMatch) {
+      miss_run = 0;
       tokens.push_back({static_cast<std::uint32_t>(best_len),
                         static_cast<std::uint32_t>(best_dist)});
       // Index the skipped positions so later matches can reference them.
-      const std::size_t end = std::min(pos + static_cast<std::size_t>(best_len), n);
+      const std::size_t end =
+          std::min(pos + static_cast<std::size_t>(best_len), n);
       for (std::size_t p = pos + 1; p + kMinMatch <= n && p < end; ++p) {
-        const std::uint32_t h = hash3(raw.data() + p);
+        const std::uint32_t h =
+            kFast ? hash3_fast(raw.data() + p, n - p) : hash3(raw.data() + p);
         prev[p] = head[h];
         head[h] = static_cast<std::int32_t>(p);
       }
       pos = end;
     } else {
-      tokens.push_back({raw[pos], 0});
-      ++pos;
+      ++miss_run;
+      const std::size_t step =
+          1 + std::min<std::size_t>(miss_run >> kSkipShift, kMaxSkipStep - 1);
+      const std::size_t lits = std::min(step, n - pos);
+      for (std::size_t k = 0; k < lits; ++k) {
+        tokens.push_back({raw[pos + k], 0});
+      }
+      pos += lits;
     }
   }
+}
 
-  // ---- Frequency pass.
+/// Frequency + canonical-Huffman emission shared by both encoders.
+Result<Bytes> encode_tokens(std::size_t raw_size,
+                            const std::vector<Token>& tokens) {
+  ByteWriter out;
+  out.put_varint(raw_size);
+  if (raw_size == 0) return std::move(out).take();
+
   std::vector<std::uint64_t> lit_freq(kNumLitLen, 0);
   std::vector<std::uint64_t> dist_freq(kNumDist, 0);
   for (const Token& t : tokens) {
@@ -147,26 +288,60 @@ Result<Bytes> MzipCodec::encode(std::span<const std::uint8_t> raw) const {
   lit_code.serialize_lengths(out);
   dist_code.serialize_lengths(out);
 
-  // ---- Emission pass.
   BitWriter bits;
-  for (const Token& t : tokens) {
+  const Token* t_it = tokens.data();
+  const Token* const t_end = t_it + tokens.size();
+  while (t_it != t_end) {
+    const Token& t = *t_it++;
     if (t.dist == 0) {
-      lit_code.encode_symbol(bits, static_cast<int>(t.len));
+      // Pack a run of literal codes into one put_bits call while they fit
+      // in the 57-bit budget. LSB-first concatenation is associative, so
+      // the stream is identical to one call per symbol.
+      std::uint64_t w = lit_code.code_bits(static_cast<int>(t.len));
+      int nb = lit_code.code_length(static_cast<int>(t.len));
+      while (t_it != t_end && t_it->dist == 0) {
+        const int sym = static_cast<int>(t_it->len);
+        const int l = lit_code.code_length(sym);
+        if (nb + l > 57) break;
+        w |= static_cast<std::uint64_t>(lit_code.code_bits(sym)) << nb;
+        nb += l;
+        ++t_it;
+      }
+      bits.put_bits(w, nb);
     } else {
+      // Fuse the four match fields (length code, length extra bits,
+      // distance code, distance extra bits) into one put_bits call.
+      // LSB-first concatenation is associative, so the stream is identical;
+      // worst case 15 + 5 + 15 + 13 = 48 bits, within the 57-bit limit.
       const int ls = length_symbol(static_cast<int>(t.len));
-      lit_code.encode_symbol(bits, ls);
-      bits.put_bits(t.len - static_cast<std::uint32_t>(kLenBase[ls - 257]),
-                    kLenExtra[ls - 257]);
       const int ds = distance_symbol(static_cast<int>(t.dist));
-      dist_code.encode_symbol(bits, ds);
-      bits.put_bits(t.dist - static_cast<std::uint32_t>(kDistBase[ds]),
-                    kDistExtra[ds]);
+      std::uint64_t w = lit_code.code_bits(ls);
+      int nb = lit_code.code_length(ls);
+      w |= static_cast<std::uint64_t>(
+               t.len - static_cast<std::uint32_t>(kLenBase[ls - 257]))
+           << nb;
+      nb += kLenExtra[ls - 257];
+      w |= static_cast<std::uint64_t>(dist_code.code_bits(ds)) << nb;
+      nb += dist_code.code_length(ds);
+      w |= static_cast<std::uint64_t>(
+               t.dist - static_cast<std::uint32_t>(kDistBase[ds]))
+           << nb;
+      nb += kDistExtra[ds];
+      bits.put_bits(w, nb);
     }
   }
   lit_code.encode_symbol(bits, kEndOfBlock);
   bits.finish();
   out.put_bytes(bits.bytes());
   return std::move(out).take();
+}
+
+}  // namespace
+
+Result<Bytes> MzipCodec::encode(std::span<const std::uint8_t> raw) const {
+  std::vector<Token> tokens;
+  tokenize<true>(raw, max_chain_, tokens);
+  return encode_tokens(raw.size(), tokens);
 }
 
 Result<Bytes> MzipCodec::decode(std::span<const std::uint8_t> stream) const {
@@ -223,5 +398,16 @@ Result<Bytes> MzipCodec::decode(std::span<const std::uint8_t> stream) const {
   }
   return out;
 }
+
+namespace detail::scalar {
+
+Result<Bytes> mzip_encode(std::span<const std::uint8_t> raw, int max_chain) {
+  MLOC_CHECK(max_chain >= 1);
+  std::vector<Token> tokens;
+  tokenize<false>(raw, max_chain, tokens);
+  return encode_tokens(raw.size(), tokens);
+}
+
+}  // namespace detail::scalar
 
 }  // namespace mloc

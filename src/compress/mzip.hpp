@@ -34,4 +34,15 @@ class MzipCodec final : public ByteCodec {
   int max_chain_;
 };
 
+namespace detail::scalar {
+
+/// Retained byte-at-a-time encoder implementing the same tokenizer
+/// contract as MzipCodec::encode (hash-chain walk order, greedy match
+/// selection, incompressible-stretch skip-ahead) without the word-level
+/// fast paths. Output is byte-identical to MzipCodec::encode with the same
+/// max_chain; kept for differential tests and bench_kernels A/B runs.
+Result<Bytes> mzip_encode(std::span<const std::uint8_t> raw, int max_chain);
+
+}  // namespace detail::scalar
+
 }  // namespace mloc

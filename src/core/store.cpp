@@ -413,6 +413,7 @@ Result<QueryResult> MlocStore::multivar_select(
   Stopwatch sw;
   const Bitmap positions = combined->decompress();
   std::vector<std::uint64_t> selected_positions;
+  selected_positions.reserve(positions.count());
   positions.for_each_set(
       [&](std::uint64_t p) { selected_positions.push_back(p); });
   accumulated.times.reconstruct += sw.seconds();

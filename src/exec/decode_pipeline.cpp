@@ -101,13 +101,14 @@ DecodedFragment decode_fragment(const DecodeInput& in) {
       std::vector<std::span<const std::uint8_t>> spans;
       spans.reserve(static_cast<std::size_t>(task.fetch_level));
       for (int g = 0; g < task.fetch_level; ++g) spans.emplace_back(planes[g]);
-      auto assembled = plod::assemble(spans, task.fetch_level, frag.count);
+      vals.resize(frag.count);
+      const Status assembled =
+          plod::assemble_into(spans, task.fetch_level, vals);
       out.reconstruct_s += sw.seconds();
       if (!assembled.is_ok()) {
-        out.status = assembled.status();
+        out.status = assembled;
         return out;
       }
-      vals = std::move(assembled).value();
     } else {
       // Whole-value mode: the decoded buffer is cached at full precision.
       if (task.cached_depth > 0) {
@@ -140,13 +141,11 @@ DecodedFragment decode_fragment(const DecodeInput& in) {
     }
     if (q.values_needed) {
       if (view.plod_capable() && task.fetch_level != q.plod_level) {
+        // One masked pass instead of shred + assemble round-tripping
+        // through byte planes; bit-identical by degrade_into's contract.
         Stopwatch sw_degrade;
-        auto degraded = plod::assemble(plod::shred(vals), q.plod_level);
-        if (!degraded.is_ok()) {
-          out.status = degraded.status();
-          return out;
-        }
-        out_vals = std::move(degraded).value();
+        out_vals.resize(vals.size());
+        plod::degrade_into(vals, q.plod_level, out_vals);
         out.reconstruct_s += sw_degrade.seconds();
       } else {
         out_vals = vals;

@@ -63,9 +63,8 @@ ChunkRouting route_chunk(const Grid& grid, const ChunkGrid& chunk_grid,
 
   std::vector<std::uint32_t> histogram(static_cast<std::size_t>(nbins), 0);
   std::vector<int> bin_ids(vals.size());
-  for (std::size_t i = 0; i < vals.size(); ++i) {
-    const int b = scheme.bin_of(vals[i]);
-    bin_ids[i] = b;
+  scheme.bin_of_batch(vals, bin_ids);
+  for (const int b : bin_ids) {
     ++histogram[static_cast<std::size_t>(b)];
   }
 
@@ -126,9 +125,21 @@ EncodedFragment encode_fragment(const StoreWriter& writer,
   }
   out.groups.resize(static_cast<std::size_t>(groups));
   if (writer.plod_capable()) {
-    const plod::Shredded shredded = plod::shred(stage.values);
+    // One flat scratch buffer sliced into the 7 byte planes: shred_into
+    // fills them in place, with no per-fragment Shredded vector churn.
+    const std::size_t n = stage.values.size();
+    Bytes scratch(n * sizeof(double));
+    plod::PlaneSpans planes;
+    std::size_t off = 0;
+    for (int g = 0; g < plod::kNumGroups; ++g) {
+      const std::size_t sz =
+          n * static_cast<std::size_t>(plod::group_bytes(g));
+      planes[g] = std::span<std::uint8_t>(scratch.data() + off, sz);
+      off += sz;
+    }
+    plod::shred_into(stage.values, planes);
     for (int g = 0; g < groups; ++g) {
-      auto enc = writer.byte_codec->encode(shredded.groups[g]);
+      auto enc = writer.byte_codec->encode(planes[g]);
       if (!enc.is_ok()) {
         out.status = enc.status();
         return out;

@@ -12,6 +12,13 @@
 // Reassembly fills the missing low-order bytes with 0x7F then 0xFF…, the
 // midpoint of the unknown interval, instead of zeros (which would bias all
 // magnitudes downward) — exactly the paper's §III-D-3 rule.
+//
+// Shred and assemble are 8×8 byte transposes at heart, and they sit on both
+// the ingest encode path and the query reassembly path. The hot
+// implementations below run cache-blocked (64 values per block, SWAR
+// delta-swap transpose, plane-contiguous stores; DESIGN.md §11); the
+// original per-value loops are retained under mloc::detail::scalar for A/B
+// benchmarking and differential testing — outputs are byte-identical.
 #pragma once
 
 #include <array>
@@ -45,8 +52,24 @@ struct Shredded {
   std::size_t count = 0;
 };
 
-/// Split values into PLoD byte groups.
+/// Caller-provided destination planes for shred_into; planes[g] must hold
+/// exactly group_bytes(g) * count bytes.
+using PlaneSpans = std::array<std::span<std::uint8_t>, kNumGroups>;
+
+/// Shred values into caller-provided plane buffers — the allocation-free
+/// core used by the ingest encode stage (one flat scratch buffer per
+/// fragment instead of 7 vectors). Precondition: every planes[g] sized
+/// group_bytes(g) * values.size().
+void shred_into(std::span<const double> values, const PlaneSpans& planes);
+
+/// Split values into PLoD byte groups (allocating convenience wrapper).
 Shredded shred(std::span<const double> values);
+
+/// Reassemble doubles from the first `level` groups into a caller-provided
+/// buffer (out.size() == count). groups[g] must hold group_bytes(g) *
+/// out.size() bytes for g < level.
+Status assemble_into(std::span<const std::span<const std::uint8_t>> groups,
+                     int level, std::span<double> out);
 
 /// Reassemble doubles from the first `level` groups (level in [1,7]).
 /// groups[g] must hold group_bytes(g)*count bytes for g < level.
@@ -57,4 +80,25 @@ Result<std::vector<double>> assemble(
 /// Convenience: assemble from a Shredded at a given level.
 Result<std::vector<double>> assemble(const Shredded& shredded, int level);
 
+/// Degrade full-precision values to level-`level` precision in one pass:
+/// out[i] == assemble(shred(values), level)[i] bit-for-bit, without the
+/// intermediate byte planes. Used by the query engine when the fetch level
+/// exceeds the requested level. `out.size()` must equal `values.size()`;
+/// in-place (out == values) is allowed.
+void degrade_into(std::span<const double> values, int level,
+                  std::span<double> out);
+
 }  // namespace mloc::plod
+
+namespace mloc::detail::scalar {
+
+/// Retained per-value reference implementations (the pre-optimization
+/// loops). Semantics and output are byte-identical to the blocked versions
+/// above; they exist for differential tests and bench_kernels A/B runs.
+void plod_shred_into(std::span<const double> values,
+                     const plod::PlaneSpans& planes);
+Status plod_assemble_into(
+    std::span<const std::span<const std::uint8_t>> groups, int level,
+    std::span<double> out);
+
+}  // namespace mloc::detail::scalar

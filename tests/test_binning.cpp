@@ -196,5 +196,102 @@ TEST(Binning, NanOnlySampleStillWorks) {
                                     : 0);  // no crash; value maps somewhere
 }
 
+// ---------------------------------------------------------------------------
+// Differential and edge-case tests for the batched bin router. bin_of_batch
+// must agree with the per-value std::upper_bound reference on every scheme
+// shape (flat lockstep search below 64 boundaries, Eytzinger above) and on
+// every special value, since it feeds the ingest partition stage.
+
+std::vector<double> routing_values(const BinningScheme& scheme,
+                                   std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 7) {
+      case 0:
+        vals[i] = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        vals[i] = std::numeric_limits<double>::infinity();
+        break;
+      case 2:
+        vals[i] = -std::numeric_limits<double>::infinity();
+        break;
+      case 3:
+        // Exactly on a boundary: must route to the upper bin.
+        vals[i] = scheme.num_bins() > 1
+                      ? scheme.upper(static_cast<int>(i) %
+                                     (scheme.num_bins() - 1))
+                      : 0.0;
+        break;
+      default:
+        vals[i] = rng.next_double(-2000.0, 2000.0);
+    }
+  }
+  return vals;
+}
+
+TEST(BinningDifferential, BatchMatchesScalarAcrossSchemeShapes) {
+  Rng rng(7);
+  std::vector<double> sample(5000);
+  for (auto& v : sample) v = rng.next_double(-1000.0, 1000.0);
+  // 1 and 2 bins (degenerate), 64/65 straddling the flat-vs-Eytzinger
+  // switchover, and 1024 deep in the Eytzinger path.
+  for (const int num_bins : {1, 2, 3, 64, 65, 128, 1024}) {
+    const auto scheme = BinningScheme::equal_frequency(sample, num_bins);
+    // Counts around the 4-lane lockstep width plus a big batch.
+    for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 1023u}) {
+      const auto vals = routing_values(scheme, n, 31 * n + num_bins);
+      std::vector<int> fast(n);
+      std::vector<int> ref(n);
+      scheme.bin_of_batch(vals, fast);
+      detail::scalar::bin_of_batch(scheme, vals, ref);
+      EXPECT_EQ(fast, ref) << "num_bins=" << num_bins << " n=" << n;
+    }
+  }
+}
+
+TEST(BinningDifferential, BoundaryValuesRouteToUpperBin) {
+  const auto scheme = BinningScheme::equal_width(0.0, 100.0, 10);
+  ASSERT_EQ(scheme.num_bins(), 10);
+  for (int bin = 0; bin + 1 < scheme.num_bins(); ++bin) {
+    const double boundary = scheme.upper(bin);
+    EXPECT_EQ(scheme.bin_of(boundary), bin + 1) << "boundary " << boundary;
+    // The batch path must agree with the scalar path on exact boundaries.
+    const std::vector<double> one{boundary};
+    std::vector<int> out(1);
+    scheme.bin_of_batch(one, out);
+    EXPECT_EQ(out[0], bin + 1);
+  }
+}
+
+TEST(BinningDifferential, NanRoutesToLastBinInBothPaths) {
+  const auto scheme = BinningScheme::equal_width(0.0, 1.0, 8);
+  const std::vector<double> vals{std::numeric_limits<double>::quiet_NaN(),
+                                 0.5,
+                                 std::numeric_limits<double>::quiet_NaN(),
+                                 -1.0};
+  std::vector<int> out(vals.size());
+  scheme.bin_of_batch(vals, out);
+  EXPECT_EQ(out[0], scheme.num_bins() - 1);
+  EXPECT_EQ(out[2], scheme.num_bins() - 1);
+  EXPECT_EQ(out[3], 0);
+  EXPECT_EQ(scheme.bin_of(vals[0]), scheme.num_bins() - 1);
+}
+
+TEST(BinningDifferential, OneBinSchemeRoutesEverythingToBinZero) {
+  const BinningScheme scheme;  // no interior boundaries
+  ASSERT_EQ(scheme.num_bins(), 1);
+  const std::vector<double> vals{-1e308, 0.0, 1e308,
+                                 std::numeric_limits<double>::quiet_NaN(),
+                                 std::numeric_limits<double>::infinity()};
+  std::vector<int> out(vals.size(), -1);
+  scheme.bin_of_batch(vals, out);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(out[i], 0) << "i=" << i;
+    EXPECT_EQ(scheme.bin_of(vals[i]), 0) << "i=" << i;
+  }
+}
+
 }  // namespace
 }  // namespace mloc

@@ -218,5 +218,57 @@ TEST(Wah, DeserializeRejectsAbsurdWordCount) {
   EXPECT_FALSE(WahBitmap::deserialize(r).is_ok());
 }
 
+// ---------------------------------------------------------------------------
+// Differential tests: the word-level count/for_each_set fast paths and the
+// fill-skipping WAH merges must match the retained bit-at-a-time /
+// group-at-a-time references exactly (equal counts, equal index lists,
+// word-identical compressed results) across sizes that straddle word and
+// 31-bit-group boundaries and densities from empty to full.
+
+class BitmapDifferential
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BitmapDifferential, CountAndForEachMatchScalarReference) {
+  const auto [nbits, density] = GetParam();
+  const Bitmap bm = random_bitmap(nbits, density, 17 + nbits);
+
+  EXPECT_EQ(bm.count(), detail::scalar::bitmap_count(bm));
+
+  std::vector<std::uint64_t> fast;
+  bm.for_each_set([&](std::uint64_t i) { fast.push_back(i); });
+  std::vector<std::uint64_t> ref;
+  const std::uint64_t ref_count = detail::scalar::bitmap_collect_set(bm, ref);
+  EXPECT_EQ(ref_count, ref.size());
+  EXPECT_EQ(fast, ref);
+}
+
+TEST_P(BitmapDifferential, WahMergesMatchScalarReference) {
+  const auto [nbits, density] = GetParam();
+  const WahBitmap wa =
+      WahBitmap::compress(random_bitmap(nbits, density, 23 + nbits));
+  const WahBitmap wb =
+      WahBitmap::compress(random_bitmap(nbits, 1.0 - density, 29 + nbits));
+
+  EXPECT_EQ(WahBitmap::logical_and(wa, wb),
+            detail::scalar::wah_logical_and(wa, wb));
+  EXPECT_EQ(WahBitmap::logical_or(wa, wb),
+            detail::scalar::wah_logical_or(wa, wb));
+  // Self-merge: maximal fill runs on both sides at once.
+  EXPECT_EQ(WahBitmap::logical_and(wa, wa),
+            detail::scalar::wah_logical_and(wa, wa));
+  EXPECT_EQ(WahBitmap::logical_or(wa, wa),
+            detail::scalar::wah_logical_or(wa, wa));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeDensitySweep, BitmapDifferential,
+    ::testing::Values(std::tuple{0ull, 0.0}, std::tuple{1ull, 1.0},
+                      std::tuple{31ull, 0.5}, std::tuple{32ull, 0.5},
+                      std::tuple{63ull, 0.5}, std::tuple{64ull, 0.5},
+                      std::tuple{65ull, 0.02}, std::tuple{1000ull, 0.0},
+                      std::tuple{1000ull, 1.0}, std::tuple{1000ull, 0.001},
+                      std::tuple{50000ull, 0.01}, std::tuple{50000ull, 0.5},
+                      std::tuple{50000ull, 0.99}));
+
 }  // namespace
 }  // namespace mloc

@@ -179,8 +179,7 @@ TEST(Huffman, FromLengthsRejectsEmpty) {
 
 class MzipRoundTrip : public ::testing::TestWithParam<int> {};
 
-TEST_P(MzipRoundTrip, AdversarialBuffers) {
-  const int which = GetParam();
+Bytes adversarial_buffer(int which) {
   Bytes raw;
   switch (which) {
     case 0: raw = {}; break;
@@ -212,6 +211,11 @@ TEST_P(MzipRoundTrip, AdversarialBuffers) {
     }
     default: break;
   }
+  return raw;
+}
+
+TEST_P(MzipRoundTrip, AdversarialBuffers) {
+  const Bytes raw = adversarial_buffer(GetParam());
   const MzipCodec codec;
   auto enc = codec.encode(raw);
   ASSERT_TRUE(enc.is_ok());
@@ -221,6 +225,26 @@ TEST_P(MzipRoundTrip, AdversarialBuffers) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Buffers, MzipRoundTrip, ::testing::Range(0, 9));
+
+// The word-level fast encoder must emit the exact byte stream of the
+// retained byte-at-a-time reference on every adversarial buffer and at
+// several chain depths (the prefilter/skip-ahead interplay depends on
+// max_chain). Byte identity is the whole contract — see DESIGN.md §11.
+class MzipDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(MzipDifferential, FastEncoderMatchesScalarReference) {
+  const Bytes raw = adversarial_buffer(GetParam());
+  for (const int max_chain : {1, 8, 64}) {
+    const MzipCodec codec(max_chain);
+    const auto fast = codec.encode(raw);
+    const auto ref = detail::scalar::mzip_encode(raw, max_chain);
+    ASSERT_TRUE(fast.is_ok());
+    ASSERT_TRUE(ref.is_ok());
+    EXPECT_EQ(fast.value(), ref.value()) << "max_chain=" << max_chain;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, MzipDifferential, ::testing::Range(0, 9));
 
 TEST(Mzip, CompressesRepetitiveData) {
   Bytes raw(200000, 0);

@@ -161,5 +161,113 @@ TEST(Plod, AssembleRejectsMissingGroups) {
   EXPECT_FALSE(assemble(groups, 3, 2).is_ok());
 }
 
+// ---------------------------------------------------------------------------
+// Differential tests: the blocked kernels must be byte-identical to the
+// retained per-value references for every bit pattern, including ones that
+// are special-cased by IEEE-754 arithmetic (the kernels only move bytes, so
+// NaN payloads and denormals must survive untouched), and for counts that
+// straddle the 16-value block boundary and the scalar tail.
+
+// Random wide-range doubles salted with NaN/inf/denormal/zero patterns.
+std::vector<double> adversarial_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 11) {
+      case 0:
+        out[i] = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        out[i] = std::numeric_limits<double>::infinity();
+        break;
+      case 2:
+        out[i] = -std::numeric_limits<double>::infinity();
+        break;
+      case 3:
+        out[i] = std::numeric_limits<double>::denorm_min();
+        break;
+      case 4:
+        out[i] = -4097.0 * std::numeric_limits<double>::denorm_min();
+        break;
+      case 5:
+        out[i] = (i % 2 != 0u) ? 0.0 : -0.0;
+        break;
+      default: {
+        const double mag = std::pow(10.0, rng.next_double(-300.0, 300.0));
+        out[i] = (rng.next_double() < 0.5 ? -1.0 : 1.0) * mag;
+      }
+    }
+  }
+  return out;
+}
+
+// Counts around the 16-value punpck block, the 64-value cache block, and a
+// large buffer exercising many full blocks plus a tail.
+const std::size_t kDiffCounts[] = {0, 1, 15, 16, 17, 63, 64, 65, 4096, 4099};
+
+// Bitwise comparison — NaN payloads and signed zeros must match too.
+// (memcmp's nonnull contract forbids empty vectors' data().)
+bool bitwise_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+struct PlaneBufs {
+  std::array<Bytes, kNumGroups> bufs;
+  PlaneSpans spans;
+  explicit PlaneBufs(std::size_t count) {
+    for (int g = 0; g < kNumGroups; ++g) {
+      bufs[g].resize(static_cast<std::size_t>(group_bytes(g)) * count);
+      spans[g] = bufs[g];
+    }
+  }
+};
+
+TEST(PlodDifferential, ShredMatchesScalarReference) {
+  for (const std::size_t n : kDiffCounts) {
+    const auto vals = adversarial_values(n, 1000 + n);
+    PlaneBufs fast(n);
+    PlaneBufs ref(n);
+    shred_into(vals, fast.spans);
+    mloc::detail::scalar::plod_shred_into(vals, ref.spans);
+    for (int g = 0; g < kNumGroups; ++g) {
+      EXPECT_EQ(fast.bufs[g], ref.bufs[g]) << "n=" << n << " group=" << g;
+    }
+  }
+}
+
+TEST(PlodDifferential, AssembleMatchesScalarReferenceAtEveryLevel) {
+  for (const std::size_t n : kDiffCounts) {
+    const auto vals = adversarial_values(n, 2000 + n);
+    const Shredded s = shred(vals);
+    std::vector<std::span<const std::uint8_t>> groups;
+    for (const auto& g : s.groups) groups.emplace_back(g);
+    for (int level = 1; level <= kNumGroups; ++level) {
+      std::vector<double> fast(n);
+      std::vector<double> ref(n);
+      ASSERT_TRUE(assemble_into(groups, level, fast).is_ok());
+      ASSERT_TRUE(
+          mloc::detail::scalar::plod_assemble_into(groups, level, ref).is_ok());
+      EXPECT_TRUE(bitwise_equal(fast, ref)) << "n=" << n << " level=" << level;
+    }
+  }
+}
+
+TEST(PlodDifferential, DegradeMatchesShredThenAssemble) {
+  for (const std::size_t n : kDiffCounts) {
+    const auto vals = adversarial_values(n, 3000 + n);
+    const Shredded s = shred(vals);
+    for (int level = 1; level <= kNumGroups; ++level) {
+      const auto assembled = assemble(s, level);
+      ASSERT_TRUE(assembled.is_ok());
+      std::vector<double> degraded(n);
+      degrade_into(vals, level, degraded);
+      EXPECT_TRUE(bitwise_equal(degraded, assembled.value()))
+          << "n=" << n << " level=" << level;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mloc::plod
