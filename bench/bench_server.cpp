@@ -1,0 +1,408 @@
+// Wire-server load generator: replays a mixed VC / SC / multivar query
+// trace against a Server over localhost TCP from hundreds of simulated
+// concurrent clients (real connections, pipelined in-flight queries), and
+// gates two properties:
+//
+//   * fidelity — every served response's positions/values arrays are
+//     byte-identical to QueryService::run() in-process on the same store;
+//   * overhead — served throughput stays above a floor fraction of the
+//     in-process throughput for the same total work and worker count
+//     (MLOC_SERVER_FLOOR, default 0.25; the wire adds encode + CRC +
+//     loopback TCP, not a 4x slowdown).
+//
+// Emits BENCH_server.json (clients, qps both ways, p50/p95/p99 latency,
+// identical_ok, throughput_ok) and exits non-zero when either gate fails —
+// CI runs this as the server smoke test.
+//
+// Knobs (env): MLOC_SERVER_CLIENTS (default 512 connections),
+// MLOC_SERVER_QUERIES_PER_CLIENT (default 4), MLOC_SERVER_THREADS (driver
+// threads, default 8), MLOC_SERVER_WORKERS (service workers, default 4),
+// MLOC_SERVER_FLOOR, MLOC_BENCH_JSON (output path).
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_common.hpp"
+#include "datagen/datagen.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/query_service.hpp"
+#include "util/timer.hpp"
+
+using namespace mloc;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+/// Nearest-rank percentile over an unsorted sample (sorted in place).
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Lift the soft fd limit to the hard limit; 512 connections plus epoll
+/// and store fds can exceed a conservative default soft limit.
+void raise_fd_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
+
+/// The mixed trace: exploration-style templates covering value-constrained
+/// retrieval (with and without values), region windows at mixed PLoD
+/// levels, combined constraints, and multi-variable selection.
+std::vector<service::Request> make_trace() {
+  std::vector<service::Request> t;
+  {
+    service::Request r;  // narrow VC, full values
+    r.var = "v";
+    r.query.vc = ValueConstraint{0.20, 0.35};
+    t.push_back(r);
+  }
+  {
+    service::Request r;  // VC, positions only
+    r.var = "v";
+    r.query.vc = ValueConstraint{0.60, 0.70};
+    r.query.values_needed = false;
+    t.push_back(r);
+  }
+  {
+    service::Request r;  // region window, coarse precision
+    r.var = "v";
+    r.query.sc = Region(2, Coord{32, 32}, Coord{96, 96});
+    r.query.plod_level = 3;
+    t.push_back(r);
+  }
+  {
+    service::Request r;  // overlapping window, full precision
+    r.var = "w";
+    r.query.sc = Region(2, Coord{64, 48}, Coord{128, 112});
+    t.push_back(r);
+  }
+  {
+    service::Request r;  // VC restricted to a region
+    r.var = "v";
+    r.query.vc = ValueConstraint{0.10, 0.50};
+    r.query.sc = Region(2, Coord{0, 0}, Coord{128, 128});
+    r.query.plod_level = 5;
+    t.push_back(r);
+  }
+  {
+    service::Request r;  // multivar AND with value fetch
+    r.var = "v";
+    service::MultivarSpec mv;
+    mv.preds.push_back({"v", ValueConstraint{0.30, 0.60}});
+    mv.preds.push_back({"w", ValueConstraint{0.40, 0.80}});
+    mv.combine = MlocStore::Combine::kAnd;
+    mv.fetch_var = "v";
+    r.multivar = std::move(mv);
+    t.push_back(r);
+  }
+  {
+    service::Request r;  // multivar OR, positions only
+    r.var = "w";
+    service::MultivarSpec mv;
+    mv.preds.push_back({"v", ValueConstraint{0.00, 0.05}});
+    mv.preds.push_back({"w", ValueConstraint{0.95, 1.00}});
+    mv.combine = MlocStore::Combine::kOr;
+    r.multivar = std::move(mv);
+    t.push_back(r);
+  }
+  {
+    service::Request r;  // wide VC at coarse precision
+    r.var = "w";
+    r.query.vc = ValueConstraint{0.00, 0.40};
+    r.query.plod_level = 2;
+    t.push_back(r);
+  }
+  return t;
+}
+
+Result<MlocStore> build_store(pfs::PfsStorage* fs) {
+  MlocConfig cfg;
+  cfg.shape = NDShape{256, 256};
+  cfg.chunk_shape = NDShape{64, 64};
+  cfg.num_bins = 16;
+  cfg.codec = "mzip";
+  auto store = MlocStore::create(fs, "net", cfg);
+  if (!store.is_ok()) return store;
+  MLOC_RETURN_IF_ERROR(
+      store.value().write_variable("v", datagen::gts_like(256, 7)));
+  MLOC_RETURN_IF_ERROR(
+      store.value().write_variable("w", datagen::gts_like(256, 19)));
+  return store;
+}
+
+/// A QueryService plus the storage its store borrows (their lifetimes are
+/// tied; the service alone would dangle).
+struct ServiceBox {
+  explicit ServiceBox(int workers) : fs(bench::default_pfs()) {
+    auto store = build_store(&fs);
+    MLOC_CHECK_MSG(store.is_ok(), store.status().to_string().c_str());
+    service::ServiceConfig cfg;
+    cfg.num_workers = workers;
+    cfg.max_queue_depth = 1 << 16;  // admission must not throttle the bench
+    cfg.cache.budget_bytes = 64ull << 20;
+    svc = std::make_unique<service::QueryService>(std::move(store).value(),
+                                                  cfg);
+  }
+
+  pfs::PfsStorage fs;
+  std::unique_ptr<service::QueryService> svc;
+};
+
+/// One query's ground truth, captured from QueryService::run in-process.
+struct Expected {
+  std::vector<std::uint64_t> positions;
+  std::vector<double> values;
+};
+
+}  // namespace
+
+int main() {
+  raise_fd_limit();
+  const int clients = std::max(1, env_int("MLOC_SERVER_CLIENTS", 512));
+  const int per_client =
+      std::max(1, env_int("MLOC_SERVER_QUERIES_PER_CLIENT", 4));
+  const int threads = std::max(1, env_int("MLOC_SERVER_THREADS", 8));
+  const int workers = std::max(1, env_int("MLOC_SERVER_WORKERS", 4));
+  const double floor = env_double("MLOC_SERVER_FLOOR", 0.25);
+  const std::vector<service::Request> trace = make_trace();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clients) * per_client;
+
+  std::printf(
+      "Server load test: %d clients x %d queries (%llu total, %zu-template "
+      "trace), %d driver threads, %d service workers\n",
+      clients, per_client, static_cast<unsigned long long>(total),
+      trace.size(), threads, workers);
+
+  // ------------------------------------------------ ground truth, in-process
+  std::vector<Expected> expected(trace.size());
+  {
+    ServiceBox box(workers);
+    service::QueryService& svc = *box.svc;
+    auto sid = svc.open_session("truth");
+    MLOC_CHECK(sid.is_ok());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      service::Response r = svc.run(sid.value(), trace[i]);
+      MLOC_CHECK_MSG(r.status.is_ok(), r.status.to_string().c_str());
+      expected[i].positions = std::move(r.result.positions);
+      expected[i].values = std::move(r.result.values);
+    }
+  }
+
+  // ------------------------------------------------ in-process baseline
+  double inproc_qps = 0;
+  {
+    ServiceBox box(workers);
+    service::QueryService& svc = *box.svc;
+    std::atomic<std::uint64_t> mismatches{0};
+    Stopwatch wall;
+    std::vector<std::thread> drivers;
+    for (int t = 0; t < threads; ++t) {
+      drivers.emplace_back([&, t] {
+        auto sid = svc.open_session("baseline-" + std::to_string(t));
+        MLOC_CHECK(sid.is_ok());
+        const std::uint64_t lo = total * t / threads;
+        const std::uint64_t hi = total * (t + 1) / threads;
+        for (std::uint64_t q = lo; q < hi; ++q) {
+          const std::size_t k = q % trace.size();
+          service::Response r = svc.run(sid.value(), trace[k]);
+          MLOC_CHECK_MSG(r.status.is_ok(), r.status.to_string().c_str());
+          if (r.result.positions != expected[k].positions ||
+              r.result.values != expected[k].values) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : drivers) th.join();
+    inproc_qps = static_cast<double>(total) / wall.seconds();
+    MLOC_CHECK_MSG(mismatches.load() == 0,
+                   "in-process responses diverged across repetitions");
+  }
+  std::printf("in-process: %.0f q/s\n", inproc_qps);
+
+  // ------------------------------------------------ served over localhost
+  ServiceBox box(workers);
+  net::ServerConfig srv_cfg;
+  srv_cfg.num_loops = 2;
+  net::Server server(*box.svc, srv_cfg);
+  {
+    Status st = server.start();
+    MLOC_CHECK_MSG(st.is_ok(), st.to_string().c_str());
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> transport_errors{0};
+  std::mutex lat_mutex;
+  std::vector<double> latencies;  // seconds, one entry per served query
+  latencies.reserve(total);
+
+  Stopwatch wall;
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < threads; ++t) {
+    drivers.emplace_back([&, t] {
+      const int conn_lo = clients * t / threads;
+      const int conn_hi = clients * (t + 1) / threads;
+      const int nconns = conn_hi - conn_lo;
+      if (nconns <= 0) return;
+
+      // This thread's slice of the fleet: every connection opens a session
+      // and pipelines its whole batch before anything is collected, so all
+      // of the slice's queries are genuinely in flight at once.
+      std::vector<std::unique_ptr<net::Client>> conns;
+      conns.reserve(static_cast<std::size_t>(nconns));
+      for (int c = 0; c < nconns; ++c) {
+        auto cl = std::make_unique<net::Client>();
+        if (!cl->connect("127.0.0.1", server.port()).is_ok() ||
+            !cl->open_session("load-" + std::to_string(conn_lo + c))
+                 .is_ok()) {
+          transport_errors.fetch_add(1);
+          return;
+        }
+        conns.push_back(std::move(cl));
+      }
+
+      struct Sent {
+        std::uint64_t id = 0;
+        std::size_t template_idx = 0;
+        Clock::time_point at;
+      };
+      std::vector<std::vector<Sent>> sent(conns.size());
+      for (std::size_t c = 0; c < conns.size(); ++c) {
+        for (int q = 0; q < per_client; ++q) {
+          const std::size_t k =
+              (static_cast<std::size_t>(conn_lo + c) * per_client + q) %
+              trace.size();
+          auto id = conns[c]->send_query(trace[k]);
+          if (!id.is_ok()) {
+            transport_errors.fetch_add(1);
+            return;
+          }
+          sent[c].push_back({id.value(), k, Clock::now()});
+        }
+      }
+
+      std::vector<double> my_lat;
+      my_lat.reserve(conns.size() * static_cast<std::size_t>(per_client));
+      for (std::size_t c = 0; c < conns.size(); ++c) {
+        for (const Sent& s : sent[c]) {
+          auto resp = conns[c]->wait(s.id);
+          if (!resp.is_ok() || !resp.value().status.is_ok()) {
+            transport_errors.fetch_add(1);
+            continue;
+          }
+          my_lat.push_back(
+              std::chrono::duration<double>(Clock::now() - s.at).count());
+          const Expected& e = expected[s.template_idx];
+          if (resp.value().result.positions != e.positions ||
+              resp.value().result.values != e.values) {
+            mismatches.fetch_add(1);
+          }
+        }
+        (void)conns[c]->close_session();
+      }
+      std::lock_guard lock(lat_mutex);
+      latencies.insert(latencies.end(), my_lat.begin(), my_lat.end());
+    });
+  }
+  for (auto& th : drivers) th.join();
+  const double server_wall_s = wall.seconds();
+  const double server_qps = static_cast<double>(latencies.size()) /
+                            server_wall_s;
+  server.shutdown();
+
+  const bool identical_ok =
+      mismatches.load() == 0 && transport_errors.load() == 0 &&
+      latencies.size() == total;
+  const double ratio = inproc_qps > 0 ? server_qps / inproc_qps : 0.0;
+  const bool throughput_ok = server_qps >= floor * inproc_qps;
+  const double p50 = percentile(latencies, 0.50) * 1e3;
+  const double p95 = percentile(latencies, 0.95) * 1e3;
+  const double p99 = percentile(latencies, 0.99) * 1e3;
+
+  std::printf(
+      "served:     %.0f q/s (%.2fx in-process, floor %.2f) — "
+      "p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+      server_qps, ratio, floor, p50, p95, p99);
+  std::printf(
+      "fidelity:   %llu/%llu responses collected, %llu mismatches, %llu "
+      "transport errors\n",
+      static_cast<unsigned long long>(latencies.size()),
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(mismatches.load()),
+      static_cast<unsigned long long>(transport_errors.load()));
+
+  const char* json_path = std::getenv("MLOC_BENCH_JSON");
+  if (json_path == nullptr) json_path = "BENCH_server.json";
+  std::FILE* f = std::fopen(json_path, "w");
+  MLOC_CHECK_MSG(f != nullptr, "cannot open BENCH_server.json for writing");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"server\",\n");
+  std::fprintf(f, "  \"clients\": %d,\n", clients);
+  std::fprintf(f, "  \"queries_per_client\": %d,\n", per_client);
+  std::fprintf(f, "  \"total_queries\": %llu,\n",
+               static_cast<unsigned long long>(total));
+  std::fprintf(f, "  \"driver_threads\": %d,\n", threads);
+  std::fprintf(f, "  \"service_workers\": %d,\n", workers);
+  std::fprintf(f, "  \"inproc_qps\": %.3f,\n", inproc_qps);
+  std::fprintf(f, "  \"server_qps\": %.3f,\n", server_qps);
+  std::fprintf(f, "  \"server_vs_inproc\": %.4f,\n", ratio);
+  std::fprintf(f, "  \"throughput_floor\": %.4f,\n", floor);
+  std::fprintf(f, "  \"p50_ms\": %.4f,\n", p50);
+  std::fprintf(f, "  \"p95_ms\": %.4f,\n", p95);
+  std::fprintf(f, "  \"p99_ms\": %.4f,\n", p99);
+  std::fprintf(f, "  \"mismatches\": %llu,\n",
+               static_cast<unsigned long long>(mismatches.load()));
+  std::fprintf(f, "  \"transport_errors\": %llu,\n",
+               static_cast<unsigned long long>(transport_errors.load()));
+  std::fprintf(f, "  \"identical_ok\": %s,\n",
+               identical_ok ? "true" : "false");
+  std::fprintf(f, "  \"throughput_ok\": %s\n",
+               throughput_ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (identical_ok=%s, throughput_ok=%s)\n", json_path,
+              identical_ok ? "true" : "false",
+              throughput_ok ? "true" : "false");
+
+  if (!identical_ok) {
+    std::fprintf(stderr,
+                 "FAIL: served responses were not byte-identical to the "
+                 "in-process baseline\n");
+    return 1;
+  }
+  if (!throughput_ok) {
+    std::fprintf(stderr,
+                 "FAIL: served throughput %.0f q/s fell below %.2f x "
+                 "in-process (%.0f q/s)\n",
+                 server_qps, floor, inproc_qps);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,223 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mloc::net {
+
+Status Client::connect(const std::string& host, std::uint16_t port) {
+  if (fd_ >= 0) return failed_precondition("client already connected");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument("bad server host: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return io_error("socket: " + std::string(strerror(errno)));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status st = io_error("connect " + host + ":" + std::to_string(port) +
+                         ": " + std::string(strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  broken_ = Status::ok();
+  next_id_ = 1;
+  rbuf_.clear();
+  stashed_.clear();
+  return Status::ok();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  stashed_.clear();
+}
+
+Status Client::fail(Status st) {
+  broken_ = st;
+  close();
+  return st;
+}
+
+Status Client::send_all(const Bytes& frame) {
+  if (fd_ < 0) {
+    return broken_.is_ok() ? failed_precondition("client not connected")
+                           : broken_;
+  }
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(io_error("send: " + std::string(strerror(errno))));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<Client::Stash> Client::wait_frame(std::uint64_t request_id) {
+  for (;;) {
+    if (auto it = stashed_.find(request_id); it != stashed_.end()) {
+      Stash s = std::move(it->second);
+      stashed_.erase(it);
+      return s;
+    }
+    if (fd_ < 0) {
+      return broken_.is_ok() ? failed_precondition("client not connected")
+                             : broken_;
+    }
+
+    // Parse every complete frame already buffered before reading more.
+    bool parsed = false;
+    while (rbuf_.size() >= kHeaderBytes) {
+      auto h = decode_header({rbuf_.data(), kHeaderBytes});
+      if (!h.is_ok()) return fail(h.status());
+      const std::size_t need = kHeaderBytes + h.value().payload_len;
+      if (rbuf_.size() < need) break;
+      std::span<const std::uint8_t> payload(rbuf_.data() + kHeaderBytes,
+                                            h.value().payload_len);
+      if (Status vst = verify_payload(h.value(), payload); !vst.is_ok()) {
+        return fail(std::move(vst));
+      }
+      stashed_.emplace(
+          h.value().request_id,
+          Stash{h.value().type, Bytes(payload.begin(), payload.end())});
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(need));
+      parsed = true;
+    }
+    if (parsed) continue;
+
+    std::array<std::uint8_t, 64 * 1024> buf;
+    ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n == 0) return fail(io_error("server closed the connection"));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(io_error("recv: " + std::string(strerror(errno))));
+    }
+    rbuf_.insert(rbuf_.end(), buf.data(), buf.data() + n);
+  }
+}
+
+Status Client::ping() {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(send_all(encode_frame(FrameType::kPing, id, {})));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(id));
+  if (s.type != FrameType::kPong) {
+    return fail(corrupt_data("unexpected reply to ping"));
+  }
+  return Status::ok();
+}
+
+Result<service::SessionId> Client::open_session(std::string_view label) {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(send_all(encode_frame(FrameType::kOpenSession, id,
+                                             encode_open_session(label))));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(id));
+  if (s.type == FrameType::kAck) {
+    MLOC_ASSIGN_OR_RETURN(Ack ack, decode_status(s.payload));
+    return ack.carried.is_ok()
+               ? internal_error("session refused without a reason")
+               : ack.carried;
+  }
+  if (s.type != FrameType::kSessionOpened) {
+    return fail(corrupt_data("unexpected reply to open_session"));
+  }
+  return decode_session_opened(s.payload);
+}
+
+Status Client::close_session() {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(
+      send_all(encode_frame(FrameType::kCloseSession, id, {})));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(id));
+  if (s.type != FrameType::kAck) {
+    return fail(corrupt_data("unexpected reply to close_session"));
+  }
+  MLOC_ASSIGN_OR_RETURN(Ack ack, decode_status(s.payload));
+  return ack.carried;
+}
+
+Result<std::uint64_t> Client::send_query(const service::Request& req) {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(
+      send_all(encode_frame(FrameType::kQuery, id, encode_request(req))));
+  return id;
+}
+
+Result<service::Response> Client::wait(std::uint64_t request_id) {
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(request_id));
+  if (s.type != FrameType::kQueryResult) {
+    return fail(corrupt_data("unexpected reply to query"));
+  }
+  return decode_response(s.payload);
+}
+
+Result<service::Response> Client::query(const service::Request& req) {
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t id, send_query(req));
+  return wait(id);
+}
+
+Status Client::cancel(std::uint64_t request_id) {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(
+      send_all(encode_frame(FrameType::kCancel, id, encode_cancel(request_id))));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(id));
+  if (s.type != FrameType::kAck) {
+    return fail(corrupt_data("unexpected reply to cancel"));
+  }
+  MLOC_ASSIGN_OR_RETURN(Ack ack, decode_status(s.payload));
+  return ack.carried;
+}
+
+Result<StatsSnapshot> Client::stats() {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(send_all(encode_frame(FrameType::kStats, id, {})));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(id));
+  if (s.type == FrameType::kAck) {
+    MLOC_ASSIGN_OR_RETURN(Ack ack, decode_status(s.payload));
+    return ack.carried.is_ok() ? internal_error("stats refused without a reason")
+                               : ack.carried;
+  }
+  if (s.type != FrameType::kStatsResult) {
+    return fail(corrupt_data("unexpected reply to stats"));
+  }
+  return decode_stats(s.payload);
+}
+
+Result<service::SessionStats> Client::session_stats() {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(
+      send_all(encode_frame(FrameType::kSessionStats, id, {})));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(id));
+  if (s.type == FrameType::kAck) {
+    MLOC_ASSIGN_OR_RETURN(Ack ack, decode_status(s.payload));
+    return ack.carried.is_ok()
+               ? internal_error("session_stats refused without a reason")
+               : ack.carried;
+  }
+  if (s.type != FrameType::kSessionStatsResult) {
+    return fail(corrupt_data("unexpected reply to session_stats"));
+  }
+  return decode_session_stats(s.payload);
+}
+
+}  // namespace mloc::net

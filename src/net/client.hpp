@@ -1,0 +1,85 @@
+// Client side of the wire protocol (src/net/wire.hpp): a blocking TCP
+// connection to a Server, with pipelining.
+//
+// The client is single-threaded by design — one connection, one caller.
+// Pipelining works by splitting submission from collection: send_query()
+// writes the frame and returns immediately with the request id; wait()
+// blocks until that id's response arrives, stashing any other responses
+// that land first (the server answers out of order, as queries finish).
+// A load generator drives hundreds of in-flight queries per connection
+// this way without any client-side threads.
+//
+// Transport/protocol failures (socket error, corrupt frame, unexpected
+// type) surface as the Result's error Status and poison the connection
+// (every later call fails until close()/connect()). Server-side outcomes
+// — a rejected query, a cancelled query, a closed session — arrive as a
+// normal Response whose `status` carries the error; the connection stays
+// usable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "net/wire.hpp"
+#include "service/query_service.hpp"
+#include "util/status.hpp"
+
+namespace mloc::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status connect(const std::string& host, std::uint16_t port);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Round-trip a kPing frame.
+  Status ping();
+
+  /// Open this connection's session (at most one per connection).
+  Result<service::SessionId> open_session(std::string_view label = "");
+  Status close_session();
+
+  /// Blocking query: submit and wait for its response.
+  Result<service::Response> query(const service::Request& req);
+
+  /// Pipelined submission: write the frame, return its request id without
+  /// waiting. Collect with wait() in any order.
+  Result<std::uint64_t> send_query(const service::Request& req);
+  Result<service::Response> wait(std::uint64_t request_id);
+
+  /// Ask the server to cancel an in-flight query by its request id. The
+  /// returned Status is the server's answer (ok = cancelled; NotFound =
+  /// already completed or never seen). A cancelled query still gets a
+  /// response — collect it with wait().
+  Status cancel(std::uint64_t request_id);
+
+  Result<StatsSnapshot> stats();
+  Result<service::SessionStats> session_stats();
+
+ private:
+  struct Stash {
+    FrameType type = FrameType::kPong;
+    Bytes payload;
+  };
+
+  Status send_all(const Bytes& frame);
+  /// Read frames until `request_id`'s arrives; stash the rest.
+  Result<Stash> wait_frame(std::uint64_t request_id);
+  Status fail(Status st);  ///< poison the connection, pass `st` through
+
+  int fd_ = -1;
+  Status broken_;  ///< first transport error; non-ok poisons the client
+  std::uint64_t next_id_ = 1;
+  Bytes rbuf_;
+  std::unordered_map<std::uint64_t, Stash> stashed_;
+};
+
+}  // namespace mloc::net

@@ -1,0 +1,754 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+namespace mloc::net {
+
+namespace {
+
+std::uint32_t raw_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t raw_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(raw_u32(p)) |
+         (static_cast<std::uint64_t>(raw_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+// A connection is pinned to one loop: its fd is only ever read, written,
+// or closed by that loop's thread, and `rbuf`/`session` are loop-thread
+// state. `mutex` guards the cross-thread pieces: the outbox (service
+// worker callbacks append responses), the request-id map (callbacks
+// erase, kCancel looks up, shutdown() harvests), and the closed flag.
+struct Server::Connection {
+  int fd = -1;
+  Loop* loop = nullptr;
+  Bytes rbuf;
+
+  std::mutex mutex;
+  std::deque<EncodedResponse> outbox;
+  std::size_t front_sent = 0;  ///< bytes of outbox.front() already on the wire
+  bool want_write = false;     ///< EPOLLOUT currently armed
+  bool closed = false;
+  service::SessionId session = 0;
+  /// request_id -> QueryId for queries submitted and not yet resolved.
+  /// A query still inside submit_async maps to 0 (visible to kCancel for
+  /// one scheduling instant; treated as not-cancellable).
+  std::unordered_map<std::uint64_t, service::QueryId> inflight;
+};
+
+struct Server::Loop {
+  int epfd = -1;
+  int wakefd = -1;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+
+  std::mutex mutex;  ///< guards incoming + writable
+  std::vector<std::shared_ptr<Connection>> incoming;
+  std::vector<std::shared_ptr<Connection>> writable;
+
+  /// fd -> connection; loop-thread only.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+};
+
+Server::Server(service::QueryService& svc, ServerConfig cfg)
+    : svc_(svc), cfg_(std::move(cfg)) {
+  if (cfg_.num_loops < 1) cfg_.num_loops = 1;
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::wake(Loop& loop) {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(loop.wakefd, &one, sizeof one);
+}
+
+Status Server::start() {
+  if (started_.load()) return failed_precondition("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return io_error("socket: " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return invalid_argument("bad listen host: " + cfg_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status st = io_error("bind " + cfg_.host + ":" + std::to_string(cfg_.port) +
+                         ": " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 512) != 0) {
+    Status st = io_error("listen: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  loops_.clear();
+  for (int i = 0; i < cfg_.num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wakefd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epfd < 0 || loop->wakefd < 0) {
+      if (loop->epfd >= 0) ::close(loop->epfd);
+      if (loop->wakefd >= 0) ::close(loop->wakefd);
+      for (auto& l : loops_) {
+        ::close(l->epfd);
+        ::close(l->wakefd);
+      }
+      loops_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return io_error("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wakefd;
+    ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wakefd, &ev);
+    if (i == 0) {
+      ev.data.fd = listen_fd_;
+      ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  started_.store(true);
+  stopped_.store(false);
+  for (auto& loop : loops_) {
+    Loop* l = loop.get();
+    l->thread = std::thread([this, l] { loop_main(*l); });
+  }
+  return Status::ok();
+}
+
+void Server::loop_main(Loop& loop) {
+  std::array<epoll_event, 64> events;
+  while (!loop.stop.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(loop.epfd, events.data(),
+                         static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == loop.wakefd) {
+        std::uint64_t junk;
+        while (::read(loop.wakefd, &junk, sizeof junk) > 0) {
+        }
+        std::vector<std::shared_ptr<Connection>> incoming;
+        std::vector<std::shared_ptr<Connection>> writable;
+        {
+          std::lock_guard lock(loop.mutex);
+          incoming.swap(loop.incoming);
+          writable.swap(loop.writable);
+        }
+        for (auto& c : incoming) register_connection(loop, std::move(c));
+        for (auto& c : writable) flush_writes(c);
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready(loop);
+        continue;
+      }
+      auto it = loop.conns.find(fd);
+      if (it == loop.conns.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(loop, conn, /*protocol_error=*/false);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0) handle_readable(loop, conn);
+      if ((ev & EPOLLOUT) != 0 && loop.conns.count(fd) != 0) flush_writes(conn);
+    }
+  }
+  // Teardown: shutdown() has already drained in-flight queries, so no
+  // callback will enqueue into these connections after this point.
+  for (auto& [fd, conn] : loop.conns) {
+    service::SessionId session = 0;
+    {
+      std::lock_guard lock(conn->mutex);
+      conn->closed = true;
+      conn->outbox.clear();
+      session = std::exchange(conn->session, 0);
+      conn->inflight.clear();
+    }
+    ::close(fd);
+    if (session != 0) (void)svc_.close_session(session);
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.connections_closed;
+  }
+  loop.conns.clear();
+}
+
+void Server::register_connection(Loop& loop, std::shared_ptr<Connection> conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+    ::close(conn->fd);
+    std::lock_guard lock(conn->mutex);
+    conn->closed = true;
+    return;
+  }
+  loop.conns.emplace(conn->fd, std::move(conn));
+}
+
+void Server::accept_ready(Loop& loop) {
+  for (;;) {
+    int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient accept failure; epoll will re-arm
+    }
+    if (draining_.load()) {
+      ::close(cfd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = cfd;
+    Loop& target =
+        *loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                loops_.size()];
+    conn->loop = &target;
+    {
+      std::lock_guard lock(registry_mutex_);
+      // Lazily compact tombstones so the registry tracks live connections,
+      // not every connection ever accepted.
+      if (registry_.size() >= 1024) {
+        std::erase_if(registry_, [](const std::weak_ptr<Connection>& w) {
+          return w.expired();
+        });
+      }
+      registry_.push_back(conn);
+    }
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+    if (&target == &loop) {
+      register_connection(loop, std::move(conn));
+    } else {
+      {
+        std::lock_guard lock(target.mutex);
+        target.incoming.push_back(std::move(conn));
+      }
+      wake(target);
+    }
+  }
+}
+
+void Server::handle_readable(Loop& loop,
+                             const std::shared_ptr<Connection>& conn) {
+  std::array<std::uint8_t, 64 * 1024> buf;
+  std::uint64_t received = 0;
+  bool eof = false;
+  bool fatal = false;
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      conn->rbuf.insert(conn->rbuf.end(), buf.data(), buf.data() + n);
+      received += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    fatal = true;
+    break;
+  }
+  if (received != 0) {
+    std::lock_guard lock(stats_mutex_);
+    stats_.bytes_received += received;
+  }
+  if (!parse_frames(conn)) {
+    close_connection(loop, conn, /*protocol_error=*/true);
+    return;
+  }
+  if (eof || fatal) close_connection(loop, conn, /*protocol_error=*/false);
+}
+
+bool Server::parse_frames(const std::shared_ptr<Connection>& conn) {
+  Bytes& buf = conn->rbuf;
+  std::size_t off = 0;
+  bool stream_ok = true;
+  std::uint64_t frames = 0;
+  while (buf.size() - off >= kHeaderBytes) {
+    std::span<const std::uint8_t> head(buf.data() + off, kHeaderBytes);
+    auto h = decode_header(head);
+    std::size_t need = 0;
+    if (h.is_ok()) {
+      if (h.value().payload_len > cfg_.max_payload_bytes) {
+        stream_ok = false;
+        break;
+      }
+      need = kHeaderBytes + h.value().payload_len;
+      if (buf.size() - off < need) break;
+      std::span<const std::uint8_t> payload(buf.data() + off + kHeaderBytes,
+                                            h.value().payload_len);
+      if (!verify_payload(h.value(), payload).is_ok()) {
+        stream_ok = false;
+        break;
+      }
+      ++frames;
+      handle_frame(conn, h.value(), payload);
+    } else if (h.status().code() == ErrorCode::kUnsupported &&
+               (static_cast<std::uint16_t>(head[4]) |
+                static_cast<std::uint16_t>(head[5] << 8)) ==
+                   kProtocolVersion) {
+      // Same protocol version but an unknown frame type: the header CRC
+      // already validated (decode_header orders CRC before the type
+      // check), so payload_len is trustworthy. Skip the frame and answer
+      // Unsupported — the connection stays in sync, per the versioning
+      // rules in wire.hpp.
+      const std::uint32_t plen = raw_u32(head.data() + 16);
+      if (plen > cfg_.max_payload_bytes) {
+        stream_ok = false;
+        break;
+      }
+      need = kHeaderBytes + plen;
+      if (buf.size() - off < need) break;
+      const std::uint64_t request_id = raw_u64(head.data() + 8);
+      {
+        std::lock_guard lock(stats_mutex_);
+        ++stats_.payload_errors;
+      }
+      send_frame(conn, encode_frame(
+                           FrameType::kAck, request_id,
+                           encode_status(unsupported("unknown frame type"))));
+    } else {
+      stream_ok = false;
+      break;
+    }
+    off += need;
+  }
+  if (off > 0) {
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  if (frames != 0) {
+    std::lock_guard lock(stats_mutex_);
+    stats_.frames_received += frames;
+  }
+  return stream_ok;
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          const FrameHeader& h,
+                          std::span<const std::uint8_t> payload) {
+  auto ack = [&](std::uint64_t request_id, const Status& st) {
+    send_frame(conn,
+               encode_frame(FrameType::kAck, request_id, encode_status(st)));
+  };
+  auto payload_error = [&](std::uint64_t request_id, const Status& st) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.payload_errors;
+    }
+    ack(request_id, st);
+  };
+
+  switch (h.type) {
+    case FrameType::kPing:
+      send_frame(conn, encode_frame(FrameType::kPong, h.request_id, {}));
+      return;
+
+    case FrameType::kOpenSession: {
+      auto label = decode_open_session(payload);
+      if (!label.is_ok()) return payload_error(h.request_id, label.status());
+      if (conn->session != 0) {
+        return ack(h.request_id,
+                   failed_precondition("connection already has a session"));
+      }
+      auto sid = svc_.open_session(std::move(label.value()));
+      if (!sid.is_ok()) return ack(h.request_id, sid.status());
+      conn->session = sid.value();
+      send_frame(conn, encode_frame(FrameType::kSessionOpened, h.request_id,
+                                    encode_session_opened(sid.value())));
+      return;
+    }
+
+    case FrameType::kCloseSession: {
+      if (conn->session == 0) {
+        return ack(h.request_id,
+                   failed_precondition("no session open on this connection"));
+      }
+      Status st = svc_.close_session(std::exchange(conn->session, 0));
+      return ack(h.request_id, st);
+    }
+
+    case FrameType::kQuery:
+      handle_query(conn, h.request_id, payload);
+      return;
+
+    case FrameType::kCancel: {
+      auto target = decode_cancel(payload);
+      if (!target.is_ok()) return payload_error(h.request_id, target.status());
+      service::QueryId qid = 0;
+      {
+        std::lock_guard lock(conn->mutex);
+        auto it = conn->inflight.find(target.value());
+        if (it != conn->inflight.end()) qid = it->second;
+      }
+      Status st = qid != 0
+                      ? svc_.cancel(qid)
+                      : not_found("request not in flight (unknown id, or "
+                                  "already completed)");
+      return ack(h.request_id, st);
+    }
+
+    case FrameType::kStats: {
+      StatsSnapshot snap{svc_.aggregate(), svc_.cache_stats()};
+      send_frame(conn, encode_frame(FrameType::kStatsResult, h.request_id,
+                                    encode_stats(snap)));
+      return;
+    }
+
+    case FrameType::kSessionStats: {
+      if (conn->session == 0) {
+        return ack(h.request_id,
+                   failed_precondition("no session open on this connection"));
+      }
+      auto st = svc_.session_stats(conn->session);
+      if (!st.is_ok()) return ack(h.request_id, st.status());
+      send_frame(conn, encode_frame(FrameType::kSessionStatsResult,
+                                    h.request_id, encode_session_stats(st.value())));
+      return;
+    }
+
+    default:
+      // A known type that is not a client->server frame (kQueryResult
+      // etc. arriving at the server). The stream is still framed
+      // correctly, so answer and carry on.
+      return payload_error(
+          h.request_id,
+          invalid_argument("frame type not valid in this direction"));
+  }
+}
+
+void Server::handle_query(const std::shared_ptr<Connection>& conn,
+                          std::uint64_t request_id,
+                          std::span<const std::uint8_t> payload) {
+  auto error_response = [&](Status st) {
+    service::Response resp;
+    resp.status = std::move(st);
+    send_response(conn, encode_response_frame(request_id, std::move(resp)));
+  };
+
+  auto req = decode_request(payload);
+  if (!req.is_ok()) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.payload_errors;
+    }
+    return error_response(req.status());
+  }
+  if (draining_.load()) {
+    {
+      std::lock_guard lock(stats_mutex_);
+      ++stats_.rejected_draining;
+    }
+    return error_response(failed_precondition("server draining"));
+  }
+  if (conn->session == 0) {
+    return error_response(
+        failed_precondition("no session open on this connection"));
+  }
+
+  bool duplicate = false;
+  {
+    std::lock_guard lock(conn->mutex);
+    if (conn->closed) return;
+    // Reserve the id before submitting: the map entry holds 0 until
+    // submit_async returns the QueryId (kCancel treats 0 as
+    // not-yet-cancellable), and the completion callback erases it.
+    duplicate = !conn->inflight.emplace(request_id, 0).second;
+  }
+  if (duplicate) {
+    // Duplicate ids would make responses ambiguous; refuse.
+    return error_response(
+        invalid_argument("request id already in flight on this connection"));
+  }
+
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  std::weak_ptr<Connection> wc = conn;
+  const service::QueryId qid = svc_.submit_async(
+      conn->session, std::move(req.value()),
+      [this, wc, request_id](service::Response resp) {
+        auto c = wc.lock();
+        bool enqueued = false;
+        if (c) {
+          auto er = encode_response_frame(request_id, std::move(resp));
+          {
+            std::lock_guard lock(c->mutex);
+            c->inflight.erase(request_id);
+            if (!c->closed) {
+              c->outbox.push_back(std::move(er));
+              enqueued = true;
+            }
+          }
+          if (enqueued) notify_writable(c);
+        }
+        if (!enqueued) {
+          std::lock_guard lock(stats_mutex_);
+          ++stats_.responses_dropped;
+        }
+        finish_inflight();
+      });
+  if (qid != 0) {
+    std::lock_guard lock(conn->mutex);
+    auto it = conn->inflight.find(request_id);
+    // Entry gone means the callback already resolved the query.
+    if (it != conn->inflight.end() && it->second == 0) it->second = qid;
+  }
+}
+
+void Server::send_frame(const std::shared_ptr<Connection>& conn, Bytes frame) {
+  {
+    std::lock_guard lock(conn->mutex);
+    if (conn->closed) return;
+    conn->outbox.push_back(EncodedResponse{std::move(frame), {}, {}});
+  }
+  flush_writes(conn);
+}
+
+void Server::send_response(const std::shared_ptr<Connection>& conn,
+                           EncodedResponse er) {
+  {
+    std::lock_guard lock(conn->mutex);
+    if (conn->closed) return;
+    conn->outbox.push_back(std::move(er));
+  }
+  flush_writes(conn);
+}
+
+void Server::flush_writes(const std::shared_ptr<Connection>& conn) {
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t sent_frames = 0;
+  bool fatal = false;
+  {
+    std::lock_guard lock(conn->mutex);
+    if (conn->closed) return;
+    while (!conn->outbox.empty()) {
+      EncodedResponse& f = conn->outbox.front();
+      std::array<iovec, 3> iov;
+      int niov = 0;
+      std::size_t skip = conn->front_sent;
+      auto add = [&](const void* base, std::size_t len) {
+        if (len == 0) return;
+        if (skip >= len) {
+          skip -= len;
+          return;
+        }
+        iov[static_cast<std::size_t>(niov)].iov_base = const_cast<char*>(
+            static_cast<const char*>(base) + skip);
+        iov[static_cast<std::size_t>(niov)].iov_len = len - skip;
+        skip = 0;
+        ++niov;
+      };
+      add(f.head.data(), f.head.size());
+      add(f.positions.data(), f.positions.size() * sizeof(std::uint64_t));
+      add(f.values.data(), f.values.size() * sizeof(double));
+      if (niov == 0) {
+        conn->outbox.pop_front();
+        conn->front_sent = 0;
+        ++sent_frames;
+        continue;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov.data();
+      msg.msg_iovlen = static_cast<std::size_t>(niov);
+      ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) fatal = true;
+        break;
+      }
+      conn->front_sent += static_cast<std::size_t>(n);
+      sent_bytes += static_cast<std::uint64_t>(n);
+      if (conn->front_sent >= f.total_bytes()) {
+        conn->outbox.pop_front();
+        conn->front_sent = 0;
+        ++sent_frames;
+      }
+    }
+    const bool need_write = !conn->outbox.empty() && !fatal;
+    if (need_write != conn->want_write) {
+      conn->want_write = need_write;
+      epoll_event ev{};
+      ev.events = EPOLLIN | (need_write ? EPOLLOUT : 0u);
+      ev.data.fd = conn->fd;
+      ::epoll_ctl(conn->loop->epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+    }
+  }
+  if (sent_bytes != 0 || sent_frames != 0) {
+    std::lock_guard lock(stats_mutex_);
+    stats_.bytes_sent += sent_bytes;
+    stats_.frames_sent += sent_frames;
+  }
+  if (fatal) {
+    close_connection(*conn->loop, conn, /*protocol_error=*/false);
+  }
+}
+
+void Server::close_connection(Loop& loop,
+                              const std::shared_ptr<Connection>& conn,
+                              bool protocol_error) {
+  service::SessionId session = 0;
+  {
+    std::lock_guard lock(conn->mutex);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->outbox.clear();
+    conn->front_sent = 0;
+    session = std::exchange(conn->session, 0);
+    conn->inflight.clear();
+  }
+  ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  loop.conns.erase(conn->fd);
+  if (session != 0) (void)svc_.close_session(session);
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.connections_closed;
+    if (protocol_error) ++stats_.protocol_errors;
+  }
+}
+
+void Server::notify_writable(const std::shared_ptr<Connection>& conn) {
+  Loop& loop = *conn->loop;
+  {
+    std::lock_guard lock(loop.mutex);
+    loop.writable.push_back(conn);
+  }
+  wake(loop);
+}
+
+void Server::finish_inflight() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void Server::shutdown(double grace_s) {
+  std::lock_guard shutdown_lock(shutdown_mutex_);
+  if (!started_.load() || stopped_.load()) return;
+  if (grace_s < 0) grace_s = cfg_.drain_grace_s;
+  draining_.store(true);
+
+  // Phase 1: wait up to the grace period for in-flight queries to resolve
+  // on their own (new queries are already being refused).
+  {
+    std::unique_lock lock(drain_mutex_);
+    drain_cv_.wait_for(lock, std::chrono::duration<double>(grace_s),
+                       [&] { return inflight_.load() == 0; });
+  }
+
+  // Phase 2: grace expired — cancel whatever is still queued. Executing
+  // queries cannot be interrupted, but they are bounded by one query's
+  // runtime, so the follow-up wait terminates.
+  if (inflight_.load() != 0) {
+    std::vector<service::QueryId> qids;
+    {
+      std::lock_guard lock(registry_mutex_);
+      for (auto& weak : registry_) {
+        auto conn = weak.lock();
+        if (!conn) continue;
+        std::lock_guard conn_lock(conn->mutex);
+        for (auto& [req_id, qid] : conn->inflight) {
+          if (qid != 0) qids.push_back(qid);
+        }
+      }
+    }
+    for (service::QueryId qid : qids) (void)svc_.cancel(qid);
+    std::unique_lock lock(drain_mutex_);
+    drain_cv_.wait(lock, [&] { return inflight_.load() == 0; });
+  }
+
+  // Phase 3: give the loops a moment to flush queued responses to clients
+  // that are still reading, so a graceful stop delivers what it promised.
+  const auto flush_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  for (;;) {
+    bool all_empty = true;
+    {
+      std::lock_guard lock(registry_mutex_);
+      for (auto& weak : registry_) {
+        auto conn = weak.lock();
+        if (!conn) continue;
+        std::lock_guard conn_lock(conn->mutex);
+        if (!conn->closed && !conn->outbox.empty()) {
+          all_empty = false;
+          break;
+        }
+      }
+    }
+    if (all_empty || std::chrono::steady_clock::now() >= flush_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Phase 4: stop the loops; their teardown closes sockets and sessions.
+  for (auto& loop : loops_) {
+    loop->stop.store(true, std::memory_order_release);
+    wake(*loop);
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  for (auto& loop : loops_) {
+    ::close(loop->wakefd);
+    ::close(loop->epfd);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  stopped_.store(true);
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace mloc::net

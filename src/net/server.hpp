@@ -1,0 +1,156 @@
+// Binary RPC front end for QueryService — an epoll-based TCP server
+// speaking the src/net/wire.hpp frame protocol.
+//
+// Architecture: one listen socket plus `num_loops` worker event loops,
+// each an epoll instance driven by its own thread. Loop 0 owns the
+// acceptor; accepted connections are handed round-robin to the loops and
+// stay pinned there (a connection's fd is only ever read, written, or
+// closed by its loop thread). Each connection multiplexes many in-flight
+// queries: every kQuery frame is submitted through
+// QueryService::submit_async, the completion callback encodes the
+// response and appends it to the connection's outbox, and responses go
+// back tagged with the client's request_id — out of order, as queries
+// finish. Result payloads are written with scatter-gather sendmsg
+// straight from the engine's fold buffers (EncodedResponse), so a large
+// result is never copied into a serialization buffer.
+//
+// Connection lifecycle: a fresh connection has no session; the client
+// sends kOpenSession (at most once) and queries after that. Closing the
+// socket — or any protocol error (bad magic, CRC mismatch, version
+// mismatch, unknown frame type) — tears the connection down: the server
+// closes its session, and responses for its in-flight queries are
+// dropped on arrival (counted in ServerStats::responses_dropped).
+// Malformed *payloads* behind a valid header are answered with an error
+// frame and the connection stays usable, since the stream is still in
+// sync.
+//
+// Shutdown: shutdown(grace) stops accepting, refuses new queries
+// (FailedPrecondition), waits up to `grace` seconds for in-flight
+// queries to resolve, then cancels whatever is still queued and waits
+// for the (bounded) remainder to drain before closing sessions and
+// sockets. Safe against the QueryService-destructor path: by the time
+// shutdown() returns, no completion callback can reference the server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "service/query_service.hpp"
+#include "util/status.hpp"
+
+namespace mloc::net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the choice via port()
+  int num_loops = 2;       ///< worker event loops (loop 0 also accepts)
+  double drain_grace_s = 5.0;  ///< shutdown(): wait for in-flight queries
+  /// Per-frame payload cap enforced on receive; defaults well below the
+  /// protocol-level kMaxPayloadBytes so a hostile header cannot make the
+  /// server buffer gigabytes.
+  std::uint32_t max_payload_bytes = 64u << 20;
+};
+
+/// Monotonic counters, snapshot under one lock via Server::stats().
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t protocol_errors = 0;    ///< connection torn down mid-stream
+  std::uint64_t payload_errors = 0;     ///< bad payload, connection kept
+  std::uint64_t rejected_draining = 0;  ///< queries refused during shutdown
+  std::uint64_t responses_dropped = 0;  ///< owning connection already gone
+};
+
+class Server {
+ public:
+  /// `svc` must outlive the server (the server holds a reference and
+  /// submits queries to it until shutdown() completes).
+  explicit Server(service::QueryService& svc, ServerConfig cfg = {});
+  ~Server();  ///< shutdown(cfg.drain_grace_s) if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and start the event-loop threads.
+  Status start();
+
+  /// The bound port (after a successful start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Graceful stop; idempotent. `grace_s < 0` uses cfg.drain_grace_s.
+  void shutdown(double grace_s = -1.0);
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct Loop;
+
+  void loop_main(Loop& loop);
+  static void wake(Loop& loop);
+  void accept_ready(Loop& loop);
+  /// Loop-thread only: add `conn` to the loop's epoll set and fd map.
+  void register_connection(Loop& loop, std::shared_ptr<Connection> conn);
+  void handle_readable(Loop& loop, const std::shared_ptr<Connection>& conn);
+  /// Parse every complete frame in the connection's read buffer. Returns
+  /// false when the stream is unrecoverable (connection must close).
+  bool parse_frames(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const FrameHeader& h,
+                    std::span<const std::uint8_t> payload);
+  void handle_query(const std::shared_ptr<Connection>& conn,
+                    std::uint64_t request_id,
+                    std::span<const std::uint8_t> payload);
+  /// Append a frame to the outbox and flush what the socket accepts.
+  void send_frame(const std::shared_ptr<Connection>& conn, Bytes frame);
+  void send_response(const std::shared_ptr<Connection>& conn,
+                     EncodedResponse er);
+  /// Drain the outbox with scatter-gather writes; arms/disarms EPOLLOUT.
+  /// Loop-thread only.
+  void flush_writes(const std::shared_ptr<Connection>& conn);
+  /// Loop-thread only: closes the fd, the session, and drops the outbox.
+  void close_connection(Loop& loop, const std::shared_ptr<Connection>& conn,
+                        bool protocol_error);
+  /// Wake `loop` so it re-flushes `conn` (called from worker callbacks).
+  void notify_writable(const std::shared_ptr<Connection>& conn);
+  void finish_inflight();
+
+  service::QueryService& svc_;
+  ServerConfig cfg_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> next_loop_{0};
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+
+  /// Queries submitted and not yet resolved through their callback.
+  std::atomic<std::uint64_t> inflight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
+
+  /// Every live connection, so shutdown() can reach in-flight query ids
+  /// and pending outboxes without touching loop-thread-only state.
+  std::mutex registry_mutex_;
+  std::vector<std::weak_ptr<Connection>> registry_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace mloc::net

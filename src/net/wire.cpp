@@ -1,0 +1,619 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "util/crc32.hpp"
+
+// Response/stats arrays travel as raw element bytes so the server can
+// scatter-gather them without a serialization pass; that shortcut is only
+// byte-exact on a little-endian host (every platform MLOC targets).
+static_assert(std::endian::native == std::endian::little,
+              "wire codec requires a little-endian host");
+
+namespace mloc::net {
+
+namespace {
+
+void put_le32(std::uint8_t* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_le16(std::uint8_t* out, std::uint16_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_le64(std::uint8_t* out, std::uint64_t v) noexcept {
+  put_le32(out, static_cast<std::uint32_t>(v));
+  put_le32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t get_le16(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t get_le32(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t get_le64(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint64_t>(get_le32(in)) |
+         (static_cast<std::uint64_t>(get_le32(in + 4)) << 32);
+}
+
+std::span<const std::uint8_t> byte_view(const void* data,
+                                        std::size_t bytes) noexcept {
+  return {static_cast<const std::uint8_t*>(data), bytes};
+}
+
+void put_cache_stats(ByteWriter& w, const CacheStats& c) {
+  w.put_u64(c.hits);
+  w.put_u64(c.partial_hits);
+  w.put_u64(c.misses);
+  w.put_u64(c.bytes_saved);
+}
+
+Result<CacheStats> get_cache_stats(ByteReader& r) {
+  CacheStats c;
+  MLOC_ASSIGN_OR_RETURN(c.hits, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.partial_hits, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.misses, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.bytes_saved, r.get_u64());
+  return c;
+}
+
+void put_exec_stats(ByteWriter& w, const ExecStats& e) {
+  w.put_u64(e.bytes_planned);
+  w.put_u64(e.bytes_read);
+  w.put_u64(e.bytes_from_cache);
+  w.put_u64(e.extents_naive);
+  w.put_u64(e.extents_coalesced);
+  w.put_u64(e.modeled_seeks);
+}
+
+Result<ExecStats> get_exec_stats(ByteReader& r) {
+  ExecStats e;
+  MLOC_ASSIGN_OR_RETURN(e.bytes_planned, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(e.bytes_read, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(e.bytes_from_cache, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(e.extents_naive, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(e.extents_coalesced, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(e.modeled_seeks, r.get_u64());
+  return e;
+}
+
+void put_status(ByteWriter& w, const Status& st) {
+  w.put_u16(static_cast<std::uint16_t>(st.code()));
+  w.put_string(st.message());
+}
+
+/// Decode a carried Status into *out; the return value is the decode
+/// outcome (Result<Status> would be ill-formed — value and error alternate
+/// would collide).
+Status get_status(ByteReader& r, Status* out) {
+  std::uint16_t raw = 0;
+  MLOC_ASSIGN_OR_RETURN(raw, r.get_u16());
+  if (raw > static_cast<std::uint16_t>(ErrorCode::kCancelled)) {
+    return corrupt_data("status frame carries an unknown error code");
+  }
+  std::string msg;
+  MLOC_ASSIGN_OR_RETURN(msg, r.get_string());
+  *out = Status(static_cast<ErrorCode>(raw), std::move(msg));
+  return Status::ok();
+}
+
+constexpr std::uint8_t kReqHasVc = 1u << 0;
+constexpr std::uint8_t kReqHasSc = 1u << 1;
+constexpr std::uint8_t kReqValuesNeeded = 1u << 2;
+constexpr std::uint8_t kReqMultivar = 1u << 3;
+
+}  // namespace
+
+bool frame_type_known(std::uint16_t raw) noexcept {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kOpenSession:
+    case FrameType::kCloseSession:
+    case FrameType::kQuery:
+    case FrameType::kCancel:
+    case FrameType::kStats:
+    case FrameType::kSessionStats:
+    case FrameType::kPing:
+    case FrameType::kSessionOpened:
+    case FrameType::kQueryResult:
+    case FrameType::kStatsResult:
+    case FrameType::kSessionStatsResult:
+    case FrameType::kAck:
+    case FrameType::kPong:
+      return true;
+  }
+  return false;
+}
+
+void encode_header(const FrameHeader& h, std::uint8_t* out) noexcept {
+  put_le32(out, kMagic);
+  put_le16(out + 4, h.version);
+  put_le16(out + 6, static_cast<std::uint16_t>(h.type));
+  put_le64(out + 8, h.request_id);
+  put_le32(out + 16, h.payload_len);
+  put_le32(out + 20, h.payload_crc);
+  put_le32(out + 24, crc32(byte_view(out, 24)));
+}
+
+Result<FrameHeader> decode_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return corrupt_data("frame header truncated");
+  }
+  const std::uint8_t* b = bytes.data();
+  if (get_le32(b) != kMagic) {
+    return corrupt_data("bad frame magic");
+  }
+  if (get_le32(b + 24) != crc32(byte_view(b, 24))) {
+    return corrupt_data("frame header CRC mismatch");
+  }
+  FrameHeader h;
+  h.version = get_le16(b + 4);
+  if (h.version != kProtocolVersion) {
+    return unsupported("unsupported wire protocol version " +
+                       std::to_string(h.version));
+  }
+  const std::uint16_t raw_type = get_le16(b + 6);
+  h.request_id = get_le64(b + 8);
+  h.payload_len = get_le32(b + 16);
+  h.payload_crc = get_le32(b + 20);
+  if (h.payload_len > kMaxPayloadBytes) {
+    return corrupt_data("frame payload length exceeds the protocol maximum");
+  }
+  if (!frame_type_known(raw_type)) {
+    return unsupported("unknown frame type " + std::to_string(raw_type));
+  }
+  h.type = static_cast<FrameType>(raw_type);
+  return h;
+}
+
+Status verify_payload(const FrameHeader& h,
+                      std::span<const std::uint8_t> payload) {
+  if (payload.size() != h.payload_len) {
+    return corrupt_data("frame payload length mismatch");
+  }
+  if (crc32(payload) != h.payload_crc) {
+    return corrupt_data("frame payload CRC mismatch");
+  }
+  return Status::ok();
+}
+
+Bytes encode_frame(FrameType type, std::uint64_t request_id,
+                   std::span<const std::uint8_t> payload) {
+  MLOC_CHECK(payload.size() <= kMaxPayloadBytes);
+  FrameHeader h;
+  h.type = type;
+  h.request_id = request_id;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.payload_crc = crc32(payload);
+  Bytes out(kHeaderBytes + payload.size());
+  encode_header(h, out.data());
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kHeaderBytes, payload.data(), payload.size());
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- payloads
+
+Bytes encode_open_session(std::string_view label) {
+  ByteWriter w;
+  w.put_string(label);
+  return std::move(w).take();
+}
+
+Result<std::string> decode_open_session(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  std::string label;
+  MLOC_ASSIGN_OR_RETURN(label, r.get_string());
+  if (!r.exhausted()) return corrupt_data("open-session payload has trailing bytes");
+  return label;
+}
+
+Bytes encode_session_opened(service::SessionId id) {
+  ByteWriter w;
+  w.put_u64(id);
+  return std::move(w).take();
+}
+
+Result<service::SessionId> decode_session_opened(
+    std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  service::SessionId id = 0;
+  MLOC_ASSIGN_OR_RETURN(id, r.get_u64());
+  if (!r.exhausted()) return corrupt_data("session-opened payload has trailing bytes");
+  return id;
+}
+
+Bytes encode_request(const service::Request& req) {
+  ByteWriter w;
+  std::uint8_t flags = 0;
+  if (req.query.vc.has_value()) flags |= kReqHasVc;
+  if (req.query.sc.has_value()) flags |= kReqHasSc;
+  if (req.query.values_needed) flags |= kReqValuesNeeded;
+  if (req.multivar.has_value()) flags |= kReqMultivar;
+  w.put_u8(flags);
+  w.put_string(req.var);
+  w.put_i64(req.query.plod_level);
+  w.put_i64(req.priority);
+  w.put_f64(req.deadline_s);
+  w.put_i64(req.num_ranks);
+  if (req.query.vc.has_value()) {
+    w.put_f64(req.query.vc->lo);
+    w.put_f64(req.query.vc->hi);
+  }
+  if (req.query.sc.has_value()) {
+    const Region& sc = *req.query.sc;
+    w.put_u8(static_cast<std::uint8_t>(sc.ndims()));
+    for (int d = 0; d < sc.ndims(); ++d) {
+      w.put_u32(sc.lo(d));
+      w.put_u32(sc.hi(d));
+    }
+  }
+  if (req.multivar.has_value()) {
+    const service::MultivarSpec& mv = *req.multivar;
+    w.put_varint(mv.preds.size());
+    for (const auto& pred : mv.preds) {
+      w.put_string(pred.var);
+      w.put_f64(pred.vc.lo);
+      w.put_f64(pred.vc.hi);
+    }
+    w.put_u8(static_cast<std::uint8_t>(mv.combine));
+    w.put_string(mv.fetch_var);
+  }
+  return std::move(w).take();
+}
+
+Result<service::Request> decode_request(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  service::Request req;
+  std::uint8_t flags = 0;
+  MLOC_ASSIGN_OR_RETURN(flags, r.get_u8());
+  if ((flags & ~(kReqHasVc | kReqHasSc | kReqValuesNeeded | kReqMultivar)) !=
+      0) {
+    return corrupt_data("request frame carries unknown flags");
+  }
+  MLOC_ASSIGN_OR_RETURN(req.var, r.get_string());
+  std::int64_t plod = 0;
+  MLOC_ASSIGN_OR_RETURN(plod, r.get_i64());
+  req.query.plod_level = static_cast<int>(plod);
+  std::int64_t priority = 0;
+  MLOC_ASSIGN_OR_RETURN(priority, r.get_i64());
+  req.priority = static_cast<int>(priority);
+  MLOC_ASSIGN_OR_RETURN(req.deadline_s, r.get_f64());
+  std::int64_t ranks = 0;
+  MLOC_ASSIGN_OR_RETURN(ranks, r.get_i64());
+  req.num_ranks = static_cast<int>(ranks);
+  req.query.values_needed = (flags & kReqValuesNeeded) != 0;
+  if ((flags & kReqHasVc) != 0) {
+    ValueConstraint vc;
+    MLOC_ASSIGN_OR_RETURN(vc.lo, r.get_f64());
+    MLOC_ASSIGN_OR_RETURN(vc.hi, r.get_f64());
+    req.query.vc = vc;
+  }
+  if ((flags & kReqHasSc) != 0) {
+    std::uint8_t ndims = 0;
+    MLOC_ASSIGN_OR_RETURN(ndims, r.get_u8());
+    if (ndims < 1 || ndims > NDShape::kMaxDims) {
+      return corrupt_data("spatial constraint has an invalid dimension count");
+    }
+    Coord lo{}, hi{};
+    for (int d = 0; d < ndims; ++d) {
+      MLOC_ASSIGN_OR_RETURN(lo[static_cast<std::size_t>(d)], r.get_u32());
+      MLOC_ASSIGN_OR_RETURN(hi[static_cast<std::size_t>(d)], r.get_u32());
+      if (lo[static_cast<std::size_t>(d)] > hi[static_cast<std::size_t>(d)]) {
+        return corrupt_data("spatial constraint has lo > hi");
+      }
+    }
+    req.query.sc = Region(ndims, lo, hi);
+  }
+  if ((flags & kReqMultivar) != 0) {
+    std::uint64_t npreds = 0;
+    MLOC_ASSIGN_OR_RETURN(npreds, r.get_varint());
+    // Each predicate occupies >= 17 payload bytes, so bound by what could
+    // actually fit — rejects hostile counts before the reserve below.
+    if (npreds > p.size() / 17 + 1) {
+      return corrupt_data("multivar predicate count exceeds the payload");
+    }
+    service::MultivarSpec mv;
+    mv.preds.reserve(npreds);
+    for (std::uint64_t i = 0; i < npreds; ++i) {
+      MlocStore::VarConstraint pred;
+      MLOC_ASSIGN_OR_RETURN(pred.var, r.get_string());
+      MLOC_ASSIGN_OR_RETURN(pred.vc.lo, r.get_f64());
+      MLOC_ASSIGN_OR_RETURN(pred.vc.hi, r.get_f64());
+      mv.preds.push_back(std::move(pred));
+    }
+    std::uint8_t combine = 0;
+    MLOC_ASSIGN_OR_RETURN(combine, r.get_u8());
+    if (combine > static_cast<std::uint8_t>(MlocStore::Combine::kOr)) {
+      return corrupt_data("multivar combine mode is invalid");
+    }
+    mv.combine = static_cast<MlocStore::Combine>(combine);
+    MLOC_ASSIGN_OR_RETURN(mv.fetch_var, r.get_string());
+    req.multivar = std::move(mv);
+  }
+  if (!r.exhausted()) return corrupt_data("request payload has trailing bytes");
+  return req;
+}
+
+Bytes encode_cancel(std::uint64_t target_request_id) {
+  ByteWriter w;
+  w.put_u64(target_request_id);
+  return std::move(w).take();
+}
+
+Result<std::uint64_t> decode_cancel(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  std::uint64_t target = 0;
+  MLOC_ASSIGN_OR_RETURN(target, r.get_u64());
+  if (!r.exhausted()) return corrupt_data("cancel payload has trailing bytes");
+  return target;
+}
+
+Bytes encode_status(const Status& st) {
+  ByteWriter w;
+  put_status(w, st);
+  return std::move(w).take();
+}
+
+Result<Ack> decode_status(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  Ack ack;
+  MLOC_RETURN_IF_ERROR(get_status(r, &ack.carried));
+  if (!r.exhausted()) return corrupt_data("status payload has trailing bytes");
+  return ack;
+}
+
+namespace {
+
+/// Everything of a Response except the trailing arrays.
+void put_response_prefix(ByteWriter& w, const service::Response& resp) {
+  put_status(w, resp.status);
+  const service::ServiceStats& st = resp.stats;
+  w.put_u64(st.query_id);
+  w.put_u64(st.session);
+  w.put_f64(st.queue_wait_s);
+  w.put_f64(st.exec_wall_s);
+  w.put_f64(st.modeled_s);
+  put_cache_stats(w, st.cache);
+  put_exec_stats(w, st.exec);
+  const QueryResult& res = resp.result;
+  w.put_f64(res.times.io);
+  w.put_f64(res.times.decompress);
+  w.put_f64(res.times.reconstruct);
+  w.put_u64(res.bins_touched);
+  w.put_u64(res.aligned_bins);
+  w.put_u64(res.fragments_read);
+  w.put_u64(res.fragments_skipped);
+  w.put_u64(res.bytes_read);
+  put_cache_stats(w, res.cache);
+  put_exec_stats(w, res.exec);
+  w.put_u64(res.positions.size());
+  w.put_u64(res.values.size());
+}
+
+}  // namespace
+
+EncodedResponse encode_response_frame(std::uint64_t request_id,
+                                      service::Response resp) {
+  ByteWriter prefix;
+  put_response_prefix(prefix, resp);
+
+  EncodedResponse out;
+  out.positions = std::move(resp.result.positions);
+  out.values = std::move(resp.result.values);
+
+  const std::span<const std::uint8_t> pos_bytes =
+      byte_view(out.positions.data(),
+                out.positions.size() * sizeof(std::uint64_t));
+  const std::span<const std::uint8_t> val_bytes =
+      byte_view(out.values.data(), out.values.size() * sizeof(double));
+
+  FrameHeader h;
+  h.type = FrameType::kQueryResult;
+  h.request_id = request_id;
+  const std::size_t payload_len =
+      prefix.size() + pos_bytes.size() + val_bytes.size();
+  MLOC_CHECK(payload_len <= kMaxPayloadBytes);
+  h.payload_len = static_cast<std::uint32_t>(payload_len);
+  h.payload_crc = crc32(val_bytes, crc32(pos_bytes, crc32(prefix.bytes())));
+
+  out.head.resize(kHeaderBytes + prefix.size());
+  encode_header(h, out.head.data());
+  std::memcpy(out.head.data() + kHeaderBytes, prefix.bytes().data(),
+              prefix.size());
+  return out;
+}
+
+Result<service::Response> decode_response(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  service::Response resp;
+  MLOC_RETURN_IF_ERROR(get_status(r, &resp.status));
+  service::ServiceStats& st = resp.stats;
+  MLOC_ASSIGN_OR_RETURN(st.query_id, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(st.session, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(st.queue_wait_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(st.exec_wall_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(st.modeled_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(st.cache, get_cache_stats(r));
+  MLOC_ASSIGN_OR_RETURN(st.exec, get_exec_stats(r));
+  QueryResult& res = resp.result;
+  MLOC_ASSIGN_OR_RETURN(res.times.io, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(res.times.decompress, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(res.times.reconstruct, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(res.bins_touched, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(res.aligned_bins, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(res.fragments_read, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(res.fragments_skipped, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(res.bytes_read, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(res.cache, get_cache_stats(r));
+  MLOC_ASSIGN_OR_RETURN(res.exec, get_exec_stats(r));
+  std::uint64_t npos = 0, nval = 0;
+  MLOC_ASSIGN_OR_RETURN(npos, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(nval, r.get_u64());
+  const std::uint64_t array_bytes = npos * 8 + nval * 8;
+  if (npos > kMaxPayloadBytes / 8 || nval > kMaxPayloadBytes / 8 ||
+      array_bytes != r.remaining()) {
+    return corrupt_data("response array lengths do not match the payload");
+  }
+  std::span<const std::uint8_t> pos_bytes;
+  MLOC_ASSIGN_OR_RETURN(pos_bytes, r.get_bytes(npos * 8));
+  res.positions.resize(npos);
+  if (!pos_bytes.empty()) {
+    std::memcpy(res.positions.data(), pos_bytes.data(), pos_bytes.size());
+  }
+  std::span<const std::uint8_t> val_bytes;
+  MLOC_ASSIGN_OR_RETURN(val_bytes, r.get_bytes(nval * 8));
+  res.values.resize(nval);
+  if (!val_bytes.empty()) {
+    std::memcpy(res.values.data(), val_bytes.data(), val_bytes.size());
+  }
+  return resp;
+}
+
+Bytes encode_stats(const StatsSnapshot& s) {
+  ByteWriter w;
+  const service::AggregateStats& a = s.agg;
+  w.put_u64(a.submitted);
+  w.put_u64(a.completed);
+  w.put_u64(a.failed);
+  w.put_u64(a.rejected);
+  w.put_u64(a.expired);
+  w.put_u64(a.cancelled);
+  w.put_u64(a.queued);
+  w.put_u64(a.executing);
+  put_cache_stats(w, a.cache);
+  put_exec_stats(w, a.exec);
+  w.put_f64(a.total_queue_wait_s);
+  w.put_f64(a.total_exec_wall_s);
+  w.put_f64(a.total_modeled_s);
+  w.put_u64(a.peak_queue_depth);
+  w.put_u64(a.sessions_opened);
+  w.put_u64(a.sessions_open);
+  w.put_u64(a.ingests);
+  w.put_u64(a.ingest_failures);
+  w.put_u64(a.ingest.cells_routed);
+  w.put_u64(a.ingest.fragments_encoded);
+  w.put_u64(a.ingest.bins_written);
+  w.put_u64(a.ingest.bytes_written);
+  w.put_f64(a.ingest.partition_s);
+  w.put_f64(a.ingest.encode_s);
+  w.put_f64(a.ingest.fold_s);
+  w.put_f64(a.ingest.flush_s);
+  w.put_f64(a.ingest.wall_s);
+  w.put_i64(a.ingest.threads);
+  w.put_u8(a.ingest.write_behind ? 1 : 0);
+  const service::FragmentCache::Stats& c = s.cache;
+  w.put_u64(c.lookups);
+  w.put_u64(c.hits);
+  w.put_u64(c.misses);
+  w.put_u64(c.insertions);
+  w.put_u64(c.upgrades);
+  w.put_u64(c.evictions);
+  w.put_u64(c.bytes_cached);
+  w.put_u64(c.entries);
+  return std::move(w).take();
+}
+
+Result<StatsSnapshot> decode_stats(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  StatsSnapshot s;
+  service::AggregateStats& a = s.agg;
+  MLOC_ASSIGN_OR_RETURN(a.submitted, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.completed, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.failed, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.rejected, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.expired, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.cancelled, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.queued, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.executing, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.cache, get_cache_stats(r));
+  MLOC_ASSIGN_OR_RETURN(a.exec, get_exec_stats(r));
+  MLOC_ASSIGN_OR_RETURN(a.total_queue_wait_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(a.total_exec_wall_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(a.total_modeled_s, r.get_f64());
+  std::uint64_t peak = 0;
+  MLOC_ASSIGN_OR_RETURN(peak, r.get_u64());
+  a.peak_queue_depth = static_cast<std::size_t>(peak);
+  MLOC_ASSIGN_OR_RETURN(a.sessions_opened, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.sessions_open, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.ingests, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest_failures, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.cells_routed, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.fragments_encoded, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.bins_written, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.bytes_written, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.partition_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.encode_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.fold_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.flush_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(a.ingest.wall_s, r.get_f64());
+  std::int64_t threads = 0;
+  MLOC_ASSIGN_OR_RETURN(threads, r.get_i64());
+  a.ingest.threads = static_cast<int>(threads);
+  std::uint8_t write_behind = 0;
+  MLOC_ASSIGN_OR_RETURN(write_behind, r.get_u8());
+  a.ingest.write_behind = write_behind != 0;
+  service::FragmentCache::Stats& c = s.cache;
+  MLOC_ASSIGN_OR_RETURN(c.lookups, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.hits, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.misses, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.insertions, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.upgrades, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.evictions, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.bytes_cached, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(c.entries, r.get_u64());
+  if (!r.exhausted()) return corrupt_data("stats payload has trailing bytes");
+  return s;
+}
+
+Bytes encode_session_stats(const service::SessionStats& s) {
+  ByteWriter w;
+  w.put_string(s.label);
+  w.put_u8(s.open ? 1 : 0);
+  w.put_u64(s.submitted);
+  w.put_u64(s.completed);
+  w.put_u64(s.failed);
+  w.put_u64(s.rejected);
+  put_cache_stats(w, s.cache);
+  put_exec_stats(w, s.exec);
+  w.put_f64(s.total_queue_wait_s);
+  w.put_f64(s.total_modeled_s);
+  return std::move(w).take();
+}
+
+Result<service::SessionStats> decode_session_stats(
+    std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  service::SessionStats s;
+  MLOC_ASSIGN_OR_RETURN(s.label, r.get_string());
+  std::uint8_t open = 0;
+  MLOC_ASSIGN_OR_RETURN(open, r.get_u8());
+  s.open = open != 0;
+  MLOC_ASSIGN_OR_RETURN(s.submitted, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(s.completed, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(s.failed, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(s.rejected, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(s.cache, get_cache_stats(r));
+  MLOC_ASSIGN_OR_RETURN(s.exec, get_exec_stats(r));
+  MLOC_ASSIGN_OR_RETURN(s.total_queue_wait_s, r.get_f64());
+  MLOC_ASSIGN_OR_RETURN(s.total_modeled_s, r.get_f64());
+  if (!r.exhausted()) {
+    return corrupt_data("session-stats payload has trailing bytes");
+  }
+  return s;
+}
+
+}  // namespace mloc::net

@@ -1,0 +1,164 @@
+// Wire protocol for the MLOC query server — versioned, length-prefixed
+// binary frames carrying QueryService requests and responses over a byte
+// stream (src/net/server.cpp serves them over TCP; the codec itself is
+// transport-agnostic and is what the fuzz/round-trip tests exercise).
+//
+// Every frame is a fixed 28-byte header followed by `payload_len` payload
+// bytes:
+//
+//   offset  size  field
+//        0     4  magic        0x434F4C4D ("MLOC" when read as LE bytes)
+//        4     2  version      protocol version (kProtocolVersion)
+//        6     2  type         FrameType
+//        8     8  request_id   client-chosen; echoed on the response
+//       16     4  payload_len  bytes following the header (<= kMaxPayload)
+//       20     4  payload_crc  CRC-32 of the payload bytes
+//       24     4  header_crc   CRC-32 of header bytes [0, 24)
+//
+// All integers are little-endian. The header CRC lets a receiver reject a
+// corrupt header before trusting payload_len; the payload CRC catches
+// damage to the body. Decoding never trusts a length before bounds-checking
+// it, and a malformed frame yields a clean Status (CorruptData /
+// Unsupported), never UB — the property tests flip/truncate bytes at every
+// offset to enforce this.
+//
+// Versioning rules: kProtocolVersion bumps on any layout change to the
+// header or an existing payload. Adding a new FrameType is *not* a version
+// bump — receivers reject unknown types per-frame (Unsupported) while the
+// connection stays usable. A server never answers a frame whose version it
+// does not speak (the connection closes), so mixed-version pipelines fail
+// fast instead of misparsing.
+//
+// Response payloads put the positions/values arrays *last*, as raw
+// little-endian element bytes: the server sends them straight from the
+// engine's fold buffers with scatter-gather writev (no serialization copy),
+// and the CRC is computed incrementally across the pieces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/query_service.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace mloc::net {
+
+inline constexpr std::uint32_t kMagic = 0x434F4C4Du;  // "MLOC" as LE bytes
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 28;
+/// Upper bound on payload_len: rejects absurd lengths (corrupt or hostile
+/// headers) before any allocation. 1 GiB comfortably covers the largest
+/// query result the engine can produce on test datasets.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+enum class FrameType : std::uint16_t {
+  // client -> server
+  kOpenSession = 1,   ///< payload: label string  -> kSessionOpened
+  kCloseSession = 2,  ///< payload: empty         -> kAck
+  kQuery = 3,         ///< payload: Request       -> kQueryResult
+  kCancel = 4,        ///< payload: target request_id (u64) -> kAck
+  kStats = 5,         ///< payload: empty         -> kStatsResult
+  kSessionStats = 6,  ///< payload: empty         -> kSessionStatsResult
+  kPing = 7,          ///< payload: empty         -> kPong
+  // server -> client
+  kSessionOpened = 64,      ///< payload: SessionId (u64)
+  kQueryResult = 65,        ///< payload: Response
+  kStatsResult = 66,        ///< payload: AggregateStats + cache Stats
+  kSessionStatsResult = 67, ///< payload: SessionStats
+  kAck = 68,                ///< payload: Status
+  kPong = 69,               ///< payload: empty
+};
+
+/// True for the FrameType values this protocol version defines.
+[[nodiscard]] bool frame_type_known(std::uint16_t raw) noexcept;
+
+struct FrameHeader {
+  std::uint16_t version = kProtocolVersion;
+  FrameType type = FrameType::kPing;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// Serialize `h` into exactly kHeaderBytes at `out` (header CRC included).
+void encode_header(const FrameHeader& h, std::uint8_t* out) noexcept;
+
+/// Validate magic, header CRC, version, frame type, and payload bound.
+/// `bytes` must hold at least kHeaderBytes. Unknown type yields Unsupported
+/// (skippable frame, connection still parseable); everything else
+/// CorruptData.
+Result<FrameHeader> decode_header(std::span<const std::uint8_t> bytes);
+
+/// Check `payload` against the header's length and CRC.
+Status verify_payload(const FrameHeader& h,
+                      std::span<const std::uint8_t> payload);
+
+/// Assemble a complete frame (header + payload) for small messages.
+Bytes encode_frame(FrameType type, std::uint64_t request_id,
+                   std::span<const std::uint8_t> payload);
+
+// ---------------------------------------------------------------- payloads
+
+Bytes encode_open_session(std::string_view label);
+Result<std::string> decode_open_session(std::span<const std::uint8_t> p);
+
+Bytes encode_session_opened(service::SessionId id);
+Result<service::SessionId> decode_session_opened(
+    std::span<const std::uint8_t> p);
+
+Bytes encode_request(const service::Request& req);
+Result<service::Request> decode_request(std::span<const std::uint8_t> p);
+
+Bytes encode_cancel(std::uint64_t target_request_id);
+Result<std::uint64_t> decode_cancel(std::span<const std::uint8_t> p);
+
+/// The Status carried by an kAck frame, wrapped so decode failure (outer
+/// Result) stays distinguishable from a carried error (inner Status).
+struct Ack {
+  Status carried;
+};
+
+Bytes encode_status(const Status& st);
+Result<Ack> decode_status(std::span<const std::uint8_t> p);
+
+/// A response frame split for scatter-gather sending: `head` holds the
+/// frame header plus every payload field up to the arrays; the arrays are
+/// sent directly from the vectors (zero-copy from the engine's fold
+/// buffers). The header's payload_len/payload_crc cover all three pieces.
+struct EncodedResponse {
+  Bytes head;
+  std::vector<std::uint64_t> positions;
+  std::vector<double> values;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return head.size() + positions.size() * sizeof(std::uint64_t) +
+           values.size() * sizeof(double);
+  }
+};
+
+/// Consumes `resp` (moves the result arrays out instead of copying them).
+EncodedResponse encode_response_frame(std::uint64_t request_id,
+                                      service::Response resp);
+
+/// Inverse of encode_response_frame's payload (head payload + arrays).
+Result<service::Response> decode_response(std::span<const std::uint8_t> p);
+
+/// Service aggregates plus the fragment-cache counters in one frame, so a
+/// remote reader gets the same coherent snapshot an in-process caller does.
+struct StatsSnapshot {
+  service::AggregateStats agg;
+  service::FragmentCache::Stats cache;
+};
+
+Bytes encode_stats(const StatsSnapshot& s);
+Result<StatsSnapshot> decode_stats(std::span<const std::uint8_t> p);
+
+Bytes encode_session_stats(const service::SessionStats& s);
+Result<service::SessionStats> decode_session_stats(
+    std::span<const std::uint8_t> p);
+
+}  // namespace mloc::net

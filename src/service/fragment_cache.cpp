@@ -133,9 +133,16 @@ void FragmentCache::clear() {
 }
 
 FragmentCache::Stats FragmentCache::stats() const {
+  // Hold every shard lock while summing (acquired in shard order, the only
+  // place more than one is ever taken) so the snapshot is coherent: without
+  // this, a reader racing an insert could observe `entries` from one shard
+  // state and `bytes_cached`/`lookups` from another, and cross-counter
+  // invariants (lookups == hits + misses) could appear violated.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
   Stats out;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
     out.lookups += shard->stats.lookups;
     out.hits += shard->stats.hits;
     out.misses += shard->stats.misses;

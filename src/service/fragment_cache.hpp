@@ -34,7 +34,9 @@ class FragmentCache final : public FragmentProvider {
     int shards = 8;
   };
 
-  /// Global counters (summed over shards; approximate under concurrency).
+  /// Global counters. stats() sums these under all shard locks at once, so
+  /// a snapshot is coherent even while queries run (lookups == hits +
+  /// misses holds in every snapshot).
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;        ///< lookup returned an entry

@@ -26,6 +26,7 @@ QueryService::~QueryService() {
     std::lock_guard lock(mutex_);
     shutdown_ = true;
     orphans.swap(pending_);
+    agg_.queued -= orphans.size();
   }
   for (auto& p : orphans) {
     Response resp;
@@ -33,7 +34,11 @@ QueryService::~QueryService() {
     resp.stats.query_id = p->id;
     resp.stats.session = p->session;
     resp.stats.queue_wait_s = p->queued.seconds();
-    p->promise.set_value(std::move(resp));
+    if (p->callback) {
+      p->callback(std::move(resp));
+    } else {
+      p->promise.set_value(std::move(resp));
+    }
   }
   // pool_ destruction drains in-flight dispatch tasks; they find an empty
   // queue and return.
@@ -63,37 +68,30 @@ Status QueryService::close_session(SessionId id) {
   return Status::ok();
 }
 
-Submission QueryService::submit(SessionId session, Request req) {
-  auto p = std::make_unique<PendingQuery>();
-  Submission out;
-  out.response = p->promise.get_future();
+QueryId QueryService::admit(SessionId session, Request req,
+                            std::unique_ptr<PendingQuery> p) {
   p->session = session;
 
   Status reject = Status::ok();
   bool dispatch = false;
+  QueryId id = 0;
   {
     std::lock_guard lock(mutex_);
     auto it = sessions_.find(session);
     if (shutdown_) {
       reject = failed_precondition("service shutting down");
-      ++agg_.rejected;
     } else if (it == sessions_.end()) {
       reject = not_found("no such session");
-      ++agg_.rejected;
     } else if (!it->second.stats.open) {
       reject = failed_precondition("session closed");
-      ++agg_.rejected;
-    } else {
-      ++agg_.submitted;
-      ++it->second.stats.submitted;
-      if (pending_.size() >= cfg_.max_queue_depth) {
-        ++agg_.rejected;
-        ++it->second.stats.failed;
-        reject = resource_exhausted("admission queue full");
-      }
+    } else if (pending_.size() >= cfg_.max_queue_depth) {
+      reject = resource_exhausted("admission queue full");
     }
     if (reject.is_ok()) {
-      p->id = out.id = next_query_++;
+      ++agg_.submitted;
+      ++agg_.queued;
+      ++it->second.stats.submitted;
+      p->id = id = next_query_++;
       p->deadline_s =
           req.deadline_s < 0 ? cfg_.default_deadline_s : req.deadline_s;
       p->req = std::move(req);
@@ -104,19 +102,41 @@ Submission QueryService::submit(SessionId session, Request req) {
       } else {
         dispatch = true;
       }
+    } else {
+      ++agg_.rejected;
+      if (it != sessions_.end()) ++it->second.stats.rejected;
     }
   }
   if (!reject.is_ok()) {
     Response resp;
     resp.status = std::move(reject);
     resp.stats.session = session;
-    p->promise.set_value(std::move(resp));
-    return out;
+    if (p->callback) {
+      p->callback(std::move(resp));
+    } else {
+      p->promise.set_value(std::move(resp));
+    }
+    return 0;
   }
   if (dispatch) {
     pool_->submit([this] { dispatch_one(); });
   }
+  return id;
+}
+
+Submission QueryService::submit(SessionId session, Request req) {
+  auto p = std::make_unique<PendingQuery>();
+  Submission out;
+  out.response = p->promise.get_future();
+  out.id = admit(session, std::move(req), std::move(p));
   return out;
+}
+
+QueryId QueryService::submit_async(SessionId session, Request req,
+                                   ResponseCallback cb) {
+  auto p = std::make_unique<PendingQuery>();
+  p->callback = std::move(cb);
+  return admit(session, std::move(req), std::move(p));
 }
 
 Response QueryService::run(SessionId session, Request req) {
@@ -183,6 +203,8 @@ void QueryService::dispatch_one() {
     p = std::move(pending_[pick]);
     pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
     was_cancelled = p->cancelled;
+    --agg_.queued;
+    ++agg_.executing;
   }
 
   Response resp;
@@ -204,7 +226,13 @@ void QueryService::dispatch_one() {
   const int ranks =
       p->req.num_ranks > 0 ? p->req.num_ranks : cfg_.default_num_ranks;
   Stopwatch sw;
-  auto result = store_.execute(p->req.var, p->req.query, ranks);
+  auto result =
+      p->req.multivar.has_value()
+          ? store_.multivar_select(p->req.multivar->preds,
+                                   p->req.multivar->combine,
+                                   p->req.multivar->fetch_var,
+                                   p->req.query.plod_level, ranks)
+          : store_.execute(p->req.var, p->req.query, ranks);
   resp.stats.exec_wall_s = sw.seconds();
   if (!result.is_ok()) {
     resp.status = result.status();
@@ -225,6 +253,7 @@ void QueryService::dispatch_one() {
 void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
   {
     std::lock_guard lock(mutex_);
+    --agg_.executing;
     agg_.total_queue_wait_s += resp.stats.queue_wait_s;
     agg_.total_exec_wall_s += resp.stats.exec_wall_s;
     agg_.total_modeled_s += resp.stats.modeled_s;
@@ -246,7 +275,11 @@ void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
       s.total_modeled_s += resp.stats.modeled_s;
     }
   }
-  p->promise.set_value(std::move(resp));
+  if (p->callback) {
+    p->callback(std::move(resp));
+  } else {
+    p->promise.set_value(std::move(resp));
+  }
 }
 
 AggregateStats QueryService::aggregate() const {

@@ -31,11 +31,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/store.hpp"
 #include "parallel/runtime.hpp"
@@ -66,10 +69,23 @@ struct ServiceConfig {
   bool start_paused = false;
 };
 
+/// Multi-variable selection carried by a Request (paper §III-D-4): each
+/// predicate runs as a region-only pass, the position bitmaps are combined,
+/// and `fetch_var` (optional) is retrieved at the surviving positions.
+struct MultivarSpec {
+  std::vector<MlocStore::VarConstraint> preds;
+  MlocStore::Combine combine = MlocStore::Combine::kAnd;
+  std::string fetch_var;  ///< empty = positions only
+};
+
 /// One query submission. Unset fields fall back to the service defaults.
 struct Request {
   std::string var;
   Query query;
+  /// When set, the request is a multi-variable selection: `multivar` is
+  /// executed instead of (var, query.vc, query.sc); query.plod_level still
+  /// selects the precision of fetched values.
+  std::optional<MultivarSpec> multivar;
   int priority = 0;        ///< larger runs earlier under kPriority
   double deadline_s = -1;  ///< seconds from submission; <0 = default, 0 = none
   int num_ranks = 0;       ///< 0 = service default
@@ -101,6 +117,17 @@ struct Submission {
 };
 
 /// Service-wide counters (a consistent snapshot under one lock).
+///
+/// Invariant, visible in every snapshot:
+///   submitted == completed + failed + expired + cancelled
+///                + queued + executing
+/// `submitted` counts only *admitted* queries; refusals (unknown/closed
+/// session, queue full, shutdown) count in `rejected` alone. The `queued`
+/// and `executing` gauges track work currently inside the service, so a
+/// reader can tell a quiet service from one mid-dispatch. (Before the wire
+/// server landed, `submitted` also counted queue-full refusals and there
+/// were no gauges, so concurrent readers could never reconcile the
+/// counters against each other.)
 struct AggregateStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;   ///< resolved ok
@@ -108,6 +135,8 @@ struct AggregateStats {
   std::uint64_t rejected = 0;    ///< refused at admission (queue full/closed)
   std::uint64_t expired = 0;     ///< deadline passed
   std::uint64_t cancelled = 0;
+  std::uint64_t queued = 0;      ///< gauge: admitted, not yet dispatched
+  std::uint64_t executing = 0;   ///< gauge: dispatched, not yet resolved
   CacheStats cache;              ///< summed per-query cache stats
   ExecStats exec;                ///< summed per-query engine stats
   double total_queue_wait_s = 0.0;
@@ -122,13 +151,16 @@ struct AggregateStats {
   ingest::IngestStats ingest;
 };
 
-/// Per-session slice of the aggregates.
+/// Per-session slice of the aggregates. Mirrors the service-wide
+/// invariant: submitted counts admitted queries only (and equals
+/// completed + failed + in-flight), refusals land in `rejected`.
 struct SessionStats {
   std::string label;
   bool open = false;
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;    ///< any non-ok resolution
+  std::uint64_t failed = 0;    ///< any non-ok resolution after admission
+  std::uint64_t rejected = 0;  ///< refused at admission (queue full/closed)
   CacheStats cache;
   ExecStats exec;
   double total_queue_wait_s = 0.0;
@@ -154,6 +186,19 @@ class QueryService {
   /// Submit a query. Always returns a Submission; admission rejections and
   /// execution errors surface through Response::status.
   Submission submit(SessionId session, Request req);
+
+  /// Invoked exactly once per submit_async call with the final Response —
+  /// from a worker thread on normal resolution, from the submitting thread
+  /// on admission rejection, or from the destructor on shutdown. No service
+  /// lock is held during the call; re-entering the service (e.g. cancel)
+  /// from inside the callback is allowed.
+  using ResponseCallback = std::function<void(Response)>;
+
+  /// Callback-flavored submission for event-driven callers (the wire
+  /// server): no future, no blocked thread per in-flight query. Returns the
+  /// QueryId usable with cancel(), or 0 when the request was rejected at
+  /// admission (the callback still fires with the rejection Response).
+  QueryId submit_async(SessionId session, Request req, ResponseCallback cb);
 
   /// Convenience: submit and block for the response.
   Response run(SessionId session, Request req);
@@ -189,7 +234,8 @@ class QueryService {
     QueryId id = 0;
     SessionId session = 0;
     Request req;
-    std::promise<Response> promise;
+    std::promise<Response> promise;   ///< used when `callback` is empty
+    ResponseCallback callback;        ///< set by submit_async
     Stopwatch queued;  ///< started at submission; read at dispatch
     double deadline_s = 0.0;  ///< 0 = none, relative to submission
     bool cancelled = false;
@@ -198,6 +244,10 @@ class QueryService {
     SessionStats stats;
   };
 
+  /// Shared admission path behind submit/submit_async: run admission
+  /// control, enqueue or resolve a rejection, kick a worker.
+  QueryId admit(SessionId session, Request req,
+                std::unique_ptr<PendingQuery> p);
   /// Worker-thread body: pop the scheduled pending query and execute it.
   void dispatch_one();
   /// Resolve a query and fold its stats into the aggregates.

@@ -1,0 +1,294 @@
+// mloc_client — command-line client for a running mloc_server.
+//
+//   mloc_client ping  --port P [--host H]
+//   mloc_client query --port P [--host H] [--var NAME] [--vc LO:HI]
+//               [--sc LO:HI[,LO:HI...]] [--plod L] [--ranks R]
+//               [--region-only] [--select VAR:LO:HI ...] [--combine and|or]
+//               [--fetch VAR] [--deadline S] [--repeat N]
+//   mloc_client stats --port P [--host H]
+//   mloc_client session-stats --port P [--host H]
+//
+// `query` opens a session, runs the request (pipelined --repeat times),
+// and prints the result summary the way mloc_cli does, plus the serving
+// stats that only exist behind the service (queue wait, cache hits).
+// Multi-variable selection: repeat --select VAR:LO:HI per predicate;
+// --fetch retrieves a variable's values at the surviving positions.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "service/query_service.hpp"
+
+using namespace mloc;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::pair<std::string, std::string>> repeated;  ///< --select
+  std::vector<std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has_flag(const std::string& name) const {
+    return std::find(flags.begin(), flags.end(), name) != flags.end();
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      std::string value = argv[++i];
+      if (token == "select") {
+        args.repeated.emplace_back(token, std::move(value));
+      } else {
+        args.options[token] = std::move(value);
+      }
+    } else {
+      args.flags.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  mloc_client ping  --port P [--host H]\n"
+      "  mloc_client query --port P [--host H] [--var NAME] [--vc LO:HI]\n"
+      "              [--sc LO:HI[,LO:HI...]] [--plod L] [--ranks R]\n"
+      "              [--region-only] [--select VAR:LO:HI ...]\n"
+      "              [--combine and|or] [--fetch VAR] [--deadline S]\n"
+      "              [--repeat N]\n"
+      "  mloc_client stats --port P [--host H]\n"
+      "  mloc_client session-stats --port P [--host H]\n");
+  return 2;
+}
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+bool parse_range(const std::string& text, double* lo, double* hi) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  *lo = std::atof(text.substr(0, colon).c_str());
+  *hi = std::atof(text.substr(colon + 1).c_str());
+  return true;
+}
+
+Result<service::Request> parse_request(const Args& args) {
+  service::Request req;
+  req.var = args.get("var", "v");
+  if (const std::string vc = args.get("vc"); !vc.empty()) {
+    double lo = 0, hi = 0;
+    if (!parse_range(vc, &lo, &hi)) {
+      return invalid_argument("--vc expects LO:HI");
+    }
+    req.query.vc = ValueConstraint{lo, hi};
+  }
+  if (const std::string sc = args.get("sc"); !sc.empty()) {
+    Coord lo{}, hi{};
+    int dim = 0;
+    std::size_t begin = 0;
+    while (begin <= sc.size() && dim < NDShape::kMaxDims) {
+      const std::size_t comma = sc.find(',', begin);
+      const std::string part = sc.substr(
+          begin,
+          comma == std::string::npos ? std::string::npos : comma - begin);
+      double dlo = 0, dhi = 0;
+      if (!parse_range(part, &dlo, &dhi)) {
+        return invalid_argument("--sc expects LO:HI[,LO:HI...]");
+      }
+      lo[dim] = static_cast<std::uint32_t>(dlo);
+      hi[dim] = static_cast<std::uint32_t>(dhi);
+      ++dim;
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+    req.query.sc = Region(dim, lo, hi);
+  }
+  req.query.plod_level = std::atoi(args.get("plod", "7").c_str());
+  req.query.values_needed = !args.has_flag("region-only");
+  req.num_ranks = std::atoi(args.get("ranks", "0").c_str());
+  req.deadline_s = std::atof(args.get("deadline", "-1").c_str());
+
+  if (!args.repeated.empty()) {
+    service::MultivarSpec mv;
+    for (const auto& [key, value] : args.repeated) {
+      const auto c1 = value.find(':');
+      const auto c2 = c1 == std::string::npos ? std::string::npos
+                                              : value.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        return invalid_argument("--select expects VAR:LO:HI");
+      }
+      MlocStore::VarConstraint pred;
+      pred.var = value.substr(0, c1);
+      pred.vc.lo = std::atof(value.substr(c1 + 1, c2 - c1 - 1).c_str());
+      pred.vc.hi = std::atof(value.substr(c2 + 1).c_str());
+      mv.preds.push_back(std::move(pred));
+    }
+    mv.combine = args.get("combine", "and") == "or" ? MlocStore::Combine::kOr
+                                                    : MlocStore::Combine::kAnd;
+    mv.fetch_var = args.get("fetch");
+    req.multivar = std::move(mv);
+  }
+  return req;
+}
+
+Status connect(const Args& args, net::Client* client) {
+  const std::string port = args.get("port");
+  if (port.empty()) return invalid_argument("--port is required");
+  return client->connect(args.get("host", "127.0.0.1"),
+                         static_cast<std::uint16_t>(std::atoi(port.c_str())));
+}
+
+void print_response(const service::Response& resp) {
+  if (!resp.status.is_ok()) {
+    std::printf("query failed: %s\n", resp.status.to_string().c_str());
+    return;
+  }
+  const QueryResult& r = resp.result;
+  std::printf(
+      "%zu qualifying points; %llu bins touched (%llu aligned), %.2f MB "
+      "read\n",
+      r.positions.size(), static_cast<unsigned long long>(r.bins_touched),
+      static_cast<unsigned long long>(r.aligned_bins),
+      static_cast<double>(r.bytes_read) / 1e6);
+  if (!r.values.empty()) {
+    double sum = 0, mn = r.values[0], mx = mn;
+    for (double v : r.values) {
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    std::printf("values: mean %.6g, min %.6g, max %.6g\n",
+                sum / static_cast<double>(r.values.size()), mn, mx);
+  }
+  std::printf(
+      "serving: queue %.3f ms, exec %.3f ms, cache %llu hits / %llu "
+      "misses\n",
+      resp.stats.queue_wait_s * 1e3, resp.stats.exec_wall_s * 1e3,
+      static_cast<unsigned long long>(resp.stats.cache.hits),
+      static_cast<unsigned long long>(resp.stats.cache.misses));
+}
+
+int cmd_ping(const Args& args) {
+  net::Client c;
+  if (Status st = connect(args, &c); !st.is_ok()) return fail(st);
+  if (Status st = c.ping(); !st.is_ok()) return fail(st);
+  std::printf("pong\n");
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  auto parsed = parse_request(args);
+  if (!parsed.is_ok()) return fail(parsed.status());
+  net::Client c;
+  if (Status st = connect(args, &c); !st.is_ok()) return fail(st);
+  if (auto sid = c.open_session("mloc_client"); !sid.is_ok()) {
+    return fail(sid.status());
+  }
+
+  const int repeat = std::max(1, std::atoi(args.get("repeat", "1").c_str()));
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(repeat));
+  for (int i = 0; i < repeat; ++i) {
+    auto id = c.send_query(parsed.value());
+    if (!id.is_ok()) return fail(id.status());
+    ids.push_back(id.value());
+  }
+  int rc = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto resp = c.wait(ids[i]);
+    if (!resp.is_ok()) return fail(resp.status());
+    if (ids.size() > 1) std::printf("-- response %zu --\n", i + 1);
+    print_response(resp.value());
+    if (!resp.value().status.is_ok()) rc = 1;
+  }
+  (void)c.close_session();
+  return rc;
+}
+
+int cmd_stats(const Args& args) {
+  net::Client c;
+  if (Status st = connect(args, &c); !st.is_ok()) return fail(st);
+  auto snap = c.stats();
+  if (!snap.is_ok()) return fail(snap.status());
+  const service::AggregateStats& a = snap.value().agg;
+  const service::FragmentCache::Stats& fc = snap.value().cache;
+  std::printf("service:\n");
+  std::printf("  submitted   %llu (completed %llu, failed %llu, expired %llu,"
+              " cancelled %llu)\n",
+              static_cast<unsigned long long>(a.submitted),
+              static_cast<unsigned long long>(a.completed),
+              static_cast<unsigned long long>(a.failed),
+              static_cast<unsigned long long>(a.expired),
+              static_cast<unsigned long long>(a.cancelled));
+  std::printf("  in service  queued %llu, executing %llu\n",
+              static_cast<unsigned long long>(a.queued),
+              static_cast<unsigned long long>(a.executing));
+  std::printf("  rejected    %llu\n",
+              static_cast<unsigned long long>(a.rejected));
+  std::printf("  sessions    %llu open / %llu opened\n",
+              static_cast<unsigned long long>(a.sessions_open),
+              static_cast<unsigned long long>(a.sessions_opened));
+  std::printf("  queue wait  %.3f s total; exec %.3f s total\n",
+              a.total_queue_wait_s, a.total_exec_wall_s);
+  std::printf("fragment cache:\n");
+  std::printf("  %llu lookups (%llu hits, %llu misses), %llu entries,"
+              " %.2f MB\n",
+              static_cast<unsigned long long>(fc.lookups),
+              static_cast<unsigned long long>(fc.hits),
+              static_cast<unsigned long long>(fc.misses),
+              static_cast<unsigned long long>(fc.entries),
+              static_cast<double>(fc.bytes_cached) / 1e6);
+  return 0;
+}
+
+int cmd_session_stats(const Args& args) {
+  net::Client c;
+  if (Status st = connect(args, &c); !st.is_ok()) return fail(st);
+  if (auto sid = c.open_session("mloc_client"); !sid.is_ok()) {
+    return fail(sid.status());
+  }
+  auto stats = c.session_stats();
+  if (!stats.is_ok()) return fail(stats.status());
+  const service::SessionStats& s = stats.value();
+  std::printf("session '%s' (%s): submitted %llu, completed %llu, failed "
+              "%llu, rejected %llu\n",
+              s.label.c_str(), s.open ? "open" : "closed",
+              static_cast<unsigned long long>(s.submitted),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.failed),
+              static_cast<unsigned long long>(s.rejected));
+  (void)c.close_session();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "ping") return cmd_ping(args);
+  if (args.command == "query") return cmd_query(args);
+  if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "session-stats") return cmd_session_stats(args);
+  return usage();
+}

@@ -1,0 +1,145 @@
+// mloc_server — serve an on-disk MLOC store over the wire protocol.
+//
+//   mloc_server --store DIR [--host H] [--port P] [--loops N]
+//               [--workers N] [--queue-depth N] [--cache-mb MB]
+//               [--grace SECONDS] [--port-file PATH]
+//
+// Binds (ephemeral port by default), prints "mloc_server listening on
+// HOST:PORT", and serves until SIGINT/SIGTERM. On a signal it stops
+// accepting, drains in-flight queries up to --grace seconds, closes
+// sessions, and exits 0 — so an orchestrator's TERM always produces a
+// clean stop. --port-file writes the bound port to a file, which is how
+// scripts using an ephemeral port discover it.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "net/server.hpp"
+#include "pfs/pfs.hpp"
+#include "service/query_service.hpp"
+
+using namespace mloc;
+
+namespace {
+
+// Signal handlers may only touch async-signal-safe state: write one byte
+// to a self-pipe and let main() do the real shutdown.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+struct Args {
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[token] = argv[++i];
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mloc_server --store DIR [--host H] [--port P]\n"
+               "       [--loops N] [--workers N] [--queue-depth N]\n"
+               "       [--cache-mb MB] [--grace SECONDS] [--port-file PATH]\n");
+  return 2;
+}
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const std::string dir = args.get("store");
+  if (dir.empty()) return usage();
+
+  // The store borrows the storage; keep both alive for the process.
+  auto fs = pfs::PfsStorage::load_from_dir(dir);
+  if (!fs.is_ok()) return fail(fs.status());
+  auto opened = MlocStore::open(&fs.value(), "store");
+  if (!opened.is_ok()) return fail(opened.status());
+
+  service::ServiceConfig svc_cfg;
+  svc_cfg.num_workers = std::atoi(args.get("workers", "4").c_str());
+  svc_cfg.max_queue_depth = static_cast<std::size_t>(
+      std::atoll(args.get("queue-depth", "1024").c_str()));
+  svc_cfg.cache.budget_bytes =
+      static_cast<std::uint64_t>(std::atoll(args.get("cache-mb", "64").c_str()))
+      << 20;
+  service::QueryService svc(std::move(opened).value(), svc_cfg);
+
+  net::ServerConfig srv_cfg;
+  srv_cfg.host = args.get("host", "127.0.0.1");
+  srv_cfg.port = static_cast<std::uint16_t>(std::atoi(args.get("port", "0").c_str()));
+  srv_cfg.num_loops = std::atoi(args.get("loops", "2").c_str());
+  srv_cfg.drain_grace_s = std::atof(args.get("grace", "5").c_str());
+  net::Server server(svc, srv_cfg);
+  if (Status st = server.start(); !st.is_ok()) return fail(st);
+
+  std::printf("mloc_server listening on %s:%u\n", srv_cfg.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (const std::string port_file = args.get("port-file");
+      !port_file.empty()) {
+    if (FILE* f = std::fopen(port_file.c_str(), "w"); f != nullptr) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) return fail(io_error("pipe failed"));
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("mloc_server draining (grace %.1fs)\n", srv_cfg.drain_grace_s);
+  std::fflush(stdout);
+  server.shutdown();
+
+  const net::ServerStats st = server.stats();
+  std::printf(
+      "mloc_server stopped: %llu connections, %llu frames in, %llu frames "
+      "out, %llu protocol errors, %llu responses dropped\n",
+      static_cast<unsigned long long>(st.connections_accepted),
+      static_cast<unsigned long long>(st.frames_received),
+      static_cast<unsigned long long>(st.frames_sent),
+      static_cast<unsigned long long>(st.protocol_errors),
+      static_cast<unsigned long long>(st.responses_dropped));
+  return 0;
+}
