@@ -14,13 +14,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "array/chunking.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace mloc {
 
@@ -61,7 +61,7 @@ struct BinLayout {
   }
 
   void serialize(ByteWriter& w) const;
-  static Result<BinLayout> deserialize(ByteReader& r);
+  [[nodiscard]] static Result<BinLayout> deserialize(ByteReader& r);
 
   [[nodiscard]] bool operator==(const BinLayout&) const = default;
 };
@@ -73,21 +73,22 @@ struct BinLayout {
 /// (rank, bin) in both wall time and the modeled seek count.
 class BinHeaderCache {
  public:
-  [[nodiscard]] std::shared_ptr<const BinLayout> get() const {
-    std::lock_guard lock(mu_);
+  [[nodiscard]] std::shared_ptr<const BinLayout> get() const
+      MLOC_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
     return layout_;
   }
 
   /// First writer wins; later calls are no-ops (the header is immutable,
   /// so any decoded copy is as good as another).
-  void put(std::shared_ptr<const BinLayout> layout) {
-    std::lock_guard lock(mu_);
+  void put(std::shared_ptr<const BinLayout> layout) MLOC_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
     if (!layout_) layout_ = std::move(layout);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const BinLayout> layout_;
+  mutable sync::Mutex mu_;
+  std::shared_ptr<const BinLayout> layout_ MLOC_GUARDED_BY(mu_);
 };
 
 // --- Subfile footer -------------------------------------------------------
@@ -107,14 +108,14 @@ void append_subfile_footer(Bytes& file);
 
 /// Validate the footer of a subfile image; returns the payload length
 /// (file size minus footer) or CorruptData on a missing/mismatched footer.
-Result<std::uint64_t> verify_subfile_footer(
+[[nodiscard]] Result<std::uint64_t> verify_subfile_footer(
     std::span<const std::uint8_t> file);
 
 /// Encode ascending local offsets as delta varints (first absolute).
 Bytes encode_positions(std::span<const std::uint32_t> local_offsets);
 
 /// Inverse of encode_positions; `count` values expected.
-Result<std::vector<std::uint32_t>> decode_positions(
+[[nodiscard]] Result<std::vector<std::uint32_t>> decode_positions(
     std::span<const std::uint8_t> blob, std::uint64_t count);
 
 }  // namespace mloc

@@ -88,7 +88,7 @@ Status MlocStore::write_meta() {
   w.put_string(cfg_.codec);
   w.put_u32(cfg_.sample_stride);
   {
-    std::shared_lock lock(*vars_mu_);
+    sync::ReaderLock lock(vars_mu_);
     w.put_varint(vars_.size());
     for (const auto& v : vars_) {
       w.put_string(v->name);
@@ -160,13 +160,14 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
           vs.bins[b].dat,
           fs->open(ingest::dat_name(name, vs.name, static_cast<int>(b))));
     }
+    sync::WriterLock lock(store.vars_mu_);
     store.vars_.push_back(std::make_shared<VariableState>(std::move(vs)));
   }
   return store;
 }
 
 std::vector<std::string> MlocStore::variables() const {
-  std::shared_lock lock(*vars_mu_);
+  sync::ReaderLock lock(vars_mu_);
   std::vector<std::string> out;
   out.reserve(vars_.size());
   for (const auto& v : vars_) out.push_back(v->name);
@@ -191,7 +192,7 @@ Result<std::vector<MlocStore::BinSubfiles>> MlocStore::bin_subfiles(
 
 Result<const MlocStore::VariableState*> MlocStore::find_var(
     const std::string& var) const {
-  std::shared_lock lock(*vars_mu_);
+  sync::ReaderLock lock(vars_mu_);
   for (const auto& v : vars_) {
     if (v->name == var) return v.get();
   }
@@ -199,7 +200,7 @@ Result<const MlocStore::VariableState*> MlocStore::find_var(
 }
 
 std::uint64_t MlocStore::data_bytes() const {
-  std::shared_lock lock(*vars_mu_);
+  sync::ReaderLock lock(vars_mu_);
   std::uint64_t total = 0;
   for (const auto& v : vars_) {
     for (const auto& b : v->bins) {
@@ -210,7 +211,7 @@ std::uint64_t MlocStore::data_bytes() const {
 }
 
 std::uint64_t MlocStore::index_bytes() const {
-  std::shared_lock lock(*vars_mu_);
+  sync::ReaderLock lock(vars_mu_);
   std::uint64_t total = fs_->file_size(meta_file_).value_or(0);
   for (const auto& v : vars_) {
     for (const auto& b : v->bins) {
@@ -232,7 +233,7 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid,
     return invalid_argument("store: grid shape mismatches config");
   }
   // One ingest at a time; queries keep running against the published state.
-  std::lock_guard ingest_lock(*ingest_mu_);
+  sync::MutexLock ingest_lock(ingest_mu_);
 
   ingest::StoreWriter writer;
   writer.fs = fs_;
@@ -263,7 +264,7 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid,
   }
 
   {
-    std::unique_lock lock(*vars_mu_);
+    sync::WriterLock lock(vars_mu_);
     vs->epoch = next_epoch_++;
     bool replaced = false;
     for (auto& existing : vars_) {
@@ -289,7 +290,7 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid,
 }
 
 ingest::IngestStats MlocStore::ingest_stats() const {
-  std::shared_lock lock(*vars_mu_);
+  sync::ReaderLock lock(vars_mu_);
   return ingest_stats_;
 }
 

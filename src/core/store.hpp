@@ -15,9 +15,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +31,7 @@
 #include "parallel/runtime.hpp"
 #include "pfs/pfs.hpp"
 #include "query/query.hpp"
+#include "util/sync.hpp"
 
 namespace mloc {
 
@@ -113,11 +112,11 @@ class MlocStore {
  public:
   /// Create an empty store named `name` on `fs` (non-owning; must outlive
   /// the store). Fails on invalid config or name collision.
-  static Result<MlocStore> create(pfs::PfsStorage* fs, std::string name,
+  [[nodiscard]] static Result<MlocStore> create(pfs::PfsStorage* fs, std::string name,
                                   MlocConfig cfg);
 
   /// Re-open a store previously created on `fs` from its metadata file.
-  static Result<MlocStore> open(pfs::PfsStorage* fs, const std::string& name);
+  [[nodiscard]] static Result<MlocStore> open(pfs::PfsStorage* fs, const std::string& name);
 
   /// Ingest one variable through the layout pipeline (serial reference
   /// path). The grid shape must match the store config. Writing a name
@@ -125,27 +124,30 @@ class MlocStore {
   /// atomically, the fragment-provider entries of the old generation are
   /// dropped, and in-flight queries against the old state fail cleanly
   /// (checksum mismatch) rather than reading mixed generations.
-  Status write_variable(const std::string& var, const Grid& grid);
+  [[nodiscard]] Status write_variable(const std::string& var, const Grid& grid)
+      MLOC_EXCLUDES(ingest_mu_, vars_mu_);
 
   /// Ingest with explicit pipeline options (worker threads, write-behind
   /// subfile flushing — see ingest::WriteOptions). Output bytes are
   /// identical for any option combination. One ingest runs at a time
   /// (internally serialized); queries may run concurrently.
-  Status write_variable(const std::string& var, const Grid& grid,
-                        const ingest::WriteOptions& opts);
+  [[nodiscard]] Status write_variable(const std::string& var, const Grid& grid,
+                        const ingest::WriteOptions& opts)
+      MLOC_EXCLUDES(ingest_mu_, vars_mu_);
 
   /// Cumulative write-path accounting across all write_variable calls.
-  [[nodiscard]] ingest::IngestStats ingest_stats() const;
+  [[nodiscard]] ingest::IngestStats ingest_stats() const
+      MLOC_EXCLUDES(vars_mu_);
 
   /// Execute a query (paper §III-D). `num_ranks` parallel processes are
   /// emulated; results are identical for any rank count.
-  Result<QueryResult> execute(const std::string& var, const Query& q,
+  [[nodiscard]] Result<QueryResult> execute(const std::string& var, const Query& q,
                               int num_ranks = 1) const;
 
   /// Execute with explicit engine options (coalescing gap, naive I/O for
   /// A/B comparison, decode worker count). The overload above uses
   /// exec::ExecOptions defaults.
-  Result<QueryResult> execute(const std::string& var, const Query& q,
+  [[nodiscard]] Result<QueryResult> execute(const std::string& var, const Query& q,
                               int num_ranks,
                               const exec::ExecOptions& opts) const;
 
@@ -156,14 +158,14 @@ class MlocStore {
   /// modeled I/O seconds execution would report; on cold caches the byte
   /// and extent counts match execution exactly. Drives
   /// QueryPlanner::estimate.
-  Result<exec::PlanSummary> plan(const std::string& var, const Query& q,
+  [[nodiscard]] Result<exec::PlanSummary> plan(const std::string& var, const Query& q,
                                  int num_ranks = 1,
                                  const exec::ExecOptions& opts = {}) const;
 
   /// Multi-variable access (§III-D-4): select positions where `select_var`
   /// satisfies `vc` (region-only pass), then retrieve `fetch_var` values at
   /// those positions via a shared position bitmap.
-  Result<QueryResult> multivar_query(const std::string& select_var,
+  [[nodiscard]] Result<QueryResult> multivar_query(const std::string& select_var,
                                      ValueConstraint vc,
                                      const std::string& fetch_var,
                                      int plod_level = 7,
@@ -182,7 +184,7 @@ class MlocStore {
   /// bitmaps in the WAH compressed domain, then fetch `fetch_var` at the
   /// surviving positions. With an empty `fetch_var` only positions are
   /// returned.
-  Result<QueryResult> multivar_select(const std::vector<VarConstraint>& preds,
+  [[nodiscard]] Result<QueryResult> multivar_select(const std::vector<VarConstraint>& preds,
                                       Combine combine,
                                       const std::string& fetch_var,
                                       int plod_level = 7,
@@ -190,7 +192,8 @@ class MlocStore {
 
   [[nodiscard]] const MlocConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] std::vector<std::string> variables() const;
+  [[nodiscard]] std::vector<std::string> variables() const
+      MLOC_EXCLUDES(vars_mu_);
 
   /// Metadata accessors for the query planner.
   [[nodiscard]] Result<const BinningScheme*> binning(
@@ -220,8 +223,8 @@ class MlocStore {
 
   /// Storage accounting (paper Table I): payload (.dat) and index
   /// (.idx + metadata) bytes across all variables.
-  [[nodiscard]] std::uint64_t data_bytes() const;
-  [[nodiscard]] std::uint64_t index_bytes() const;
+  [[nodiscard]] std::uint64_t data_bytes() const MLOC_EXCLUDES(vars_mu_);
+  [[nodiscard]] std::uint64_t index_bytes() const MLOC_EXCLUDES(vars_mu_);
 
   /// Attach a decompressed-fragment provider (nullptr detaches). Non-owning;
   /// the provider must outlive the store and be thread-safe. Queries are
@@ -260,19 +263,19 @@ class MlocStore {
 
   MlocStore() = default;
 
-  Status init_codecs();
-  Status write_meta();
+  [[nodiscard]] Status init_codecs();
+  [[nodiscard]] Status write_meta() MLOC_EXCLUDES(vars_mu_);
 
   /// Verify the footer CRC of one bin subfile if not already done (lazy,
   /// thread-safe; reads the whole file outside the modeled I/O log).
-  Status ensure_subfile_verified(const BinFiles& files, bool dat_file) const;
+  [[nodiscard]] Status ensure_subfile_verified(const BinFiles& files, bool dat_file) const;
   [[nodiscard]] Result<const VariableState*> find_var(
-      const std::string& var) const;
+      const std::string& var) const MLOC_EXCLUDES(vars_mu_);
 
   /// Shared query engine entry; `position_filter` (over linear grid
   /// offsets) implements the multi-variable second pass. Delegates to
   /// exec::execute_query over make_view(vs).
-  Result<QueryResult> execute_impl(const VariableState& vs, const Query& q,
+  [[nodiscard]] Result<QueryResult> execute_impl(const VariableState& vs, const Query& q,
                                    int num_ranks, const Bitmap* position_filter,
                                    const exec::ExecOptions& opts) const;
 
@@ -286,19 +289,23 @@ class MlocStore {
   ChunkGrid chunk_grid_;
   sfc::CurveOrder curve_order_;
   pfs::FileId meta_file_ = 0;
+  /// Serializes whole write_variable calls (one ingest at a time). Always
+  /// taken before vars_mu_ (write_variable nests the publish block inside
+  /// the ingest section) — declared so the analysis rejects an inversion.
+  /// Handle types keep the mutex storage behind shared_ptr so the store
+  /// stays movable (moves happen only at setup).
+  sync::MutexHandle ingest_mu_ MLOC_ACQUIRED_BEFORE(vars_mu_);
   /// Published variable states. Reader/writer gated by vars_mu_; states
   /// are handed out as raw pointers (find_var/binning), so a replaced
   /// state is moved to retired_ instead of destroyed — every pointer ever
-  /// returned stays valid for the store's lifetime. Mutexes live behind
-  /// shared_ptr so the store stays movable (moves happen only at setup).
-  std::vector<std::shared_ptr<VariableState>> vars_;
-  std::vector<std::shared_ptr<VariableState>> retired_;
-  std::shared_ptr<std::shared_mutex> vars_mu_ =
-      std::make_shared<std::shared_mutex>();
-  /// Serializes whole write_variable calls (one ingest at a time).
-  std::shared_ptr<std::mutex> ingest_mu_ = std::make_shared<std::mutex>();
-  std::uint64_t next_epoch_ = 1;      // guarded by vars_mu_; 0 = opened state
-  ingest::IngestStats ingest_stats_;  // guarded by vars_mu_
+  /// returned stays valid for the store's lifetime.
+  sync::SharedMutexHandle vars_mu_;
+  std::vector<std::shared_ptr<VariableState>> vars_ MLOC_GUARDED_BY(vars_mu_);
+  std::vector<std::shared_ptr<VariableState>> retired_
+      MLOC_GUARDED_BY(vars_mu_);
+  /// Ingest generation counter; 0 = opened state.
+  std::uint64_t next_epoch_ MLOC_GUARDED_BY(vars_mu_) = 1;
+  ingest::IngestStats ingest_stats_ MLOC_GUARDED_BY(vars_mu_);
   std::shared_ptr<const ByteCodec> byte_codec_;      // PLoD/COL mode
   std::shared_ptr<const DoubleCodec> double_codec_;  // whole-value mode
   FragmentProvider* provider_ = nullptr;             // serving-layer cache

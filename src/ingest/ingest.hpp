@@ -129,7 +129,7 @@ std::string dat_name(const std::string& store, const std::string& var,
 /// (reusing existing files of the same name on re-ingest) and leaves them
 /// flushed and footer-sealed. The grid shape must already be validated
 /// against the config by the caller.
-Result<IngestOutput> ingest_variable(const StoreWriter& writer,
+[[nodiscard]] Result<IngestOutput> ingest_variable(const StoreWriter& writer,
                                      const std::string& var, const Grid& grid,
                                      const WriteOptions& opts);
 

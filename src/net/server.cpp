@@ -45,16 +45,22 @@ struct Server::Connection {
   Loop* loop = nullptr;
   Bytes rbuf;
 
-  std::mutex mutex;
-  std::deque<EncodedResponse> outbox;
-  std::size_t front_sent = 0;  ///< bytes of outbox.front() already on the wire
-  bool want_write = false;     ///< EPOLLOUT currently armed
-  bool closed = false;
+  sync::Mutex mutex;
+  std::deque<EncodedResponse> outbox MLOC_GUARDED_BY(mutex);
+  /// bytes of outbox.front() already on the wire
+  std::size_t front_sent MLOC_GUARDED_BY(mutex) = 0;
+  /// EPOLLOUT currently armed
+  bool want_write MLOC_GUARDED_BY(mutex) = false;
+  bool closed MLOC_GUARDED_BY(mutex) = false;
+  /// Loop-thread only (set by kOpenSession, consumed at close), so not
+  /// capability-guarded; teardown paths also clear it under `mutex` purely
+  /// for ordering with `closed`.
   service::SessionId session = 0;
   /// request_id -> QueryId for queries submitted and not yet resolved.
   /// A query still inside submit_async maps to 0 (visible to kCancel for
   /// one scheduling instant; treated as not-cancellable).
-  std::unordered_map<std::uint64_t, service::QueryId> inflight;
+  std::unordered_map<std::uint64_t, service::QueryId> inflight
+      MLOC_GUARDED_BY(mutex);
 };
 
 struct Server::Loop {
@@ -63,9 +69,9 @@ struct Server::Loop {
   std::thread thread;
   std::atomic<bool> stop{false};
 
-  std::mutex mutex;  ///< guards incoming + writable
-  std::vector<std::shared_ptr<Connection>> incoming;
-  std::vector<std::shared_ptr<Connection>> writable;
+  sync::Mutex mutex;
+  std::vector<std::shared_ptr<Connection>> incoming MLOC_GUARDED_BY(mutex);
+  std::vector<std::shared_ptr<Connection>> writable MLOC_GUARDED_BY(mutex);
 
   /// fd -> connection; loop-thread only.
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
@@ -172,7 +178,7 @@ void Server::loop_main(Loop& loop) {
         std::vector<std::shared_ptr<Connection>> incoming;
         std::vector<std::shared_ptr<Connection>> writable;
         {
-          std::lock_guard lock(loop.mutex);
+          sync::MutexLock lock(loop.mutex);
           incoming.swap(loop.incoming);
           writable.swap(loop.writable);
         }
@@ -197,18 +203,19 @@ void Server::loop_main(Loop& loop) {
   }
   // Teardown: shutdown() has already drained in-flight queries, so no
   // callback will enqueue into these connections after this point.
-  for (auto& [fd, conn] : loop.conns) {
+  for (auto& entry : loop.conns) {
+    Connection& conn = *entry.second;
     service::SessionId session = 0;
     {
-      std::lock_guard lock(conn->mutex);
-      conn->closed = true;
-      conn->outbox.clear();
-      session = std::exchange(conn->session, 0);
-      conn->inflight.clear();
+      sync::MutexLock lock(conn.mutex);
+      conn.closed = true;
+      conn.outbox.clear();
+      session = std::exchange(conn.session, 0);
+      conn.inflight.clear();
     }
-    ::close(fd);
+    ::close(entry.first);
     if (session != 0) (void)svc_.close_session(session);
-    std::lock_guard lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     ++stats_.connections_closed;
   }
   loop.conns.clear();
@@ -220,7 +227,7 @@ void Server::register_connection(Loop& loop, std::shared_ptr<Connection> conn) {
   ev.data.fd = conn->fd;
   if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
     ::close(conn->fd);
-    std::lock_guard lock(conn->mutex);
+    sync::MutexLock lock(conn->mutex);
     conn->closed = true;
     return;
   }
@@ -249,7 +256,7 @@ void Server::accept_ready(Loop& loop) {
                 loops_.size()];
     conn->loop = &target;
     {
-      std::lock_guard lock(registry_mutex_);
+      sync::MutexLock lock(registry_mutex_);
       // Lazily compact tombstones so the registry tracks live connections,
       // not every connection ever accepted.
       if (registry_.size() >= 1024) {
@@ -260,14 +267,14 @@ void Server::accept_ready(Loop& loop) {
       registry_.push_back(conn);
     }
     {
-      std::lock_guard lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       ++stats_.connections_accepted;
     }
     if (&target == &loop) {
       register_connection(loop, std::move(conn));
     } else {
       {
-        std::lock_guard lock(target.mutex);
+        sync::MutexLock lock(target.mutex);
         target.incoming.push_back(std::move(conn));
       }
       wake(target);
@@ -298,7 +305,7 @@ void Server::handle_readable(Loop& loop,
     break;
   }
   if (received != 0) {
-    std::lock_guard lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     stats_.bytes_received += received;
   }
   if (!parse_frames(conn)) {
@@ -350,7 +357,7 @@ bool Server::parse_frames(const std::shared_ptr<Connection>& conn) {
       if (buf.size() - off < need) break;
       const std::uint64_t request_id = raw_u64(head.data() + 8);
       {
-        std::lock_guard lock(stats_mutex_);
+        sync::MutexLock lock(stats_mutex_);
         ++stats_.payload_errors;
       }
       send_frame(conn, encode_frame(
@@ -366,7 +373,7 @@ bool Server::parse_frames(const std::shared_ptr<Connection>& conn) {
     buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(off));
   }
   if (frames != 0) {
-    std::lock_guard lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     stats_.frames_received += frames;
   }
   return stream_ok;
@@ -381,7 +388,7 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
   };
   auto payload_error = [&](std::uint64_t request_id, const Status& st) {
     {
-      std::lock_guard lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       ++stats_.payload_errors;
     }
     ack(request_id, st);
@@ -425,7 +432,7 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       if (!target.is_ok()) return payload_error(h.request_id, target.status());
       service::QueryId qid = 0;
       {
-        std::lock_guard lock(conn->mutex);
+        sync::MutexLock lock(conn->mutex);
         auto it = conn->inflight.find(target.value());
         if (it != conn->inflight.end()) qid = it->second;
       }
@@ -477,14 +484,14 @@ void Server::handle_query(const std::shared_ptr<Connection>& conn,
   auto req = decode_request(payload);
   if (!req.is_ok()) {
     {
-      std::lock_guard lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       ++stats_.payload_errors;
     }
     return error_response(req.status());
   }
   if (draining_.load()) {
     {
-      std::lock_guard lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       ++stats_.rejected_draining;
     }
     return error_response(failed_precondition("server draining"));
@@ -496,7 +503,7 @@ void Server::handle_query(const std::shared_ptr<Connection>& conn,
 
   bool duplicate = false;
   {
-    std::lock_guard lock(conn->mutex);
+    sync::MutexLock lock(conn->mutex);
     if (conn->closed) return;
     // Reserve the id before submitting: the map entry holds 0 until
     // submit_async returns the QueryId (kCancel treats 0 as
@@ -519,7 +526,7 @@ void Server::handle_query(const std::shared_ptr<Connection>& conn,
         if (c) {
           auto er = encode_response_frame(request_id, std::move(resp));
           {
-            std::lock_guard lock(c->mutex);
+            sync::MutexLock lock(c->mutex);
             c->inflight.erase(request_id);
             if (!c->closed) {
               c->outbox.push_back(std::move(er));
@@ -529,13 +536,13 @@ void Server::handle_query(const std::shared_ptr<Connection>& conn,
           if (enqueued) notify_writable(c);
         }
         if (!enqueued) {
-          std::lock_guard lock(stats_mutex_);
+          sync::MutexLock lock(stats_mutex_);
           ++stats_.responses_dropped;
         }
         finish_inflight();
       });
   if (qid != 0) {
-    std::lock_guard lock(conn->mutex);
+    sync::MutexLock lock(conn->mutex);
     auto it = conn->inflight.find(request_id);
     // Entry gone means the callback already resolved the query.
     if (it != conn->inflight.end() && it->second == 0) it->second = qid;
@@ -544,7 +551,7 @@ void Server::handle_query(const std::shared_ptr<Connection>& conn,
 
 void Server::send_frame(const std::shared_ptr<Connection>& conn, Bytes frame) {
   {
-    std::lock_guard lock(conn->mutex);
+    sync::MutexLock lock(conn->mutex);
     if (conn->closed) return;
     conn->outbox.push_back(EncodedResponse{std::move(frame), {}, {}});
   }
@@ -554,7 +561,7 @@ void Server::send_frame(const std::shared_ptr<Connection>& conn, Bytes frame) {
 void Server::send_response(const std::shared_ptr<Connection>& conn,
                            EncodedResponse er) {
   {
-    std::lock_guard lock(conn->mutex);
+    sync::MutexLock lock(conn->mutex);
     if (conn->closed) return;
     conn->outbox.push_back(std::move(er));
   }
@@ -566,7 +573,7 @@ void Server::flush_writes(const std::shared_ptr<Connection>& conn) {
   std::uint64_t sent_frames = 0;
   bool fatal = false;
   {
-    std::lock_guard lock(conn->mutex);
+    sync::MutexLock lock(conn->mutex);
     if (conn->closed) return;
     while (!conn->outbox.empty()) {
       EncodedResponse& f = conn->outbox.front();
@@ -621,7 +628,7 @@ void Server::flush_writes(const std::shared_ptr<Connection>& conn) {
     }
   }
   if (sent_bytes != 0 || sent_frames != 0) {
-    std::lock_guard lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     stats_.bytes_sent += sent_bytes;
     stats_.frames_sent += sent_frames;
   }
@@ -635,7 +642,7 @@ void Server::close_connection(Loop& loop,
                               bool protocol_error) {
   service::SessionId session = 0;
   {
-    std::lock_guard lock(conn->mutex);
+    sync::MutexLock lock(conn->mutex);
     if (conn->closed) return;
     conn->closed = true;
     conn->outbox.clear();
@@ -648,7 +655,7 @@ void Server::close_connection(Loop& loop,
   loop.conns.erase(conn->fd);
   if (session != 0) (void)svc_.close_session(session);
   {
-    std::lock_guard lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     ++stats_.connections_closed;
     if (protocol_error) ++stats_.protocol_errors;
   }
@@ -657,7 +664,7 @@ void Server::close_connection(Loop& loop,
 void Server::notify_writable(const std::shared_ptr<Connection>& conn) {
   Loop& loop = *conn->loop;
   {
-    std::lock_guard lock(loop.mutex);
+    sync::MutexLock lock(loop.mutex);
     loop.writable.push_back(conn);
   }
   wake(loop);
@@ -665,13 +672,13 @@ void Server::notify_writable(const std::shared_ptr<Connection>& conn) {
 
 void Server::finish_inflight() {
   if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard lock(drain_mutex_);
+    sync::MutexLock lock(drain_mutex_);
     drain_cv_.notify_all();
   }
 }
 
 void Server::shutdown(double grace_s) {
-  std::lock_guard shutdown_lock(shutdown_mutex_);
+  sync::MutexLock shutdown_lock(shutdown_mutex_);
   if (!started_.load() || stopped_.load()) return;
   if (grace_s < 0) grace_s = cfg_.drain_grace_s;
   draining_.store(true);
@@ -679,9 +686,16 @@ void Server::shutdown(double grace_s) {
   // Phase 1: wait up to the grace period for in-flight queries to resolve
   // on their own (new queries are already being refused).
   {
-    std::unique_lock lock(drain_mutex_);
-    drain_cv_.wait_for(lock, std::chrono::duration<double>(grace_s),
-                       [&] { return inflight_.load() == 0; });
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(grace_s));
+    sync::MutexLock lock(drain_mutex_);
+    while (inflight_.load() != 0) {
+      if (drain_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
   }
 
   // Phase 2: grace expired — cancel whatever is still queued. Executing
@@ -690,19 +704,19 @@ void Server::shutdown(double grace_s) {
   if (inflight_.load() != 0) {
     std::vector<service::QueryId> qids;
     {
-      std::lock_guard lock(registry_mutex_);
+      sync::MutexLock lock(registry_mutex_);
       for (auto& weak : registry_) {
         auto conn = weak.lock();
         if (!conn) continue;
-        std::lock_guard conn_lock(conn->mutex);
-        for (auto& [req_id, qid] : conn->inflight) {
-          if (qid != 0) qids.push_back(qid);
+        sync::MutexLock conn_lock(conn->mutex);
+        for (auto& entry : conn->inflight) {
+          if (entry.second != 0) qids.push_back(entry.second);
         }
       }
     }
     for (service::QueryId qid : qids) (void)svc_.cancel(qid);
-    std::unique_lock lock(drain_mutex_);
-    drain_cv_.wait(lock, [&] { return inflight_.load() == 0; });
+    sync::MutexLock lock(drain_mutex_);
+    while (inflight_.load() != 0) drain_cv_.wait(lock);
   }
 
   // Phase 3: give the loops a moment to flush queued responses to clients
@@ -712,11 +726,11 @@ void Server::shutdown(double grace_s) {
   for (;;) {
     bool all_empty = true;
     {
-      std::lock_guard lock(registry_mutex_);
+      sync::MutexLock lock(registry_mutex_);
       for (auto& weak : registry_) {
         auto conn = weak.lock();
         if (!conn) continue;
-        std::lock_guard conn_lock(conn->mutex);
+        sync::MutexLock conn_lock(conn->mutex);
         if (!conn->closed && !conn->outbox.empty()) {
           all_empty = false;
           break;
@@ -747,7 +761,7 @@ void Server::shutdown(double grace_s) {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   return stats_;
 }
 

@@ -33,10 +33,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -45,6 +43,7 @@
 #include "net/wire.hpp"
 #include "service/query_service.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace mloc::net {
 
@@ -90,9 +89,10 @@ class Server {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
   /// Graceful stop; idempotent. `grace_s < 0` uses cfg.drain_grace_s.
-  void shutdown(double grace_s = -1.0);
+  void shutdown(double grace_s = -1.0)
+      MLOC_EXCLUDES(shutdown_mutex_, drain_mutex_, registry_mutex_);
 
-  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] ServerStats stats() const MLOC_EXCLUDES(stats_mutex_);
 
  private:
   struct Connection;
@@ -125,7 +125,7 @@ class Server {
                         bool protocol_error);
   /// Wake `loop` so it re-flushes `conn` (called from worker callbacks).
   void notify_writable(const std::shared_ptr<Connection>& conn);
-  void finish_inflight();
+  void finish_inflight() MLOC_EXCLUDES(drain_mutex_);
 
   service::QueryService& svc_;
   ServerConfig cfg_;
@@ -139,18 +139,24 @@ class Server {
   std::vector<std::unique_ptr<Loop>> loops_;
 
   /// Queries submitted and not yet resolved through their callback.
+  /// (Atomic, paired with drain_cv_: finish_inflight takes drain_mutex_
+  /// only to publish the final notify.)
   std::atomic<std::uint64_t> inflight_{0};
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
-  std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
+  /// Serializes shutdown() callers; always taken before the drain and
+  /// registry locks it nests (declared so an inversion cannot compile).
+  sync::Mutex shutdown_mutex_ MLOC_ACQUIRED_BEFORE(drain_mutex_,
+                                                   registry_mutex_);
+  sync::Mutex drain_mutex_;
+  sync::CondVar drain_cv_;
 
   /// Every live connection, so shutdown() can reach in-flight query ids
   /// and pending outboxes without touching loop-thread-only state.
-  std::mutex registry_mutex_;
-  std::vector<std::weak_ptr<Connection>> registry_;
+  sync::Mutex registry_mutex_;
+  std::vector<std::weak_ptr<Connection>> registry_
+      MLOC_GUARDED_BY(registry_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  mutable sync::Mutex stats_mutex_;
+  ServerStats stats_ MLOC_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace mloc::net

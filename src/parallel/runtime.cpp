@@ -54,7 +54,7 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -63,7 +63,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     MLOC_CHECK_MSG(!stopping_, "submit on stopping pool");
     queue_.push(std::move(task));
     ++in_flight_;
@@ -82,23 +82,23 @@ TaskHandle ThreadPool::submit_waitable(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  sync::MutexLock lock(mutex_);
+  while (in_flight_ != 0) cv_idle_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      sync::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_task_.wait(lock);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

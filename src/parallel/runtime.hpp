@@ -16,17 +16,16 @@
 // each rank opens the fewest bin files (§III-D, Fig. 5).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "pfs/pfs.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace mloc::parallel {
@@ -90,27 +89,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task; runs on some worker thread.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) MLOC_EXCLUDES(mutex_);
 
   /// Enqueue a task and get a handle that joins it individually, with
   /// exception propagation. Used by the ingest pipeline to fold encoded
   /// fragments per bin while later bins are still encoding (wait_idle
   /// would serialize on the whole queue).
-  TaskHandle submit_waitable(std::function<void()> task);
+  TaskHandle submit_waitable(std::function<void()> task) MLOC_EXCLUDES(mutex_);
 
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() MLOC_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() MLOC_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  int in_flight_ = 0;
-  bool stopping_ = false;
+  sync::Mutex mutex_;
+  sync::CondVar cv_task_;
+  sync::CondVar cv_idle_;
+  std::queue<std::function<void()>> queue_ MLOC_GUARDED_BY(mutex_);
+  int in_flight_ MLOC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ MLOC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mloc::parallel

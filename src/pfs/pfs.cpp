@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <set>
 
 #include "util/assert.hpp"
@@ -114,7 +113,7 @@ double model_makespan(const PfsConfig& cfg, const IoLog& log, int num_ranks) {
 }
 
 Result<FileId> PfsStorage::create(const std::string& name) {
-  std::unique_lock lock(*mu_);
+  sync::WriterLock lock(mu_);
   if (by_name_.contains(name)) {
     return invalid_argument("pfs: file exists: " + name);
   }
@@ -126,21 +125,21 @@ Result<FileId> PfsStorage::create(const std::string& name) {
 }
 
 Result<FileId> PfsStorage::open(const std::string& name) const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   const auto it = by_name_.find(name);
   if (it == by_name_.end()) return not_found("pfs: no such file: " + name);
   return it->second;
 }
 
 Status PfsStorage::append(FileId file, std::span<const std::uint8_t> bytes) {
-  std::unique_lock lock(*mu_);
+  sync::WriterLock lock(mu_);
   if (file >= files_.size()) return not_found("pfs: bad file id");
   files_[file].insert(files_[file].end(), bytes.begin(), bytes.end());
   return Status::ok();
 }
 
 Status PfsStorage::set_contents(FileId file, Bytes bytes) {
-  std::unique_lock lock(*mu_);
+  sync::WriterLock lock(mu_);
   if (file >= files_.size()) return not_found("pfs: bad file id");
   files_[file] = std::move(bytes);
   return Status::ok();
@@ -149,7 +148,7 @@ Status PfsStorage::set_contents(FileId file, Bytes bytes) {
 Result<Bytes> PfsStorage::read(FileId file, std::uint64_t offset,
                                std::uint64_t len, IoLog* log,
                                std::uint32_t rank) const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   if (file >= files_.size()) return not_found("pfs: bad file id");
   const Bytes& data = files_[file];
   if (offset + len > data.size() || offset + len < offset) {
@@ -163,7 +162,7 @@ Result<Bytes> PfsStorage::read(FileId file, std::uint64_t offset,
 Result<std::vector<Bytes>> PfsStorage::read_batch(
     std::span<const ReadRequest> requests, IoLog* log,
     std::uint32_t rank) const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   for (const auto& r : requests) {
     if (r.file >= files_.size()) return not_found("pfs: bad file id");
     const Bytes& data = files_[r.file];
@@ -183,26 +182,26 @@ Result<std::vector<Bytes>> PfsStorage::read_batch(
 }
 
 Result<std::uint64_t> PfsStorage::file_size(FileId file) const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   if (file >= files_.size()) return not_found("pfs: bad file id");
   return static_cast<std::uint64_t>(files_[file].size());
 }
 
 std::uint64_t PfsStorage::total_bytes() const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& f : files_) total += f.size();
   return total;
 }
 
 std::size_t PfsStorage::num_files() const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   return files_.size();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> PfsStorage::listing()
     const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(files_.size());
   for (std::size_t i = 0; i < files_.size(); ++i) {
@@ -212,7 +211,7 @@ std::vector<std::pair<std::string, std::uint64_t>> PfsStorage::listing()
 }
 
 Status PfsStorage::save_to_dir(const std::string& dir) const {
-  std::shared_lock lock(*mu_);
+  sync::ReaderLock lock(mu_);
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir, ec);

@@ -26,12 +26,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "util/bytes.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace mloc::pfs {
 
@@ -131,6 +131,10 @@ class PfsStorage {
         by_name_(std::move(other.by_name_)) {}
   PfsStorage& operator=(PfsStorage&& other) noexcept {
     if (this != &other) {
+      // Moves happen only at setup (documented above); the locks exist so
+      // the transfer is visibly well-ordered to the capability analysis.
+      sync::WriterLock self_lock(mu_);
+      sync::WriterLock other_lock(other.mu_);
       cfg_ = other.cfg_;
       files_ = std::move(other.files_);
       names_ = std::move(other.names_);
@@ -142,21 +146,26 @@ class PfsStorage {
   [[nodiscard]] const PfsConfig& config() const noexcept { return cfg_; }
 
   /// Create an empty file. Fails if the name exists.
-  Result<FileId> create(const std::string& name);
+  [[nodiscard]] Result<FileId> create(const std::string& name)
+      MLOC_EXCLUDES(mu_);
 
   /// Look up an existing file.
-  [[nodiscard]] Result<FileId> open(const std::string& name) const;
+  [[nodiscard]] Result<FileId> open(const std::string& name) const
+      MLOC_EXCLUDES(mu_);
 
   /// Append bytes to a file (MLOC writes subfiles sequentially).
-  Status append(FileId file, std::span<const std::uint8_t> bytes);
+  [[nodiscard]] Status append(FileId file, std::span<const std::uint8_t> bytes)
+      MLOC_EXCLUDES(mu_);
 
   /// Replace a file's contents (store-metadata rewrites).
-  Status set_contents(FileId file, Bytes bytes);
+  [[nodiscard]] Status set_contents(FileId file, Bytes bytes)
+      MLOC_EXCLUDES(mu_);
 
   /// Read `len` bytes at `offset`; logs the access into `log` when given.
   [[nodiscard]] Result<Bytes> read(FileId file, std::uint64_t offset,
                                    std::uint64_t len, IoLog* log = nullptr,
-                                   std::uint32_t rank = 0) const;
+                                   std::uint32_t rank = 0) const
+      MLOC_EXCLUDES(mu_);
 
   /// Vectorized read: one buffer per request, in request order. All
   /// requests are validated before any byte moves or any record is logged,
@@ -165,37 +174,39 @@ class PfsStorage {
   /// *before* batching, making one merged extent cost one modeled seek.
   [[nodiscard]] Result<std::vector<Bytes>> read_batch(
       std::span<const ReadRequest> requests, IoLog* log = nullptr,
-      std::uint32_t rank = 0) const;
+      std::uint32_t rank = 0) const MLOC_EXCLUDES(mu_);
 
-  [[nodiscard]] Result<std::uint64_t> file_size(FileId file) const;
+  [[nodiscard]] Result<std::uint64_t> file_size(FileId file) const
+      MLOC_EXCLUDES(mu_);
 
   /// Total bytes across all files (Table I storage accounting).
-  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_bytes() const MLOC_EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t num_files() const;
+  [[nodiscard]] std::size_t num_files() const MLOC_EXCLUDES(mu_);
 
   /// Names and sizes of all files, creation order.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> listing()
-      const;
+      const MLOC_EXCLUDES(mu_);
 
   /// Persist every file under `dir` on the host filesystem ('/' in file
   /// names becomes a subdirectory). Overwrites existing files.
-  Status save_to_dir(const std::string& dir) const;
+  [[nodiscard]] Status save_to_dir(const std::string& dir) const
+      MLOC_EXCLUDES(mu_);
 
   /// Load a directory previously written by save_to_dir into a fresh
   /// storage (recursively; file names are paths relative to `dir`).
-  static Result<PfsStorage> load_from_dir(const std::string& dir,
+  [[nodiscard]] static Result<PfsStorage> load_from_dir(const std::string& dir,
                                           PfsConfig cfg = {});
 
  private:
   PfsConfig cfg_;
-  /// Reader/writer gate over the three containers below. Held through a
-  /// unique_ptr so the storage stays movable; never shared across a move.
-  std::unique_ptr<std::shared_mutex> mu_ =
-      std::make_unique<std::shared_mutex>();
-  std::vector<Bytes> files_;
-  std::vector<std::string> names_;
-  std::map<std::string, FileId> by_name_;
+  /// Reader/writer gate over the three containers below. The handle keeps
+  /// the mutex storage stable so the storage stays movable; the move
+  /// operations above never share one gate between two live storages.
+  sync::SharedMutexHandle mu_;
+  std::vector<Bytes> files_ MLOC_GUARDED_BY(mu_);
+  std::vector<std::string> names_ MLOC_GUARDED_BY(mu_);
+  std::map<std::string, FileId> by_name_ MLOC_GUARDED_BY(mu_);
 };
 
 }  // namespace mloc::pfs

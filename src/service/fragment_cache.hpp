@@ -19,11 +19,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/store.hpp"
+#include "util/sync.hpp"
 
 namespace mloc::service {
 
@@ -78,16 +78,19 @@ class FragmentCache final : public FragmentProvider {
     std::uint64_t bytes = 0;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<FragmentKey, std::list<Entry>::iterator, KeyHash> index;
-    std::uint64_t bytes = 0;
-    Stats stats;  ///< bytes_cached/entries maintained on the fly
+    mutable sync::Mutex mutex;
+    /// front = most recently used
+    std::list<Entry> lru MLOC_GUARDED_BY(mutex);
+    std::unordered_map<FragmentKey, std::list<Entry>::iterator, KeyHash> index
+        MLOC_GUARDED_BY(mutex);
+    std::uint64_t bytes MLOC_GUARDED_BY(mutex) = 0;
+    /// bytes_cached/entries maintained on the fly
+    Stats stats MLOC_GUARDED_BY(mutex);
   };
 
   Shard& shard_for(const FragmentKey& key);
   /// Pop LRU entries until the shard fits its budget. Caller holds the lock.
-  void evict_to_budget(Shard& shard);
+  void evict_to_budget(Shard& shard) MLOC_REQUIRES(shard.mutex);
 
   Config cfg_;
   std::uint64_t shard_budget_ = 0;

@@ -23,7 +23,7 @@ QueryService::QueryService(MlocStore store, ServiceConfig cfg)
 QueryService::~QueryService() {
   std::deque<std::unique_ptr<PendingQuery>> orphans;
   {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     shutdown_ = true;
     orphans.swap(pending_);
     agg_.queued -= orphans.size();
@@ -45,7 +45,7 @@ QueryService::~QueryService() {
 }
 
 Result<SessionId> QueryService::open_session(std::string label) {
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (shutdown_) return failed_precondition("service shutting down");
   const SessionId id = next_session_++;
   SessionState& s = sessions_[id];
@@ -57,7 +57,7 @@ Result<SessionId> QueryService::open_session(std::string label) {
 }
 
 Status QueryService::close_session(SessionId id) {
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return not_found("no such session");
   if (!it->second.stats.open) {
@@ -68,48 +68,53 @@ Status QueryService::close_session(SessionId id) {
   return Status::ok();
 }
 
+QueryService::AdmitDecision QueryService::admit_locked(
+    SessionId session, Request req, std::unique_ptr<PendingQuery>& p) {
+  AdmitDecision out;
+  auto it = sessions_.find(session);
+  if (shutdown_) {
+    out.reject = failed_precondition("service shutting down");
+  } else if (it == sessions_.end()) {
+    out.reject = not_found("no such session");
+  } else if (!it->second.stats.open) {
+    out.reject = failed_precondition("session closed");
+  } else if (pending_.size() >= cfg_.max_queue_depth) {
+    out.reject = resource_exhausted("admission queue full");
+  }
+  if (out.reject.is_ok()) {
+    ++agg_.submitted;
+    ++agg_.queued;
+    ++it->second.stats.submitted;
+    p->id = out.id = next_query_++;
+    p->deadline_s =
+        req.deadline_s < 0 ? cfg_.default_deadline_s : req.deadline_s;
+    p->req = std::move(req);
+    pending_.push_back(std::move(p));
+    agg_.peak_queue_depth = std::max(agg_.peak_queue_depth, pending_.size());
+    if (paused_) {
+      ++undispatched_;
+    } else {
+      out.dispatch = true;
+    }
+  } else {
+    ++agg_.rejected;
+    if (it != sessions_.end()) ++it->second.stats.rejected;
+  }
+  return out;
+}
+
 QueryId QueryService::admit(SessionId session, Request req,
                             std::unique_ptr<PendingQuery> p) {
   p->session = session;
 
-  Status reject = Status::ok();
-  bool dispatch = false;
-  QueryId id = 0;
+  AdmitDecision decision;
   {
-    std::lock_guard lock(mutex_);
-    auto it = sessions_.find(session);
-    if (shutdown_) {
-      reject = failed_precondition("service shutting down");
-    } else if (it == sessions_.end()) {
-      reject = not_found("no such session");
-    } else if (!it->second.stats.open) {
-      reject = failed_precondition("session closed");
-    } else if (pending_.size() >= cfg_.max_queue_depth) {
-      reject = resource_exhausted("admission queue full");
-    }
-    if (reject.is_ok()) {
-      ++agg_.submitted;
-      ++agg_.queued;
-      ++it->second.stats.submitted;
-      p->id = id = next_query_++;
-      p->deadline_s =
-          req.deadline_s < 0 ? cfg_.default_deadline_s : req.deadline_s;
-      p->req = std::move(req);
-      pending_.push_back(std::move(p));
-      agg_.peak_queue_depth = std::max(agg_.peak_queue_depth, pending_.size());
-      if (paused_) {
-        ++undispatched_;
-      } else {
-        dispatch = true;
-      }
-    } else {
-      ++agg_.rejected;
-      if (it != sessions_.end()) ++it->second.stats.rejected;
-    }
+    sync::MutexLock lock(mutex_);
+    decision = admit_locked(session, std::move(req), p);
   }
-  if (!reject.is_ok()) {
+  if (!decision.reject.is_ok()) {
     Response resp;
-    resp.status = std::move(reject);
+    resp.status = std::move(decision.reject);
     resp.stats.session = session;
     if (p->callback) {
       p->callback(std::move(resp));
@@ -118,10 +123,10 @@ QueryId QueryService::admit(SessionId session, Request req,
     }
     return 0;
   }
-  if (dispatch) {
+  if (decision.dispatch) {
     pool_->submit([this] { dispatch_one(); });
   }
-  return id;
+  return decision.id;
 }
 
 Submission QueryService::submit(SessionId session, Request req) {
@@ -144,7 +149,7 @@ Response QueryService::run(SessionId session, Request req) {
 }
 
 Status QueryService::cancel(QueryId id) {
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   for (auto& p : pending_) {
     if (p->id == id) {
       if (p->cancelled) return failed_precondition("already cancelled");
@@ -157,27 +162,27 @@ Status QueryService::cancel(QueryId id) {
 
 Status QueryService::ingest(const std::string& var, const Grid& grid) {
   {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     if (shutdown_) return failed_precondition("service shutting down");
   }
   // No service lock while writing: the store serializes ingests itself and
   // queries proceed against the published state throughout.
   Status st = store_.write_variable(var, grid, cfg_.ingest);
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   st.is_ok() ? ++agg_.ingests : ++agg_.ingest_failures;
   agg_.ingest = store_.ingest_stats();
   return st;
 }
 
 void QueryService::pause() {
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   paused_ = true;
 }
 
 void QueryService::resume() {
   std::size_t n = 0;
   {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     if (!paused_) return;
     paused_ = false;
     n = undispatched_;
@@ -188,24 +193,30 @@ void QueryService::resume() {
   }
 }
 
+std::unique_ptr<QueryService::PendingQuery>
+QueryService::pop_scheduled_locked() {
+  if (pending_.empty()) return nullptr;  // raced with shutdown/another worker
+  std::size_t pick = 0;
+  if (cfg_.policy == SchedulingPolicy::kPriority) {
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+      if (pending_[i]->req.priority > pending_[pick]->req.priority) pick = i;
+    }
+  }
+  std::unique_ptr<PendingQuery> p = std::move(pending_[pick]);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+  --agg_.queued;
+  ++agg_.executing;
+  return p;
+}
+
 void QueryService::dispatch_one() {
   std::unique_ptr<PendingQuery> p;
-  bool was_cancelled = false;
   {
-    std::lock_guard lock(mutex_);
-    if (pending_.empty()) return;  // raced with shutdown/another worker
-    std::size_t pick = 0;
-    if (cfg_.policy == SchedulingPolicy::kPriority) {
-      for (std::size_t i = 1; i < pending_.size(); ++i) {
-        if (pending_[i]->req.priority > pending_[pick]->req.priority) pick = i;
-      }
-    }
-    p = std::move(pending_[pick]);
-    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
-    was_cancelled = p->cancelled;
-    --agg_.queued;
-    ++agg_.executing;
+    sync::MutexLock lock(mutex_);
+    p = pop_scheduled_locked();
   }
+  if (p == nullptr) return;
+  const bool was_cancelled = p->cancelled;
 
   Response resp;
   resp.stats.query_id = p->id;
@@ -250,30 +261,35 @@ void QueryService::dispatch_one() {
   finish(std::move(p), std::move(resp));
 }
 
+void QueryService::fold_stats_locked(const PendingQuery& p,
+                                     const Response& resp) {
+  --agg_.executing;
+  agg_.total_queue_wait_s += resp.stats.queue_wait_s;
+  agg_.total_exec_wall_s += resp.stats.exec_wall_s;
+  agg_.total_modeled_s += resp.stats.modeled_s;
+  agg_.cache += resp.stats.cache;
+  agg_.exec += resp.stats.exec;
+  switch (resp.status.code()) {
+    case ErrorCode::kOk: ++agg_.completed; break;
+    case ErrorCode::kDeadlineExceeded: ++agg_.expired; break;
+    case ErrorCode::kCancelled: ++agg_.cancelled; break;
+    default: ++agg_.failed; break;
+  }
+  auto it = sessions_.find(p.session);
+  if (it != sessions_.end()) {
+    SessionStats& s = it->second.stats;
+    resp.status.is_ok() ? ++s.completed : ++s.failed;
+    s.cache += resp.stats.cache;
+    s.exec += resp.stats.exec;
+    s.total_queue_wait_s += resp.stats.queue_wait_s;
+    s.total_modeled_s += resp.stats.modeled_s;
+  }
+}
+
 void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
   {
-    std::lock_guard lock(mutex_);
-    --agg_.executing;
-    agg_.total_queue_wait_s += resp.stats.queue_wait_s;
-    agg_.total_exec_wall_s += resp.stats.exec_wall_s;
-    agg_.total_modeled_s += resp.stats.modeled_s;
-    agg_.cache += resp.stats.cache;
-    agg_.exec += resp.stats.exec;
-    switch (resp.status.code()) {
-      case ErrorCode::kOk: ++agg_.completed; break;
-      case ErrorCode::kDeadlineExceeded: ++agg_.expired; break;
-      case ErrorCode::kCancelled: ++agg_.cancelled; break;
-      default: ++agg_.failed; break;
-    }
-    auto it = sessions_.find(p->session);
-    if (it != sessions_.end()) {
-      SessionStats& s = it->second.stats;
-      resp.status.is_ok() ? ++s.completed : ++s.failed;
-      s.cache += resp.stats.cache;
-      s.exec += resp.stats.exec;
-      s.total_queue_wait_s += resp.stats.queue_wait_s;
-      s.total_modeled_s += resp.stats.modeled_s;
-    }
+    sync::MutexLock lock(mutex_);
+    fold_stats_locked(*p, resp);
   }
   if (p->callback) {
     p->callback(std::move(resp));
@@ -283,12 +299,12 @@ void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
 }
 
 AggregateStats QueryService::aggregate() const {
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return agg_;
 }
 
 Result<SessionStats> QueryService::session_stats(SessionId id) const {
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return not_found("no such session");
   return it->second.stats;

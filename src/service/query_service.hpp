@@ -35,7 +35,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +42,7 @@
 #include "core/store.hpp"
 #include "parallel/runtime.hpp"
 #include "service/fragment_cache.hpp"
+#include "util/sync.hpp"
 
 namespace mloc::service {
 
@@ -180,12 +180,13 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  Result<SessionId> open_session(std::string label = "");
-  Status close_session(SessionId id);
+  Result<SessionId> open_session(std::string label = "")
+      MLOC_EXCLUDES(mutex_);
+  Status close_session(SessionId id) MLOC_EXCLUDES(mutex_);
 
   /// Submit a query. Always returns a Submission; admission rejections and
   /// execution errors surface through Response::status.
-  Submission submit(SessionId session, Request req);
+  Submission submit(SessionId session, Request req) MLOC_EXCLUDES(mutex_);
 
   /// Invoked exactly once per submit_async call with the final Response —
   /// from a worker thread on normal resolution, from the submitting thread
@@ -198,14 +199,15 @@ class QueryService {
   /// server): no future, no blocked thread per in-flight query. Returns the
   /// QueryId usable with cancel(), or 0 when the request was rejected at
   /// admission (the callback still fires with the rejection Response).
-  QueryId submit_async(SessionId session, Request req, ResponseCallback cb);
+  QueryId submit_async(SessionId session, Request req, ResponseCallback cb)
+      MLOC_EXCLUDES(mutex_);
 
   /// Convenience: submit and block for the response.
   Response run(SessionId session, Request req);
 
   /// Cancel a queued query. Fails with NotFound once it has been
   /// dispatched (running queries are not interrupted).
-  Status cancel(QueryId id);
+  Status cancel(QueryId id) MLOC_EXCLUDES(mutex_);
 
   /// Write (or re-write) a variable through the parallel ingestion
   /// pipeline with the configured ServiceConfig::ingest options, while
@@ -214,15 +216,17 @@ class QueryService {
   /// concurrent ingests internally. On a re-ingest the fragment cache
   /// entries of the old generation are dropped (epoch bump + erase) so
   /// later queries see only fresh data.
-  Status ingest(const std::string& var, const Grid& grid);
+  Status ingest(const std::string& var, const Grid& grid)
+      MLOC_EXCLUDES(mutex_);
 
   /// Suspend/resume dispatch. pause() lets already-dispatched queries
   /// finish but keeps new arrivals queued; admission control still applies.
-  void pause();
-  void resume();
+  void pause() MLOC_EXCLUDES(mutex_);
+  void resume() MLOC_EXCLUDES(mutex_);
 
-  [[nodiscard]] AggregateStats aggregate() const;
-  [[nodiscard]] Result<SessionStats> session_stats(SessionId id) const;
+  [[nodiscard]] AggregateStats aggregate() const MLOC_EXCLUDES(mutex_);
+  [[nodiscard]] Result<SessionStats> session_stats(SessionId id) const
+      MLOC_EXCLUDES(mutex_);
   [[nodiscard]] FragmentCache::Stats cache_stats() const {
     return cache_.stats();
   }
@@ -244,28 +248,51 @@ class QueryService {
     SessionStats stats;
   };
 
+  /// Outcome of the locked admission phase.
+  struct AdmitDecision {
+    Status reject;         ///< ok = admitted
+    bool dispatch = false; ///< kick a pool worker (admitted while running)
+    QueryId id = 0;        ///< assigned id (0 on rejection)
+  };
+
   /// Shared admission path behind submit/submit_async: run admission
   /// control, enqueue or resolve a rejection, kick a worker.
   QueryId admit(SessionId session, Request req,
-                std::unique_ptr<PendingQuery> p);
+                std::unique_ptr<PendingQuery> p) MLOC_EXCLUDES(mutex_);
+  /// Locked admission phase: validate the session, apply queue-depth
+  /// control, and either enqueue `p` (consumed) or leave it for the caller
+  /// to resolve with the rejection. Callers hold the lock; rejection
+  /// resolution and the pool kick happen unlocked.
+  AdmitDecision admit_locked(SessionId session, Request req,
+                             std::unique_ptr<PendingQuery>& p)
+      MLOC_REQUIRES(mutex_);
   /// Worker-thread body: pop the scheduled pending query and execute it.
-  void dispatch_one();
+  void dispatch_one() MLOC_EXCLUDES(mutex_);
+  /// Locked scheduling phase of dispatch_one: pick the next query under
+  /// the configured policy, move the queued->executing gauges.
+  std::unique_ptr<PendingQuery> pop_scheduled_locked() MLOC_REQUIRES(mutex_);
   /// Resolve a query and fold its stats into the aggregates.
-  void finish(std::unique_ptr<PendingQuery> p, Response resp);
+  void finish(std::unique_ptr<PendingQuery> p, Response resp)
+      MLOC_EXCLUDES(mutex_);
+  /// Locked stats phase of finish(): fold one resolution into the service
+  /// and session aggregates. The response delivery happens unlocked.
+  void fold_stats_locked(const PendingQuery& p, const Response& resp)
+      MLOC_REQUIRES(mutex_);
 
   ServiceConfig cfg_;
   MlocStore store_;
   FragmentCache cache_;
 
-  mutable std::mutex mutex_;
-  std::deque<std::unique_ptr<PendingQuery>> pending_;
-  std::size_t undispatched_ = 0;  ///< queued while paused (no pool task yet)
-  bool paused_ = false;
-  bool shutdown_ = false;
-  QueryId next_query_ = 1;
-  SessionId next_session_ = 1;
-  std::map<SessionId, SessionState> sessions_;
-  AggregateStats agg_;
+  mutable sync::Mutex mutex_;
+  std::deque<std::unique_ptr<PendingQuery>> pending_ MLOC_GUARDED_BY(mutex_);
+  /// queued while paused (no pool task yet)
+  std::size_t undispatched_ MLOC_GUARDED_BY(mutex_) = 0;
+  bool paused_ MLOC_GUARDED_BY(mutex_) = false;
+  bool shutdown_ MLOC_GUARDED_BY(mutex_) = false;
+  QueryId next_query_ MLOC_GUARDED_BY(mutex_) = 1;
+  SessionId next_session_ MLOC_GUARDED_BY(mutex_) = 1;
+  std::map<SessionId, SessionState> sessions_ MLOC_GUARDED_BY(mutex_);
+  AggregateStats agg_ MLOC_GUARDED_BY(mutex_);
 
   /// Declared last: its destructor drains worker tasks that touch the
   /// members above, so it must be destroyed first.

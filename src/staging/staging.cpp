@@ -21,12 +21,12 @@ Status StagingPipeline::submit(const std::string& var, std::uint64_t step,
                                Grid grid) {
   const std::string name = step_variable(var, step);
   Stopwatch wait;
-  std::unique_lock lock(mutex_);
+  sync::MutexLock lock(mutex_);
   if (stopping_) return failed_precondition("staging: pipeline finished");
-  cv_space_.wait(lock, [this] {
-    return queue_.size() < opts_.queue_capacity || !first_error_.is_ok() ||
-           stopping_;
-  });
+  while (queue_.size() >= opts_.queue_capacity && first_error_.is_ok() &&
+         !stopping_) {
+    cv_space_.wait(lock);
+  }
   if (!first_error_.is_ok()) return first_error_;
   if (stopping_) return failed_precondition("staging: pipeline finished");
   stats_.producer_wait_seconds += wait.seconds();
@@ -41,8 +41,8 @@ void StagingPipeline::staging_loop() {
   while (true) {
     Item item;
     {
-      std::unique_lock lock(mutex_);
-      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      sync::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_work_.wait(lock);
       if (queue_.empty()) return;  // stopping and drained
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -51,7 +51,7 @@ void StagingPipeline::staging_loop() {
     Stopwatch sw;
     bool duplicate = false;
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       duplicate = !staged_names_.insert(item.var).second;
     }
     Status status =
@@ -59,7 +59,7 @@ void StagingPipeline::staging_loop() {
                   : store_->write_variable(item.var, item.grid);
     const double elapsed = sw.seconds();
     {
-      std::lock_guard lock(mutex_);
+      sync::MutexLock lock(mutex_);
       stats_.staging_seconds += elapsed;
       if (status.is_ok()) {
         ++stats_.steps_staged;
@@ -73,19 +73,19 @@ void StagingPipeline::staging_loop() {
 
 Status StagingPipeline::finish() {
   {
-    std::lock_guard lock(mutex_);
+    sync::MutexLock lock(mutex_);
     if (stopping_ && !worker_.joinable()) return first_error_;
     stopping_ = true;
   }
   cv_work_.notify_all();
   cv_space_.notify_all();
   if (worker_.joinable()) worker_.join();
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return first_error_;
 }
 
 StagingPipeline::Stats StagingPipeline::stats() const {
-  std::lock_guard lock(mutex_);
+  sync::MutexLock lock(mutex_);
   return stats_;
 }
 

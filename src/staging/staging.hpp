@@ -12,15 +12,14 @@
 // the time-range query helper.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 
 #include "core/store.hpp"
+#include "util/sync.hpp"
 
 namespace mloc::staging {
 
@@ -52,13 +51,14 @@ class StagingPipeline {
 
   /// Enqueue one time step of `var`. Blocks while the queue is full.
   /// Fails immediately if a prior staging step already failed.
-  Status submit(const std::string& var, std::uint64_t step, Grid grid);
+  Status submit(const std::string& var, std::uint64_t step, Grid grid)
+      MLOC_EXCLUDES(mutex_);
 
   /// Drain the queue, stop the staging thread, and return the first
   /// staging error (Ok when everything landed). Idempotent.
-  Status finish();
+  Status finish() MLOC_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const MLOC_EXCLUDES(mutex_);
 
  private:
   struct Item {
@@ -66,23 +66,25 @@ class StagingPipeline {
     Grid grid;
   };
 
-  void staging_loop();
+  void staging_loop() MLOC_EXCLUDES(mutex_);
 
   MlocStore* store_;
   Options opts_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_space_;
-  std::condition_variable cv_work_;
-  std::deque<Item> queue_;
+  mutable sync::Mutex mutex_;
+  sync::CondVar cv_space_;
+  sync::CondVar cv_work_;
+  std::deque<Item> queue_ MLOC_GUARDED_BY(mutex_);
   /// Step names already staged. The store itself replaces on re-write
   /// (re-ingest), but a simulation emitting the same time step twice is a
   /// producer bug — the pipeline rejects it rather than silently
   /// overwriting the earlier step.
-  std::set<std::string> staged_names_;
-  bool stopping_ = false;
-  Status first_error_;
-  Stats stats_;
+  std::set<std::string> staged_names_ MLOC_GUARDED_BY(mutex_);
+  bool stopping_ MLOC_GUARDED_BY(mutex_) = false;
+  Status first_error_ MLOC_GUARDED_BY(mutex_);
+  Stats stats_ MLOC_GUARDED_BY(mutex_);
+  /// Joined only by finish(), which serializes on itself via `stopping_`;
+  /// the staging thread never touches it.
   std::thread worker_;
 };
 

@@ -1,0 +1,222 @@
+// Annotated synchronization layer — compile-time concurrency contracts.
+//
+// Every concurrent subsystem (QueryService sessions, the sharded
+// FragmentCache, the exec/ingest pipelines' ThreadPool, the staging
+// pipeline, the epoll wire server, MlocStore's published-state gates)
+// expresses its locking discipline through these wrappers so Clang's
+// capability analysis (-Wthread-safety -Wthread-safety-beta) can prove at
+// compile time that:
+//   * every access to a MLOC_GUARDED_BY member happens under its lock;
+//   * every MLOC_REQUIRES function is only called with the lock held;
+//   * no path leaks a lock (missing unlock) or double-acquires it;
+//   * declared MLOC_ACQUIRED_BEFORE orderings are never inverted.
+//
+// The macros expand to Clang's thread-safety attributes under Clang and to
+// nothing elsewhere, so GCC builds are unaffected; CI compiles the whole
+// tree under clang++ -Wthread-safety -Wthread-safety-beta -Werror, and the
+// compile-fail fixtures in tests/lint_fixtures/ prove the gate rejects each
+// violation family. Escape hatch: MLOC_NO_THREAD_SAFETY_ANALYSIS — at most
+// two justified uses exist repo-wide (see DESIGN.md §13).
+//
+// Condition variables deliberately expose only plain wait()/wait_until():
+// predicates live as explicit `while (!cond) cv.wait(lock);` loops at the
+// call site, where the analysis can see the guarded reads happen under the
+// held capability (a predicate lambda handed to std::condition_variable
+// would be analyzed as an unlocked free function).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define MLOC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MLOC_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// Types.
+#define MLOC_CAPABILITY(x) MLOC_THREAD_ANNOTATION_(capability(x))
+#define MLOC_SCOPED_CAPABILITY MLOC_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data members.
+#define MLOC_GUARDED_BY(x) MLOC_THREAD_ANNOTATION_(guarded_by(x))
+#define MLOC_PT_GUARDED_BY(x) MLOC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define MLOC_ACQUIRED_BEFORE(...) \
+  MLOC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MLOC_ACQUIRED_AFTER(...) \
+  MLOC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Functions.
+#define MLOC_REQUIRES(...) \
+  MLOC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MLOC_REQUIRES_SHARED(...) \
+  MLOC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define MLOC_ACQUIRE(...) \
+  MLOC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MLOC_ACQUIRE_SHARED(...) \
+  MLOC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define MLOC_RELEASE(...) \
+  MLOC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MLOC_RELEASE_SHARED(...) \
+  MLOC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define MLOC_RELEASE_GENERIC(...) \
+  MLOC_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define MLOC_TRY_ACQUIRE(...) \
+  MLOC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define MLOC_EXCLUDES(...) MLOC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define MLOC_ASSERT_CAPABILITY(x) MLOC_THREAD_ANNOTATION_(assert_capability(x))
+#define MLOC_RETURN_CAPABILITY(x) MLOC_THREAD_ANNOTATION_(lock_returned(x))
+#define MLOC_NO_THREAD_SAFETY_ANALYSIS \
+  MLOC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mloc::sync {
+
+class MutexLock;
+class CondVar;
+
+/// Exclusive mutex capability (wraps std::mutex). Non-movable — owners that
+/// must stay movable hold a MutexHandle instead.
+class MLOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MLOC_ACQUIRE() { mu_.lock(); }
+  void unlock() MLOC_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() MLOC_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex capability (wraps std::shared_mutex). Non-movable.
+class MLOC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MLOC_ACQUIRE() { mu_.lock(); }
+  void unlock() MLOC_RELEASE() { mu_.unlock(); }
+  void lock_shared() MLOC_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MLOC_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_mutex mu_;
+};
+
+/// Exclusive mutex capability whose storage sits behind a shared_ptr: the
+/// owning object stays movable, and copies made at setup share one
+/// underlying mutex. This is the shape MlocStore's gates always had
+/// (shared_ptr<std::mutex>), now carrying the capability annotations.
+class MLOC_CAPABILITY("mutex") MutexHandle {
+ public:
+  MutexHandle() : mu_(std::make_shared<std::mutex>()) {}
+
+  void lock() MLOC_ACQUIRE() { mu_->lock(); }
+  void unlock() MLOC_RELEASE() { mu_->unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::shared_ptr<std::mutex> mu_;
+};
+
+/// Reader/writer capability behind a shared_ptr (movable owner, copies
+/// share the mutex) — MlocStore's published-state gate.
+class MLOC_CAPABILITY("shared_mutex") SharedMutexHandle {
+ public:
+  SharedMutexHandle() : mu_(std::make_shared<std::shared_mutex>()) {}
+
+  void lock() MLOC_ACQUIRE() { mu_->lock(); }
+  void unlock() MLOC_RELEASE() { mu_->unlock(); }
+  void lock_shared() MLOC_ACQUIRE_SHARED() { mu_->lock_shared(); }
+  void unlock_shared() MLOC_RELEASE_SHARED() { mu_->unlock_shared(); }
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_ptr<std::shared_mutex> mu_;
+};
+
+/// Scoped exclusive lock over a Mutex or MutexHandle. Holds a
+/// std::unique_lock internally so CondVar can wait on it.
+class MLOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MLOC_ACQUIRE(mu) : lk_(mu.mu_) {}
+  explicit MutexLock(MutexHandle& mu) MLOC_ACQUIRE(mu) : lk_(*mu.mu_) {}
+  ~MutexLock() MLOC_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Scoped exclusive (writer) lock over a SharedMutex / SharedMutexHandle.
+class MLOC_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MLOC_ACQUIRE(mu) : lk_(mu.mu_) {}
+  explicit WriterLock(SharedMutexHandle& mu) MLOC_ACQUIRE(mu) : lk_(*mu.mu_) {}
+  ~WriterLock() MLOC_RELEASE() = default;
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lk_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex / SharedMutexHandle.
+class MLOC_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(const SharedMutex& mu) MLOC_ACQUIRE_SHARED(mu)
+      : lk_(const_cast<SharedMutex&>(mu).mu_) {}
+  explicit ReaderLock(const SharedMutexHandle& mu) MLOC_ACQUIRE_SHARED(mu)
+      : lk_(*mu.mu_) {}
+  ~ReaderLock() MLOC_RELEASE_GENERIC() = default;
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lk_;
+};
+
+/// Condition variable paired with sync::Mutex via MutexLock. No predicate
+/// overloads by design (see file header): write the wait loop explicitly so
+/// the analysis checks the guarded reads in the condition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `lock`, block, and reacquire before returning.
+  /// Capability-wise the lock is held on entry and exit; the analysis does
+  /// not model the window in between (same as every annotated condvar).
+  void wait(MutexLock& lock) { cv_.wait(lock.lk_); }
+
+  std::cv_status wait_until(MutexLock& lock,
+                            std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lock.lk_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mloc::sync

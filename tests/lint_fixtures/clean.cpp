@@ -1,0 +1,86 @@
+// Positive control for the thread-safety fixture suite: exercises every
+// annotation family the violation fixtures abuse (GUARDED_BY, REQUIRES,
+// EXCLUDES, ACQUIRED_BEFORE, RETURN_CAPABILITY, CondVar wait loops,
+// reader/writer locks) in the correct way. This file MUST compile under
+// `-Wthread-safety -Wthread-safety-beta -Werror`; if it does not, the
+// include paths or the sync layer itself are broken and every "expected
+// failure" below would be failing for the wrong reason.
+#include "util/sync.hpp"
+
+namespace {
+
+using mloc::sync::CondVar;
+using mloc::sync::Mutex;
+using mloc::sync::MutexLock;
+using mloc::sync::ReaderLock;
+using mloc::sync::SharedMutex;
+using mloc::sync::WriterLock;
+
+class Mailbox {
+ public:
+  void push(int v) MLOC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    value_ = v;
+    ready_ = true;
+    cv_.notify_one();
+  }
+
+  int pop() MLOC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!ready_) cv_.wait(lock);
+    ready_ = false;
+    return take_locked();
+  }
+
+  Mutex& mutex() MLOC_RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  int take_locked() MLOC_REQUIRES(mu_) { return value_; }
+
+  Mutex mu_;
+  CondVar cv_;
+  int value_ MLOC_GUARDED_BY(mu_) = 0;
+  bool ready_ MLOC_GUARDED_BY(mu_) = false;
+};
+
+class Table {
+ public:
+  int read() const MLOC_EXCLUDES(rw_) {
+    ReaderLock lock(rw_);
+    return rows_;
+  }
+  void write(int v) MLOC_EXCLUDES(rw_) {
+    WriterLock lock(rw_);
+    rows_ = v;
+  }
+
+ private:
+  mutable SharedMutex rw_;
+  int rows_ MLOC_GUARDED_BY(rw_) = 0;
+};
+
+class Ordered {
+ public:
+  void both() MLOC_EXCLUDES(first_, second_) {
+    MutexLock outer(first_);
+    MutexLock inner(second_);
+    ++steps_;
+  }
+
+ private:
+  Mutex first_ MLOC_ACQUIRED_BEFORE(second_);
+  Mutex second_;
+  int steps_ MLOC_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Mailbox m;
+  m.push(1);
+  Table t;
+  t.write(2);
+  Ordered o;
+  o.both();
+  return m.pop() + t.read();
+}

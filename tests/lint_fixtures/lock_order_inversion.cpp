@@ -1,0 +1,34 @@
+// MUST NOT COMPILE under -Wthread-safety -Wthread-safety-beta -Werror.
+//
+// Invariant family: declared lock order (MLOC_ACQUIRED_BEFORE) is honoured
+// everywhere. first_ is declared acquired-before second_, and this fixture
+// takes them in the opposite order — the shape of an AB/BA deadlock. Order
+// checking lives behind -Wthread-safety-beta, which is why the CI gate and
+// this suite pass that flag explicitly.
+#include "util/sync.hpp"
+
+namespace {
+
+class Ordered {
+ public:
+  // Violation: acquires second_ and then first_, inverting the declared
+  // ACQUIRED_BEFORE relation.
+  void inverted() MLOC_EXCLUDES(first_, second_) {
+    mloc::sync::MutexLock inner(second_);
+    mloc::sync::MutexLock outer(first_);
+    ++steps_;
+  }
+
+ private:
+  mloc::sync::Mutex first_ MLOC_ACQUIRED_BEFORE(second_);
+  mloc::sync::Mutex second_;
+  int steps_ MLOC_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ordered o;
+  o.inverted();
+  return 0;
+}

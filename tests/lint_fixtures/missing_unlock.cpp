@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror.
+//
+// Invariant family: every acquired capability is released on every path out
+// of the function (unless the signature says otherwise with ACQUIRE/
+// RELEASE). This fixture locks a bare Mutex and returns while still holding
+// it on one path — the classic early-return leak a scoped guard prevents.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // Violation: mu_ is still held at the end of the function.
+  int take(bool flush) MLOC_EXCLUDES(mu_) {
+    mu_.lock();
+    int out = value_;
+    if (flush) value_ = 0;
+    return out;
+  }
+
+ private:
+  mloc::sync::Mutex mu_;
+  int value_ MLOC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.take(true);
+}

@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror.
+//
+// Invariant family: references to guarded state never escape the critical
+// section. This fixture hands out a mutable reference to a MLOC_GUARDED_BY
+// field from a function that does not hold (and cannot promise) the
+// capability — the caller would mutate shared state with no lock held.
+#include "util/sync.hpp"
+
+namespace {
+
+class Holder {
+ public:
+  // Violation: returns a reference to mu_-guarded state without holding mu_.
+  int& slot() { return value_; }
+
+ private:
+  mloc::sync::Mutex mu_;
+  int value_ MLOC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Holder h;
+  h.slot() = 7;
+  return 0;
+}

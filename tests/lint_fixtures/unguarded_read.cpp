@@ -1,0 +1,32 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror.
+//
+// Invariant family: guarded state is only touched while its capability is
+// held. This fixture reads a MLOC_GUARDED_BY field with no lock at all; if
+// the gate lets it through, every GUARDED_BY annotation in the tree is
+// decorative.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() MLOC_EXCLUDES(mu_) {
+    mloc::sync::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // Violation: reads value_ without holding mu_.
+  int peek() const { return value_; }
+
+ private:
+  mutable mloc::sync::Mutex mu_;
+  int value_ MLOC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.peek();
+}
