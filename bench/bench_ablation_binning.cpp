@@ -31,10 +31,10 @@ int main() {
     pfs::PfsStorage fs(default_pfs());
     MlocConfig mcfg;
     mcfg.shape = gts.grid.shape();
-    mcfg.chunk_shape = gts.chunk;
-    mcfg.num_bins = 100;
-    mcfg.codec = kMlocCol;
-    mcfg.binning = kind;
+    mcfg.layout.chunk_shape = gts.chunk;
+    mcfg.layout.num_bins = 100;
+    mcfg.layout.codec = kMlocCol;
+    mcfg.layout.binning = kind;
     auto store = MlocStore::create(&fs, "bk", mcfg);
     MLOC_CHECK_MSG(store.is_ok(), store.status().to_string().c_str());
     MLOC_CHECK(store.value().write_variable("v", gts.grid).is_ok());

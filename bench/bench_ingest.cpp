@@ -76,10 +76,10 @@ IngestRun run_ingest(const Dataset& ds, const LayoutConfig& lc,
     pfs::PfsStorage fs(default_pfs());
     MlocConfig cfg;
     cfg.shape = ds.grid.shape();
-    cfg.chunk_shape = ds.chunk;
-    cfg.num_bins = 64;
-    cfg.codec = lc.codec;
-    cfg.order = lc.order;
+    cfg.layout.chunk_shape = ds.chunk;
+    cfg.layout.num_bins = 64;
+    cfg.layout.codec = lc.codec;
+    cfg.layout.order = lc.order;
     auto store = MlocStore::create(&fs, "bench", cfg);
     MLOC_CHECK_MSG(store.is_ok(), store.status().to_string().c_str());
 

@@ -143,9 +143,9 @@ std::vector<service::Request> make_trace() {
 Result<MlocStore> build_store(pfs::PfsStorage* fs) {
   MlocConfig cfg;
   cfg.shape = NDShape{256, 256};
-  cfg.chunk_shape = NDShape{64, 64};
-  cfg.num_bins = 16;
-  cfg.codec = "mzip";
+  cfg.layout.chunk_shape = NDShape{64, 64};
+  cfg.layout.num_bins = 16;
+  cfg.layout.codec = "mzip";
   auto store = MlocStore::create(fs, "net", cfg);
   if (!store.is_ok()) return store;
   MLOC_RETURN_IF_ERROR(

@@ -61,11 +61,11 @@ Result<MlocStore> build_mloc(pfs::PfsStorage* fs, const std::string& name,
                              int num_bins) {
   MlocConfig cfg;
   cfg.shape = ds.grid.shape();
-  cfg.chunk_shape = ds.chunk;
-  cfg.num_bins = num_bins;
-  cfg.codec = codec;
-  cfg.order = order;
-  cfg.curve = curve;
+  cfg.layout.chunk_shape = ds.chunk;
+  cfg.layout.num_bins = num_bins;
+  cfg.layout.codec = codec;
+  cfg.layout.order = order;
+  cfg.layout.curve = curve;
   auto store = MlocStore::create(fs, name, cfg);
   if (!store.is_ok()) return store.status();
   MLOC_RETURN_IF_ERROR(store.value().write_variable("v", ds.grid));

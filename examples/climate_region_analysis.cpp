@@ -21,10 +21,10 @@ int main() {
   pfs::PfsStorage fs;
   MlocConfig cfg;
   cfg.shape = field.shape();
-  cfg.chunk_shape = NDShape{32, 32, 32};
-  cfg.num_bins = 50;
-  cfg.codec = "mzip";
-  cfg.order = LevelOrder::kVSM;  // spatial access at full precision favored
+  cfg.layout.chunk_shape = NDShape{32, 32, 32};
+  cfg.layout.num_bins = 50;
+  cfg.layout.codec = "mzip";
+  cfg.layout.order = LevelOrder::kVSM;  // spatial access at full precision favored
   auto store = MlocStore::create(&fs, "climate", cfg);
   MLOC_CHECK(store.is_ok());
   MLOC_CHECK(store.value().write_variable("temperature", field).is_ok());

@@ -22,9 +22,9 @@ int main() {
   pfs::PfsStorage fs;
   MlocConfig cfg;
   cfg.shape = field.shape();
-  cfg.chunk_shape = NDShape{128, 128};
-  cfg.num_bins = 100;  // VC optimization first: fine-grained binning
-  cfg.codec = "isobar";
+  cfg.layout.chunk_shape = NDShape{128, 128};
+  cfg.layout.num_bins = 100;  // VC optimization first: fine-grained binning
+  cfg.layout.codec = "isobar";
   auto store = MlocStore::create(&fs, "gts", cfg);
   MLOC_CHECK(store.is_ok());
   MLOC_CHECK(store.value().write_variable("temperature", field).is_ok());

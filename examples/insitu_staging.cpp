@@ -20,9 +20,9 @@ int main() {
   pfs::PfsStorage fs;
   MlocConfig cfg;
   cfg.shape = NDShape{kEdge, kEdge};
-  cfg.chunk_shape = NDShape{64, 64};
-  cfg.num_bins = 32;
-  cfg.codec = "isobar";
+  cfg.layout.chunk_shape = NDShape{64, 64};
+  cfg.layout.num_bins = 32;
+  cfg.layout.codec = "isobar";
   auto store = MlocStore::create(&fs, "sim", cfg);
   MLOC_CHECK(store.is_ok());
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/registry.hpp"
 #include "core/store.hpp"
 #include "datagen/datagen.hpp"
 #include "planner/planner.hpp"
@@ -107,12 +108,12 @@ int cmd_build(const Args& args) {
 
   MlocConfig cfg;
   cfg.shape = grid.shape();
-  cfg.chunk_shape = (grid.shape().ndims() == 2)
+  cfg.layout.chunk_shape = (grid.shape().ndims() == 2)
                         ? NDShape{chunk, chunk}
                         : NDShape{chunk, chunk, chunk};
-  cfg.num_bins = std::atoi(args.get("bins", "100").c_str());
-  cfg.codec = args.get("codec", "mzip");
-  cfg.order =
+  cfg.layout.num_bins = std::atoi(args.get("bins", "100").c_str());
+  cfg.layout.codec = args.get("codec", "mzip");
+  cfg.layout.order =
       args.get("order", "vms") == "vsm" ? LevelOrder::kVSM : LevelOrder::kVMS;
 
   pfs::PfsStorage fs;
@@ -131,7 +132,7 @@ int cmd_build(const Args& args) {
       "built %s %s store: %llu points, %.2f MB data + %.2f MB index -> %s\n"
       "ingest: %d thread(s)%s, %.3fs wall (partition %.3fs, encode %.3fs,"
       " fold %.3fs, flush %.3fs), %llu fragments\n",
-      dataset.c_str(), cfg.codec.c_str(),
+      dataset.c_str(), cfg.layout.codec.c_str(),
       static_cast<unsigned long long>(grid.size()),
       static_cast<double>(store.value().data_bytes()) / 1e6,
       static_cast<double>(store.value().index_bytes()) / 1e6, out.c_str(),
@@ -153,12 +154,12 @@ int cmd_info(const Args& args) {
   const MlocConfig& cfg = store.config();
   std::printf("store %s\n", dir.c_str());
   std::printf("  shape       %s, chunks %s\n", cfg.shape.to_string().c_str(),
-              cfg.chunk_shape.to_string().c_str());
-  std::printf("  bins        %d (equal frequency)\n", cfg.num_bins);
-  std::printf("  codec       %s (%s)\n", cfg.codec.c_str(),
-              store.plod_capable() ? "PLoD byte columns" : "whole values");
+              cfg.layout.chunk_shape.to_string().c_str());
+  std::printf("  bins        %d (equal frequency)\n", cfg.layout.num_bins);
+  std::printf("  codec       %s (%s)\n", cfg.layout.codec.c_str(),
+              is_byte_codec(cfg.layout.codec) ? "PLoD byte columns" : "whole values");
   std::printf("  level order %s\n",
-              std::string(level_order_name(cfg.order)).c_str());
+              std::string(level_order_name(cfg.layout.order)).c_str());
   std::printf("  data        %.2f MB, index %.2f MB\n",
               static_cast<double>(store.data_bytes()) / 1e6,
               static_cast<double>(store.index_bytes()) / 1e6);

@@ -21,9 +21,9 @@ int main() {
   pfs::PfsStorage fs;
   MlocConfig cfg;
   cfg.shape = field.shape();
-  cfg.chunk_shape = NDShape{32, 32, 32};
-  cfg.num_bins = 40;
-  cfg.codec = "mzip";  // PLoD byte columns require a byte codec
+  cfg.layout.chunk_shape = NDShape{32, 32, 32};
+  cfg.layout.num_bins = 40;
+  cfg.layout.codec = "mzip";  // PLoD byte columns require a byte codec
   auto store = MlocStore::create(&fs, "mr", cfg);
   MLOC_CHECK(store.is_ok());
   MLOC_CHECK(store.value().write_variable("temperature", field).is_ok());

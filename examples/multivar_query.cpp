@@ -22,9 +22,9 @@ int main() {
   pfs::PfsStorage fs;
   MlocConfig cfg;
   cfg.shape = temperature.shape();
-  cfg.chunk_shape = NDShape{32, 32, 32};
-  cfg.num_bins = 50;
-  cfg.codec = "mzip";
+  cfg.layout.chunk_shape = NDShape{32, 32, 32};
+  cfg.layout.num_bins = 50;
+  cfg.layout.codec = "mzip";
   auto store = MlocStore::create(&fs, "mv", cfg);
   MLOC_CHECK(store.is_ok());
   MLOC_CHECK(store.value().write_variable("temperature", temperature).is_ok());

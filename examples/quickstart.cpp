@@ -22,10 +22,10 @@ int main() {
   //    levels prioritized V-M-S.
   MlocConfig cfg;
   cfg.shape = field.shape();
-  cfg.chunk_shape = NDShape{64, 64};
-  cfg.num_bins = 64;
-  cfg.codec = "mzip";
-  cfg.order = LevelOrder::kVMS;
+  cfg.layout.chunk_shape = NDShape{64, 64};
+  cfg.layout.num_bins = 64;
+  cfg.layout.codec = "mzip";
+  cfg.layout.order = LevelOrder::kVMS;
   auto store = MlocStore::create(&fs, "quickstart", cfg);
   if (!store.is_ok()) {
     std::fprintf(stderr, "create failed: %s\n",

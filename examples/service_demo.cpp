@@ -19,9 +19,9 @@ int main() {
   pfs::PfsStorage fs;
   MlocConfig cfg;
   cfg.shape = field.shape();
-  cfg.chunk_shape = NDShape{64, 64};
-  cfg.num_bins = 64;
-  cfg.codec = "mzip";
+  cfg.layout.chunk_shape = NDShape{64, 64};
+  cfg.layout.num_bins = 64;
+  cfg.layout.codec = "mzip";
   auto store = MlocStore::create(&fs, "svc_demo", cfg);
   if (!store.is_ok() || !store.value().write_variable("phi", field).is_ok()) {
     std::fprintf(stderr, "store setup failed\n");

@@ -15,60 +15,43 @@ namespace mloc {
 namespace {
 
 constexpr std::uint32_t kMetaMagic = 0x4D4C4F43;  // "MLOC"
-constexpr std::uint32_t kMetaVersion = 2;         // v2: CRC subfile footers
-
-void serialize_shape(ByteWriter& w, const NDShape& s) {
-  w.put_u8(static_cast<std::uint8_t>(s.ndims()));
-  for (int d = 0; d < s.ndims(); ++d) w.put_u32(s.extent(d));
-}
-
-Result<NDShape> deserialize_shape(ByteReader& r) {
-  MLOC_ASSIGN_OR_RETURN(std::uint8_t ndims, r.get_u8());
-  if (ndims < 1 || ndims > NDShape::kMaxDims) {
-    return corrupt_data("meta: bad ndims");
-  }
-  Coord extents{};
-  for (int d = 0; d < ndims; ++d) {
-    MLOC_ASSIGN_OR_RETURN(extents[d], r.get_u32());
-    if (extents[d] == 0) return corrupt_data("meta: zero extent");
-  }
-  return NDShape(ndims, extents);
-}
+// v3: per-variable layouts. v2 (store-wide layout, CRC footers) still opens.
+constexpr std::uint32_t kMetaVersion = 3;
+constexpr std::uint32_t kLegacyMetaVersion = 2;
 
 }  // namespace
 
 // ------------------------------------------------------------- lifecycle
 
-Status MlocStore::init_codecs() {
-  if (is_byte_codec(cfg_.codec)) {
-    MLOC_ASSIGN_OR_RETURN(byte_codec_, make_byte_codec(cfg_.codec));
+Status MlocStore::init_derived_state(VariableState* vs) const {
+  MLOC_RETURN_IF_ERROR(validate_layout(vs->layout, cfg_.shape));
+  vs->chunk_grid = ChunkGrid(cfg_.shape, vs->layout.chunk_shape);
+  MLOC_ASSIGN_OR_RETURN(
+      vs->curve_order,
+      make_curve_order(vs->layout, vs->chunk_grid.lattice_shape()));
+  vs->byte_codec.reset();
+  vs->double_codec.reset();
+  if (is_byte_codec(vs->layout.codec)) {
+    MLOC_ASSIGN_OR_RETURN(vs->byte_codec, make_byte_codec(vs->layout.codec));
   } else {
-    MLOC_ASSIGN_OR_RETURN(double_codec_, make_double_codec(cfg_.codec));
+    MLOC_ASSIGN_OR_RETURN(vs->double_codec,
+                          make_double_codec(vs->layout.codec));
   }
   return Status::ok();
-}
-
-int MlocStore::num_groups() const noexcept {
-  return plod_capable() ? plod::kNumGroups : 1;
 }
 
 Result<MlocStore> MlocStore::create(pfs::PfsStorage* fs, std::string name,
                                     MlocConfig cfg) {
   MLOC_CHECK(fs != nullptr);
-  if (cfg.shape.ndims() == 0 || cfg.chunk_shape.ndims() != cfg.shape.ndims()) {
-    return invalid_argument("store: shape/chunk_shape dimensionality");
+  if (cfg.shape.ndims() == 0) {
+    return invalid_argument("store: shape must have at least one dimension");
   }
-  if (cfg.num_bins < 1) return invalid_argument("store: num_bins must be >= 1");
-  if (cfg.sample_stride == 0) cfg.sample_stride = 1;
+  MLOC_RETURN_IF_ERROR(validate_layout(cfg.layout, cfg.shape));
 
   MlocStore store;
   store.fs_ = fs;
   store.name_ = std::move(name);
   store.cfg_ = std::move(cfg);
-  MLOC_RETURN_IF_ERROR(store.init_codecs());
-  store.chunk_grid_ = ChunkGrid(store.cfg_.shape, store.cfg_.chunk_shape);
-  store.curve_order_ = sfc::CurveOrder::make(
-      store.cfg_.curve, store.chunk_grid_.lattice_shape());
   MLOC_ASSIGN_OR_RETURN(store.meta_file_,
                         fs->create(store.name_ + ".meta"));
   MLOC_RETURN_IF_ERROR(store.write_meta());
@@ -80,18 +63,13 @@ Status MlocStore::write_meta() {
   w.put_u32(kMetaMagic);
   w.put_u32(kMetaVersion);
   serialize_shape(w, cfg_.shape);
-  serialize_shape(w, cfg_.chunk_shape);
-  w.put_u32(static_cast<std::uint32_t>(cfg_.num_bins));
-  w.put_u8(static_cast<std::uint8_t>(cfg_.binning));
-  w.put_u8(static_cast<std::uint8_t>(cfg_.curve));
-  w.put_u8(static_cast<std::uint8_t>(cfg_.order));
-  w.put_string(cfg_.codec);
-  w.put_u32(cfg_.sample_stride);
+  cfg_.layout.serialize(w);
   {
     sync::ReaderLock lock(vars_mu_);
     w.put_varint(vars_.size());
     for (const auto& v : vars_) {
       w.put_string(v->name);
+      v->layout.serialize(w);
       v->scheme.serialize(w);
       w.put_varint(v->bins.size());
       for (const auto& b : v->bins) w.put_varint(b.header_len);
@@ -119,32 +97,45 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
   MLOC_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
   if (magic != kMetaMagic) return corrupt_data("meta: bad magic");
   MLOC_ASSIGN_OR_RETURN(std::uint32_t version, r.get_u32());
-  if (version != kMetaVersion) return unsupported("meta: unknown version");
+  if (version != kMetaVersion && version != kLegacyMetaVersion) {
+    return unsupported("meta: unknown version");
+  }
   MLOC_ASSIGN_OR_RETURN(store.cfg_.shape, deserialize_shape(r));
-  MLOC_ASSIGN_OR_RETURN(store.cfg_.chunk_shape, deserialize_shape(r));
-  MLOC_ASSIGN_OR_RETURN(std::uint32_t num_bins, r.get_u32());
-  store.cfg_.num_bins = static_cast<int>(num_bins);
-  MLOC_ASSIGN_OR_RETURN(std::uint8_t binning, r.get_u8());
-  if (binning > 1) return corrupt_data("meta: bad binning kind");
-  store.cfg_.binning = static_cast<BinningKind>(binning);
-  MLOC_ASSIGN_OR_RETURN(std::uint8_t curve, r.get_u8());
-  if (curve > 2) return corrupt_data("meta: bad curve kind");
-  store.cfg_.curve = static_cast<sfc::CurveKind>(curve);
-  MLOC_ASSIGN_OR_RETURN(std::uint8_t order, r.get_u8());
-  if (order > 1) return corrupt_data("meta: bad level order");
-  store.cfg_.order = static_cast<LevelOrder>(order);
-  MLOC_ASSIGN_OR_RETURN(store.cfg_.codec, r.get_string());
-  MLOC_ASSIGN_OR_RETURN(store.cfg_.sample_stride, r.get_u32());
-  MLOC_RETURN_IF_ERROR(store.init_codecs());
-  store.chunk_grid_ = ChunkGrid(store.cfg_.shape, store.cfg_.chunk_shape);
-  store.curve_order_ = sfc::CurveOrder::make(
-      store.cfg_.curve, store.chunk_grid_.lattice_shape());
+  if (version == kLegacyMetaVersion) {
+    // v2 stores carry one store-wide layout in fixed field order; it becomes
+    // both the default layout and every variable's layout.
+    VariableLayout& l = store.cfg_.layout;
+    MLOC_ASSIGN_OR_RETURN(l.chunk_shape, deserialize_shape(r));
+    MLOC_ASSIGN_OR_RETURN(std::uint32_t num_bins, r.get_u32());
+    if (num_bins == 0) return corrupt_data("meta: zero bin count");
+    l.num_bins = static_cast<int>(num_bins);
+    MLOC_ASSIGN_OR_RETURN(std::uint8_t binning, r.get_u8());
+    if (binning > 1) return corrupt_data("meta: bad binning kind");
+    l.binning = static_cast<BinningKind>(binning);
+    MLOC_ASSIGN_OR_RETURN(std::uint8_t curve, r.get_u8());
+    if (curve > 2) return corrupt_data("meta: bad curve kind");
+    l.curve = static_cast<sfc::CurveKind>(curve);
+    MLOC_ASSIGN_OR_RETURN(std::uint8_t order, r.get_u8());
+    if (order > 1) return corrupt_data("meta: bad level order");
+    l.order = static_cast<LevelOrder>(order);
+    MLOC_ASSIGN_OR_RETURN(l.codec, r.get_string());
+    MLOC_ASSIGN_OR_RETURN(l.sample_stride, r.get_u32());
+  } else {
+    MLOC_ASSIGN_OR_RETURN(store.cfg_.layout, VariableLayout::deserialize(r));
+  }
+  MLOC_RETURN_IF_ERROR(validate_layout(store.cfg_.layout, store.cfg_.shape));
 
   MLOC_ASSIGN_OR_RETURN(std::uint64_t nvars, r.get_varint());
   if (nvars > 1024) return corrupt_data("meta: implausible variable count");
   for (std::uint64_t i = 0; i < nvars; ++i) {
     VariableState vs;
     MLOC_ASSIGN_OR_RETURN(vs.name, r.get_string());
+    if (version == kLegacyMetaVersion) {
+      vs.layout = store.cfg_.layout;
+    } else {
+      MLOC_ASSIGN_OR_RETURN(vs.layout, VariableLayout::deserialize(r));
+    }
+    MLOC_RETURN_IF_ERROR(store.init_derived_state(&vs));
     MLOC_ASSIGN_OR_RETURN(vs.scheme, BinningScheme::deserialize(r));
     MLOC_ASSIGN_OR_RETURN(std::uint64_t nbins, r.get_varint());
     if (nbins != static_cast<std::uint64_t>(vs.scheme.num_bins())) {
@@ -163,6 +154,8 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
     sync::WriterLock lock(store.vars_mu_);
     store.vars_.push_back(std::make_shared<VariableState>(std::move(vs)));
   }
+  // A legacy store is kept byte-stable on open (read-only opens of archived
+  // data must not mutate it); its meta upgrades to v3 on the next ingest.
   return store;
 }
 
@@ -186,6 +179,45 @@ Result<std::vector<MlocStore::BinSubfiles>> MlocStore::bin_subfiles(
   out.reserve(vs->bins.size());
   for (const auto& b : vs->bins) {
     out.push_back({b.idx, b.dat, b.header_len});
+  }
+  return out;
+}
+
+Result<const VariableLayout*> MlocStore::variable_layout(
+    const std::string& var) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  return &vs->layout;
+}
+
+Result<const ChunkGrid*> MlocStore::chunk_grid(const std::string& var) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  return &vs->chunk_grid;
+}
+
+Result<MlocStore::VariableDesc> MlocStore::describe(
+    const std::string& var) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  VariableDesc desc;
+  desc.name = vs->name;
+  desc.layout = vs->layout;
+  desc.epoch = vs->epoch;
+  desc.plod_capable = vs->plod_capable();
+  desc.num_groups = vs->plod_capable() ? plod::kNumGroups : 1;
+  return desc;
+}
+
+std::vector<MlocStore::VariableDesc> MlocStore::describe_all() const {
+  sync::ReaderLock lock(vars_mu_);
+  std::vector<VariableDesc> out;
+  out.reserve(vars_.size());
+  for (const auto& v : vars_) {
+    VariableDesc desc;
+    desc.name = v->name;
+    desc.layout = v->layout;
+    desc.epoch = v->epoch;
+    desc.plod_capable = v->plod_capable();
+    desc.num_groups = v->plod_capable() ? plod::kNumGroups : 1;
+    out.push_back(std::move(desc));
   }
   return out;
 }
@@ -224,30 +256,39 @@ std::uint64_t MlocStore::index_bytes() const {
 // ------------------------------------------------------------ write path
 
 Status MlocStore::write_variable(const std::string& var, const Grid& grid) {
-  return write_variable(var, grid, ingest::WriteOptions{});
+  return write_variable(var, grid, cfg_.layout, ingest::WriteOptions{});
 }
 
 Status MlocStore::write_variable(const std::string& var, const Grid& grid,
                                  const ingest::WriteOptions& opts) {
+  return write_variable(var, grid, cfg_.layout, opts);
+}
+
+Status MlocStore::write_variable(const std::string& var, const Grid& grid,
+                                 const VariableLayout& layout,
+                                 const ingest::WriteOptions& opts) {
   if (!(grid.shape() == cfg_.shape)) {
     return invalid_argument("store: grid shape mismatches config");
   }
+  auto vs = std::make_shared<VariableState>();
+  vs->name = var;
+  vs->layout = layout;
+  MLOC_RETURN_IF_ERROR(init_derived_state(vs.get()));
+
   // One ingest at a time; queries keep running against the published state.
   sync::MutexLock ingest_lock(ingest_mu_);
 
   ingest::StoreWriter writer;
   writer.fs = fs_;
-  writer.cfg = &cfg_;
-  writer.chunk_grid = &chunk_grid_;
-  writer.curve = &curve_order_;
-  writer.byte_codec = byte_codec_.get();
-  writer.double_codec = double_codec_.get();
+  writer.layout = &vs->layout;
+  writer.chunk_grid = &vs->chunk_grid;
+  writer.curve = &vs->curve_order;
+  writer.byte_codec = vs->byte_codec.get();
+  writer.double_codec = vs->double_codec.get();
   writer.store_name = name_;
   MLOC_ASSIGN_OR_RETURN(ingest::IngestOutput out,
                         ingest::ingest_variable(writer, var, grid, opts));
 
-  auto vs = std::make_shared<VariableState>();
-  vs->name = var;
   vs->scheme = std::move(out.scheme);
   vs->bins.reserve(out.bins.size());
   for (auto& bin : out.bins) {
@@ -334,8 +375,9 @@ Result<exec::PlanSummary> MlocStore::plan(const std::string& var,
 exec::StoreView MlocStore::make_view(const VariableState& vs) const {
   exec::StoreView view;
   view.fs = fs_;
-  view.cfg = &cfg_;
-  view.chunk_grid = &chunk_grid_;
+  view.shape = &cfg_.shape;
+  view.layout = &vs.layout;
+  view.chunk_grid = &vs.chunk_grid;
   view.var = &vs.name;
   view.scheme = &vs.scheme;
   view.epoch = vs.epoch;
@@ -344,8 +386,8 @@ exec::StoreView MlocStore::make_view(const VariableState& vs) const {
     view.bins.push_back(
         {files.idx, files.dat, files.header_len, files.header_cache.get()});
   }
-  view.byte_codec = byte_codec_.get();
-  view.double_codec = double_codec_.get();
+  view.byte_codec = vs.byte_codec.get();
+  view.double_codec = vs.double_codec.get();
   view.provider = provider_;
   view.verify_subfile = [this, &vs](int bin, bool dat_file) {
     return ensure_subfile_verified(vs.bins[static_cast<std::size_t>(bin)],

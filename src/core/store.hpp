@@ -1,10 +1,12 @@
 // MlocStore — the MLOC framework's public entry point.
 //
 // A store lives on a pfs::PfsStorage and holds any number of variables that
-// share one grid shape, chunking, level order, and codec (paper Fig. 1
-// pipeline). Writing a variable runs the full multi-level layout pipeline:
+// share one grid shape (paper Fig. 1 pipeline); every other layout choice —
+// chunking, bin count, curve, level order, codec — is a per-variable
+// VariableLayout, so mixed-layout stores are first-class. Writing a
+// variable runs the full multi-level layout pipeline under its layout:
 // equal-frequency binning -> per-bin subfiles -> (PLoD byte grouping and
-// Hilbert-curve fragment ordering, in the configured order) -> compression.
+// curve-ordered fragment placement, in the configured order) -> compression.
 // Queries execute the parallel access protocol of §III-D: bin selection by
 // VC, fragment selection by SC via the Hilbert mapping, column-order block
 // assignment to ranks, per-rank fetch/decompress/filter, and gather.
@@ -119,11 +121,12 @@ class MlocStore {
   [[nodiscard]] static Result<MlocStore> open(pfs::PfsStorage* fs, const std::string& name);
 
   /// Ingest one variable through the layout pipeline (serial reference
-  /// path). The grid shape must match the store config. Writing a name
-  /// that already exists replaces it: the fresh layout is published
-  /// atomically, the fragment-provider entries of the old generation are
-  /// dropped, and in-flight queries against the old state fail cleanly
-  /// (checksum mismatch) rather than reading mixed generations.
+  /// path) under the store's default layout. The grid shape must match the
+  /// store config. Writing a name that already exists replaces it: the
+  /// fresh layout is published atomically, the fragment-provider entries of
+  /// the old generation are dropped, and in-flight queries against the old
+  /// state fail cleanly (checksum mismatch) rather than reading mixed
+  /// generations.
   [[nodiscard]] Status write_variable(const std::string& var, const Grid& grid)
       MLOC_EXCLUDES(ingest_mu_, vars_mu_);
 
@@ -133,6 +136,15 @@ class MlocStore {
   /// (internally serialized); queries may run concurrently.
   [[nodiscard]] Status write_variable(const std::string& var, const Grid& grid,
                         const ingest::WriteOptions& opts)
+      MLOC_EXCLUDES(ingest_mu_, vars_mu_);
+
+  /// Ingest under an explicit per-variable layout (validated first —
+  /// InvalidArgument on a bad bin count, stride, chunk shape, codec, or
+  /// interleave). A re-ingest may change the layout: the variable's new
+  /// generation lives entirely under the new one.
+  [[nodiscard]] Status write_variable(const std::string& var, const Grid& grid,
+                        const VariableLayout& layout,
+                        const ingest::WriteOptions& opts = {})
       MLOC_EXCLUDES(ingest_mu_, vars_mu_);
 
   /// Cumulative write-path accounting across all write_variable calls.
@@ -207,19 +219,29 @@ class MlocStore {
   };
   [[nodiscard]] Result<std::vector<BinSubfiles>> bin_subfiles(
       const std::string& var) const;
-  [[nodiscard]] const ChunkGrid& chunk_grid() const noexcept {
-    return chunk_grid_;
-  }
+  /// This variable's layout / chunk lattice (pointers stay valid for the
+  /// store's lifetime, like every find_var-derived pointer).
+  [[nodiscard]] Result<const VariableLayout*> variable_layout(
+      const std::string& var) const;
+  [[nodiscard]] Result<const ChunkGrid*> chunk_grid(
+      const std::string& var) const;
   [[nodiscard]] const pfs::PfsConfig& pfs_config() const noexcept {
     return fs_->config();
   }
 
-  /// True when the store keeps PLoD byte columns (byte codec / MLOC-COL).
-  [[nodiscard]] bool plod_capable() const noexcept {
-    return byte_codec_ != nullptr;
-  }
-  /// 7 byte groups in PLoD mode, 1 whole-value group otherwise.
-  [[nodiscard]] int num_groups() const noexcept;
+  /// Everything offline tooling (fsck, the wire layer, mloc_tune) needs to
+  /// describe one variable without touching its data.
+  struct VariableDesc {
+    std::string name;
+    VariableLayout layout;
+    std::uint64_t epoch = 0;
+    /// True when the variable keeps PLoD byte columns (byte codec).
+    bool plod_capable = false;
+    int num_groups = 1;  ///< 7 in PLoD mode, 1 whole-value group otherwise
+  };
+  [[nodiscard]] Result<VariableDesc> describe(const std::string& var) const;
+  [[nodiscard]] std::vector<VariableDesc> describe_all() const
+      MLOC_EXCLUDES(vars_mu_);
 
   /// Storage accounting (paper Table I): payload (.dat) and index
   /// (.idx + metadata) bytes across all variables.
@@ -256,14 +278,26 @@ class MlocStore {
   };
   struct VariableState {
     std::string name;
+    VariableLayout layout;
+    /// Derived from `layout` by init_derived_state (never serialized).
+    ChunkGrid chunk_grid;
+    sfc::CurveOrder curve_order;
+    std::shared_ptr<const ByteCodec> byte_codec;      // PLoD/COL mode
+    std::shared_ptr<const DoubleCodec> double_codec;  // whole-value mode
     BinningScheme scheme;
     std::vector<BinFiles> bins;  ///< size = scheme.num_bins()
     std::uint64_t epoch = 0;     ///< ingest generation (FragmentKey::epoch)
+
+    [[nodiscard]] bool plod_capable() const noexcept {
+      return byte_codec != nullptr;
+    }
   };
 
   MlocStore() = default;
 
-  [[nodiscard]] Status init_codecs();
+  /// Materialize the layout-derived members of `vs` (chunk grid, curve
+  /// order, codecs) from vs->layout against the store shape.
+  [[nodiscard]] Status init_derived_state(VariableState* vs) const;
   [[nodiscard]] Status write_meta() MLOC_EXCLUDES(vars_mu_);
 
   /// Verify the footer CRC of one bin subfile if not already done (lazy,
@@ -286,8 +320,6 @@ class MlocStore {
   pfs::PfsStorage* fs_ = nullptr;
   std::string name_;
   MlocConfig cfg_;
-  ChunkGrid chunk_grid_;
-  sfc::CurveOrder curve_order_;
   pfs::FileId meta_file_ = 0;
   /// Serializes whole write_variable calls (one ingest at a time). Always
   /// taken before vars_mu_ (write_variable nests the publish block inside
@@ -306,8 +338,6 @@ class MlocStore {
   /// Ingest generation counter; 0 = opened state.
   std::uint64_t next_epoch_ MLOC_GUARDED_BY(vars_mu_) = 1;
   ingest::IngestStats ingest_stats_ MLOC_GUARDED_BY(vars_mu_);
-  std::shared_ptr<const ByteCodec> byte_codec_;      // PLoD/COL mode
-  std::shared_ptr<const DoubleCodec> double_codec_;  // whole-value mode
   FragmentProvider* provider_ = nullptr;             // serving-layer cache
 };
 

@@ -157,7 +157,7 @@ DecodedFragment decode_fragment(const DecodeInput& in) {
   Stopwatch sw;
   const Region chunk_region = view.chunk_grid->chunk_region(frag.chunk);
   const NDShape local_shape = region_shape(chunk_region);
-  const NDShape& shape = view.cfg->shape;
+  const NDShape& shape = *view.shape;
   for (std::size_t k = 0; k < local->size(); ++k) {
     Coord coord = local_shape.delinearize((*local)[k]);
     for (int d = 0; d < shape.ndims(); ++d) {

@@ -32,9 +32,9 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
   if (q.plod_level < 7 && !view.plod_capable()) {
     return unsupported(
         "query: PLoD levels below full precision need a byte-column codec "
-        "(MLOC-COL); this store uses " + view.cfg->codec);
+        "(MLOC-COL); this store uses " + view.layout->codec);
   }
-  if (q.sc.has_value() && q.sc->ndims() != view.cfg->shape.ndims()) {
+  if (q.sc.has_value() && q.sc->ndims() != view.shape->ndims()) {
     return invalid_argument("query: SC dimensionality mismatch");
   }
   // A degenerate ([lo, lo)) or NaN value range can never match; surface it

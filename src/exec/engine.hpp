@@ -45,7 +45,8 @@ namespace mloc::exec {
 /// execute_query/plan_query call.
 struct StoreView {
   const pfs::PfsStorage* fs = nullptr;
-  const MlocConfig* cfg = nullptr;
+  const NDShape* shape = nullptr;           ///< full grid shape (store-wide)
+  const VariableLayout* layout = nullptr;   ///< this variable's layout
   const ChunkGrid* chunk_grid = nullptr;
   const std::string* var = nullptr;
   const BinningScheme* scheme = nullptr;

@@ -235,7 +235,7 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
           // partial/reduced fetch stays private so bridging never re-reads
           // the planes the level (or the cache) skipped.
           std::uint32_t cls;
-          if (view.cfg->order == LevelOrder::kVMS) {
+          if (view.layout->order == LevelOrder::kVMS) {
             cls = 0;  // per-group, assigned below
           } else if (task.cached_depth == 0 && task.fetch_level == ngroups) {
             cls = kStreamClass;
@@ -244,7 +244,7 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
           }
           for (int g = task.cached_depth; g < task.fetch_level; ++g) {
             const std::uint32_t group_cls =
-                view.cfg->order == LevelOrder::kVMS
+                view.layout->order == LevelOrder::kVMS
                     ? kSectionClassBase + static_cast<std::uint32_t>(g)
                     : cls;
             rp.segments.push_back({ref.dat, frag.groups[g].offset,
@@ -322,7 +322,7 @@ Result<PlanSummary> plan_query(const StoreView& view, const Query& q,
   if (num_ranks < 1) {
     return invalid_argument("query: num_ranks must be >= 1");
   }
-  if (q.sc.has_value() && q.sc->ndims() != view.cfg->shape.ndims()) {
+  if (q.sc.has_value() && q.sc->ndims() != view.shape->ndims()) {
     return invalid_argument("query: SC dimensionality mismatch");
   }
   MLOC_ASSIGN_OR_RETURN(ReadPlan plan,

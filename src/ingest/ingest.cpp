@@ -171,7 +171,7 @@ Result<IngestOutput> ingest_variable(const StoreWriter& writer,
                                      const std::string& var, const Grid& grid,
                                      const WriteOptions& opts) {
   Stopwatch sw_wall;
-  const MlocConfig& cfg = *writer.cfg;
+  const VariableLayout& layout = *writer.layout;
   const ChunkGrid& chunk_grid = *writer.chunk_grid;
   IngestOutput out;
   out.stats.threads = std::max(1, opts.threads);
@@ -181,12 +181,12 @@ Result<IngestOutput> ingest_variable(const StoreWriter& writer,
   // --- Level V: equal-frequency binning boundaries from a sample.
   Stopwatch sw_sample;
   std::vector<double> sample;
-  sample.reserve(grid.size() / cfg.sample_stride + 1);
-  for (std::uint64_t i = 0; i < grid.size(); i += cfg.sample_stride) {
+  sample.reserve(grid.size() / layout.sample_stride + 1);
+  for (std::uint64_t i = 0; i < grid.size(); i += layout.sample_stride) {
     sample.push_back(grid.at_linear(i));
   }
-  if (cfg.binning == BinningKind::kEqualFrequency) {
-    out.scheme = BinningScheme::equal_frequency(sample, cfg.num_bins);
+  if (layout.binning == BinningKind::kEqualFrequency) {
+    out.scheme = BinningScheme::equal_frequency(sample, layout.num_bins);
   } else {
     double lo = sample[0], hi = sample[0];
     for (double v : sample) {
@@ -195,7 +195,7 @@ Result<IngestOutput> ingest_variable(const StoreWriter& writer,
       hi = std::max(hi, v);
     }
     if (!(hi > lo)) hi = lo + 1.0;
-    out.scheme = BinningScheme::equal_width(lo, hi, cfg.num_bins);
+    out.scheme = BinningScheme::equal_width(lo, hi, layout.num_bins);
   }
   const int nbins = out.scheme.num_bins();
   const int groups = writer.plod_capable() ? plod::kNumGroups : 1;
@@ -328,7 +328,7 @@ Result<IngestOutput> ingest_variable(const StoreWriter& writer,
       seg->checksum = fnv1a64(encoded_bytes);
       dat.insert(dat.end(), encoded_bytes.begin(), encoded_bytes.end());
     };
-    if (writer.plod_capable() && cfg.order == LevelOrder::kVMS) {
+    if (writer.plod_capable() && writer.layout->order == LevelOrder::kVMS) {
       for (int g = 0; g < groups; ++g) {
         for (std::size_t f = 0; f < frags.size(); ++f) {
           append_segment(

@@ -90,7 +90,7 @@ struct IngestStats {
 /// call; the caller owns everything referenced.
 struct StoreWriter {
   pfs::PfsStorage* fs = nullptr;
-  const MlocConfig* cfg = nullptr;
+  const VariableLayout* layout = nullptr;
   const ChunkGrid* chunk_grid = nullptr;
   const sfc::CurveOrder* curve = nullptr;
   const ByteCodec* byte_codec = nullptr;      ///< PLoD/COL mode

@@ -203,6 +203,23 @@ Result<StatsSnapshot> Client::stats() {
   return decode_stats(s.payload);
 }
 
+Result<std::vector<MlocStore::VariableDesc>> Client::list_variables() {
+  const std::uint64_t id = next_id_++;
+  MLOC_RETURN_IF_ERROR(
+      send_all(encode_frame(FrameType::kListVariables, id, {})));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(id));
+  if (s.type == FrameType::kAck) {
+    MLOC_ASSIGN_OR_RETURN(Ack ack, decode_status(s.payload));
+    return ack.carried.is_ok()
+               ? internal_error("list_variables refused without a reason")
+               : ack.carried;
+  }
+  if (s.type != FrameType::kVariableList) {
+    return fail(corrupt_data("unexpected reply to list_variables"));
+  }
+  return decode_variable_list(s.payload);
+}
+
 Result<service::SessionStats> Client::session_stats() {
   const std::uint64_t id = next_id_++;
   MLOC_RETURN_IF_ERROR(

@@ -63,6 +63,9 @@ class Client {
 
   Result<StatsSnapshot> stats();
   Result<service::SessionStats> session_stats();
+  /// The served store's per-variable inventory (name, layout, epoch) —
+  /// the remote view of MlocStore::describe_all.
+  Result<std::vector<MlocStore::VariableDesc>> list_variables();
 
  private:
   struct Stash {

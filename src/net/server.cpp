@@ -450,6 +450,13 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       return;
     }
 
+    case FrameType::kListVariables: {
+      send_frame(conn,
+                 encode_frame(FrameType::kVariableList, h.request_id,
+                              encode_variable_list(svc_.store().describe_all())));
+      return;
+    }
+
     case FrameType::kSessionStats: {
       if (conn->session == 0) {
         return ack(h.request_id,

@@ -126,12 +126,14 @@ bool frame_type_known(std::uint16_t raw) noexcept {
     case FrameType::kStats:
     case FrameType::kSessionStats:
     case FrameType::kPing:
+    case FrameType::kListVariables:
     case FrameType::kSessionOpened:
     case FrameType::kQueryResult:
     case FrameType::kStatsResult:
     case FrameType::kSessionStatsResult:
     case FrameType::kAck:
     case FrameType::kPong:
+    case FrameType::kVariableList:
       return true;
   }
   return false;
@@ -614,6 +616,48 @@ Result<service::SessionStats> decode_session_stats(
     return corrupt_data("session-stats payload has trailing bytes");
   }
   return s;
+}
+
+Bytes encode_variable_list(const std::vector<MlocStore::VariableDesc>& vars) {
+  ByteWriter w;
+  w.put_varint(vars.size());
+  for (const MlocStore::VariableDesc& v : vars) {
+    w.put_string(v.name);
+    v.layout.serialize(w);
+    w.put_u64(v.epoch);
+    w.put_u8(v.plod_capable ? 1 : 0);
+    w.put_varint(static_cast<std::uint64_t>(v.num_groups));
+  }
+  return std::move(w).take();
+}
+
+Result<std::vector<MlocStore::VariableDesc>> decode_variable_list(
+    std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  std::uint64_t count = 0;
+  MLOC_ASSIGN_OR_RETURN(count, r.get_varint());
+  if (count > 1u << 20) {
+    return corrupt_data("variable list claims an implausible count");
+  }
+  std::vector<MlocStore::VariableDesc> vars;
+  vars.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MlocStore::VariableDesc v;
+    MLOC_ASSIGN_OR_RETURN(v.name, r.get_string());
+    MLOC_ASSIGN_OR_RETURN(v.layout, VariableLayout::deserialize(r));
+    MLOC_ASSIGN_OR_RETURN(v.epoch, r.get_u64());
+    std::uint8_t plod = 0;
+    MLOC_ASSIGN_OR_RETURN(plod, r.get_u8());
+    v.plod_capable = plod != 0;
+    std::uint64_t groups = 0;
+    MLOC_ASSIGN_OR_RETURN(groups, r.get_varint());
+    v.num_groups = static_cast<int>(groups);
+    vars.push_back(std::move(v));
+  }
+  if (!r.exhausted()) {
+    return corrupt_data("variable-list payload has trailing bytes");
+  }
+  return vars;
 }
 
 }  // namespace mloc::net

@@ -64,6 +64,7 @@ enum class FrameType : std::uint16_t {
   kStats = 5,         ///< payload: empty         -> kStatsResult
   kSessionStats = 6,  ///< payload: empty         -> kSessionStatsResult
   kPing = 7,          ///< payload: empty         -> kPong
+  kListVariables = 8, ///< payload: empty         -> kVariableList
   // server -> client
   kSessionOpened = 64,      ///< payload: SessionId (u64)
   kQueryResult = 65,        ///< payload: Response
@@ -71,6 +72,7 @@ enum class FrameType : std::uint16_t {
   kSessionStatsResult = 67, ///< payload: SessionStats
   kAck = 68,                ///< payload: Status
   kPong = 69,               ///< payload: empty
+  kVariableList = 70,       ///< payload: per-variable name + layout
 };
 
 /// True for the FrameType values this protocol version defines.
@@ -159,6 +161,13 @@ Result<StatsSnapshot> decode_stats(std::span<const std::uint8_t> p);
 
 Bytes encode_session_stats(const service::SessionStats& s);
 Result<service::SessionStats> decode_session_stats(
+    std::span<const std::uint8_t> p);
+
+/// The store's per-variable inventory (MlocStore::describe_all), so a
+/// remote reader can audit a mixed-layout store without filesystem
+/// access. Layouts travel in their meta-v3 serialized form.
+Bytes encode_variable_list(const std::vector<MlocStore::VariableDesc>& vars);
+Result<std::vector<MlocStore::VariableDesc>> decode_variable_list(
     std::span<const std::uint8_t> p);
 
 }  // namespace mloc::net

@@ -61,26 +61,35 @@ Result<int> QueryPlanner::recommend_ranks(const std::string& var,
   return max_ranks;
 }
 
-LevelOrder recommend_order(const WorkloadProfile& workload,
-                           double avg_fragments_per_bin) {
+Result<LevelOrder> recommend_order(const WorkloadProfile& workload,
+                                   double avg_fragments_per_bin) {
   // Relative seek cost per bin for each order (byte model of §III-B-5):
   //   V-M-S: reduced-precision read touches `level` group runs; full
   //          precision touches all 7.
   //   V-S-M: full precision streams fragments in one run; reduced
   //          precision seeks once per fragment.
   // The comparison is scale-invariant, so fractions need not sum to 1 —
-  // but negative or non-finite inputs would make it meaningless. Clamp
-  // each weight to a finite non-negative value, and the fragment count to
-  // at least one fragment per bin (a bin never holds fewer).
-  const auto weight = [](double w) {
-    return std::isfinite(w) && w > 0.0 ? w : 0.0;
+  // but a negative or non-finite input means the caller's workload
+  // accounting is broken, and silently clamping it would launder that bug
+  // into a confident recommendation. Reject instead.
+  const auto check = [](double w, const char* name) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return invalid_argument(std::string("recommend_order: ") + name +
+                              " must be finite and non-negative");
+    }
+    return Status::ok();
   };
-  const double region = weight(workload.region_queries);
-  const double full = weight(workload.value_full_precision);
-  const double reduced = weight(workload.value_reduced);
-  const double frags_per_bin = std::isfinite(avg_fragments_per_bin)
-                                   ? std::max(1.0, avg_fragments_per_bin)
-                                   : 1.0;
+  MLOC_RETURN_IF_ERROR(check(workload.region_queries, "region_queries"));
+  MLOC_RETURN_IF_ERROR(
+      check(workload.value_full_precision, "value_full_precision"));
+  MLOC_RETURN_IF_ERROR(check(workload.value_reduced, "value_reduced"));
+  MLOC_RETURN_IF_ERROR(
+      check(avg_fragments_per_bin, "avg_fragments_per_bin"));
+  const double region = workload.region_queries;
+  const double full = workload.value_full_precision;
+  const double reduced = workload.value_reduced;
+  // A bin never holds fewer than one fragment.
+  const double frags_per_bin = std::max(1.0, avg_fragments_per_bin);
   const double reduced_groups =
       static_cast<double>(std::clamp(workload.reduced_level, 1, 7));
   const double vms =

@@ -63,8 +63,11 @@ struct WorkloadProfile {
 /// Level-order recommendation from the seek model: V-M-S keeps each byte
 /// group contiguous bin-wide (cheap reduced-precision reads, 7 runs for
 /// full precision); V-S-M keeps each fragment contiguous (1 run for full
-/// precision, one run per fragment for reduced).
-LevelOrder recommend_order(const WorkloadProfile& workload,
-                           double avg_fragments_per_bin = 16.0);
+/// precision, one run per fragment for reduced). Workload weights must be
+/// finite and non-negative (InvalidArgument otherwise — a NaN/inf weight
+/// means the caller's accounting broke and any pick would be arbitrary);
+/// negative fragment counts are likewise rejected.
+Result<LevelOrder> recommend_order(const WorkloadProfile& workload,
+                                   double avg_fragments_per_bin = 16.0);
 
 }  // namespace mloc::planner

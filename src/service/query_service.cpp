@@ -248,6 +248,10 @@ void QueryService::dispatch_one() {
   if (!result.is_ok()) {
     resp.status = result.status();
   } else {
+    if (auto* rec = trace_recorder_.load(std::memory_order_acquire);
+        rec != nullptr && !p->req.multivar.has_value()) {
+      rec->record({p->req.var, p->req.query, ranks});
+    }
     resp.result = std::move(result).value();
     resp.stats.modeled_s = resp.result.times.total();
     resp.stats.cache = resp.result.cache;

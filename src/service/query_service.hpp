@@ -29,6 +29,7 @@
 // internally sharded and locked.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -42,6 +43,7 @@
 #include "core/store.hpp"
 #include "parallel/runtime.hpp"
 #include "service/fragment_cache.hpp"
+#include "tune/trace.hpp"
 #include "util/sync.hpp"
 
 namespace mloc::service {
@@ -233,6 +235,15 @@ class QueryService {
   [[nodiscard]] const MlocStore& store() const noexcept { return store_; }
   [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
+  /// Attach a workload-trace sink (nullptr detaches). Every successfully
+  /// executed single-variable query is recorded with its effective rank
+  /// count — the exact input mloc_tune replays. The recorder is not owned
+  /// and must outlive the service (or be detached first); multi-variable
+  /// selections are not recorded (the tuner works per variable).
+  void set_trace_recorder(tune::TraceRecorder* recorder) noexcept {
+    trace_recorder_.store(recorder, std::memory_order_release);
+  }
+
  private:
   struct PendingQuery {
     QueryId id = 0;
@@ -282,6 +293,9 @@ class QueryService {
   ServiceConfig cfg_;
   MlocStore store_;
   FragmentCache cache_;
+  /// Optional workload sink, swapped atomically (readers are worker
+  /// threads mid-dispatch; no lock needed for a pointer load).
+  std::atomic<tune::TraceRecorder*> trace_recorder_{nullptr};
 
   mutable sync::Mutex mutex_;
   std::deque<std::unique_ptr<PendingQuery>> pending_ MLOC_GUARDED_BY(mutex_);

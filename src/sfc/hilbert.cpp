@@ -139,6 +139,97 @@ Coord morton_axes(int ndims, int order, std::uint64_t index) {
   return out;
 }
 
+Result<InterleavePattern> parse_interleave(std::string_view pattern,
+                                           int ndims) {
+  MLOC_CHECK(ndims >= 1 && ndims <= NDShape::kMaxDims);
+  if (pattern.empty()) {
+    return invalid_argument("interleave: empty pattern");
+  }
+  if (pattern.size() > 64) {
+    return invalid_argument("interleave: more than 64 bit slots");
+  }
+  InterleavePattern p;
+  p.slots.reserve(pattern.size());
+  for (char c : pattern) {
+    int dim = -1;
+    switch (c) {
+      case 'x': case 'X': case '0': dim = 0; break;
+      case 'y': case 'Y': case '1': dim = 1; break;
+      case 'z': case 'Z': case '2': dim = 2; break;
+      case 'w': case 'W': case '3': dim = 3; break;
+      default:
+        return invalid_argument(std::string("interleave: bad character '") +
+                                c + "'");
+    }
+    if (dim >= ndims) {
+      return invalid_argument(std::string("interleave: dimension '") + c +
+                              "' outside a " + std::to_string(ndims) +
+                              "-d lattice");
+    }
+    p.slots.push_back(static_cast<std::uint8_t>(dim));
+    ++p.bits[static_cast<std::size_t>(dim)];
+  }
+  return p;
+}
+
+Status validate_interleave(std::string_view pattern, const NDShape& lattice) {
+  MLOC_ASSIGN_OR_RETURN(InterleavePattern p,
+                        parse_interleave(pattern, lattice.ndims()));
+  for (int d = 0; d < lattice.ndims(); ++d) {
+    const auto bits = p.bits[static_cast<std::size_t>(d)];
+    if (bits == 0) {
+      return invalid_argument("interleave: dimension " + std::to_string(d) +
+                              " never appears in \"" + std::string(pattern) +
+                              "\"");
+    }
+    if (bits < 64 && (1ull << bits) < lattice.extent(d)) {
+      return invalid_argument(
+          "interleave: dimension " + std::to_string(d) + " gets " +
+          std::to_string(bits) + " bit(s), too few for extent " +
+          std::to_string(lattice.extent(d)));
+    }
+  }
+  return Status::ok();
+}
+
+std::string canonical_interleave(const NDShape& lattice) {
+  static constexpr char kDimLetters[] = "xyzw";
+  const int order = std::max(1, covering_order(lattice));
+  std::string pattern;
+  pattern.reserve(static_cast<std::size_t>(order * lattice.ndims()));
+  for (int level = 0; level < order; ++level) {
+    for (int d = 0; d < lattice.ndims(); ++d) pattern += kDimLetters[d];
+  }
+  return pattern;
+}
+
+std::uint64_t generalized_morton_index(const InterleavePattern& p,
+                                       const Coord& axes) {
+  std::array<int, NDShape::kMaxDims> next{};
+  for (std::size_t d = 0; d < next.size(); ++d) next[d] = p.bits[d];
+  std::uint64_t h = 0;
+  for (std::uint8_t d : p.slots) {
+    const int b = --next[d];
+    MLOC_DCHECK(b >= 0);
+    h = (h << 1) | ((axes[d] >> b) & 1u);
+  }
+  return h;
+}
+
+Coord generalized_morton_axes(const InterleavePattern& p,
+                              std::uint64_t index) {
+  std::array<int, NDShape::kMaxDims> next{};
+  for (std::size_t d = 0; d < next.size(); ++d) next[d] = p.bits[d];
+  Coord out{};
+  int shift = static_cast<int>(p.slots.size());
+  for (std::uint8_t d : p.slots) {
+    --shift;
+    const int b = --next[d];
+    out[d] |= static_cast<std::uint32_t>((index >> shift) & 1u) << b;
+  }
+  return out;
+}
+
 int covering_order(const NDShape& shape) {
   std::uint32_t max_extent = 1;
   for (int d = 0; d < shape.ndims(); ++d) {
@@ -149,7 +240,36 @@ int covering_order(const NDShape& shape) {
   return order;
 }
 
+namespace {
+
+/// Enumerate lattice cells, key each by `key_of`, and sort: ranks are dense
+/// positions of that order (shared by every curve family).
+template <typename KeyFn>
+void rank_by_key(const NDShape& lattice,
+                 std::vector<std::uint32_t>* rank_of,
+                 std::vector<ChunkId>* chunk_at, KeyFn key_of) {
+  const auto total = static_cast<std::uint32_t>(lattice.volume());
+  struct Keyed {
+    std::uint64_t key;
+    ChunkId id;
+  };
+  std::vector<Keyed> cells;
+  cells.reserve(total);
+  for (std::uint32_t id = 0; id < total; ++id) {
+    cells.push_back({key_of(lattice.delinearize(id)), id});
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  for (std::uint32_t rank = 0; rank < total; ++rank) {
+    (*chunk_at)[rank] = cells[rank].id;
+    (*rank_of)[cells[rank].id] = rank;
+  }
+}
+
+}  // namespace
+
 CurveOrder CurveOrder::make(CurveKind kind, const NDShape& lattice) {
+  MLOC_CHECK(kind != CurveKind::kGeneralizedMorton);
   CurveOrder out;
   out.kind_ = kind;
   const auto total = lattice.volume();
@@ -167,27 +287,37 @@ CurveOrder CurveOrder::make(CurveKind kind, const NDShape& lattice) {
 
   const int ndims = lattice.ndims();
   const int order = covering_order(lattice);
-  // Enumerate lattice cells, key each by its curve index in the enclosing
-  // power-of-two cube, and sort: ranks are dense positions of that order.
-  struct Keyed {
-    std::uint64_t key;
-    ChunkId id;
-  };
-  std::vector<Keyed> cells;
-  cells.reserve(total);
-  for (std::uint32_t id = 0; id < total; ++id) {
-    const Coord c = lattice.delinearize(id);
-    const std::uint64_t key = (kind == CurveKind::kHilbert)
-                                  ? hilbert_index(ndims, order, c)
-                                  : morton_index(ndims, order, c);
-    cells.push_back({key, id});
+  rank_by_key(lattice, &out.rank_of_, &out.chunk_at_,
+              [&](const Coord& c) {
+                return kind == CurveKind::kHilbert
+                           ? hilbert_index(ndims, order, c)
+                           : morton_index(ndims, order, c);
+              });
+  return out;
+}
+
+Result<CurveOrder> CurveOrder::make(CurveKind kind,
+                                    std::string_view interleave,
+                                    const NDShape& lattice) {
+  if (kind == CurveKind::kGeneralizedMorton) {
+    return make_generalized(interleave, lattice);
   }
-  std::sort(cells.begin(), cells.end(),
-            [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
-  for (std::uint32_t rank = 0; rank < total; ++rank) {
-    out.chunk_at_[rank] = cells[rank].id;
-    out.rank_of_[cells[rank].id] = rank;
-  }
+  return make(kind, lattice);
+}
+
+Result<CurveOrder> CurveOrder::make_generalized(std::string_view interleave,
+                                                const NDShape& lattice) {
+  MLOC_RETURN_IF_ERROR(validate_interleave(interleave, lattice));
+  MLOC_ASSIGN_OR_RETURN(InterleavePattern p,
+                        parse_interleave(interleave, lattice.ndims()));
+  CurveOrder out;
+  out.kind_ = CurveKind::kGeneralizedMorton;
+  const auto total = lattice.volume();
+  MLOC_CHECK(total <= (1ull << 32));
+  out.rank_of_.resize(total);
+  out.chunk_at_.resize(total);
+  rank_by_key(lattice, &out.rank_of_, &out.chunk_at_,
+              [&](const Coord& c) { return generalized_morton_index(p, c); });
   return out;
 }
 

@@ -11,11 +11,15 @@
 // match NDShape::kMaxDims.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "array/chunking.hpp"
 #include "array/shape.hpp"
+#include "util/status.hpp"
 
 namespace mloc::sfc {
 
@@ -40,7 +44,58 @@ enum class CurveKind : std::uint8_t {
   kRowMajor = 0,  ///< plain row-major chunk ids (no reordering)
   kMorton = 1,
   kHilbert = 2,
+  /// Bit-interleave driven by an explicit per-level dimension pattern
+  /// (e.g. "zyxzyx"), after "Using Evolutionary Algorithms to Find
+  /// Cache-Friendly Generalized Morton Layouts". Classic Morton is the
+  /// special case of the canonical pattern (see canonical_interleave).
+  kGeneralizedMorton = 3,
 };
+
+[[nodiscard]] constexpr std::string_view curve_kind_name(
+    CurveKind kind) noexcept {
+  switch (kind) {
+    case CurveKind::kRowMajor: return "row-major";
+    case CurveKind::kMorton: return "morton";
+    case CurveKind::kHilbert: return "hilbert";
+    case CurveKind::kGeneralizedMorton: return "generalized-morton";
+  }
+  return "?";
+}
+
+/// Parsed generalized-Morton interleave pattern. The pattern string names
+/// one dimension per output bit, most significant first: letters 'x' (dim
+/// 0), 'y', 'z', 'w', or digits '0'..'3'. Each occurrence of a dimension
+/// consumes its next-highest coordinate bit, so a dimension appearing k
+/// times contributes its k low bits.
+struct InterleavePattern {
+  /// Dimension index per bit slot, most-significant slot first.
+  std::vector<std::uint8_t> slots;
+  /// Per-dimension bit counts (occurrence counts in `slots`).
+  std::array<std::uint8_t, NDShape::kMaxDims> bits{};
+};
+
+/// Parse `pattern` for an `ndims`-dimensional lattice. Fails on empty
+/// patterns, unknown characters, dimensions >= ndims, or > 64 total slots.
+Result<InterleavePattern> parse_interleave(std::string_view pattern,
+                                           int ndims);
+
+/// Parse plus coverage check against a concrete lattice: every dimension
+/// must appear at least once and receive enough bits that 2^bits covers
+/// its extent.
+Status validate_interleave(std::string_view pattern, const NDShape& lattice);
+
+/// The pattern that reproduces classic Morton order for `lattice`:
+/// "xyz..." (all dims, dim 0 first) repeated covering_order times.
+std::string canonical_interleave(const NDShape& lattice);
+
+/// Generalized Morton index of `axes` under `p`. Precondition:
+/// axes[d] < 2^p.bits[d] for every dimension p uses.
+std::uint64_t generalized_morton_index(const InterleavePattern& p,
+                                       const Coord& axes);
+
+/// Inverse of generalized_morton_index.
+Coord generalized_morton_axes(const InterleavePattern& p,
+                              std::uint64_t index);
 
 /// Total order of the cells of a (possibly non-power-of-two) lattice along
 /// a space-filling curve. Cells of the enclosing power-of-two cube that fall
@@ -51,7 +106,19 @@ class CurveOrder {
  public:
   CurveOrder() = default;
 
+  /// Build the order for a pattern-free curve kind. Precondition:
+  /// kind != kGeneralizedMorton (that family needs a pattern — use the
+  /// overload below or make_generalized).
   static CurveOrder make(CurveKind kind, const NDShape& lattice);
+
+  /// Build the order for any curve kind; `interleave` is consumed only by
+  /// kGeneralizedMorton (and must then validate against the lattice).
+  static Result<CurveOrder> make(CurveKind kind, std::string_view interleave,
+                                 const NDShape& lattice);
+
+  /// Generalized-Morton order from an explicit interleave pattern.
+  static Result<CurveOrder> make_generalized(std::string_view interleave,
+                                             const NDShape& lattice);
 
   [[nodiscard]] CurveKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::size_t size() const noexcept { return rank_of_.size(); }

@@ -72,12 +72,16 @@ Result<Bytes> read_all(const pfs::PfsStorage& fs, pfs::FileId id) {
   return fs.read(id, 0, size);
 }
 
-/// Everything the per-bin checks need about the enclosing store.
+/// Everything the per-bin checks need about the enclosing store, resolved
+/// per variable (each variable may carry its own layout).
 struct StoreContext {
   const pfs::PfsStorage* fs = nullptr;
   const MlocStore* store = nullptr;
   const BinningScheme* scheme = nullptr;
   std::string var;
+  const ChunkGrid* chunk_grid = nullptr;
+  int num_groups = 1;
+  LevelOrder order = LevelOrder::kVMS;
   sfc::CurveOrder curve;
   std::shared_ptr<const ByteCodec> byte_codec;      // PLoD mode
   std::shared_ptr<const DoubleCodec> double_codec;  // whole-value mode
@@ -99,7 +103,7 @@ std::string frag_name(const StoreContext& ctx, int bin, std::size_t f,
 /// permutation would scramble every subsequent order check, so verify it
 /// first (a violation indicates a code bug, not data corruption).
 void check_curve_permutation(const StoreContext& ctx, Sink& sink) {
-  const std::uint32_t n = ctx.store->chunk_grid().num_chunks();
+  const std::uint32_t n = ctx.chunk_grid->num_chunks();
   if (ctx.curve.size() != n) {
     sink.add("order", ctx.var,
              "curve order has " + u64str(ctx.curve.size()) +
@@ -282,8 +286,8 @@ void check_bin(StoreContext& ctx, int bin, const MlocStore::BinSubfiles& files,
 
   const auto& frags = layout.value().fragments;
   report.fragments_checked += frags.size();
-  const std::uint32_t num_chunks = ctx.store->chunk_grid().num_chunks();
-  const int want_groups = ctx.store->num_groups();
+  const std::uint32_t num_chunks = ctx.chunk_grid->num_chunks();
+  const int want_groups = ctx.num_groups;
   const std::uint64_t blob_section = idx_payload.value() - files.header_len;
 
   // --- order: strictly increasing curve rank, each chunk at most once.
@@ -346,7 +350,7 @@ void check_bin(StoreContext& ctx, int bin, const MlocStore::BinSubfiles& files,
   // --- ...and payload segments tile the .dat payload in the configured
   // (M,S) emission order — this is the "correct prefix offsets" check.
   running = 0;
-  const bool vms = ctx.store->config().order == LevelOrder::kVMS;
+  const bool vms = ctx.order == LevelOrder::kVMS;
   const std::size_t outer =
       vms ? static_cast<std::size_t>(want_groups) : frags.size();
   const std::size_t inner =
@@ -400,7 +404,7 @@ void check_bin(StoreContext& ctx, int bin, const MlocStore::BinSubfiles& files,
     }
     if (frag.chunk >= num_chunks) continue;  // reported under "order"
     const std::uint64_t chunk_volume =
-        ctx.store->chunk_grid().chunk_region(frag.chunk).volume();
+        ctx.chunk_grid->chunk_region(frag.chunk).volume();
     auto& marks = ctx.chunk_marks[frag.chunk];
     if (marks.empty()) marks.resize(chunk_volume, false);
     for (std::uint32_t off : decoded.value()) {
@@ -459,6 +463,22 @@ std::string Report::json() const {
   out += "\"fragments_checked\":" + u64str(fragments_checked) + ",";
   out += "\"bytes_verified\":" + u64str(bytes_verified) + ",";
   out += "\"suppressed_issues\":" + u64str(suppressed_issues) + ",";
+  out += "\"variables\":[";
+  for (std::size_t i = 0; i < variable_layouts.size(); ++i) {
+    const VariableLayoutInfo& v = variable_layouts[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + json_escape(v.name) + "\",";
+    out += "\"layout\":{";
+    out += "\"order\":\"" + json_escape(v.order) + "\",";
+    out += "\"curve\":\"" + json_escape(v.curve) + "\",";
+    out += "\"interleave\":\"" + json_escape(v.interleave) + "\",";
+    out += "\"codec\":\"" + json_escape(v.codec) + "\",";
+    out += "\"chunk_shape\":\"" + json_escape(v.chunk_shape) + "\",";
+    out += "\"num_bins\":" + std::to_string(v.num_bins) + ",";
+    out += "\"plod_capable\":" + std::string(v.plod_capable ? "true" : "false");
+    out += "}}";
+  }
+  out += "],";
   out += "\"issues\":[";
   for (std::size_t i = 0; i < issues.size(); ++i) {
     if (i > 0) out += ",";
@@ -507,27 +527,6 @@ Report LayoutVerifier::verify_store(const std::string& name) const {
     }
   }
 
-  std::shared_ptr<const ByteCodec> byte_codec;
-  std::shared_ptr<const DoubleCodec> double_codec;
-  bool lossless = false;
-  if (store.plod_capable()) {
-    auto c = make_byte_codec(store.config().codec);
-    if (!c.is_ok()) {
-      sink.add("meta", name, "unknown byte codec " + store.config().codec);
-      return report;
-    }
-    byte_codec = std::move(c).value();
-    lossless = true;  // byte-plane storage is exact by construction
-  } else {
-    auto c = make_double_codec(store.config().codec);
-    if (!c.is_ok()) {
-      sink.add("meta", name, "unknown codec " + store.config().codec);
-      return report;
-    }
-    double_codec = std::move(c).value();
-    lossless = double_codec->lossless();
-  }
-
   for (const auto& var : store.variables()) {
     ++report.variables_checked;
     auto scheme = store.binning(var);
@@ -535,17 +534,56 @@ Report LayoutVerifier::verify_store(const std::string& name) const {
       sink.add("meta", var, scheme.status().to_string());
       continue;
     }
+    auto desc = store.describe(var);
+    auto grid = store.chunk_grid(var);
+    if (!desc.is_ok() || !grid.is_ok()) {
+      sink.add("meta", var,
+               (desc.is_ok() ? grid.status() : desc.status()).to_string());
+      continue;
+    }
+    const VariableLayout& layout = desc.value().layout;
+    report.variable_layouts.push_back(
+        {var, std::string(level_order_name(layout.order)),
+         std::string(sfc::curve_kind_name(layout.curve)), layout.interleave,
+         layout.codec, layout.chunk_shape.to_string(), layout.num_bins,
+         desc.value().plod_capable});
+
+    // Codecs and the reference curve are re-resolved per variable from its
+    // recorded layout — a layout naming an unknown codec or an interleave
+    // that no longer validates is itself an invariant violation.
     StoreContext ctx;
     ctx.fs = fs_;
     ctx.store = &store;
     ctx.scheme = scheme.value();
     ctx.var = var;
-    ctx.curve = sfc::CurveOrder::make(store.config().curve,
-                                      store.chunk_grid().lattice_shape());
-    ctx.byte_codec = byte_codec;
-    ctx.double_codec = double_codec;
-    ctx.lossless = lossless;
-    ctx.chunk_marks.resize(store.chunk_grid().num_chunks());
+    ctx.chunk_grid = grid.value();
+    ctx.num_groups = desc.value().num_groups;
+    ctx.order = layout.order;
+    if (desc.value().plod_capable) {
+      auto c = make_byte_codec(layout.codec);
+      if (!c.is_ok()) {
+        sink.add("meta", var, "unknown byte codec " + layout.codec);
+        continue;
+      }
+      ctx.byte_codec = std::move(c).value();
+      ctx.lossless = true;  // byte-plane storage is exact by construction
+    } else {
+      auto c = make_double_codec(layout.codec);
+      if (!c.is_ok()) {
+        sink.add("meta", var, "unknown codec " + layout.codec);
+        continue;
+      }
+      ctx.double_codec = std::move(c).value();
+      ctx.lossless = ctx.double_codec->lossless();
+    }
+    auto curve = make_curve_order(layout, ctx.chunk_grid->lattice_shape());
+    if (!curve.is_ok()) {
+      sink.add("order", var,
+               "cannot rebuild curve order: " + curve.status().to_string());
+      continue;
+    }
+    ctx.curve = std::move(curve).value();
+    ctx.chunk_marks.resize(ctx.chunk_grid->num_chunks());
 
     check_curve_permutation(ctx, sink);
 
@@ -588,9 +626,9 @@ Report LayoutVerifier::verify_store(const std::string& name) const {
     // --- positions: cross-bin bijectivity — every cell of every chunk
     // claimed exactly once across all bins (duplicates were reported
     // in-bin as they were found).
-    for (ChunkId c = 0; c < store.chunk_grid().num_chunks(); ++c) {
+    for (ChunkId c = 0; c < ctx.chunk_grid->num_chunks(); ++c) {
       const std::uint64_t chunk_volume =
-          store.chunk_grid().chunk_region(c).volume();
+          ctx.chunk_grid->chunk_region(c).volume();
       const auto& marks = ctx.chunk_marks[c];
       std::uint64_t covered = 0;
       for (bool m : marks) covered += m ? 1 : 0;

@@ -60,9 +60,23 @@ struct Options {
   std::size_t max_issues = 256;
 };
 
+/// Layout summary of one verified variable, echoed into the JSON report so
+/// CI and operators can see which layout each variable was checked under.
+struct VariableLayoutInfo {
+  std::string name;
+  std::string order;       ///< "V-M-S" / "V-S-M"
+  std::string curve;       ///< "hilbert", "generalized-morton", ...
+  std::string interleave;  ///< generalized-Morton pattern ("" otherwise)
+  std::string codec;
+  std::string chunk_shape;
+  int num_bins = 0;
+  bool plod_capable = false;
+};
+
 struct Report {
   std::string store;
   std::vector<Issue> issues;
+  std::vector<VariableLayoutInfo> variable_layouts;
   std::uint64_t suppressed_issues = 0;  ///< found beyond Options::max_issues
   std::uint64_t variables_checked = 0;
   std::uint64_t subfiles_checked = 0;

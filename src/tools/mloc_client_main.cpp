@@ -7,6 +7,7 @@
 //               [--fetch VAR] [--deadline S] [--repeat N]
 //   mloc_client stats --port P [--host H]
 //   mloc_client session-stats --port P [--host H]
+//   mloc_client vars  --port P [--host H]
 //
 // `query` opens a session, runs the request (pipelined --repeat times),
 // and prints the result summary the way mloc_cli does, plus the serving
@@ -76,7 +77,8 @@ int usage() {
       "              [--combine and|or] [--fetch VAR] [--deadline S]\n"
       "              [--repeat N]\n"
       "  mloc_client stats --port P [--host H]\n"
-      "  mloc_client session-stats --port P [--host H]\n");
+      "  mloc_client session-stats --port P [--host H]\n"
+      "  mloc_client vars  --port P [--host H]\n");
   return 2;
 }
 
@@ -262,6 +264,21 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_vars(const Args& args) {
+  net::Client c;
+  if (Status st = connect(args, &c); !st.is_ok()) return fail(st);
+  auto vars = c.list_variables();
+  if (!vars.is_ok()) return fail(vars.status());
+  std::printf("%zu variable(s):\n", vars.value().size());
+  for (const MlocStore::VariableDesc& v : vars.value()) {
+    std::printf("  %-16s epoch %llu  %s%s\n", v.name.c_str(),
+                static_cast<unsigned long long>(v.epoch),
+                v.layout.describe().c_str(),
+                v.plod_capable ? "" : " (no PLoD)");
+  }
+  return 0;
+}
+
 int cmd_session_stats(const Args& args) {
   net::Client c;
   if (Status st = connect(args, &c); !st.is_ok()) return fail(st);
@@ -290,5 +307,6 @@ int main(int argc, char** argv) {
   if (args.command == "query") return cmd_query(args);
   if (args.command == "stats") return cmd_stats(args);
   if (args.command == "session-stats") return cmd_session_stats(args);
+  if (args.command == "vars") return cmd_vars(args);
   return usage();
 }

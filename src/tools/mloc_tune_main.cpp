@@ -1,0 +1,141 @@
+// mloc_tune — layout autotuner CLI.
+//
+// Usage:
+//   mloc_tune [--store NAME] [--var NAME]... [--seed N] [--restarts N]
+//             [--rounds N] [--samples N] <dir> <trace.json>
+//
+// Loads the PFS image under <dir> (written by PfsStorage::save_to_dir),
+// opens the named store (the single discovered store when --store is
+// omitted), replays the recorded QueryTrace through the planner oracle for
+// every traced variable (or just the --var ones), and prints the JSON
+// tuning report on stdout:
+//
+//   {"results":[{"var":...,"predicted_cost_default":...,
+//                "predicted_cost_tuned":...,"baseline":{...},
+//                "recommended":{...}}]}
+//
+// Exit codes: 0 report produced, 2 bad usage or unreadable input.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pfs/pfs.hpp"
+#include "tools/fsck.hpp"
+#include "tune/tuner.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mloc_tune [--store NAME] [--var NAME]... [--seed N] "
+               "[--restarts N] [--rounds N] [--samples N] <dir> "
+               "<trace.json>\n");
+  return 2;
+}
+
+int fail(const mloc::Status& st) {
+  std::fprintf(stderr, "mloc_tune: %s\n", st.to_string().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_name;
+  std::vector<std::string> only_vars;
+  mloc::tune::SearchSpace space;
+  std::string dir, trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      store_name = v;
+    } else if (arg == "--var") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      only_vars.emplace_back(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      space.seed = std::stoull(v);
+    } else if (arg == "--restarts") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      space.random_restarts = std::stoi(v);
+    } else if (arg == "--rounds") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      space.max_rounds = std::stoi(v);
+    } else if (arg == "--samples") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      space.interleave_samples = std::stoi(v);
+    } else if (arg.starts_with("--")) {
+      return usage();
+    } else if (dir.empty()) {
+      dir = arg;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty() || trace_path.empty()) return usage();
+
+  auto loaded = mloc::pfs::PfsStorage::load_from_dir(dir);
+  if (!loaded.is_ok()) return fail(loaded.status());
+  mloc::pfs::PfsStorage fs = std::move(loaded).value();
+
+  if (store_name.empty()) {
+    const auto stores =
+        mloc::fsck::LayoutVerifier(&fs, {}).discover_stores();
+    if (stores.size() != 1) {
+      std::fprintf(stderr,
+                   "mloc_tune: %zu stores in %s; pick one with --store\n",
+                   stores.size(), dir.c_str());
+      return 2;
+    }
+    store_name = stores.front();
+  }
+  auto opened = mloc::MlocStore::open(&fs, store_name);
+  if (!opened.is_ok()) return fail(opened.status());
+  mloc::MlocStore store = std::move(opened).value();
+
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "mloc_tune: cannot read %s\n", trace_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto trace = mloc::tune::QueryTrace::from_json(buf.str());
+  if (!trace.is_ok()) return fail(trace.status());
+
+  // Default to every traced variable, in first-appearance order.
+  std::vector<std::string> vars = only_vars;
+  if (vars.empty()) {
+    for (const auto& tq : trace.value().queries) {
+      if (std::find(vars.begin(), vars.end(), tq.var) == vars.end()) {
+        vars.push_back(tq.var);
+      }
+    }
+  }
+
+  std::vector<mloc::tune::TuneResult> results;
+  for (const auto& var : vars) {
+    auto tuned =
+        mloc::tune::tune_variable(store, var, trace.value(), space);
+    if (!tuned.is_ok()) return fail(tuned.status());
+    results.push_back(std::move(tuned).value());
+  }
+  std::fputs(mloc::tune::tune_report_json(results).c_str(), stdout);
+  return 0;
+}

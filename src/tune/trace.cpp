@@ -1,0 +1,263 @@
+#include "tune/trace.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "array/region.hpp"
+
+namespace mloc::tune {
+namespace {
+
+void append_double(std::string& out, double v) {
+  // Shortest round-trip representation (%.17g always round-trips, and the
+  // parser accepts any strtod-compatible spelling).
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Strict cursor parser for the trace schema — not a general JSON reader,
+/// but accepts the full grammar this module emits, with arbitrary
+/// whitespace and key order.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Status expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return corrupt_data(std::string("trace: expected '") + c + "' at byte " +
+                          std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::ok();
+  }
+
+  Result<std::string> parse_string() {
+    MLOC_RETURN_IF_ERROR(expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default:
+            return corrupt_data("trace: unsupported string escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    MLOC_RETURN_IF_ERROR(expect('"'));
+    return out;
+  }
+
+  Result<double> parse_double() {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr == begin) {
+      return corrupt_data("trace: bad number at byte " + std::to_string(pos_));
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return v;
+  }
+
+  Result<bool> parse_bool() {
+    skip_ws();
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    return corrupt_data("trace: expected boolean at byte " +
+                        std::to_string(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<Coord> parse_coord_array(Cursor& c, int* ndims) {
+  Coord out{};
+  MLOC_RETURN_IF_ERROR(c.expect('['));
+  int n = 0;
+  if (!c.peek_is(']')) {
+    while (true) {
+      MLOC_ASSIGN_OR_RETURN(double v, c.parse_double());
+      if (v < 0 || v != std::floor(v)) {
+        return corrupt_data("trace: coordinates must be non-negative ints");
+      }
+      if (n >= NDShape::kMaxDims) {
+        return corrupt_data("trace: too many coordinate dimensions");
+      }
+      out[n++] = static_cast<std::uint32_t>(v);
+      if (!c.peek_is(',')) break;
+      MLOC_RETURN_IF_ERROR(c.expect(','));
+    }
+  }
+  MLOC_RETURN_IF_ERROR(c.expect(']'));
+  if (n == 0) return corrupt_data("trace: empty coordinate array");
+  *ndims = n;
+  return out;
+}
+
+Result<TracedQuery> parse_query(Cursor& c) {
+  TracedQuery out;
+  MLOC_RETURN_IF_ERROR(c.expect('{'));
+  bool first = true;
+  while (!c.peek_is('}')) {
+    if (!first) MLOC_RETURN_IF_ERROR(c.expect(','));
+    first = false;
+    MLOC_ASSIGN_OR_RETURN(std::string key, c.parse_string());
+    MLOC_RETURN_IF_ERROR(c.expect(':'));
+    if (key == "var") {
+      MLOC_ASSIGN_OR_RETURN(out.var, c.parse_string());
+    } else if (key == "ranks") {
+      MLOC_ASSIGN_OR_RETURN(double v, c.parse_double());
+      if (v < 1 || v != std::floor(v)) {
+        return corrupt_data("trace: ranks must be a positive integer");
+      }
+      out.num_ranks = static_cast<int>(v);
+    } else if (key == "plod_level") {
+      MLOC_ASSIGN_OR_RETURN(double v, c.parse_double());
+      if (v < 1 || v > 7 || v != std::floor(v)) {
+        return corrupt_data("trace: plod_level must be in [1,7]");
+      }
+      out.query.plod_level = static_cast<int>(v);
+    } else if (key == "values_needed") {
+      MLOC_ASSIGN_OR_RETURN(out.query.values_needed, c.parse_bool());
+    } else if (key == "vc") {
+      MLOC_RETURN_IF_ERROR(c.expect('['));
+      MLOC_ASSIGN_OR_RETURN(double lo, c.parse_double());
+      MLOC_RETURN_IF_ERROR(c.expect(','));
+      MLOC_ASSIGN_OR_RETURN(double hi, c.parse_double());
+      MLOC_RETURN_IF_ERROR(c.expect(']'));
+      out.query.vc = ValueConstraint{lo, hi};
+    } else if (key == "sc") {
+      MLOC_RETURN_IF_ERROR(c.expect('{'));
+      Coord lo{}, hi{};
+      int lo_dims = 0, hi_dims = 0;
+      bool inner_first = true;
+      while (!c.peek_is('}')) {
+        if (!inner_first) MLOC_RETURN_IF_ERROR(c.expect(','));
+        inner_first = false;
+        MLOC_ASSIGN_OR_RETURN(std::string bound, c.parse_string());
+        MLOC_RETURN_IF_ERROR(c.expect(':'));
+        if (bound == "lo") {
+          MLOC_ASSIGN_OR_RETURN(lo, parse_coord_array(c, &lo_dims));
+        } else if (bound == "hi") {
+          MLOC_ASSIGN_OR_RETURN(hi, parse_coord_array(c, &hi_dims));
+        } else {
+          return corrupt_data("trace: unknown sc key \"" + bound + "\"");
+        }
+      }
+      MLOC_RETURN_IF_ERROR(c.expect('}'));
+      if (lo_dims == 0 || lo_dims != hi_dims) {
+        return corrupt_data("trace: sc needs lo and hi of equal rank");
+      }
+      for (int d = 0; d < lo_dims; ++d) {
+        if (lo[d] > hi[d]) return corrupt_data("trace: sc lo > hi");
+      }
+      out.query.sc = Region(lo_dims, lo, hi);
+    } else {
+      return corrupt_data("trace: unknown query key \"" + key + "\"");
+    }
+  }
+  MLOC_RETURN_IF_ERROR(c.expect('}'));
+  if (out.var.empty()) return corrupt_data("trace: query without a var");
+  return out;
+}
+
+}  // namespace
+
+std::string QueryTrace::to_json() const {
+  std::string out = "{\"queries\":[";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const TracedQuery& tq = queries[i];
+    if (i > 0) out += ",";
+    out += "\n{\"var\":\"" + tq.var + "\"";
+    out += ",\"ranks\":" + std::to_string(tq.num_ranks);
+    out += ",\"plod_level\":" + std::to_string(tq.query.plod_level);
+    out += ",\"values_needed\":";
+    out += tq.query.values_needed ? "true" : "false";
+    if (tq.query.vc.has_value()) {
+      out += ",\"vc\":[";
+      append_double(out, tq.query.vc->lo);
+      out += ",";
+      append_double(out, tq.query.vc->hi);
+      out += "]";
+    }
+    if (tq.query.sc.has_value()) {
+      const Region& r = *tq.query.sc;
+      out += ",\"sc\":{\"lo\":[";
+      for (int d = 0; d < r.ndims(); ++d) {
+        if (d > 0) out += ",";
+        out += std::to_string(r.lo(d));
+      }
+      out += "],\"hi\":[";
+      for (int d = 0; d < r.ndims(); ++d) {
+        if (d > 0) out += ",";
+        out += std::to_string(r.hi(d));
+      }
+      out += "]}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Result<QueryTrace> QueryTrace::from_json(std::string_view text) {
+  Cursor c(text);
+  QueryTrace out;
+  MLOC_RETURN_IF_ERROR(c.expect('{'));
+  MLOC_ASSIGN_OR_RETURN(std::string key, c.parse_string());
+  if (key != "queries") return corrupt_data("trace: expected \"queries\"");
+  MLOC_RETURN_IF_ERROR(c.expect(':'));
+  MLOC_RETURN_IF_ERROR(c.expect('['));
+  if (!c.peek_is(']')) {
+    while (true) {
+      MLOC_ASSIGN_OR_RETURN(TracedQuery q, parse_query(c));
+      out.queries.push_back(std::move(q));
+      if (!c.peek_is(',')) break;
+      MLOC_RETURN_IF_ERROR(c.expect(','));
+    }
+  }
+  MLOC_RETURN_IF_ERROR(c.expect(']'));
+  MLOC_RETURN_IF_ERROR(c.expect('}'));
+  if (!c.at_end()) return corrupt_data("trace: trailing content");
+  return out;
+}
+
+}  // namespace mloc::tune

@@ -1,0 +1,69 @@
+// Workload traces — the recorded query mix the layout autotuner replays.
+//
+// The tuner's objective is not an abstract figure of merit: it is the
+// modeled I/O cost of *this installation's* queries (paper §III-A-2's
+// "user-defined priorities", made concrete). A QueryTrace captures that
+// workload as a list of single-variable queries with their rank counts,
+// serializable to a small line-oriented JSON document so traces can be
+// recorded in production (QueryService::set_trace_recorder), committed to
+// CI, or written by hand.
+//
+// The JSON form:
+//   {"queries":[
+//     {"var":"temp","ranks":2,"plod_level":7,"values_needed":true,
+//      "vc":[0.2,0.8],"sc":{"lo":[0,0],"hi":[16,16]}}]}
+// `vc` and `sc` are optional; omitted fields take Query defaults.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/query.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace mloc::tune {
+
+/// One recorded query: everything needed to re-plan it against a
+/// candidate layout. Multi-variable selections are decomposed by the
+/// recorder into their single-variable passes (the tuner optimizes one
+/// variable at a time).
+struct TracedQuery {
+  std::string var;
+  Query query;
+  int num_ranks = 1;
+};
+
+struct QueryTrace {
+  std::vector<TracedQuery> queries;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static Result<QueryTrace> from_json(std::string_view text);
+};
+
+/// Thread-safe trace sink; the serving layer calls record() per dispatched
+/// query, an operator snapshots and serializes the result.
+class TraceRecorder {
+ public:
+  void record(TracedQuery q) MLOC_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
+    queries_.push_back(std::move(q));
+  }
+
+  [[nodiscard]] QueryTrace snapshot() const MLOC_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
+    return QueryTrace{queries_};
+  }
+
+  [[nodiscard]] std::size_t size() const MLOC_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
+    return queries_.size();
+  }
+
+ private:
+  mutable sync::MutexHandle mu_;
+  std::vector<TracedQuery> queries_ MLOC_GUARDED_BY(mu_);
+};
+
+}  // namespace mloc::tune

@@ -1,0 +1,67 @@
+// Layout autotuner — planner-driven search over per-variable layouts.
+//
+// The multi-level layout gives every variable independent knobs (bin
+// count, level order, curve, chunk shape); the right setting depends on
+// the workload, and the paper leaves the choice to "user-defined
+// priorities". mloc_tune closes that loop mechanically: replay a recorded
+// QueryTrace through QueryPlanner::estimate against candidate layouts and
+// recommend the one with the lowest total modeled I/O.
+//
+// The oracle is exact, not a proxy: each candidate layout is actually
+// ingested into a scratch in-memory store (same PFS cost model as the
+// source) and every traced query is planned against it — the same
+// side-effect-free ReadPlan costing the engine itself uses, so on a cold
+// cache the predicted bytes/seeks match what execution would do
+// (bench_tune asserts this). The search is coordinate descent over the
+// axes (bins, order, curve incl. sampled generalized-Morton interleaves,
+// chunk shape) with seeded random restarts; recommend_order seeds the
+// level-order axis from the trace's workload mix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/store.hpp"
+#include "tune/trace.hpp"
+#include "util/status.hpp"
+
+namespace mloc::tune {
+
+/// Candidate axes the coordinate descent explores. Empty vectors fall back
+/// to built-in defaults derived from the grid.
+struct SearchSpace {
+  std::vector<int> bin_counts;           ///< default {4,8,16,32,64,128}
+  std::vector<NDShape> chunk_shapes;     ///< default: powers of two per axis
+  /// Generalized-Morton interleave patterns sampled per chunk-shape
+  /// candidate (on top of row-major/Morton/Hilbert/canonical).
+  int interleave_samples = 3;
+  int random_restarts = 2;               ///< descent restarts from random points
+  std::uint64_t seed = 7;                ///< restart + interleave sampling seed
+  int max_rounds = 8;                    ///< descent rounds per start point
+};
+
+struct TuneResult {
+  std::string var;
+  VariableLayout baseline;          ///< the variable's current layout
+  VariableLayout recommended;
+  double predicted_cost_default = 0.0;  ///< trace cost under `baseline`
+  double predicted_cost_tuned = 0.0;    ///< trace cost under `recommended`
+  int evaluations = 0;              ///< candidate layouts actually ingested
+  int trace_queries = 0;            ///< queries of the trace touching `var`
+};
+
+/// Tune one variable of `source` against `trace` (only entries whose var
+/// matches are replayed; InvalidArgument when none do). The source store
+/// is only read — candidates are ingested into private scratch storage.
+/// For lossy double codecs the variable is reconstructed at the stored
+/// precision, which is exactly what a re-ingest would see.
+[[nodiscard]] Result<TuneResult> tune_variable(const MlocStore& source,
+                                               const std::string& var,
+                                               const QueryTrace& trace,
+                                               const SearchSpace& space = {});
+
+/// JSON report over per-variable results (stable keys, jq-friendly).
+[[nodiscard]] std::string tune_report_json(
+    const std::vector<TuneResult>& results);
+
+}  // namespace mloc::tune

@@ -26,11 +26,11 @@ MlocConfig small_config(const NDShape& shape, const NDShape& chunk,
                         LevelOrder order = LevelOrder::kVMS) {
   MlocConfig cfg;
   cfg.shape = shape;
-  cfg.chunk_shape = chunk;
-  cfg.num_bins = 16;
-  cfg.codec = codec;
-  cfg.order = order;
-  cfg.sample_stride = 7;
+  cfg.layout.chunk_shape = chunk;
+  cfg.layout.num_bins = 16;
+  cfg.layout.codec = codec;
+  cfg.layout.order = order;
+  cfg.layout.sample_stride = 7;
   return cfg;
 }
 
@@ -156,7 +156,7 @@ TEST_P(EngineConfigs, CoalescedAndNaiveAreBitIdentical) {
   naive.naive_io = true;
   naive.decode_workers = 0;  // also exercise the inline-decode path
 
-  const bool plod = store.value().plod_capable();
+  const bool plod = store.value().describe("phi").value().plod_capable;
   for (const Query& q : query_mix(plod)) {
     for (int ranks : {1, 3}) {
       auto a = store.value().execute("phi", q, ranks, coalesced);
@@ -295,6 +295,67 @@ TEST(Engine, FsckPassesOnStoreQueriedThroughEngine) {
   }
   fsck::LayoutVerifier verifier(&fs);
   const fsck::Report report = verifier.verify_store("s");
+  EXPECT_TRUE(report.ok()) << report.human();
+}
+
+TEST(Engine, MixedLayoutVariablesThroughOneEngineAndCache) {
+  // Two variables of one store under different layouts (order, curve,
+  // bins, chunking), served through the staged engine with a shared
+  // FragmentCache: every (query, ranks, schedule) combination must be
+  // bit-identical to a single-layout reference store of the same data.
+  Grid grid_a = datagen::gts_like(64, 42);
+  Grid grid_b = datagen::gts_like(64, 43);
+
+  VariableLayout la;  // kVMS / hilbert / 16 bins / 16x16 (fixture default)
+  la.chunk_shape = NDShape{16, 16};
+  la.num_bins = 16;
+  la.sample_stride = 7;
+  VariableLayout lb = la;
+  lb.chunk_shape = NDShape{8, 8};
+  lb.num_bins = 9;
+  lb.order = LevelOrder::kVSM;
+  lb.curve = sfc::CurveKind::kGeneralizedMorton;
+  lb.interleave = "yyyxxx";
+
+  pfs::PfsStorage fs;
+  MlocConfig cfg = small_config(grid_a.shape(), la.chunk_shape, "mzip");
+  auto mixed = MlocStore::create(&fs, "mixed", cfg);
+  ASSERT_TRUE(mixed.is_ok());
+  ASSERT_TRUE(mixed.value().write_variable("a", grid_a, la).is_ok());
+  ASSERT_TRUE(mixed.value().write_variable("b", grid_b, lb).is_ok());
+  service::FragmentCache cache;
+  mixed.value().set_fragment_provider(&cache);
+
+  pfs::PfsStorage ref_fs;
+  auto ref_a = MlocStore::create(&ref_fs, "ra", cfg);
+  MlocConfig cfg_b = cfg;
+  cfg_b.layout = lb;
+  auto ref_b = MlocStore::create(&ref_fs, "rb", cfg_b);
+  ASSERT_TRUE(ref_a.is_ok() && ref_b.is_ok());
+  ASSERT_TRUE(ref_a.value().write_variable("a", grid_a).is_ok());
+  ASSERT_TRUE(ref_b.value().write_variable("b", grid_b).is_ok());
+
+  exec::ExecOptions naive;
+  naive.naive_io = true;
+  naive.decode_workers = 0;
+  for (const Query& q : query_mix(/*plod=*/true)) {
+    for (int ranks : {1, 3}) {
+      for (const exec::ExecOptions& opts : {exec::ExecOptions{}, naive}) {
+        auto ma = mixed.value().execute("a", q, ranks, opts);
+        auto mb = mixed.value().execute("b", q, ranks, opts);
+        auto ea = ref_a.value().execute("a", q, ranks, opts);
+        auto eb = ref_b.value().execute("b", q, ranks, opts);
+        ASSERT_TRUE(ma.is_ok() && mb.is_ok() && ea.is_ok() && eb.is_ok());
+        EXPECT_EQ(ma.value().positions, ea.value().positions);
+        EXPECT_EQ(ma.value().values, ea.value().values);
+        EXPECT_EQ(mb.value().positions, eb.value().positions);
+        EXPECT_EQ(mb.value().values, eb.value().values);
+      }
+    }
+  }
+  mixed.value().set_fragment_provider(nullptr);
+
+  fsck::Report report = fsck::LayoutVerifier(&fs).verify_store("mixed");
   EXPECT_TRUE(report.ok()) << report.human();
 }
 

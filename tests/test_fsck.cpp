@@ -23,11 +23,11 @@ MlocConfig small_config(const NDShape& shape, const NDShape& chunk,
                         LevelOrder order = LevelOrder::kVMS) {
   MlocConfig cfg;
   cfg.shape = shape;
-  cfg.chunk_shape = chunk;
-  cfg.num_bins = 16;
-  cfg.codec = codec;
-  cfg.order = order;
-  cfg.sample_stride = 7;
+  cfg.layout.chunk_shape = chunk;
+  cfg.layout.num_bins = 16;
+  cfg.layout.codec = codec;
+  cfg.layout.order = order;
+  cfg.layout.sample_stride = 7;
   return cfg;
 }
 

@@ -512,15 +512,52 @@ TEST(WireSessionStats, RoundTrip) {
   EXPECT_EQ(back.value().total_modeled_s, s.total_modeled_s);
 }
 
+TEST(WireVariableList, RoundTripMixedLayouts) {
+  std::vector<MlocStore::VariableDesc> vars(2);
+  vars[0].name = "temp";
+  vars[0].layout.chunk_shape = NDShape{16, 16};
+  vars[0].epoch = 3;
+  vars[0].plod_capable = true;
+  vars[0].num_groups = 7;
+  vars[1].name = "salinity";
+  vars[1].layout.chunk_shape = NDShape{8, 8};
+  vars[1].layout.num_bins = 9;
+  vars[1].layout.order = LevelOrder::kVSM;
+  vars[1].layout.curve = sfc::CurveKind::kGeneralizedMorton;
+  vars[1].layout.interleave = "yyyxxx";
+  vars[1].layout.codec = "isobar";
+  vars[1].epoch = 1;
+  vars[1].plod_capable = false;
+  vars[1].num_groups = 1;
+
+  auto back = decode_variable_list(encode_variable_list(vars));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  ASSERT_EQ(back.value().size(), 2u);
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    EXPECT_EQ(back.value()[i].name, vars[i].name);
+    EXPECT_EQ(back.value()[i].layout, vars[i].layout);
+    EXPECT_EQ(back.value()[i].epoch, vars[i].epoch);
+    EXPECT_EQ(back.value()[i].plod_capable, vars[i].plod_capable);
+    EXPECT_EQ(back.value()[i].num_groups, vars[i].num_groups);
+  }
+
+  // Truncations never decode.
+  const Bytes full = encode_variable_list(vars);
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    EXPECT_FALSE(
+        decode_variable_list(std::span(full.data(), n)).is_ok());
+  }
+}
+
 // --------------------------------------------------------- server fixture
 
 MlocConfig small_config(const NDShape& shape, const NDShape& chunk) {
   MlocConfig cfg;
   cfg.shape = shape;
-  cfg.chunk_shape = chunk;
-  cfg.num_bins = 16;
-  cfg.codec = "mzip";
-  cfg.sample_stride = 7;
+  cfg.layout.chunk_shape = chunk;
+  cfg.layout.num_bins = 16;
+  cfg.layout.codec = "mzip";
+  cfg.layout.sample_stride = 7;
   return cfg;
 }
 
@@ -679,6 +716,24 @@ TEST(NetServer, StatsSnapshotOverWireIsConsistent) {
   EXPECT_EQ(a.submitted, 3u);
   EXPECT_EQ(a.completed, 3u);
   EXPECT_GT(snap.value().cache.lookups, 0u);
+}
+
+TEST(NetServer, VariableListOverWireMatchesDescribeAll) {
+  ServedStore served;
+  net::Client c;
+  served.connect(&c);
+  auto vars = c.list_variables();
+  ASSERT_TRUE(vars.is_ok()) << vars.status().to_string();
+
+  const auto local = served.svc->store().describe_all();
+  ASSERT_EQ(vars.value().size(), local.size());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    EXPECT_EQ(vars.value()[i].name, local[i].name);
+    EXPECT_EQ(vars.value()[i].layout, local[i].layout);
+    EXPECT_EQ(vars.value()[i].epoch, local[i].epoch);
+    EXPECT_EQ(vars.value()[i].plod_capable, local[i].plod_capable);
+    EXPECT_EQ(vars.value()[i].num_groups, local[i].num_groups);
+  }
 }
 
 TEST(NetServer, CancelQueuedQueryAndCancelCompletedQuery) {

@@ -23,9 +23,9 @@ struct StoreFixture {
   Result<MlocStore> make_store(const std::string& codec) {
     MlocConfig cfg;
     cfg.shape = NDShape{256, 256};
-    cfg.chunk_shape = NDShape{32, 32};
-    cfg.num_bins = 32;
-    cfg.codec = codec;
+    cfg.layout.chunk_shape = NDShape{32, 32};
+    cfg.layout.num_bins = 32;
+    cfg.layout.codec = codec;
     auto s = MlocStore::create(&fs, "t", cfg);
     if (s.is_ok()) {
       MLOC_RETURN_IF_ERROR(s.value().write_variable("phi", grid));
@@ -156,14 +156,14 @@ TEST(OrderAdvisor, PlodHeavyWorkloadsPreferVms) {
   w.value_full_precision = 0.1;
   w.region_queries = 0.1;
   w.reduced_level = 2;
-  EXPECT_EQ(recommend_order(w), LevelOrder::kVMS);
+  EXPECT_EQ(recommend_order(w).value(), LevelOrder::kVMS);
 }
 
 TEST(OrderAdvisor, FullPrecisionWorkloadsPreferVsm) {
   WorkloadProfile w;
   w.value_full_precision = 0.9;
   w.region_queries = 0.1;
-  EXPECT_EQ(recommend_order(w), LevelOrder::kVSM);
+  EXPECT_EQ(recommend_order(w).value(), LevelOrder::kVSM);
 }
 
 TEST(OrderAdvisor, AdviceMatchesMeasuredTableVII) {
@@ -172,14 +172,14 @@ TEST(OrderAdvisor, AdviceMatchesMeasuredTableVII) {
   Grid grid = datagen::gts_like(256, 9);
   MlocConfig base;
   base.shape = grid.shape();
-  base.chunk_shape = NDShape{32, 32};
-  base.num_bins = 16;
-  base.codec = "mzip";
+  base.layout.chunk_shape = NDShape{32, 32};
+  base.layout.num_bins = 16;
+  base.layout.codec = "mzip";
 
   pfs::PfsStorage fs;
-  base.order = LevelOrder::kVMS;
+  base.layout.order = LevelOrder::kVMS;
   auto vms = MlocStore::create(&fs, "vms", base);
-  base.order = LevelOrder::kVSM;
+  base.layout.order = LevelOrder::kVSM;
   auto vsm = MlocStore::create(&fs, "vsm", base);
   ASSERT_TRUE(vms.is_ok() && vsm.is_ok());
   ASSERT_TRUE(vms.value().write_variable("phi", grid).is_ok());
@@ -200,14 +200,14 @@ TEST(OrderAdvisor, AdviceMatchesMeasuredTableVII) {
 
   WorkloadProfile reduced_heavy;
   reduced_heavy.value_reduced = 1.0;
-  const LevelOrder pick_reduced = recommend_order(reduced_heavy);
+  const LevelOrder pick_reduced = recommend_order(reduced_heavy).value();
   const bool vms_wins_reduced =
       vms_reduced.value().times.io < vsm_reduced.value().times.io;
   EXPECT_EQ(pick_reduced == LevelOrder::kVMS, vms_wins_reduced);
 
   WorkloadProfile full_heavy;
   full_heavy.value_full_precision = 1.0;
-  const LevelOrder pick_full = recommend_order(full_heavy);
+  const LevelOrder pick_full = recommend_order(full_heavy).value();
   const bool vms_wins_full =
       vms_full.value().times.io < vsm_full.value().times.io;
   EXPECT_EQ(pick_full == LevelOrder::kVMS, vms_wins_full);
@@ -224,37 +224,45 @@ TEST(OrderAdvisor, DecisionIsScaleInvariant) {
   counts.value_reduced *= 1000;
   counts.value_full_precision *= 1000;
   counts.region_queries *= 1000;
-  EXPECT_EQ(recommend_order(normalized), recommend_order(counts));
+  EXPECT_EQ(recommend_order(normalized).value(), recommend_order(counts).value());
 }
 
 TEST(OrderAdvisor, AllZeroProfileDefaultsToVms) {
-  EXPECT_EQ(recommend_order(WorkloadProfile{}), LevelOrder::kVMS);
+  EXPECT_EQ(recommend_order(WorkloadProfile{}).value(), LevelOrder::kVMS);
 }
 
 TEST(OrderAdvisor, FragmentsPerBinClampedToAtLeastOne) {
   // With <= 1 fragment per bin, V-S-M's reduced-precision read is a single
   // run: it must win over V-M-S's per-group runs, even when the caller
-  // passes a degenerate (fractional, zero, or negative) average.
+  // passes a degenerate (fractional or zero) average.
   WorkloadProfile reduced_heavy;
   reduced_heavy.value_reduced = 1.0;
   reduced_heavy.reduced_level = 2;
-  for (double frags : {1.0, 0.2, 0.0, -3.0}) {
-    EXPECT_EQ(recommend_order(reduced_heavy, frags), LevelOrder::kVSM)
+  for (double frags : {1.0, 0.2, 0.0}) {
+    EXPECT_EQ(recommend_order(reduced_heavy, frags).value(),
+              LevelOrder::kVSM)
         << frags;
   }
   // Sanity: with many fragments per bin the same workload flips to V-M-S.
-  EXPECT_EQ(recommend_order(reduced_heavy, 16.0), LevelOrder::kVMS);
+  EXPECT_EQ(recommend_order(reduced_heavy, 16.0).value(), LevelOrder::kVMS);
 }
 
-TEST(OrderAdvisor, NonFiniteAndNegativeWeightsAreIgnored) {
+TEST(OrderAdvisor, NonFiniteAndNegativeWeightsAreRejected) {
+  // A NaN/inf/negative weight means the caller's workload accounting is
+  // broken; the advisor surfaces that instead of clamping it away.
   WorkloadProfile w;
   w.value_full_precision = 0.9;
-  w.value_reduced = -5.0;  // nonsense: must not drag the decision
-  EXPECT_EQ(recommend_order(w), LevelOrder::kVSM);
+  w.value_reduced = -5.0;
+  EXPECT_FALSE(recommend_order(w).is_ok());
   w.value_reduced = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_EQ(recommend_order(w), LevelOrder::kVSM);
+  EXPECT_FALSE(recommend_order(w).is_ok());
   w.value_reduced = std::numeric_limits<double>::infinity();
-  EXPECT_EQ(recommend_order(w), LevelOrder::kVSM);
+  EXPECT_FALSE(recommend_order(w).is_ok());
+  w.value_reduced = 0.1;
+  EXPECT_TRUE(recommend_order(w).is_ok());
+  EXPECT_FALSE(recommend_order(w, -3.0).is_ok());
+  EXPECT_FALSE(
+      recommend_order(w, std::numeric_limits<double>::infinity()).is_ok());
 }
 
 }  // namespace

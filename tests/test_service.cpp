@@ -29,10 +29,10 @@ MlocConfig small_config(const NDShape& shape, const NDShape& chunk,
                         const std::string& codec = "mzip") {
   MlocConfig cfg;
   cfg.shape = shape;
-  cfg.chunk_shape = chunk;
-  cfg.num_bins = 16;
-  cfg.codec = codec;
-  cfg.sample_stride = 7;
+  cfg.layout.chunk_shape = chunk;
+  cfg.layout.num_bins = 16;
+  cfg.layout.codec = codec;
+  cfg.layout.sample_stride = 7;
   return cfg;
 }
 

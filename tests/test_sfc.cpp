@@ -146,6 +146,120 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{CurveKind::kMorton, 3, 3, 3},
                       std::tuple{CurveKind::kRowMajor, 5, 5, 0}));
 
+// ------------------------------------------------ generalized Morton
+
+TEST(Interleave, ParseAcceptsLettersAndDigits) {
+  auto p = parse_interleave("zyXx", 3);
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_EQ(p.value().slots, (std::vector<std::uint8_t>{2, 1, 0, 0}));
+  EXPECT_EQ(p.value().bits[0], 2);
+  EXPECT_EQ(p.value().bits[1], 1);
+  EXPECT_EQ(p.value().bits[2], 1);
+  auto digits = parse_interleave("210100", 3);
+  ASSERT_TRUE(digits.is_ok());
+  EXPECT_EQ(digits.value().slots,
+            (std::vector<std::uint8_t>{2, 1, 0, 1, 0, 0}));
+}
+
+TEST(Interleave, ParseRejectsBadPatterns) {
+  EXPECT_FALSE(parse_interleave("", 2).is_ok());
+  EXPECT_FALSE(parse_interleave("xq", 2).is_ok());
+  EXPECT_FALSE(parse_interleave("xyz", 2).is_ok());  // z outside 2-D
+  EXPECT_FALSE(parse_interleave(std::string(65, 'x'), 1).is_ok());
+}
+
+TEST(Interleave, ValidateRequiresCoverage) {
+  // y never appears.
+  EXPECT_FALSE(validate_interleave("xxx", NDShape{8, 2}).is_ok());
+  // y appears but 2^1 < 4.
+  EXPECT_FALSE(validate_interleave("xxxy", NDShape{8, 4}).is_ok());
+  EXPECT_TRUE(validate_interleave("xxxyy", NDShape{8, 4}).is_ok());
+  // Extra head-room bits are legal.
+  EXPECT_TRUE(validate_interleave("xxxxyyy", NDShape{8, 4}).is_ok());
+}
+
+TEST(GeneralizedMorton, IndexRoundTripsUnderArbitraryPatterns) {
+  for (const char* pattern : {"xyxyxy", "yyxxxy", "xxxyyy", "yxyxyx"}) {
+    auto p = parse_interleave(pattern, 2);
+    ASSERT_TRUE(p.is_ok());
+    for (std::uint32_t x = 0; x < 8; ++x) {
+      for (std::uint32_t y = 0; y < 8; ++y) {
+        const std::uint64_t h = generalized_morton_index(p.value(), {x, y});
+        const Coord back = generalized_morton_axes(p.value(), h);
+        EXPECT_EQ(back[0], x) << pattern;
+        EXPECT_EQ(back[1], y) << pattern;
+      }
+    }
+  }
+}
+
+TEST(GeneralizedMorton, CanonicalPatternEqualsClassicMorton) {
+  // Differential: under the canonical interleave, the generalized mapping
+  // must agree with morton_index cell-for-cell (classic Morton is the
+  // special case the generalization collapses to).
+  for (const NDShape& lattice :
+       {NDShape{8, 8}, NDShape{16, 4}, NDShape{4, 4, 4}, NDShape{8, 2, 4}}) {
+    const std::string pattern = canonical_interleave(lattice);
+    auto p = parse_interleave(pattern, lattice.ndims());
+    ASSERT_TRUE(p.is_ok());
+    const int order = covering_order(lattice);
+    for (std::uint64_t i = 0; i < lattice.volume(); ++i) {
+      const Coord c = lattice.delinearize(i);
+      EXPECT_EQ(generalized_morton_index(p.value(), c),
+                morton_index(lattice.ndims(), order, c))
+          << pattern << " at " << i;
+    }
+  }
+}
+
+TEST(GeneralizedMorton, CanonicalCurveOrderEqualsClassicMortonOrder) {
+  // Same differential at the CurveOrder level, including ragged lattices
+  // where out-of-lattice cube cells are skipped by dense re-ranking.
+  for (const NDShape& lattice : {NDShape{8, 8}, NDShape{5, 3}, NDShape{7, 2, 3}}) {
+    auto gen = CurveOrder::make_generalized(canonical_interleave(lattice),
+                                            lattice);
+    ASSERT_TRUE(gen.is_ok());
+    const CurveOrder classic = CurveOrder::make(CurveKind::kMorton, lattice);
+    ASSERT_EQ(gen.value().size(), classic.size());
+    for (std::uint32_t id = 0; id < classic.size(); ++id) {
+      EXPECT_EQ(gen.value().rank_of(id), classic.rank_of(id));
+    }
+  }
+}
+
+TEST(GeneralizedMorton, NonCanonicalPatternChangesTheOrder) {
+  // A column-major-flavored pattern ("all y bits outermost") must produce a
+  // genuinely different permutation — otherwise the search axis is dead.
+  const NDShape lattice{8, 8};
+  auto gen = CurveOrder::make_generalized("yyyxxx", lattice);
+  ASSERT_TRUE(gen.is_ok());
+  const CurveOrder classic = CurveOrder::make(CurveKind::kMorton, lattice);
+  bool differs = false;
+  for (std::uint32_t id = 0; id < classic.size(); ++id) {
+    if (gen.value().rank_of(id) != classic.rank_of(id)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  // And it is still a bijection.
+  std::vector<bool> seen(gen.value().size(), false);
+  for (std::uint32_t r = 0; r < gen.value().size(); ++r) {
+    const ChunkId id = gen.value().chunk_at(r);
+    ASSERT_FALSE(seen[id]);
+    seen[id] = true;
+    EXPECT_EQ(gen.value().rank_of(id), r);
+  }
+}
+
+TEST(GeneralizedMorton, MakeRejectsUncoveringPattern) {
+  EXPECT_FALSE(CurveOrder::make_generalized("xy", NDShape{8, 8}).is_ok());
+  EXPECT_FALSE(CurveOrder::make(CurveKind::kGeneralizedMorton, "xy",
+                                NDShape{8, 8})
+                   .is_ok());
+  // Pattern-free kinds ignore the interleave argument.
+  auto h = CurveOrder::make(CurveKind::kHilbert, "", NDShape{8, 8});
+  ASSERT_TRUE(h.is_ok());
+  EXPECT_EQ(h.value().kind(), CurveKind::kHilbert);
+}
+
 // Number of contiguous curve-rank runs ("clusters", i.e. seeks) needed to
 // cover every cell of `region` — the locality metric of Moon et al. that
 // MLOC's seek-reduction argument rests on.

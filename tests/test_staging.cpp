@@ -14,9 +14,9 @@ namespace {
 MlocConfig cfg_for(const NDShape& shape) {
   MlocConfig cfg;
   cfg.shape = shape;
-  cfg.chunk_shape = NDShape{16, 16};
-  cfg.num_bins = 8;
-  cfg.codec = "mzip";
+  cfg.layout.chunk_shape = NDShape{16, 16};
+  cfg.layout.num_bins = 8;
+  cfg.layout.codec = "mzip";
   return cfg;
 }
 
@@ -58,7 +58,7 @@ TEST(Staging, FinishIsIdempotentAndBlocksFurtherSubmits) {
   pfs::PfsStorage fs;
   Grid grid = datagen::gts_like(32, 2);
   auto cfg = cfg_for(grid.shape());
-  cfg.chunk_shape = NDShape{16, 16};
+  cfg.layout.chunk_shape = NDShape{16, 16};
   auto store = MlocStore::create(&fs, "s", cfg);
   ASSERT_TRUE(store.is_ok());
   StagingPipeline pipeline(&store.value(), {});
@@ -74,7 +74,7 @@ TEST(Staging, DuplicateStepErrorSurfacesAtFinish) {
   pfs::PfsStorage fs;
   Grid grid = datagen::gts_like(32, 3);
   auto cfg = cfg_for(grid.shape());
-  cfg.chunk_shape = NDShape{16, 16};
+  cfg.layout.chunk_shape = NDShape{16, 16};
   auto store = MlocStore::create(&fs, "s", cfg);
   ASSERT_TRUE(store.is_ok());
   StagingPipeline pipeline(&store.value(), {});
@@ -136,7 +136,7 @@ TEST(Staging, TimeRangeRejectsInvertedRange) {
   pfs::PfsStorage fs;
   Grid grid = datagen::gts_like(32, 6);
   auto cfg = cfg_for(grid.shape());
-  cfg.chunk_shape = NDShape{16, 16};
+  cfg.layout.chunk_shape = NDShape{16, 16};
   auto store = MlocStore::create(&fs, "s", cfg);
   ASSERT_TRUE(store.is_ok());
   EXPECT_FALSE(query_time_range(store.value(), "phi", 3, 1, Query{}).is_ok());

@@ -51,11 +51,11 @@ MlocConfig small_config(const NDShape& shape, const NDShape& chunk,
                         LevelOrder order = LevelOrder::kVMS) {
   MlocConfig cfg;
   cfg.shape = shape;
-  cfg.chunk_shape = chunk;
-  cfg.num_bins = 16;
-  cfg.codec = codec;
-  cfg.order = order;
-  cfg.sample_stride = 7;
+  cfg.layout.chunk_shape = chunk;
+  cfg.layout.num_bins = 16;
+  cfg.layout.codec = codec;
+  cfg.layout.order = order;
+  cfg.layout.sample_stride = 7;
   return cfg;
 }
 
@@ -385,7 +385,7 @@ TEST(StorePersistence, OpenAfterCreateSeesIdenticalResults) {
   auto reopened = MlocStore::open(&fs, "persisted");
   ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
   EXPECT_EQ(reopened.value().variables(), std::vector<std::string>{"phi"});
-  EXPECT_EQ(reopened.value().config().codec, "mzip");
+  EXPECT_EQ(reopened.value().config().layout.codec, "mzip");
 
   Query q;
   q.vc = ValueConstraint{0.0, 0.5};
@@ -471,7 +471,7 @@ TEST(Store, AlignedBinsSkipDataReads) {
   pfs::PfsStorage fs;
   Grid grid = test_grid_2d();
   auto cfg = small_config(grid.shape(), NDShape{16, 16}, "mzip");
-  cfg.num_bins = 32;
+  cfg.layout.num_bins = 32;
   auto store = MlocStore::create(&fs, "t", cfg);
   ASSERT_TRUE(store.is_ok());
   ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
@@ -493,7 +493,7 @@ TEST(Store, EqualWidthBinningWorksAndPersists) {
   pfs::PfsStorage fs;
   Grid grid = test_grid_2d();
   auto cfg = small_config(grid.shape(), NDShape{16, 16}, "mzip");
-  cfg.binning = BinningKind::kEqualWidth;
+  cfg.layout.binning = BinningKind::kEqualWidth;
   {
     auto store = MlocStore::create(&fs, "ew", cfg);
     ASSERT_TRUE(store.is_ok());
@@ -501,7 +501,7 @@ TEST(Store, EqualWidthBinningWorksAndPersists) {
   }
   auto reopened = MlocStore::open(&fs, "ew");
   ASSERT_TRUE(reopened.is_ok());
-  EXPECT_EQ(reopened.value().config().binning, BinningKind::kEqualWidth);
+  EXPECT_EQ(reopened.value().config().layout.binning, BinningKind::kEqualWidth);
 
   Query q;
   q.vc = ValueConstraint{-0.1, 0.3};
@@ -519,8 +519,8 @@ TEST(Store, EqualFrequencyIsMoreBalancedThanEqualWidth) {
   Grid grid = test_grid_2d();  // skewed value distribution
   auto imbalance = [&](BinningKind kind, const std::string& name) {
     auto cfg = small_config(grid.shape(), NDShape{16, 16}, "raw");
-    cfg.binning = kind;
-    cfg.num_bins = 16;
+    cfg.layout.binning = kind;
+    cfg.layout.num_bins = 16;
     auto store = MlocStore::create(&fs, name, cfg);
     MLOC_CHECK(store.is_ok());
     MLOC_CHECK(store.value().write_variable("phi", grid).is_ok());
@@ -624,7 +624,7 @@ TEST(Store, ZoneMapsSkipDisjointFragmentsInMisalignedBins) {
     grid.at_linear(i) = static_cast<double>(i);  // perfectly sorted field
   }
   auto cfg = small_config(shape, NDShape{8, 8}, "mzip");
-  cfg.num_bins = 4;  // coarse bins -> VC below covers a sliver of one bin
+  cfg.layout.num_bins = 4;  // coarse bins -> VC below covers a sliver of one bin
   auto store = MlocStore::create(&fs, "t", cfg);
   ASSERT_TRUE(store.is_ok());
   ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
@@ -651,7 +651,7 @@ TEST(Store, ZoneMapAlignedFragmentsAvoidDecompression) {
     grid.at_linear(i) = static_cast<double>(i);
   }
   auto cfg = small_config(shape, NDShape{8, 8}, "mzip");
-  cfg.num_bins = 4;
+  cfg.layout.num_bins = 4;
   auto store = MlocStore::create(&fs, "t", cfg);
   ASSERT_TRUE(store.is_ok());
   ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
@@ -825,6 +825,219 @@ TEST(Store, VsmFullPrecisionReadsFewerSeeksThanVms) {
   auto l_vsm = vsm.value().execute("phi", low);
   ASSERT_TRUE(l_vms.is_ok() && l_vsm.is_ok());
   EXPECT_LT(l_vms.value().times.io, l_vsm.value().times.io);
+}
+
+// ------------------------------------------------- per-variable layouts
+
+VariableLayout alt_layout() {
+  // Deliberately different from small_config's default on every axis the
+  // tuner searches: order, curve (generalized Morton with a non-canonical
+  // interleave), bin count, and chunk shape.
+  VariableLayout l;
+  l.chunk_shape = NDShape{8, 8};
+  l.num_bins = 9;
+  l.order = LevelOrder::kVSM;
+  l.curve = sfc::CurveKind::kGeneralizedMorton;
+  l.interleave = "yyyxxx";
+  l.codec = "mzip";
+  l.sample_stride = 3;
+  return l;
+}
+
+TEST(MixedLayout, TwoLayoutsInOneStoreMatchSingleLayoutStores) {
+  pfs::PfsStorage fs;
+  Grid grid = test_grid_2d();
+
+  // Mixed store: "a" under the default layout, "b" under alt_layout().
+  auto mixed = MlocStore::create(
+      &fs, "mixed", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+  ASSERT_TRUE(mixed.is_ok());
+  ASSERT_TRUE(mixed.value().write_variable("a", grid).is_ok());
+  ASSERT_TRUE(
+      mixed.value().write_variable("b", grid, alt_layout()).is_ok());
+
+  // Reference stores, each single-layout.
+  auto ref_a = MlocStore::create(
+      &fs, "ref_a", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+  MlocConfig cfg_b;
+  cfg_b.shape = grid.shape();
+  cfg_b.layout = alt_layout();
+  auto ref_b = MlocStore::create(&fs, "ref_b", cfg_b);
+  ASSERT_TRUE(ref_a.is_ok() && ref_b.is_ok());
+  ASSERT_TRUE(ref_a.value().write_variable("a", grid).is_ok());
+  ASSERT_TRUE(ref_b.value().write_variable("b", grid).is_ok());
+
+  // Byte-identical query results for both variables against their
+  // single-layout twins, across query shapes and rank counts.
+  std::vector<Query> queries;
+  { Query q; q.vc = ValueConstraint{0.2, 0.7}; queries.push_back(q); }
+  { Query q; q.sc = Region(2, {8, 8}, {40, 52}); queries.push_back(q); }
+  {
+    Query q;
+    q.vc = ValueConstraint{0.1, 0.9};
+    q.sc = Region(2, {0, 16}, {64, 48});
+    q.plod_level = 3;
+    queries.push_back(q);
+  }
+  for (const Query& q : queries) {
+    for (int ranks : {1, 4}) {
+      for (const char* var : {"a", "b"}) {
+        auto got = mixed.value().execute(var, q, ranks);
+        auto want = (var[0] == 'a' ? ref_a : ref_b).value().execute(var, q,
+                                                                    ranks);
+        ASSERT_TRUE(got.is_ok() && want.is_ok()) << var;
+        EXPECT_EQ(got.value().positions, want.value().positions) << var;
+        EXPECT_EQ(got.value().values, want.value().values) << var;
+      }
+    }
+  }
+
+  // Brute-force ground truth holds for the generalized-Morton variable.
+  Query q;
+  q.vc = ValueConstraint{0.2, 0.7};
+  q.values_needed = true;
+  auto res = mixed.value().execute("b", q);
+  ASSERT_TRUE(res.is_ok());
+  const Truth truth = brute_force(grid, q);
+  EXPECT_EQ(res.value().positions, truth.positions);
+  EXPECT_EQ(res.value().values, truth.values);
+
+  // Cross-variable bitmap hand-off works across differing layouts.
+  auto mv = mixed.value().multivar_query("a", ValueConstraint{0.3, 0.8}, "b");
+  ASSERT_TRUE(mv.is_ok()) << mv.status().to_string();
+}
+
+TEST(MixedLayout, LayoutsSurviveReopen) {
+  pfs::PfsStorage fs;
+  Grid grid = test_grid_2d();
+  {
+    auto store = MlocStore::create(
+        &fs, "mix", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+    ASSERT_TRUE(store.is_ok());
+    ASSERT_TRUE(store.value().write_variable("a", grid).is_ok());
+    ASSERT_TRUE(store.value().write_variable("b", grid, alt_layout()).is_ok());
+  }
+  auto reopened = MlocStore::open(&fs, "mix");
+  ASSERT_TRUE(reopened.is_ok()) << reopened.status().to_string();
+  auto la = reopened.value().variable_layout("a");
+  auto lb = reopened.value().variable_layout("b");
+  ASSERT_TRUE(la.is_ok() && lb.is_ok());
+  EXPECT_EQ(*la.value(), reopened.value().config().layout);
+  EXPECT_EQ(*lb.value(), alt_layout());
+  EXPECT_EQ(lb.value()->interleave, "yyyxxx");
+
+  // Queries still work per layout after reopen.
+  Query q;
+  q.sc = Region(2, {4, 4}, {30, 60});
+  for (const char* var : {"a", "b"}) {
+    auto res = reopened.value().execute(var, q);
+    ASSERT_TRUE(res.is_ok()) << var;
+    const Truth truth = brute_force(grid, q);
+    EXPECT_EQ(res.value().positions, truth.positions) << var;
+  }
+}
+
+TEST(MixedLayout, ReingestMayChangeLayout) {
+  pfs::PfsStorage fs;
+  Grid grid = test_grid_2d();
+  auto store = MlocStore::create(
+      &fs, "t", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(store.value().write_variable("phi", grid).is_ok());
+  ASSERT_TRUE(store.value().write_variable("phi", grid, alt_layout()).is_ok());
+  auto layout = store.value().variable_layout("phi");
+  ASSERT_TRUE(layout.is_ok());
+  EXPECT_EQ(*layout.value(), alt_layout());
+
+  Query q;
+  q.vc = ValueConstraint{0.25, 0.75};
+  auto res = store.value().execute("phi", q);
+  ASSERT_TRUE(res.is_ok());
+  EXPECT_EQ(res.value().positions, brute_force(grid, q).positions);
+}
+
+// ------------------------------------------------- layout validation
+
+TEST(LayoutValidation, BadLayoutsRejectedAtIngest) {
+  pfs::PfsStorage fs;
+  Grid grid = test_grid_2d();
+  auto store = MlocStore::create(
+      &fs, "t", small_config(grid.shape(), NDShape{16, 16}, "mzip"));
+  ASSERT_TRUE(store.is_ok());
+
+  const VariableLayout good = store.value().config().layout;
+  auto expect_invalid = [&](VariableLayout l, const char* what) {
+    auto st = store.value().write_variable("v", grid, l);
+    EXPECT_FALSE(st.is_ok()) << what;
+    EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument) << what;
+  };
+
+  { VariableLayout l = good; l.num_bins = 0; expect_invalid(l, "bins"); }
+  { VariableLayout l = good; l.sample_stride = 0; expect_invalid(l, "stride"); }
+  { VariableLayout l = good; l.chunk_shape = NDShape{16, 16, 16};
+    expect_invalid(l, "rank"); }
+  { VariableLayout l = good; l.chunk_shape = NDShape{128, 16};
+    expect_invalid(l, "chunk > grid"); }
+  { VariableLayout l = good; l.codec = "no-such-codec";
+    expect_invalid(l, "codec"); }
+  { VariableLayout l = good; l.curve = sfc::CurveKind::kGeneralizedMorton;
+    l.interleave = "x";  // y never appears
+    expect_invalid(l, "interleave coverage"); }
+  { VariableLayout l = good; l.interleave = "xyxy";  // pattern w/o curve
+    expect_invalid(l, "interleave without generalized curve"); }
+
+  // Nothing was published by the failed attempts.
+  EXPECT_TRUE(store.value().variables().empty());
+
+  // create() validates the default layout the same way.
+  MlocConfig bad;
+  bad.shape = grid.shape();
+  bad.layout = good;
+  bad.layout.num_bins = -1;
+  EXPECT_FALSE(MlocStore::create(&fs, "bad", bad).is_ok());
+}
+
+// ------------------------------------------------- v2 back-compat
+
+TEST(BackCompat, V2StoreFixtureOpensAndQueries) {
+  // tests/data/v2-store was written by the pre-refactor (meta v2,
+  // store-wide layout) code: 32x32 gts grid, 16x16 chunks, 8 bins, mzip,
+  // hilbert, V-M-S, stride 101, one variable "temp". The legacy open path
+  // must reproduce its layout and its exact query results.
+  auto fs = pfs::PfsStorage::load_from_dir(std::string(MLOC_TEST_DATA_DIR) +
+                                           "/v2-store");
+  ASSERT_TRUE(fs.is_ok()) << fs.status().to_string();
+  auto store = MlocStore::open(&fs.value(), "store");
+  ASSERT_TRUE(store.is_ok()) << store.status().to_string();
+
+  EXPECT_EQ(store.value().variables(), std::vector<std::string>{"temp"});
+  auto layout = store.value().variable_layout("temp");
+  ASSERT_TRUE(layout.is_ok());
+  EXPECT_EQ(layout.value()->chunk_shape, (NDShape{16, 16}));
+  EXPECT_EQ(layout.value()->num_bins, 8);
+  EXPECT_EQ(layout.value()->codec, "mzip");
+  EXPECT_EQ(layout.value()->curve, sfc::CurveKind::kHilbert);
+  EXPECT_EQ(layout.value()->order, LevelOrder::kVMS);
+  EXPECT_EQ(layout.value()->sample_stride, 101u);
+  EXPECT_TRUE(layout.value()->interleave.empty());
+  // The store-wide legacy layout doubles as the default layout.
+  EXPECT_EQ(store.value().config().layout, *layout.value());
+
+  Query q;
+  q.vc = ValueConstraint{0.2, 0.8};
+  q.values_needed = true;
+  auto res = store.value().execute("temp", q, 2);
+  ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+  ASSERT_EQ(res.value().positions.size(), 136u);
+  double sum = 0.0, lo = res.value().values[0], hi = lo;
+  for (double v : res.value().values) {
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_NEAR(sum / 136.0, 0.400972, 1e-6);
+  EXPECT_NEAR(lo, 0.201853, 1e-6);
+  EXPECT_NEAR(hi, 0.780933, 1e-6);
 }
 
 }  // namespace

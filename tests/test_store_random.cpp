@@ -75,10 +75,10 @@ TEST_P(RandomQueries, MatchBruteForceExactly) {
                            : datagen::s3d_like(20, 78);
   MlocConfig cfg;
   cfg.shape = grid.shape();
-  cfg.chunk_shape = (ndims == 2) ? NDShape{16, 16} : NDShape{8, 8, 8};
-  cfg.num_bins = 12;
-  cfg.codec = codec;
-  cfg.order = order;
+  cfg.layout.chunk_shape = (ndims == 2) ? NDShape{16, 16} : NDShape{8, 8, 8};
+  cfg.layout.num_bins = 12;
+  cfg.layout.codec = codec;
+  cfg.layout.order = order;
   pfs::PfsStorage fs;
   auto store = MlocStore::create(&fs, "r", cfg);
   ASSERT_TRUE(store.is_ok());
