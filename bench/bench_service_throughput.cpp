@@ -144,12 +144,14 @@ void json_exec(std::FILE* f, const char* key, const EnginePass& p,
   std::fprintf(
       f,
       "    \"%s\": {\"bytes_planned\": %llu, \"bytes_read\": %llu, "
-      "\"bytes_from_cache\": %llu, \"extents_naive\": %llu, "
+      "\"bytes_from_cache\": %llu, \"bytes_bridged\": %llu, "
+      "\"extents_naive\": %llu, "
       "\"extents_coalesced\": %llu, \"modeled_seeks\": %llu, "
       "\"modeled_io_s\": %.9f}%s\n",
       key, static_cast<unsigned long long>(p.exec.bytes_planned),
       static_cast<unsigned long long>(p.exec.bytes_read),
       static_cast<unsigned long long>(p.exec.bytes_from_cache),
+      static_cast<unsigned long long>(p.exec.bytes_bridged),
       static_cast<unsigned long long>(p.exec.extents_naive),
       static_cast<unsigned long long>(p.exec.extents_coalesced),
       static_cast<unsigned long long>(p.exec.modeled_seeks), p.modeled_io_s,
@@ -275,6 +277,11 @@ int main() {
       coalesced.exec.extents_coalesced < coalesced.exec.extents_naive &&
       coalesced.exec.modeled_seeks < naive.exec.modeled_seeks &&
       coalesced.modeled_io_s <= naive.modeled_io_s;
+  // Gap bridging trades bytes for seeks; if the welded gap bytes ever
+  // exceed twice the bytes the plan actually needed, the scheduler is
+  // reading the store to save seeks — a regression worth failing on.
+  const bool bridging_ok =
+      coalesced.exec.bytes_bridged <= 2 * coalesced.exec.bytes_planned;
 
   std::printf("\nEngine (16-bin V-M-S store, %zu-query mix, 2 ranks):\n",
               mix.size());
@@ -289,6 +296,9 @@ int main() {
               " cold)\n",
               static_cast<double>(warm.exec.bytes_from_cache) / (1 << 20),
               static_cast<double>(cold.exec.bytes_read) / (1 << 20));
+  std::printf("  gap bridging: %.2f MiB welded into %.2f MiB planned\n",
+              static_cast<double>(coalesced.exec.bytes_bridged) / (1 << 20),
+              static_cast<double>(coalesced.exec.bytes_planned) / (1 << 20));
 
   const char* json_path = std::getenv("MLOC_BENCH_JSON");
   if (json_path == nullptr) json_path = "BENCH_engine.json";
@@ -320,17 +330,23 @@ int main() {
   json_exec(f, "coalesced", coalesced, ",");
   json_exec(f, "cold", cold, ",");
   json_exec(f, "warm", warm, ",");
-  std::fprintf(f, "    \"coalescing_ok\": %s\n",
+  std::fprintf(f, "    \"coalescing_ok\": %s,\n",
                coalescing_ok ? "true" : "false");
+  std::fprintf(f, "    \"bridging_ok\": %s\n", bridging_ok ? "true" : "false");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
-  std::printf("\nwrote %s (coalescing_ok=%s)\n", json_path,
-              coalescing_ok ? "true" : "false");
+  std::printf("\nwrote %s (coalescing_ok=%s, bridging_ok=%s)\n", json_path,
+              coalescing_ok ? "true" : "false", bridging_ok ? "true" : "false");
 
   if (!coalescing_ok) {
     std::fprintf(stderr,
                  "FAIL: coalescing did not reduce extents/seeks vs the"
                  " naive schedule\n");
+    return 1;
+  }
+  if (!bridging_ok) {
+    std::fprintf(stderr,
+                 "FAIL: gap bridging read more than 2x the planned bytes\n");
     return 1;
   }
   return 0;

@@ -69,7 +69,8 @@ int usage() {
       "usage:\n"
       "  mloc_cli build --out DIR [--dataset gts|s3d|velocity] [--edge N]\n"
       "           [--chunk C] [--bins B] [--codec NAME] [--order vms|vsm]\n"
-      "           [--seed S] [--var NAME] [--threads T] [--write-behind]\n"
+      "           [--index-fanout F] [--seed S] [--var NAME] [--threads T]\n"
+      "           [--write-behind]\n"
       "  mloc_cli info  --store DIR\n"
       "  mloc_cli query --store DIR [--var NAME] [--vc LO:HI]\n"
       "           [--sc LO:HI[,LO:HI...]] [--plod L] [--ranks R]"
@@ -115,6 +116,7 @@ int cmd_build(const Args& args) {
   cfg.layout.codec = args.get("codec", "mzip");
   cfg.layout.order =
       args.get("order", "vms") == "vsm" ? LevelOrder::kVSM : LevelOrder::kVMS;
+  cfg.layout.index_fanout = std::atoi(args.get("index-fanout", "0").c_str());
 
   pfs::PfsStorage fs;
   auto store = MlocStore::create(&fs, "store", cfg);
@@ -156,6 +158,10 @@ int cmd_info(const Args& args) {
   std::printf("  shape       %s, chunks %s\n", cfg.shape.to_string().c_str(),
               cfg.layout.chunk_shape.to_string().c_str());
   std::printf("  bins        %d (equal frequency)\n", cfg.layout.num_bins);
+  if (cfg.layout.index_fanout > 1) {
+    std::printf("  bin index   hierarchical, fanout %d (.hbx)\n",
+                cfg.layout.index_fanout);
+  }
   std::printf("  codec       %s (%s)\n", cfg.layout.codec.c_str(),
               is_byte_codec(cfg.layout.codec) ? "PLoD byte columns" : "whole values");
   std::printf("  level order %s\n",

@@ -72,9 +72,17 @@ struct VariableLayout {
   /// Binning boundaries are estimated from every `sample_stride`-th element
   /// (the paper computes them "from partial dataset").
   std::uint32_t sample_stride = 101;
+  /// Hierarchical bitmap index (.hbx) fan-out: each tree level ORs this
+  /// many children of the level below. 0 disables the index (the default,
+  /// and the only value meta v3 stores can express); >= 2 builds it at
+  /// ingest time.
+  int index_fanout = 0;
 
   void serialize(ByteWriter& w) const;
-  [[nodiscard]] static Result<VariableLayout> deserialize(ByteReader& r);
+  /// `with_index_fanout` is false when decoding meta-v3 layout records,
+  /// which predate the index_fanout field (it reads as 0 / disabled).
+  [[nodiscard]] static Result<VariableLayout> deserialize(
+      ByteReader& r, bool with_index_fanout = true);
 
   /// One-line human rendering ("V-M-S hilbert 100 bins mzip chunks 16x16").
   [[nodiscard]] std::string describe() const;

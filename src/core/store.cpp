@@ -15,8 +15,11 @@ namespace mloc {
 namespace {
 
 constexpr std::uint32_t kMetaMagic = 0x4D4C4F43;  // "MLOC"
-// v3: per-variable layouts. v2 (store-wide layout, CRC footers) still opens.
-constexpr std::uint32_t kMetaVersion = 3;
+// v4: layouts carry index_fanout and each variable records its optional
+// .hbx header length. v3 (per-variable layouts) and v2 (store-wide layout,
+// CRC footers) still open; both read as index-less.
+constexpr std::uint32_t kMetaVersion = 4;
+constexpr std::uint32_t kMetaVersionV3 = 3;
 constexpr std::uint32_t kLegacyMetaVersion = 2;
 
 }  // namespace
@@ -73,6 +76,8 @@ Status MlocStore::write_meta() {
       v->scheme.serialize(w);
       w.put_varint(v->bins.size());
       for (const auto& b : v->bins) w.put_varint(b.header_len);
+      // v4: .hbx node-table length; 0 = no hierarchical index.
+      w.put_varint(v->hbx.present ? v->hbx.header_len : 0);
     }
   }
   Bytes meta = std::move(w).take();
@@ -97,9 +102,11 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
   MLOC_ASSIGN_OR_RETURN(std::uint32_t magic, r.get_u32());
   if (magic != kMetaMagic) return corrupt_data("meta: bad magic");
   MLOC_ASSIGN_OR_RETURN(std::uint32_t version, r.get_u32());
-  if (version != kMetaVersion && version != kLegacyMetaVersion) {
+  if (version != kMetaVersion && version != kMetaVersionV3 &&
+      version != kLegacyMetaVersion) {
     return unsupported("meta: unknown version");
   }
+  const bool has_index_fanout = version >= kMetaVersion;
   MLOC_ASSIGN_OR_RETURN(store.cfg_.shape, deserialize_shape(r));
   if (version == kLegacyMetaVersion) {
     // v2 stores carry one store-wide layout in fixed field order; it becomes
@@ -121,7 +128,8 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
     MLOC_ASSIGN_OR_RETURN(l.codec, r.get_string());
     MLOC_ASSIGN_OR_RETURN(l.sample_stride, r.get_u32());
   } else {
-    MLOC_ASSIGN_OR_RETURN(store.cfg_.layout, VariableLayout::deserialize(r));
+    MLOC_ASSIGN_OR_RETURN(store.cfg_.layout,
+                          VariableLayout::deserialize(r, has_index_fanout));
   }
   MLOC_RETURN_IF_ERROR(validate_layout(store.cfg_.layout, store.cfg_.shape));
 
@@ -133,7 +141,8 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
     if (version == kLegacyMetaVersion) {
       vs.layout = store.cfg_.layout;
     } else {
-      MLOC_ASSIGN_OR_RETURN(vs.layout, VariableLayout::deserialize(r));
+      MLOC_ASSIGN_OR_RETURN(vs.layout,
+                            VariableLayout::deserialize(r, has_index_fanout));
     }
     MLOC_RETURN_IF_ERROR(store.init_derived_state(&vs));
     MLOC_ASSIGN_OR_RETURN(vs.scheme, BinningScheme::deserialize(r));
@@ -150,6 +159,15 @@ Result<MlocStore> MlocStore::open(pfs::PfsStorage* fs,
       MLOC_ASSIGN_OR_RETURN(
           vs.bins[b].dat,
           fs->open(ingest::dat_name(name, vs.name, static_cast<int>(b))));
+    }
+    if (has_index_fanout) {
+      MLOC_ASSIGN_OR_RETURN(std::uint64_t hbx_header_len, r.get_varint());
+      if (hbx_header_len > 0) {
+        vs.hbx.present = true;
+        vs.hbx.header_len = hbx_header_len;
+        MLOC_ASSIGN_OR_RETURN(vs.hbx.file,
+                              fs->open(ingest::hbx_name(name, vs.name)));
+      }
     }
     sync::WriterLock lock(store.vars_mu_);
     store.vars_.push_back(std::make_shared<VariableState>(std::move(vs)));
@@ -180,6 +198,16 @@ Result<std::vector<MlocStore::BinSubfiles>> MlocStore::bin_subfiles(
   for (const auto& b : vs->bins) {
     out.push_back({b.idx, b.dat, b.header_len});
   }
+  return out;
+}
+
+Result<MlocStore::HbxSubfile> MlocStore::hbx_subfile(
+    const std::string& var) const {
+  MLOC_ASSIGN_OR_RETURN(const VariableState* vs, find_var(var));
+  HbxSubfile out;
+  out.present = vs->hbx.present;
+  out.file = vs->hbx.file;
+  out.header_len = vs->hbx.header_len;
   return out;
 }
 
@@ -249,6 +277,7 @@ std::uint64_t MlocStore::index_bytes() const {
     for (const auto& b : v->bins) {
       total += fs_->file_size(b.idx).value_or(0);
     }
+    if (v->hbx.present) total += fs_->file_size(v->hbx.file).value_or(0);
   }
   return total;
 }
@@ -303,6 +332,16 @@ Status MlocStore::write_variable(const std::string& var, const Grid& grid,
     files.header_cache->put(std::move(bin.layout));
     vs->bins.push_back(std::move(files));
   }
+  if (out.hbx.present) {
+    vs->hbx.present = true;
+    vs->hbx.file = out.hbx.file;
+    vs->hbx.header_len = out.hbx.header_len;
+    // Same freshness argument as the bins: we wrote (and parsed) the .hbx
+    // ourselves, so first reads skip the CRC scan and the node table is
+    // already in hand.
+    vs->hbx.footer_state->store(1);
+    vs->hbx.header_cache->put(out.hbx.header);
+  }
 
   {
     sync::WriterLock lock(vars_mu_);
@@ -353,6 +392,18 @@ Status MlocStore::ensure_subfile_verified(const BinFiles& files,
   return Status::ok();
 }
 
+Status MlocStore::ensure_hbx_verified(const HbxFiles& files) const {
+  if ((files.footer_state->load(std::memory_order_acquire) & 1) != 0) {
+    return Status::ok();
+  }
+  MLOC_ASSIGN_OR_RETURN(std::uint64_t size, fs_->file_size(files.file));
+  // Integrity scan, not query I/O — outside the IoLog, like the bins.
+  MLOC_ASSIGN_OR_RETURN(Bytes content, fs_->read(files.file, 0, size));
+  MLOC_RETURN_IF_ERROR(verify_subfile_footer(content).status());
+  files.footer_state->fetch_or(1, std::memory_order_acq_rel);
+  return Status::ok();
+}
+
 Result<QueryResult> MlocStore::execute(const std::string& var, const Query& q,
                                        int num_ranks) const {
   return execute(var, q, num_ranks, exec::ExecOptions{});
@@ -393,14 +444,22 @@ exec::StoreView MlocStore::make_view(const VariableState& vs) const {
     return ensure_subfile_verified(vs.bins[static_cast<std::size_t>(bin)],
                                    dat_file);
   };
+  if (vs.hbx.present) {
+    view.hbx.present = true;
+    view.hbx.file = vs.hbx.file;
+    view.hbx.header_len = vs.hbx.header_len;
+    view.hbx.header_cache = vs.hbx.header_cache.get();
+    view.verify_hbx = [this, &vs] { return ensure_hbx_verified(vs.hbx); };
+  }
   return view;
 }
 
 Result<QueryResult> MlocStore::execute_impl(
     const VariableState& vs, const Query& q, int num_ranks,
-    const Bitmap* position_filter, const exec::ExecOptions& opts) const {
+    const Bitmap* position_filter, const exec::ExecOptions& opts,
+    WahBitmap* region_wah) const {
   return exec::execute_query(make_view(vs), q, num_ranks, position_filter,
-                             opts);
+                             opts, region_wah);
 }
 
 Result<QueryResult> MlocStore::multivar_query(const std::string& select_var,
@@ -419,9 +478,11 @@ Result<QueryResult> MlocStore::multivar_select(
     return invalid_argument("multivar: at least one predicate required");
   }
 
-  // Pass 1: one region-only query per predicate; each result becomes a
-  // WAH bitmap, combined in the compressed domain (§III-D-4's
-  // "synchronized bitmaps").
+  // Pass 1: one region-only query per predicate; the engine returns each
+  // result directly as a WAH bitmap (hierarchical-index node bitmaps merge
+  // per tree level in the compressed domain, boundary bins are rasterized
+  // once), combined here without ever materializing flat per-variable
+  // position vectors (§III-D-4's "synchronized bitmaps").
   QueryResult accumulated;
   std::optional<WahBitmap> combined;
   for (const auto& pred : preds) {
@@ -429,13 +490,12 @@ Result<QueryResult> MlocStore::multivar_select(
     Query region_q;
     region_q.vc = pred.vc;
     region_q.values_needed = false;
+    WahBitmap wah;
     MLOC_ASSIGN_OR_RETURN(
         QueryResult selected,
-        execute_impl(*vs, region_q, num_ranks, nullptr, exec::ExecOptions{}));
+        execute_impl(*vs, region_q, num_ranks, nullptr, exec::ExecOptions{},
+                     &wah));
     Stopwatch sw;
-    Bitmap plain(cfg_.shape.volume());
-    for (std::uint64_t p : selected.positions) plain.set(p);
-    WahBitmap wah = WahBitmap::compress(plain);
     if (!combined.has_value()) {
       combined = std::move(wah);
     } else if (combine == Combine::kAnd) {

@@ -46,6 +46,11 @@ struct StoreView;  // engine-facing projection (exec/engine.hpp)
 /// key — a cached entry holds the *deepest* decoded byte-group prefix seen
 /// so far, and any request at level <= that depth is a hit (a level-3 entry
 /// serves a level-2 request).
+/// FragmentKey::chunk sentinel for cached hierarchical-index tree nodes:
+/// a decoded .hbx node is keyed as {var, node_id, kHbxNodeChunk, epoch}.
+/// Real chunks are lattice cells, far below this value.
+inline constexpr ChunkId kHbxNodeChunk = 0xFFFF'FFFFu;
+
 struct FragmentKey {
   std::string var;
   int bin = 0;
@@ -70,6 +75,10 @@ struct FragmentData {
   std::vector<double> values;  ///< whole-value mode payload
   std::vector<std::uint32_t> positions;  ///< decoded chunk-local positions
   std::uint64_t count = 0;     ///< points in the fragment (sanity check)
+  /// Decoded hierarchical-index tree node (keys with chunk ==
+  /// kHbxNodeChunk); empty for ordinary fragment entries.
+  WahBitmap node_bitmap;
+  bool has_node = false;
 
   /// PLoD depth of the prefix (0 in whole-value mode).
   [[nodiscard]] int depth() const noexcept {
@@ -79,6 +88,7 @@ struct FragmentData {
   [[nodiscard]] std::size_t byte_size() const noexcept {
     std::size_t b = sizeof(FragmentData);
     for (const auto& p : planes) b += p.size();
+    if (has_node) b += node_bitmap.byte_size();
     return b + values.size() * sizeof(double) +
            positions.size() * sizeof(std::uint32_t);
   }
@@ -219,6 +229,15 @@ class MlocStore {
   };
   [[nodiscard]] Result<std::vector<BinSubfiles>> bin_subfiles(
       const std::string& var) const;
+  /// Hierarchical-index (.hbx) subfile location of one variable, for
+  /// offline tooling and benches. `present` is false when the variable's
+  /// layout has index_fanout == 0.
+  struct HbxSubfile {
+    bool present = false;
+    pfs::FileId file = 0;
+    std::uint64_t header_len = 0;
+  };
+  [[nodiscard]] Result<HbxSubfile> hbx_subfile(const std::string& var) const;
   /// This variable's layout / chunk lattice (pointers stay valid for the
   /// store's lifetime, like every find_var-derived pointer).
   [[nodiscard]] Result<const VariableLayout*> variable_layout(
@@ -276,6 +295,20 @@ class MlocStore {
     std::shared_ptr<BinHeaderCache> header_cache =
         std::make_shared<BinHeaderCache>();
   };
+  /// Hierarchical-index subfile state, the .hbx analogue of BinFiles.
+  struct HbxFiles {
+    bool present = false;
+    pfs::FileId file = 0;
+    std::uint64_t header_len = 0;  ///< node-table bytes at .hbx start
+    /// Bit 0 set once the .hbx footer CRC has been checked (lazy, like
+    /// BinFiles::footer_state).
+    std::shared_ptr<std::atomic<std::uint8_t>> footer_state =
+        std::make_shared<std::atomic<std::uint8_t>>(0);
+    /// Parsed node table, shared across copies; warmed at write time or by
+    /// the first query that reads the header.
+    std::shared_ptr<index::HbxHeaderCache> header_cache =
+        std::make_shared<index::HbxHeaderCache>();
+  };
   struct VariableState {
     std::string name;
     VariableLayout layout;
@@ -286,6 +319,7 @@ class MlocStore {
     std::shared_ptr<const DoubleCodec> double_codec;  // whole-value mode
     BinningScheme scheme;
     std::vector<BinFiles> bins;  ///< size = scheme.num_bins()
+    HbxFiles hbx;                ///< hierarchical index (may be absent)
     std::uint64_t epoch = 0;     ///< ingest generation (FragmentKey::epoch)
 
     [[nodiscard]] bool plod_capable() const noexcept {
@@ -303,6 +337,8 @@ class MlocStore {
   /// Verify the footer CRC of one bin subfile if not already done (lazy,
   /// thread-safe; reads the whole file outside the modeled I/O log).
   [[nodiscard]] Status ensure_subfile_verified(const BinFiles& files, bool dat_file) const;
+  /// Same, for the variable's .hbx subfile.
+  [[nodiscard]] Status ensure_hbx_verified(const HbxFiles& files) const;
   [[nodiscard]] Result<const VariableState*> find_var(
       const std::string& var) const MLOC_EXCLUDES(vars_mu_);
 
@@ -311,7 +347,8 @@ class MlocStore {
   /// exec::execute_query over make_view(vs).
   [[nodiscard]] Result<QueryResult> execute_impl(const VariableState& vs, const Query& q,
                                    int num_ranks, const Bitmap* position_filter,
-                                   const exec::ExecOptions& opts) const;
+                                   const exec::ExecOptions& opts,
+                                   WahBitmap* region_wah = nullptr) const;
 
   /// Build the engine-facing projection of one variable (non-owning; valid
   /// while `vs` and this store are alive and unmodified).

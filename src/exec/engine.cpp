@@ -18,13 +18,15 @@
 #include "exec/io_scheduler.hpp"
 #include "parallel/runtime.hpp"
 #include "plod/plod.hpp"
+#include "util/hash.hpp"
 #include "util/timer.hpp"
 
 namespace mloc::exec {
 
 Result<QueryResult> execute_query(const StoreView& view, const Query& q,
                                   int num_ranks, const Bitmap* position_filter,
-                                  const ExecOptions& opts) {
+                                  const ExecOptions& opts,
+                                  WahBitmap* region_wah) {
   if (num_ranks < 1) return invalid_argument("query: num_ranks must be >= 1");
   if (q.plod_level < 1 || q.plod_level > 7) {
     return invalid_argument("query: PLoD level must be in [1,7]");
@@ -43,6 +45,16 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
     return invalid_argument(
         "query: value constraint is empty or NaN (requires lo < hi)");
   }
+  if (region_wah != nullptr && q.values_needed) {
+    return invalid_argument("query: region_wah requires a region-only query");
+  }
+  // Compressed-domain output: hierarchical-index node bitmaps merge per
+  // tree level without ever materializing flat position vectors; only
+  // boundary-bin positions are rasterized. Needs the full grid as the
+  // domain, so an SC or a position filter falls back to the plain path
+  // (the WAH is then built from the filtered positions at the end).
+  const bool wah_mode = region_wah != nullptr && !q.sc.has_value() &&
+                        position_filter == nullptr;
 
   MLOC_ASSIGN_OR_RETURN(ReadPlan plan,
                         build_plan(view, q, num_ranks, opts, /*warm=*/true));
@@ -59,6 +71,9 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
   struct RankOutput {
     std::vector<std::uint64_t> positions;
     std::vector<double> values;
+    /// wah_mode only: per-tree-level OR of this rank's hbx node bitmaps
+    /// (index = HbxNode::level; empty WahBitmap = no nodes at that level).
+    std::vector<WahBitmap> level_wahs;
   };
   std::vector<RankOutput> outputs(static_cast<std::size_t>(num_ranks));
   Status exec_status = Status::ok();
@@ -67,6 +82,7 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
                                                          ctx) {
     if (!exec_status.is_ok()) return;
     RankPlan& rp = plan.ranks[static_cast<std::size_t>(ctx.rank)];
+    RankOutput& out = outputs[static_cast<std::size_t>(ctx.rank)];
 
     // Cold header bytes were consumed by the plan builder; execution is
     // charged for them here so the IoLog matches the planned I/O exactly.
@@ -74,6 +90,100 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
       ctx.io_log.add(rec.file, rec.offset, rec.len, rec.rank);
     }
     ctx.times.reconstruct += rp.header_parse_s;
+
+    // --- Hierarchical-index nodes: one batch read covers this rank's .hbx
+    // segments (scheduled exactly as the plan predicted), then each node's
+    // aggregate bitmap is folded — cached nodes straight from the provider,
+    // fresh ones checksum-verified, decoded, and published back.
+    if (!rp.hbx_tasks.empty()) {
+      if (!rp.hbx_segments.empty() && view.verify_hbx) {
+        if (Status st = view.verify_hbx(); !st.is_ok()) {
+          exec_status = std::move(st);
+          return;
+        }
+      }
+      std::vector<SlotRef> hbx_slots;
+      const std::vector<pfs::ReadRequest> hbx_requests =
+          opts.naive_io
+              ? naive_schedule(rp.hbx_segments, &hbx_slots)
+              : coalesce_segments(rp.hbx_segments, opts.coalesce_gap_bytes,
+                                  &hbx_slots);
+      auto hbx_bufs = view.fs->read_batch(
+          hbx_requests, &ctx.io_log, static_cast<std::uint32_t>(ctx.rank));
+      if (!hbx_bufs.is_ok()) {
+        exec_status = hbx_bufs.status();
+        return;
+      }
+      const std::vector<Bytes> hbx_buffers = std::move(hbx_bufs).value();
+      if (wah_mode) {
+        out.level_wahs.resize(
+            static_cast<std::size_t>(plan.hbx_header->num_levels()));
+      }
+
+      for (const HbxNodeTask& task : rp.hbx_tasks) {
+        const index::HbxNode& node = plan.hbx_header->nodes[task.node];
+        const WahBitmap* wah = nullptr;
+        WahBitmap fresh;
+        if (task.cached != nullptr) {
+          wah = &task.cached->node_bitmap;
+        } else {
+          const SlotRef& slot = hbx_slots[task.seg_index];
+          const Bytes& buf =
+              hbx_buffers[static_cast<std::size_t>(slot.extent)];
+          const std::span<const std::uint8_t> raw(buf.data() + slot.delta,
+                                                  node.length);
+          if (fnv1a64(raw) != node.checksum) {
+            exec_status = corrupt_data("hbx: node bitmap checksum mismatch");
+            return;
+          }
+          Stopwatch sw;
+          ByteReader rd(raw);
+          auto parsed = WahBitmap::deserialize(rd);
+          if (!parsed.is_ok()) {
+            exec_status = parsed.status();
+            return;
+          }
+          fresh = std::move(parsed).value();
+          ctx.times.decompress += sw.seconds();
+          if (fresh.size_bits() != view.shape->volume() ||
+              fresh.count() != node.popcount) {
+            exec_status = corrupt_data("hbx: node bitmap geometry mismatch");
+            return;
+          }
+          if (view.provider != nullptr) {
+            auto data = std::make_shared<FragmentData>();
+            data->node_bitmap = fresh;
+            data->has_node = true;
+            data->count = node.popcount;
+            view.provider->insert({*view.var, static_cast<int>(task.node),
+                                   kHbxNodeChunk, view.epoch},
+                                  std::move(data));
+          }
+          wah = &fresh;
+        }
+
+        Stopwatch sw_fold;
+        if (wah_mode) {
+          // Compressed-domain fold: OR into this node's tree level.
+          WahBitmap& lw =
+              out.level_wahs[static_cast<std::size_t>(node.level)];
+          lw = lw.size_bits() == 0 ? *wah : WahBitmap::logical_or(lw, *wah);
+        } else {
+          const Bitmap plain = wah->decompress();
+          plain.for_each_set([&](std::uint64_t pos) {
+            if (q.sc.has_value() &&
+                !q.sc->contains(view.shape->delinearize(pos))) {
+              return;
+            }
+            if (position_filter != nullptr && !position_filter->get(pos)) {
+              return;
+            }
+            out.positions.push_back(pos);
+          });
+        }
+        ctx.times.reconstruct += sw_fold.seconds();
+      }
+    }
 
     DecodePipeline pipe(opts.decode_workers, rp.tasks.size(),
                         opts.min_decode_tasks);
@@ -162,7 +272,6 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
 
     // Fold in task order: first decode failure wins, then any run-boundary
     // failure (verify/batch read) that stopped dispatch.
-    RankOutput& out = outputs[static_cast<std::size_t>(ctx.rank)];
     for (std::size_t ti = 0; ti < folded_end; ++ti) {
       const FragmentTask& task = rp.tasks[ti];
       DecodedFragment& d = decoded[ti];
@@ -193,22 +302,60 @@ Result<QueryResult> execute_query(const StoreView& view, const Query& q,
 
   // --- Gather: merge rank outputs sorted by position (root process role).
   Stopwatch sw_gather;
-  std::size_t total = 0;
-  for (const auto& o : outputs) total += o.positions.size();
-  std::vector<std::pair<std::uint64_t, double>> merged;
-  merged.reserve(total);
-  for (const auto& o : outputs) {
-    for (std::size_t k = 0; k < o.positions.size(); ++k) {
-      merged.emplace_back(o.positions[k],
-                          q.values_needed ? o.values[k] : 0.0);
+  if (wah_mode) {
+    // Compressed-domain gather: OR the per-rank level bitmaps tree level
+    // by tree level (coarse to fine), then fold in the rasterized
+    // boundary-bin positions. Same set as the flat gather, by OR
+    // associativity; positions stay unmaterialized.
+    WahBitmap acc;
+    std::size_t nlevels = 0;
+    for (const auto& o : outputs) nlevels = std::max(nlevels, o.level_wahs.size());
+    for (std::size_t lvl = nlevels; lvl-- > 0;) {
+      for (const auto& o : outputs) {
+        if (lvl >= o.level_wahs.size()) continue;
+        const WahBitmap& lw = o.level_wahs[lvl];
+        if (lw.size_bits() == 0) continue;
+        acc = acc.size_bits() == 0 ? lw : WahBitmap::logical_or(acc, lw);
+      }
     }
-  }
-  std::sort(merged.begin(), merged.end());
-  result.positions.reserve(merged.size());
-  if (q.values_needed) result.values.reserve(merged.size());
-  for (const auto& [pos, val] : merged) {
-    result.positions.push_back(pos);
-    if (q.values_needed) result.values.push_back(val);
+    std::size_t nflat = 0;
+    for (const auto& o : outputs) nflat += o.positions.size();
+    if (nflat > 0 || acc.size_bits() == 0) {
+      Bitmap flat(view.shape->volume());
+      for (const auto& o : outputs) {
+        for (const std::uint64_t pos : o.positions) flat.set(pos);
+      }
+      const WahBitmap flat_wah = WahBitmap::compress(flat);
+      acc = acc.size_bits() == 0 ? flat_wah
+                                 : WahBitmap::logical_or(acc, flat_wah);
+    }
+    *region_wah = std::move(acc);
+  } else {
+    std::size_t total = 0;
+    for (const auto& o : outputs) total += o.positions.size();
+    std::vector<std::pair<std::uint64_t, double>> merged;
+    merged.reserve(total);
+    for (const auto& o : outputs) {
+      for (std::size_t k = 0; k < o.positions.size(); ++k) {
+        merged.emplace_back(o.positions[k],
+                            q.values_needed ? o.values[k] : 0.0);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    result.positions.reserve(merged.size());
+    if (q.values_needed) result.values.reserve(merged.size());
+    for (const auto& [pos, val] : merged) {
+      result.positions.push_back(pos);
+      if (q.values_needed) result.values.push_back(val);
+    }
+    if (region_wah != nullptr) {
+      // SC/filter fallback: the WAH is built from the already-filtered
+      // positions; callers see the same contract either way.
+      Bitmap flat(view.shape->volume());
+      for (const std::uint64_t pos : result.positions) flat.set(pos);
+      *region_wah = WahBitmap::compress(flat);
+      result.positions.clear();
+    }
   }
   const double gather_s = sw_gather.seconds();
 

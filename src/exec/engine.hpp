@@ -35,6 +35,7 @@
 #include "core/layout.hpp"
 #include "core/store.hpp"
 #include "exec/read_plan.hpp"
+#include "index/hbx.hpp"
 #include "pfs/pfs.hpp"
 #include "query/query.hpp"
 
@@ -67,6 +68,17 @@ struct StoreView {
   /// Lazy footer verification of bin subfiles (absolute bin index).
   std::function<Status(int bin, bool dat_file)> verify_subfile;
 
+  /// Hierarchical bitmap index (.hbx), when the layout carries one.
+  struct HbxRef {
+    bool present = false;
+    pfs::FileId file = 0;
+    std::uint64_t header_len = 0;  ///< node-table bytes at .hbx start
+    index::HbxHeaderCache* header_cache = nullptr;
+  };
+  HbxRef hbx;
+  /// Lazy footer verification of the .hbx subfile.
+  std::function<Status()> verify_hbx;
+
   [[nodiscard]] bool plod_capable() const noexcept {
     return byte_codec != nullptr;
   }
@@ -95,6 +107,17 @@ struct FragmentTask {
   std::size_t seg_count = 0;
 };
 
+/// One hierarchical-index tree node resolved for this query: its aggregate
+/// bitmap answers a fully-covered span of aligned bins with zero .idx
+/// reads. Either served from the FragmentProvider (`cached`) or read from
+/// the .hbx payload via this rank's hbx_segments.
+struct HbxNodeTask {
+  std::size_t node = 0;              ///< index into HbxHeader::nodes
+  std::shared_ptr<const FragmentData> cached;  ///< provider entry, if any
+  std::size_t seg_index = 0;         ///< slot in rank.hbx_segments
+  bool has_segment = false;          ///< false when cached
+};
+
 struct RankPlan {
   /// Cold fragment-table reads this rank is charged for (the bytes were
   /// already consumed by the plan builder; execution only logs them).
@@ -102,6 +125,10 @@ struct RankPlan {
   double header_parse_s = 0.0;       ///< measured parse+filter CPU
   std::vector<FragmentTask> tasks;   ///< bin-major order
   std::vector<PlannedSegment> segments;
+  /// Hierarchical-index work, scheduled apart from the per-bin segments so
+  /// the bin-run coalescing arithmetic stays untouched.
+  std::vector<HbxNodeTask> hbx_tasks;
+  std::vector<PlannedSegment> hbx_segments;
 };
 
 struct ReadPlan {
@@ -111,6 +138,9 @@ struct ReadPlan {
   /// Keeps FragmentInfo pointers in tasks alive (headers come from the
   /// BinHeaderCache or from a plan-time parse).
   std::vector<std::shared_ptr<const BinLayout>> layouts;
+  /// Parsed .hbx node table backing HbxNodeTask::node (null when the
+  /// query resolved no tree nodes).
+  std::shared_ptr<const index::HbxHeader> hbx_header;
 };
 
 /// Stage 1: resolve a query into a ReadPlan. `warm` = execution mode:
@@ -123,9 +153,18 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
 /// Execute a query end to end (validation, plan, batch I/O, overlapped
 /// decode, gather). `position_filter` implements the multi-variable
 /// second pass, as before the refactor.
+///
+/// `region_wah` (optional, region-only queries without SC/filter only):
+/// when non-null, qualifying positions are returned as a WAH bitmap over
+/// grid offsets instead of result.positions — hierarchical-index node
+/// bitmaps merge per tree level directly in the compressed domain, and
+/// only boundary-bin positions are rasterized. This is how multivariable
+/// selection ANDs partial results without materializing flat per-variable
+/// position vectors.
 Result<QueryResult> execute_query(const StoreView& view, const Query& q,
                                   int num_ranks, const Bitmap* position_filter,
-                                  const ExecOptions& opts);
+                                  const ExecOptions& opts,
+                                  WahBitmap* region_wah = nullptr);
 
 /// Cost a query without executing it: the PlanSummary of the same plan
 /// execute_query would run, with no side effects on any cache. Feeding

@@ -7,7 +7,7 @@ namespace mloc::exec {
 
 std::vector<pfs::ReadRequest> coalesce_segments(
     std::span<const PlannedSegment> segments, std::uint64_t max_gap_bytes,
-    std::vector<SlotRef>* slots) {
+    std::vector<SlotRef>* slots, std::uint64_t* bridged_bytes) {
   if (slots != nullptr) {
     slots->assign(segments.size(), SlotRef{});
   }
@@ -35,6 +35,7 @@ std::vector<pfs::ReadRequest> coalesce_segments(
       } else if (s.merge_class == tail_class &&
                  s.offset - tail_end <= max_gap_bytes) {
         extend = true;  // same stream, small gap: bridge it
+        if (bridged_bytes != nullptr) *bridged_bytes += s.offset - tail_end;
       }
     }
     if (extend) {

@@ -31,9 +31,12 @@ struct SlotRef {
 /// Merge `segments` into batch-read extents. `slots` (if non-null) is
 /// resized to segments.size() with one SlotRef per input, in input order.
 /// Zero-length segments get extent = -1 and consume no I/O.
+/// `bridged_bytes` (if non-null) accumulates the gap bytes read only
+/// because same-class bridging welded two extents together — the waste
+/// traded for saved seeks, surfaced as ExecStats::bytes_bridged.
 std::vector<pfs::ReadRequest> coalesce_segments(
     std::span<const PlannedSegment> segments, std::uint64_t max_gap_bytes,
-    std::vector<SlotRef>* slots);
+    std::vector<SlotRef>* slots, std::uint64_t* bridged_bytes = nullptr);
 
 /// The identity schedule: one read per segment, plan order (the
 /// pre-engine access pattern, kept for A/B comparison).

@@ -32,6 +32,7 @@ namespace {
 constexpr std::uint32_t kBlobClass = 1;     ///< positional-index blob stream
 constexpr std::uint32_t kStreamClass = 2;   ///< whole-fragment payload scan
 constexpr std::uint32_t kSectionClassBase = 3;  ///< VMS byte-group sections
+constexpr std::uint32_t kHbxClass = 15;     ///< .hbx node-bitmap stream
 constexpr std::uint32_t kPrivateClassBase = 16; ///< per-task (no bridging)
 
 /// Fraction of a chunk's volume the SC overlaps (1 when there is no SC).
@@ -84,6 +85,114 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
   const int nbins_touched = last_bin - first_bin + 1;
   sum.bins_touched = static_cast<std::uint64_t>(nbins_touched);
 
+  // --- Hierarchical index (tentpole of ISSUE 9): a region-only VC query
+  // resolves the aligned interior of its bin span top-down through the
+  // .hbx tree — fully-covered subtrees contribute their aggregate bitmap
+  // with zero .idx reads, and only the boundary bins fall through to the
+  // positional-index path below. Value-retrieval queries keep the flat
+  // path: they must touch the fragments anyway.
+  int hbx_first = 0, hbx_last = -1;  // empty span
+  const bool hbx_usable = opts.use_hbx && view.hbx.present &&
+                          q.vc.has_value() && !q.values_needed;
+  if (hbx_usable) {
+    std::shared_ptr<const index::HbxHeader> header =
+        view.hbx.header_cache != nullptr ? view.hbx.header_cache->get()
+                                         : nullptr;
+    if (header == nullptr) {
+      // Cold node-table read: consumed here, charged to rank 0 (one small
+      // read per store open, the .hbx analogue of a bin header).
+      MLOC_ASSIGN_OR_RETURN(
+          Bytes raw, view.fs->read(view.hbx.file, 0, view.hbx.header_len));
+      Stopwatch sw;
+      MLOC_ASSIGN_OR_RETURN(index::HbxHeader parsed,
+                            index::HbxHeader::deserialize(raw));
+      auto owned = std::make_shared<const index::HbxHeader>(std::move(parsed));
+      plan.ranks[0].header_parse_s += sw.seconds();
+      if (view.hbx.header_len > 0) {
+        plan.ranks[0].header_reads.push_back(
+            {view.hbx.file, 0, view.hbx.header_len, 0});
+      }
+      if (warm && view.hbx.header_cache != nullptr) {
+        view.hbx.header_cache->put(owned);
+      }
+      header = std::move(owned);
+    }
+    if (header->num_bins != view.scheme->num_bins() ||
+        header->nbits != view.shape->volume()) {
+      return corrupt_data("hbx: node table mismatches store geometry");
+    }
+    // Aligned interior: the maximal contiguous run of VC-aligned bins.
+    // With interval binning only the two boundary bins can be misaligned;
+    // the full-scan guard below keeps correctness even if they aren't.
+    int a = first_bin, b = last_bin;
+    while (a <= b && !view.scheme->aligned(a, q.vc->lo, q.vc->hi)) ++a;
+    while (b >= a && !view.scheme->aligned(b, q.vc->lo, q.vc->hi)) --b;
+    bool contiguous = a <= b;
+    for (int bin = a; bin <= b && contiguous; ++bin) {
+      contiguous = view.scheme->aligned(bin, q.vc->lo, q.vc->hi);
+    }
+    if (contiguous && a <= b) {
+      hbx_first = a;
+      hbx_last = b;
+      plan.hbx_header = header;
+      sum.aligned_bins +=
+          static_cast<std::uint64_t>(hbx_last - hbx_first + 1);
+      double sc_vol_frac = 1.0;
+      if (q.sc.has_value()) {
+        sc_vol_frac = static_cast<double>(q.sc->volume()) /
+                      static_cast<double>(view.shape->volume());
+      }
+      std::vector<std::size_t> nodes =
+          index::cover(*header, hbx_first, hbx_last);
+      // cover() emits bin-span order (mixed levels). Node payloads are laid
+      // out id-major in the .hbx, so re-sorting by id puts each rank's
+      // share in file order and lets sibling runs (consecutive ids, gap 0)
+      // coalesce into single extents. Result order is irrelevant: node
+      // bitmaps are OR-folded and the gather sorts positions globally.
+      std::sort(nodes.begin(), nodes.end());
+      const auto node_ranges = parallel::split_even(nodes.size(), num_ranks);
+      for (int r = 0; r < num_ranks; ++r) {
+        RankPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+        for (std::size_t i = node_ranges[static_cast<std::size_t>(r)].first;
+             i < node_ranges[static_cast<std::size_t>(r)].second; ++i) {
+          const std::size_t id = nodes[i];
+          const index::HbxNode& n = header->nodes[id];
+          HbxNodeTask task;
+          task.node = id;
+          if (view.provider != nullptr) {
+            auto hit = view.provider->lookup(
+                {*view.var, static_cast<int>(id), kHbxNodeChunk, view.epoch});
+            if (hit != nullptr && hit->has_node) {
+              task.cached = std::move(hit);
+              ++sum.cache.hits;
+              sum.cache.bytes_saved += n.length;
+            } else {
+              ++sum.cache.misses;
+            }
+          }
+          if (task.cached == nullptr) {
+            task.has_segment = true;
+            task.seg_index = rp.hbx_segments.size();
+            rp.hbx_segments.push_back({view.hbx.file,
+                                       view.hbx.header_len + n.offset,
+                                       n.length, kHbxClass});
+          }
+          sum.est_points += static_cast<double>(n.popcount) * sc_vol_frac;
+          rp.hbx_tasks.push_back(std::move(task));
+        }
+      }
+    }
+  }
+
+  // Bins the flat positional-index path still owns: the span minus the
+  // tree-covered interior (at most the two boundary bins when the index
+  // ran, the whole span otherwise).
+  std::vector<int> flat_bins;
+  flat_bins.reserve(static_cast<std::size_t>(nbins_touched));
+  for (int bin = first_bin; bin <= last_bin; ++bin) {
+    if (bin < hbx_first || bin > hbx_last) flat_bins.push_back(bin);
+  }
+
   // --- Headers: bins split across ranks (phase-1 assignment). A cached
   // header costs nothing; a cold one is read+parsed here and charged to
   // the rank that owns the bin.
@@ -92,14 +201,13 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
     bool aligned = false;
     std::vector<const FragmentInfo*> frags;  ///< chunk-filtered, curve order
   };
-  std::vector<BinWork> bin_work(static_cast<std::size_t>(nbins_touched));
-  const auto bin_ranges = parallel::split_even(
-      static_cast<std::size_t>(nbins_touched), num_ranks);
+  std::vector<BinWork> bin_work(flat_bins.size());
+  const auto bin_ranges = parallel::split_even(flat_bins.size(), num_ranks);
   for (int r = 0; r < num_ranks; ++r) {
     RankPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
     for (std::size_t i = bin_ranges[static_cast<std::size_t>(r)].first;
          i < bin_ranges[static_cast<std::size_t>(r)].second; ++i) {
-      const int bin = first_bin + static_cast<int>(i);
+      const int bin = flat_bins[i];
       const StoreView::BinRef& ref = view.bins[static_cast<std::size_t>(bin)];
       std::shared_ptr<const BinLayout> layout =
           ref.header_cache != nullptr ? ref.header_cache->get() : nullptr;
@@ -149,7 +257,23 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
     for (const FragmentInfo* f : w.frags) items.push_back({&w, f});
   }
 
-  const auto item_ranges = parallel::split_even(items.size(), num_ranks);
+  // With the tree covering the aligned interior, only boundary bins reach
+  // the flat path. Splitting their fragments mid-bin would shred each
+  // bin's byte-group section streams across ranks (one unbridgeable extent
+  // per group per rank instead of a single whole-bin scan), so flat bins
+  // are then assigned to ranks whole; node reads occupy the other ranks.
+  std::vector<std::pair<std::size_t, std::size_t>> item_ranges;
+  if (plan.hbx_header != nullptr && !bin_work.empty()) {
+    std::vector<std::size_t> first_item(bin_work.size() + 1, 0);
+    for (std::size_t w = 0; w < bin_work.size(); ++w) {
+      first_item[w + 1] = first_item[w] + bin_work[w].frags.size();
+    }
+    for (const auto& br : parallel::split_even(bin_work.size(), num_ranks)) {
+      item_ranges.emplace_back(first_item[br.first], first_item[br.second]);
+    }
+  } else {
+    item_ranges = parallel::split_even(items.size(), num_ranks);
+  }
   std::uint32_t next_private_class = kPrivateClassBase;
   std::uint64_t planned_seg_bytes = 0;
   std::uint64_t planned_seg_count = 0;
@@ -282,15 +406,26 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
     }
 
     // Predicted I/O for this rank: cold header reads plus the merged
-    // extents the IoScheduler will issue.
+    // extents the IoScheduler will issue (hierarchical-index node reads
+    // are scheduled as their own batch, exactly as the executor does).
     for (const auto& rec : rp.header_reads) {
       sum.planned_io.add(rec.file, rec.offset, rec.len, rec.rank);
     }
     const std::vector<pfs::ReadRequest> merged =
         opts.naive_io
             ? naive_schedule(rp.segments, nullptr)
-            : coalesce_segments(rp.segments, opts.coalesce_gap_bytes, nullptr);
+            : coalesce_segments(rp.segments, opts.coalesce_gap_bytes, nullptr,
+                                &sum.stats.bytes_bridged);
     for (const auto& m : merged) {
+      sum.planned_io.add(m.file, m.offset, m.len,
+                         static_cast<std::uint32_t>(r));
+    }
+    const std::vector<pfs::ReadRequest> hbx_merged =
+        opts.naive_io
+            ? naive_schedule(rp.hbx_segments, nullptr)
+            : coalesce_segments(rp.hbx_segments, opts.coalesce_gap_bytes,
+                                nullptr, &sum.stats.bytes_bridged);
+    for (const auto& m : hbx_merged) {
       sum.planned_io.add(m.file, m.offset, m.len,
                          static_cast<std::uint32_t>(r));
     }
@@ -299,9 +434,14 @@ Result<ReadPlan> build_plan(const StoreView& view, const Query& q,
       planned_seg_bytes += s.len;
       if (s.len > 0) ++rank_naive;
     }
+    for (const auto& s : rp.hbx_segments) {
+      planned_seg_bytes += s.len;
+      if (s.len > 0) ++rank_naive;
+    }
     planned_seg_count += rank_naive;
     sum.stats.extents_naive += rank_naive + rp.header_reads.size();
-    sum.stats.extents_coalesced += merged.size() + rp.header_reads.size();
+    sum.stats.extents_coalesced +=
+        merged.size() + hbx_merged.size() + rp.header_reads.size();
   }
   (void)planned_seg_count;
 

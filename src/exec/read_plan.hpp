@@ -56,6 +56,12 @@ struct ExecOptions {
   int decode_workers = 2;
   /// Don't spin up workers for fewer decode tasks than this.
   std::size_t min_decode_tasks = 8;
+  /// Resolve region-only value-constraint queries through the variable's
+  /// hierarchical bitmap index (.hbx) when it has one: aligned bins are
+  /// answered from tree-node bitmaps with zero .idx reads and only
+  /// boundary bins fall through to the positional-index path. Disable for
+  /// A/B comparison against the flat per-bin path (bench_index).
+  bool use_hbx = true;
 };
 
 /// Plan-derived query cost image. Produced by MlocStore::plan without

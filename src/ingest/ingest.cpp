@@ -21,6 +21,9 @@ std::string dat_name(const std::string& store, const std::string& var,
                      int bin) {
   return store + "/" + var + ".bin" + std::to_string(bin) + ".dat";
 }
+std::string hbx_name(const std::string& store, const std::string& var) {
+  return store + "/" + var + ".hbx";
+}
 
 namespace {
 
@@ -214,6 +217,15 @@ Result<IngestOutput> ingest_variable(const StoreWriter& writer,
         bin.dat,
         open_or_create(writer.fs, dat_name(writer.store_name, var, b)));
   }
+  const bool build_hbx = layout.index_fanout >= 2;
+  if (build_hbx) {
+    MLOC_ASSIGN_OR_RETURN(
+        out.hbx.file,
+        open_or_create(writer.fs, hbx_name(writer.store_name, var)));
+  }
+  // Per-bin leaf bitmaps over global grid offsets, filled during fold.
+  std::vector<WahBitmap> hbx_leaves;
+  if (build_hbx) hbx_leaves.resize(static_cast<std::size_t>(nbins));
 
   // The data all stages share. Declared before the pool so an early error
   // return destroys the pool (joining every in-flight task) first.
@@ -345,6 +357,26 @@ Result<IngestOutput> ingest_variable(const StoreWriter& writer,
         }
       }
     }
+    if (build_hbx) {
+      // Leaf bitmap: this bin's global grid positions. Chunk-local offsets
+      // are re-decoded from the positional blobs (encode dropped the staged
+      // offsets) and mapped through each fragment's chunk region.
+      Bitmap leaf(grid.size());
+      for (const EncodedFragment& f : frags) {
+        MLOC_ASSIGN_OR_RETURN(const std::vector<std::uint32_t> locals,
+                              decode_positions(f.pos_blob, f.count));
+        const Region region = chunk_grid.chunk_region(f.chunk);
+        Coord extents{};
+        for (int d = 0; d < region.ndims(); ++d) extents[d] = region.extent(d);
+        const NDShape local_shape(region.ndims(), extents);
+        for (const std::uint32_t local : locals) {
+          Coord c = local_shape.delinearize(local);
+          for (int d = 0; d < region.ndims(); ++d) c[d] += region.lo(d);
+          leaf.set(grid.shape().linearize(c));
+        }
+      }
+      hbx_leaves[bi] = WahBitmap::compress(leaf);
+    }
     frags.clear();  // encoded segments are folded; release them
 
     ByteWriter header;
@@ -379,6 +411,27 @@ Result<IngestOutput> ingest_variable(const StoreWriter& writer,
     } else {
       flush(std::move(idx), std::move(dat));
     }
+  }
+
+  // --- Hierarchical bitmap index: OR the per-bin leaves up fanout-sized
+  // levels and seal the .hbx subfile. Runs on the caller's thread (it only
+  // needs the leaves), overlapping any write-behind bin flushes.
+  if (build_hbx) {
+    Stopwatch sw_hbx;
+    index::HbxBuild built =
+        index::build_index(hbx_leaves, grid.size(), layout.index_fanout);
+    hbx_leaves.clear();
+    out.hbx.header_len = built.header.header_len;
+    out.stats.fold_s += sw_hbx.seconds();
+    Stopwatch sw_flush;
+    const std::uint64_t hbx_bytes = built.file.size();
+    MLOC_RETURN_IF_ERROR(
+        writer.fs->set_contents(out.hbx.file, std::move(built.file)));
+    out.stats.bytes_written += hbx_bytes;
+    out.stats.flush_s += sw_flush.seconds();
+    out.hbx.header =
+        std::make_shared<const index::HbxHeader>(std::move(built.header));
+    out.hbx.present = true;
   }
 
   for (auto& handle : flush_handles) handle.wait();

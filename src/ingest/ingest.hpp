@@ -39,6 +39,7 @@
 #include "compress/codec.hpp"
 #include "core/config.hpp"
 #include "core/layout.hpp"
+#include "index/hbx.hpp"
 #include "pfs/pfs.hpp"
 #include "sfc/hilbert.hpp"
 
@@ -112,9 +113,20 @@ struct IngestedBin {
   std::shared_ptr<const BinLayout> layout;
 };
 
+/// The hierarchical bitmap index built alongside the bins when
+/// layout.index_fanout >= 2: its sealed .hbx subfile plus the parsed
+/// header, handed back so the store can warm its HbxHeaderCache.
+struct IngestedIndex {
+  bool present = false;
+  pfs::FileId file = 0;
+  std::uint64_t header_len = 0;
+  std::shared_ptr<const index::HbxHeader> header;
+};
+
 struct IngestOutput {
   BinningScheme scheme;
   std::vector<IngestedBin> bins;  ///< size = scheme.num_bins()
+  IngestedIndex hbx;
   IngestStats stats;
 };
 
@@ -124,6 +136,8 @@ std::string idx_name(const std::string& store, const std::string& var,
                      int bin);
 std::string dat_name(const std::string& store, const std::string& var,
                      int bin);
+/// Hierarchical-index subfile name: <store>/<var>.hbx.
+std::string hbx_name(const std::string& store, const std::string& var);
 
 /// Run the full layout pipeline for one variable. Creates the bin subfiles
 /// (reusing existing files of the same name on re-ingest) and leaves them

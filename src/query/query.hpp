@@ -79,6 +79,10 @@ struct ExecStats {
   std::uint64_t extents_naive = 0;     ///< read requests before coalescing
   std::uint64_t extents_coalesced = 0; ///< read requests actually issued
   std::uint64_t modeled_seeks = 0;     ///< per-rank coalesced extents (model)
+  /// Gap bytes read only because same-class bridging welded two extents
+  /// together (the waste behind bytes_read > bytes_planned; each bridged
+  /// gap trades its bytes for one saved seek).
+  std::uint64_t bytes_bridged = 0;
 
   ExecStats& operator+=(const ExecStats& o) noexcept {
     bytes_planned += o.bytes_planned;
@@ -87,6 +91,7 @@ struct ExecStats {
     extents_naive += o.extents_naive;
     extents_coalesced += o.extents_coalesced;
     modeled_seeks += o.modeled_seeks;
+    bytes_bridged += o.bytes_bridged;
     return *this;
   }
 };

@@ -249,8 +249,22 @@ void QueryService::dispatch_one() {
     resp.status = result.status();
   } else {
     if (auto* rec = trace_recorder_.load(std::memory_order_acquire);
-        rec != nullptr && !p->req.multivar.has_value()) {
-      rec->record({p->req.var, p->req.query, ranks});
+        rec != nullptr) {
+      if (!p->req.multivar.has_value()) {
+        rec->record({p->req.var, p->req.query, ranks});
+      } else {
+        // A multivariable request decomposes into one region-only query
+        // per predicate (its fetch pass depends on the selection's
+        // bounding box, unknowable from the request alone, so it is not
+        // traced). Recording the decomposed form keeps the trace
+        // replayable through single-variable planner estimation.
+        for (const auto& pred : p->req.multivar->preds) {
+          Query region_q;
+          region_q.vc = pred.vc;
+          region_q.values_needed = false;
+          rec->record({pred.var, region_q, ranks});
+        }
+      }
     }
     resp.result = std::move(result).value();
     resp.stats.modeled_s = resp.result.times.total();

@@ -7,9 +7,11 @@
 #include <utility>
 
 #include "array/chunking.hpp"
+#include "bitmap/bitmap.hpp"
 #include "compress/registry.hpp"
 #include "core/layout.hpp"
 #include "core/store.hpp"
+#include "index/hbx.hpp"
 #include "plod/plod.hpp"
 #include "sfc/hilbert.hpp"
 #include "util/assert.hpp"
@@ -434,6 +436,201 @@ void check_bin(StoreContext& ctx, int bin, const MlocStore::BinSubfiles& files,
   }
 }
 
+std::string node_name(const std::string& hbx, std::size_t i,
+                      const index::HbxNode& n) {
+  return hbx + " node " + std::to_string(i) + " (level " +
+         std::to_string(n.level) + ", bins [" + std::to_string(n.first_bin) +
+         ".." + std::to_string(n.last_bin()) + "])";
+}
+
+/// Rebuild one bin's global position bitmap from its positional index —
+/// the ground truth every .hbx leaf must reproduce. Returns false when the
+/// bin's table or blobs are unreadable (already reported by check_bin).
+bool rebuild_bin_bitmap(const StoreContext& ctx, const NDShape& shape,
+                        const MlocStore::BinSubfiles& files, Bitmap& out) {
+  auto idx = read_all(*ctx.fs, files.idx);
+  if (!idx.is_ok()) return false;
+  auto payload = verify_subfile_footer(idx.value());
+  if (!payload.is_ok() || files.header_len > payload.value()) return false;
+  ByteReader header_reader(
+      std::span<const std::uint8_t>(idx.value()).first(files.header_len));
+  auto layout = BinLayout::deserialize(header_reader);
+  if (!layout.is_ok()) return false;
+  const std::uint64_t blob_section = payload.value() - files.header_len;
+  for (const FragmentInfo& frag : layout.value().fragments) {
+    const Segment& pos = frag.positions;
+    if (pos.offset + pos.length > blob_section ||
+        pos.offset + pos.length < pos.offset ||
+        frag.chunk >= ctx.chunk_grid->num_chunks()) {
+      return false;
+    }
+    auto decoded = decode_positions(
+        std::span<const std::uint8_t>(idx.value())
+            .subspan(files.header_len + pos.offset, pos.length),
+        frag.count);
+    if (!decoded.is_ok()) return false;
+    const Region region = ctx.chunk_grid->chunk_region(frag.chunk);
+    Coord extents{};
+    for (int d = 0; d < shape.ndims(); ++d) {
+      extents[d] = region.hi(d) - region.lo(d);
+    }
+    const NDShape local(shape.ndims(), extents);
+    for (std::uint32_t off : decoded.value()) {
+      if (off >= local.volume()) return false;
+      Coord c = local.delinearize(off);
+      for (int d = 0; d < shape.ndims(); ++d) c[d] += region.lo(d);
+      out.set(shape.linearize(c));
+    }
+  }
+  return true;
+}
+
+/// The "index" family: hierarchical bitmap index consistency (.hbx).
+void check_index(const StoreContext& ctx,
+                 const std::vector<MlocStore::BinSubfiles>& bins,
+                 VariableLayoutInfo& info, Report& report, Sink& sink) {
+  auto sub = ctx.store->hbx_subfile(ctx.var);
+  if (!sub.is_ok()) {
+    sink.add("meta", ctx.var, sub.status().to_string());
+    return;
+  }
+  if (!sub.value().present) return;
+  info.hbx_present = true;
+  const std::string name = ctx.var + ".hbx";
+  auto raw = read_all(*ctx.fs, sub.value().file);
+  if (!raw.is_ok()) {
+    sink.add("footer", name,
+             "cannot read subfile: " + raw.status().to_string());
+    return;
+  }
+  ++report.subfiles_checked;
+  info.hbx_bytes = raw.value().size();
+
+  // --- footer: whole-file CRC (catches truncation and trailing damage).
+  auto payload = verify_subfile_footer(raw.value());
+  if (!payload.is_ok()) {
+    sink.add("footer", name, payload.status().to_string());
+    return;
+  }
+  report.bytes_verified += raw.value().size();
+
+  const std::uint64_t header_len = sub.value().header_len;
+  if (header_len > payload.value()) {
+    sink.add("index", name,
+             "header_len " + u64str(header_len) + " exceeds payload of " +
+             u64str(payload.value()));
+    return;
+  }
+  auto header = index::HbxHeader::deserialize(
+      std::span<const std::uint8_t>(raw.value()).first(header_len));
+  if (!header.is_ok()) {
+    sink.add("index", name,
+             "node table corrupt: " + header.status().to_string());
+    return;
+  }
+  const index::HbxHeader& h = header.value();
+  info.hbx_levels = h.num_levels();
+  info.hbx_nodes = h.nodes.size();
+  const NDShape& shape = ctx.store->config().shape;
+  if (h.num_bins != ctx.scheme->num_bins() || h.nbits != shape.volume()) {
+    sink.add("index", name,
+             "node table for " + std::to_string(h.num_bins) + " bins x " +
+             u64str(h.nbits) + " bits, store has " +
+             std::to_string(ctx.scheme->num_bins()) + " bins x " +
+             u64str(shape.volume()));
+    return;
+  }
+
+  // --- every node bitmap: extent, checksum, decode, width, popcount.
+  const std::uint64_t payload_section = payload.value() - header_len;
+  std::vector<WahBitmap> node_bm(h.nodes.size());
+  std::vector<bool> node_ok(h.nodes.size(), false);
+  for (std::size_t i = 0; i < h.nodes.size(); ++i) {
+    const index::HbxNode& n = h.nodes[i];
+    if (n.offset + n.length > payload_section ||
+        n.offset + n.length < n.offset) {
+      sink.add("index", node_name(name, i, n),
+               "payload extent [" + u64str(n.offset) + ", +" +
+               u64str(n.length) + ") outside payload section of " +
+               u64str(payload_section));
+      continue;
+    }
+    const auto seg = std::span<const std::uint8_t>(raw.value())
+                         .subspan(header_len + n.offset, n.length);
+    if (fnv1a64(seg) != n.checksum) {
+      sink.add("index", node_name(name, i, n),
+               "node bitmap failed FNV checksum");
+      continue;
+    }
+    ByteReader r(seg);
+    auto bm = WahBitmap::deserialize(r);
+    if (!bm.is_ok()) {
+      sink.add("index", node_name(name, i, n),
+               "bitmap decode failed: " + bm.status().to_string());
+      continue;
+    }
+    if (bm.value().size_bits() != h.nbits) {
+      sink.add("index", node_name(name, i, n),
+               "bitmap spans " + u64str(bm.value().size_bits()) +
+               " bits, grid has " + u64str(h.nbits));
+      continue;
+    }
+    if (bm.value().count() != n.popcount) {
+      sink.add("index", node_name(name, i, n),
+               "bitmap popcount " + u64str(bm.value().count()) +
+               ", node table says " + u64str(n.popcount));
+      continue;
+    }
+    node_bm[i] = std::move(bm).value();
+    node_ok[i] = true;
+  }
+
+  // --- aggregation: every level-k node equals the OR of its children.
+  for (int k = 1; k < h.num_levels(); ++k) {
+    const auto children = h.level(k - 1);
+    const std::size_t child_base = h.level_begin[static_cast<std::size_t>(k - 1)];
+    for (std::size_t j = 0; j < h.level(k).size(); ++j) {
+      const std::size_t i = h.level_begin[static_cast<std::size_t>(k)] + j;
+      const index::HbxNode& n = h.nodes[i];
+      if (!node_ok[i]) continue;
+      WahBitmap agg;
+      bool all_ok = true;
+      for (std::size_t c = 0; c < children.size(); ++c) {
+        if (children[c].first_bin < n.first_bin ||
+            children[c].last_bin() > n.last_bin()) {
+          continue;
+        }
+        if (!node_ok[child_base + c]) {
+          all_ok = false;
+          break;
+        }
+        const WahBitmap& cb = node_bm[child_base + c];
+        agg = agg.size_bits() == 0 ? cb : WahBitmap::logical_or(agg, cb);
+      }
+      if (!all_ok) continue;  // children already reported
+      if (!(agg == node_bm[i])) {
+        sink.add("index", node_name(name, i, n),
+                 "aggregate bitmap is not the OR of its level-" +
+                 std::to_string(k - 1) + " children");
+      }
+    }
+  }
+
+  // --- leaves: leaf b must equal the union of bin b's positional-index
+  // entries mapped to global grid offsets (ground truth from .idx).
+  for (int b = 0; b < h.num_bins && b < static_cast<int>(bins.size()); ++b) {
+    const std::size_t i = static_cast<std::size_t>(b);  // leaf node id == bin
+    if (!node_ok[i]) continue;
+    Bitmap truth(shape.volume());
+    if (!rebuild_bin_bitmap(ctx, shape, bins[i], truth)) continue;
+    if (!(WahBitmap::compress(truth) == node_bm[i])) {
+      sink.add("index", node_name(name, i, h.nodes[i]),
+               "leaf bitmap disagrees with bin " + std::to_string(b) +
+               "'s positional index");
+    }
+  }
+}
+
 }  // namespace
 
 std::string Report::human() const {
@@ -475,7 +672,14 @@ std::string Report::json() const {
     out += "\"codec\":\"" + json_escape(v.codec) + "\",";
     out += "\"chunk_shape\":\"" + json_escape(v.chunk_shape) + "\",";
     out += "\"num_bins\":" + std::to_string(v.num_bins) + ",";
+    out += "\"index_fanout\":" + std::to_string(v.index_fanout) + ",";
     out += "\"plod_capable\":" + std::string(v.plod_capable ? "true" : "false");
+    out += "},";
+    out += "\"hbx\":{";
+    out += "\"present\":" + std::string(v.hbx_present ? "true" : "false") + ",";
+    out += "\"levels\":" + std::to_string(v.hbx_levels) + ",";
+    out += "\"nodes\":" + u64str(v.hbx_nodes) + ",";
+    out += "\"bytes\":" + u64str(v.hbx_bytes);
     out += "}}";
   }
   out += "],";
@@ -542,11 +746,17 @@ Report LayoutVerifier::verify_store(const std::string& name) const {
       continue;
     }
     const VariableLayout& layout = desc.value().layout;
-    report.variable_layouts.push_back(
-        {var, std::string(level_order_name(layout.order)),
-         std::string(sfc::curve_kind_name(layout.curve)), layout.interleave,
-         layout.codec, layout.chunk_shape.to_string(), layout.num_bins,
-         desc.value().plod_capable});
+    VariableLayoutInfo info;
+    info.name = var;
+    info.order = std::string(level_order_name(layout.order));
+    info.curve = std::string(sfc::curve_kind_name(layout.curve));
+    info.interleave = layout.interleave;
+    info.codec = layout.codec;
+    info.chunk_shape = layout.chunk_shape.to_string();
+    info.num_bins = layout.num_bins;
+    info.plod_capable = desc.value().plod_capable;
+    info.index_fanout = layout.index_fanout;
+    report.variable_layouts.push_back(std::move(info));
 
     // Codecs and the reference curve are re-resolved per variable from its
     // recorded layout — a layout naming an unknown codec or an interleave
@@ -622,6 +832,11 @@ Report LayoutVerifier::verify_store(const std::string& name) const {
     for (int b = 0; b < static_cast<int>(bins.value().size()); ++b) {
       check_bin(ctx, b, bins.value()[b], opts_, report, sink);
     }
+
+    // --- index: hierarchical bitmap index consistency (.hbx), when the
+    // variable carries one.
+    check_index(ctx, bins.value(), report.variable_layouts.back(), report,
+                sink);
 
     // --- positions: cross-bin bijectivity — every cell of every chunk
     // claimed exactly once across all bins (duplicates were reported

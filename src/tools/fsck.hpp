@@ -29,7 +29,16 @@
 //                 mode, 8 x count total; count doubles in whole-value
 //                 mode); for lossless codecs, decoded values must also lie
 //                 inside their fragment zone map and route back to their
-//                 bin.
+//                 bin;
+//   index       — when the variable carries a hierarchical bitmap index
+//                 (.hbx): the node table decodes and matches the store
+//                 geometry, every node bitmap passes its FNV checksum and
+//                 decodes to the grid's bit width with the recorded
+//                 popcount, every level-k aggregate equals the OR of its
+//                 children, and every leaf equals the union of its bin's
+//                 positional-index entries mapped to global offsets. A
+//                 truncated or mis-sealed .hbx reports under "footer" on
+//                 the "<var>.hbx" object.
 //
 // Results come back as a Report: a list of structured issues plus a human
 // rendering and a machine-readable JSON document for CI.
@@ -71,6 +80,12 @@ struct VariableLayoutInfo {
   std::string chunk_shape;
   int num_bins = 0;
   bool plod_capable = false;
+  // Hierarchical bitmap index, when the layout carries one.
+  int index_fanout = 0;          ///< 0 = no .hbx
+  bool hbx_present = false;
+  int hbx_levels = 0;
+  std::uint64_t hbx_nodes = 0;
+  std::uint64_t hbx_bytes = 0;   ///< whole .hbx subfile size
 };
 
 struct Report {

@@ -167,6 +167,7 @@ void append_layout_json(std::string& out, const VariableLayout& l) {
   out += "\"codec\":\"" + l.codec + "\",";
   out += "\"chunk_shape\":\"" + l.chunk_shape.to_string() + "\",";
   out += "\"num_bins\":" + std::to_string(l.num_bins) + ",";
+  out += "\"index_fanout\":" + std::to_string(l.index_fanout) + ",";
   out += "\"sample_stride\":" + std::to_string(l.sample_stride) + "}";
 }
 
@@ -208,6 +209,13 @@ Result<TuneResult> tune_variable(const MlocStore& source,
   if (std::find(chunks.begin(), chunks.end(), baseline->chunk_shape) ==
       chunks.end()) {
     chunks.push_back(baseline->chunk_shape);
+  }
+  std::vector<int> fanouts = space.index_fanouts.empty()
+                                 ? std::vector<int>{0, 2, 4, 8}
+                                 : space.index_fanouts;
+  if (std::find(fanouts.begin(), fanouts.end(), baseline->index_fanout) ==
+      fanouts.end()) {
+    fanouts.push_back(baseline->index_fanout);
   }
 
   // Level-order axis, advisor-recommended order first so descent starts
@@ -269,6 +277,7 @@ Result<TuneResult> tune_variable(const MlocStore& source,
       cur.num_bins = bins[r.next_below(bins.size())];
       cur.chunk_shape = chunks[r.next_below(chunks.size())];
       cur.order = orders[r.next_below(orders.size())];
+      cur.index_fanout = fanouts[r.next_below(fanouts.size())];
       MLOC_ASSIGN_OR_RETURN(
           cur, with_curve(cur, curves[r.next_below(curves.size())]));
     }
@@ -305,6 +314,12 @@ Result<TuneResult> tune_variable(const MlocStore& source,
       }
       for (const CurveCandidate& cc : curves) {
         MLOC_ASSIGN_OR_RETURN(VariableLayout cand, with_curve(cur, cc));
+        MLOC_ASSIGN_OR_RETURN(double c, cost_of(cand));
+        if (c < cur_cost) { cur = cand; cur_cost = c; improved = true; }
+      }
+      for (int f : fanouts) {
+        VariableLayout cand = cur;
+        cand.index_fanout = f;
         MLOC_ASSIGN_OR_RETURN(double c, cost_of(cand));
         if (c < cur_cost) { cur = cand; cur_cost = c; improved = true; }
       }

@@ -32,6 +32,9 @@ namespace mloc::tune {
 struct SearchSpace {
   std::vector<int> bin_counts;           ///< default {4,8,16,32,64,128}
   std::vector<NDShape> chunk_shapes;     ///< default: powers of two per axis
+  /// Hierarchical-index fan-out axis (0 = no .hbx, >=2 builds the tree at
+  /// ingest). Default {0, 2, 4, 8}.
+  std::vector<int> index_fanouts;
   /// Generalized-Morton interleave patterns sampled per chunk-shape
   /// candidate (on top of row-major/Morton/Hilbert/canonical).
   int interleave_samples = 3;

@@ -179,6 +179,128 @@ TEST(Wah, CountOnCompressedEqualsDecompressed) {
   }
 }
 
+// Alternating maximal 1-fill / 0-fill runs, with run lengths chosen so every
+// transition lands exactly on a 31-bit group boundary (the WAH word unit).
+// The merge loops must consume partial fills from both sides without losing
+// or duplicating a group when the two operands' runs are out of phase.
+Bitmap alternating_fills(std::uint64_t groups_per_run, std::uint64_t runs,
+                         bool start_set, std::uint64_t tail_bits) {
+  Bitmap b(groups_per_run * 31 * runs + tail_bits);
+  bool value = start_set;
+  std::uint64_t pos = 0;
+  for (std::uint64_t r = 0; r < runs; ++r) {
+    for (std::uint64_t i = 0; i < groups_per_run * 31; ++i, ++pos) {
+      if (value) b.set(pos);
+    }
+    value = !value;
+  }
+  for (std::uint64_t i = 0; i < tail_bits; ++i, ++pos) {
+    if (i % 2 == 0) b.set(pos);  // literal tail straddling the last boundary
+  }
+  return b;
+}
+
+TEST(Wah, AlternatingFillPhasesMergeAtWordBoundaries) {
+  for (std::uint64_t ga : {1ull, 2ull, 5ull}) {
+    for (std::uint64_t gb : {1ull, 3ull, 7ull}) {
+      for (std::uint64_t tail : {0ull, 1ull, 30ull}) {
+        // Equal total widths, different run phases on the two sides.
+        const std::uint64_t lcm_groups = ga * gb * 6;
+        Bitmap pa = alternating_fills(ga, lcm_groups / ga, true, tail);
+        Bitmap pb = alternating_fills(gb, lcm_groups / gb, false, tail);
+        ASSERT_EQ(pa.size(), pb.size());
+        WahBitmap wa = WahBitmap::compress(pa);
+        WahBitmap wb = WahBitmap::compress(pb);
+
+        Bitmap expect_and = pa;
+        expect_and &= pb;
+        Bitmap expect_or = pa;
+        expect_or |= pb;
+        EXPECT_EQ(WahBitmap::logical_and(wa, wb).decompress(), expect_and);
+        EXPECT_EQ(WahBitmap::logical_or(wa, wb).decompress(), expect_or);
+        // Canonical outputs round-trip through compress of the plain result.
+        EXPECT_EQ(WahBitmap::logical_and(wa, wb),
+                  WahBitmap::compress(expect_and));
+        EXPECT_EQ(WahBitmap::logical_or(wa, wb),
+                  WahBitmap::compress(expect_or));
+      }
+    }
+  }
+}
+
+TEST(Wah, EmptyBitmapIdentities) {
+  // Zero-width operands: AND/OR of two empties is empty and canonical.
+  const WahBitmap none = WahBitmap::compress(Bitmap(0));
+  EXPECT_EQ(WahBitmap::logical_and(none, none).size_bits(), 0u);
+  EXPECT_EQ(WahBitmap::logical_or(none, none).size_bits(), 0u);
+  EXPECT_EQ(WahBitmap::logical_and(none, none).count(), 0u);
+  EXPECT_EQ(WahBitmap::logical_or(none, none), none);
+
+  // All-zero operand of matching width: AND annihilates, OR is identity.
+  for (std::uint64_t n : {31ull, 62ull, 1000ull}) {
+    const WahBitmap zeros = WahBitmap::compress(Bitmap(n));
+    const WahBitmap x = WahBitmap::compress(random_bitmap(n, 0.4, n + 3));
+    EXPECT_EQ(WahBitmap::logical_and(x, zeros), zeros);
+    EXPECT_EQ(WahBitmap::logical_and(zeros, x), zeros);
+    EXPECT_EQ(WahBitmap::logical_or(x, zeros), x);
+    EXPECT_EQ(WahBitmap::logical_or(zeros, x), x);
+  }
+}
+
+// Differential check of the hierarchical engine's combine order: a
+// per-variable selection assembled as an OR of disjoint per-level pieces,
+// then ANDed across variables level-wise, must equal the flat wah_and of the
+// complete per-variable bitmaps. Pieces model hbx tree levels: each level
+// owns a random subset of disjoint bin spans, rasterized at full width.
+TEST(Wah, TreeLevelAndMatchesFlatAndOverRandomPredicates) {
+  const std::uint64_t n = 4096;
+  const std::uint64_t bins = 64;
+  const std::uint64_t bin_w = n / bins;
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Two "variables": random predicate satisfaction per bin per variable.
+    std::vector<Bitmap> full;
+    std::vector<std::vector<WahBitmap>> levels;  // [var][level]
+    for (int v = 0; v < 2; ++v) {
+      Bitmap whole(n);
+      std::vector<Bitmap> lv(3, Bitmap(n));
+      for (std::uint64_t b = 0; b < bins; ++b) {
+        if (rng.next_double() < 0.5) continue;  // bin excluded by predicate
+        const std::uint64_t level = rng.next_below(3);  // which tree level
+        for (std::uint64_t i = b * bin_w; i < (b + 1) * bin_w; ++i) {
+          if (rng.next_double() < 0.7) {
+            whole.set(i);
+            lv[level].set(i);
+          }
+        }
+      }
+      full.push_back(whole);
+      std::vector<WahBitmap> wl;
+      for (const Bitmap& piece : lv) wl.push_back(WahBitmap::compress(piece));
+      levels.push_back(std::move(wl));
+    }
+
+    // Flat path: AND the complete per-variable bitmaps.
+    const WahBitmap flat = WahBitmap::logical_and(
+        WahBitmap::compress(full[0]), WahBitmap::compress(full[1]));
+
+    // Tree path: reassemble each variable by OR over levels, AND across
+    // variables (the order the engine folds partial results).
+    WahBitmap acc;
+    for (int v = 0; v < 2; ++v) {
+      WahBitmap per_var;
+      for (const WahBitmap& piece : levels[v]) {
+        per_var = per_var.size_bits() == 0
+                      ? piece
+                      : WahBitmap::logical_or(per_var, piece);
+      }
+      acc = v == 0 ? per_var : WahBitmap::logical_and(acc, per_var);
+    }
+    EXPECT_EQ(acc, flat);
+    EXPECT_EQ(acc.decompress(), flat.decompress());
+  }
+}
+
 // --------------------------------------------------- failure injection
 
 TEST(Wah, DeserializeRejectsTruncatedStream) {
