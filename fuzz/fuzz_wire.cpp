@@ -20,7 +20,7 @@ void fuzz_payload_decoders(std::span<const std::uint8_t> data) {
   if (data.empty()) return;
   const std::uint8_t selector = data[0];
   const auto payload = data.subspan(1);
-  switch (selector % 8) {
+  switch (selector % 12) {
     case 0: (void)mloc::net::decode_open_session(payload); break;
     case 1: (void)mloc::net::decode_session_opened(payload); break;
     case 2: (void)mloc::net::decode_request(payload); break;
@@ -29,6 +29,10 @@ void fuzz_payload_decoders(std::span<const std::uint8_t> data) {
     case 5: (void)mloc::net::decode_response(payload); break;
     case 6: (void)mloc::net::decode_stats(payload); break;
     case 7: (void)mloc::net::decode_session_stats(payload); break;
+    case 8: (void)mloc::net::decode_shm_offer(payload); break;
+    case 9: (void)mloc::net::decode_shm_accept(payload); break;
+    case 10: (void)mloc::net::decode_shm_attach(payload); break;
+    case 11: (void)mloc::net::decode_shm_result(payload); break;
   }
 }
 

@@ -47,6 +47,7 @@ void Client::close() {
   }
   rbuf_.clear();
   stashed_.clear();
+  shm_.reset();
 }
 
 Status Client::fail(Status st) {
@@ -97,9 +98,30 @@ Result<Client::Stash> Client::wait_frame(std::uint64_t request_id) {
       if (Status vst = verify_payload(h.value(), payload); !vst.is_ok()) {
         return fail(std::move(vst));
       }
-      stashed_.emplace(
-          h.value().request_id,
-          Stash{h.value().type, Bytes(payload.begin(), payload.end())});
+      if (h.value().type == FrameType::kShmResult) {
+        // Decode straight out of the ring, then release the bytes right
+        // away: descriptors arrive in cursor order, so prompt release is
+        // what keeps the producer from backpressuring into TCP.
+        if (shm_ == nullptr) {
+          return fail(corrupt_data("shm result without an attached segment"));
+        }
+        auto d = decode_shm_result(payload);
+        if (!d.is_ok()) return fail(d.status());
+        auto view =
+            shm_->view(d.value().offset, d.value().len, d.value().release);
+        if (!view.is_ok()) return fail(view.status());
+        auto resp = decode_response(view.value());
+        shm_->release(d.value().release);
+        if (!resp.is_ok()) return fail(resp.status());
+        Stash s;
+        s.type = FrameType::kQueryResult;
+        s.decoded = std::move(resp).value();
+        stashed_.emplace(h.value().request_id, std::move(s));
+      } else {
+        stashed_.emplace(
+            h.value().request_id,
+            Stash{h.value().type, Bytes(payload.begin(), payload.end()), {}});
+      }
       rbuf_.erase(rbuf_.begin(),
                   rbuf_.begin() + static_cast<std::ptrdiff_t>(need));
       parsed = true;
@@ -156,6 +178,66 @@ Status Client::close_session() {
   return ack.carried;
 }
 
+Status Client::enable_shm(std::uint64_t ring_bytes) {
+  if (fd_ < 0) {
+    return broken_.is_ok() ? failed_precondition("client not connected")
+                           : broken_;
+  }
+  if (shm_ != nullptr) return failed_precondition("shm already active");
+
+  const std::uint64_t offer_id = next_id_++;
+  MLOC_RETURN_IF_ERROR(send_all(encode_frame(FrameType::kShmOffer, offer_id,
+                                             encode_shm_offer(ring_bytes))));
+  MLOC_ASSIGN_OR_RETURN(Stash s, wait_frame(offer_id));
+  if (s.type == FrameType::kAck) {
+    // Server refused (disabled, no segment room): stay on TCP.
+    MLOC_ASSIGN_OR_RETURN(Ack ack, decode_status(s.payload));
+    return ack.carried.is_ok()
+               ? internal_error("shm offer refused without a reason")
+               : ack.carried;
+  }
+  if (s.type != FrameType::kShmAccept) {
+    return fail(corrupt_data("unexpected reply to shm offer"));
+  }
+  auto info = decode_shm_accept(s.payload);
+  if (!info.is_ok()) return fail(info.status());
+
+  auto seg = ShmClientSegment::open(info.value());
+  // Report the mapping outcome either way; mapped=false tells the server
+  // to tear the segment down while this connection stays on TCP.
+  // On success the segment must be installed *before* waiting for the
+  // ack: the server starts using the ring the moment it processes the
+  // attach, so a response can precede the ack in the stream.
+  if (seg.is_ok()) shm_ = std::move(seg).value();
+  const std::uint64_t attach_id = next_id_++;
+  Status sent = send_all(encode_frame(FrameType::kShmAttach, attach_id,
+                                      encode_shm_attach(shm_ != nullptr)));
+  if (!sent.is_ok()) {
+    shm_.reset();
+    return sent;
+  }
+  auto a = wait_frame(attach_id);
+  if (!a.is_ok()) {
+    shm_.reset();
+    return a.status();
+  }
+  if (a.value().type != FrameType::kAck) {
+    shm_.reset();
+    return fail(corrupt_data("unexpected reply to shm attach"));
+  }
+  auto ack = decode_status(a.value().payload);
+  if (!ack.is_ok()) {
+    shm_.reset();
+    return ack.status();
+  }
+  if (shm_ == nullptr) return seg.status();  // mapping failed; TCP continues
+  if (!ack.value().carried.is_ok()) {
+    shm_.reset();
+    return ack.value().carried;
+  }
+  return Status::ok();
+}
+
 Result<std::uint64_t> Client::send_query(const service::Request& req) {
   const std::uint64_t id = next_id_++;
   MLOC_RETURN_IF_ERROR(
@@ -168,6 +250,7 @@ Result<service::Response> Client::wait(std::uint64_t request_id) {
   if (s.type != FrameType::kQueryResult) {
     return fail(corrupt_data("unexpected reply to query"));
   }
+  if (s.decoded.has_value()) return std::move(*s.decoded);
   return decode_response(s.payload);
 }
 

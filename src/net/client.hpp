@@ -18,10 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "net/shm.hpp"
 #include "net/wire.hpp"
 #include "service/query_service.hpp"
 #include "util/status.hpp"
@@ -47,6 +50,16 @@ class Client {
   Result<service::SessionId> open_session(std::string_view label = "");
   Status close_session();
 
+  /// Negotiate the shared-memory fast path (kShmOffer/kShmAccept): the
+  /// server creates a per-connection ring of `ring_bytes` (it may clamp)
+  /// and later query responses arrive through it — transparently, behind
+  /// the same query()/wait() API. A server refusal or a local mapping
+  /// failure returns its Status and leaves the connection fully usable
+  /// over TCP; only protocol corruption poisons the connection.
+  Status enable_shm(std::uint64_t ring_bytes = 4ull << 20);
+  /// True when responses are arriving through a shared-memory ring.
+  [[nodiscard]] bool shm_active() const noexcept { return shm_ != nullptr; }
+
   /// Blocking query: submit and wait for its response.
   Result<service::Response> query(const service::Request& req);
 
@@ -71,6 +84,11 @@ class Client {
   struct Stash {
     FrameType type = FrameType::kPong;
     Bytes payload;
+    /// Set for responses that arrived through the shm ring: kShmResult
+    /// frames are decoded straight out of the ring at parse time (so the
+    /// bytes can be released immediately, in descriptor order) and stash
+    /// the finished Response instead of payload bytes.
+    std::optional<service::Response> decoded;
   };
 
   Status send_all(const Bytes& frame);
@@ -83,6 +101,7 @@ class Client {
   std::uint64_t next_id_ = 1;
   Bytes rbuf_;
   std::unordered_map<std::uint64_t, Stash> stashed_;
+  std::unique_ptr<ShmClientSegment> shm_;  ///< non-null once negotiated
 };
 
 }  // namespace mloc::net

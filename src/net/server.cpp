@@ -9,6 +9,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -16,6 +17,8 @@
 #include <deque>
 #include <unordered_map>
 #include <utility>
+
+#include "net/shm.hpp"
 
 namespace mloc::net {
 
@@ -61,6 +64,16 @@ struct Server::Connection {
   /// one scheduling instant; treated as not-cancellable).
   std::unordered_map<std::uint64_t, service::QueryId> inflight
       MLOC_GUARDED_BY(mutex);
+  /// Shared-memory ring, created on kShmOffer. Ring cursor state (the
+  /// producer side of try_alloc/publish) is single-writer *because* every
+  /// access happens under `mutex` — the same lock that already serializes
+  /// this connection's outbox, so slot publication order always matches
+  /// descriptor frame order.
+  std::unique_ptr<ShmServerSegment> shm MLOC_GUARDED_BY(mutex)
+      MLOC_PT_GUARDED_BY(mutex);
+  /// True once the client confirmed its mapping (kShmAttach); only then do
+  /// responses take the ring path.
+  bool shm_active MLOC_GUARDED_BY(mutex) = false;
 };
 
 struct Server::Loop {
@@ -206,13 +219,17 @@ void Server::loop_main(Loop& loop) {
   for (auto& entry : loop.conns) {
     Connection& conn = *entry.second;
     service::SessionId session = 0;
+    std::unique_ptr<ShmServerSegment> shm;
     {
       sync::MutexLock lock(conn.mutex);
       conn.closed = true;
       conn.outbox.clear();
       session = std::exchange(conn.session, 0);
       conn.inflight.clear();
+      shm = std::move(conn.shm);
+      conn.shm_active = false;
     }
+    shm.reset();
     ::close(entry.first);
     if (session != 0) (void)svc_.close_session(session);
     sync::MutexLock lock(stats_mutex_);
@@ -457,6 +474,73 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       return;
     }
 
+    case FrameType::kShmOffer: {
+      auto ring = decode_shm_offer(payload);
+      if (!ring.is_ok()) return payload_error(h.request_id, ring.status());
+      if (!cfg_.enable_shm) {
+        return ack(h.request_id,
+                   unsupported("shm transport disabled on this server"));
+      }
+      bool already = false;
+      {
+        sync::MutexLock lock(conn->mutex);
+        already = conn->shm != nullptr;
+      }
+      if (already) {
+        return ack(h.request_id,
+                   failed_precondition("connection already negotiated shm"));
+      }
+      const std::uint64_t ring_bytes = std::clamp(
+          ring.value(), kShmMinRingBytes, cfg_.max_shm_ring_bytes);
+      auto seg = ShmServerSegment::create(ring_bytes);
+      // Creation failure (tmpfs full, mmap refused) is a per-connection
+      // refusal, not an error: the client stays on TCP.
+      if (!seg.is_ok()) return ack(h.request_id, seg.status());
+      Bytes accept = encode_frame(FrameType::kShmAccept, h.request_id,
+                                  encode_shm_accept(seg.value()->info()));
+      {
+        sync::MutexLock lock(conn->mutex);
+        conn->shm = std::move(seg).value();
+      }
+      {
+        sync::MutexLock lock(stats_mutex_);
+        ++stats_.shm_segments;
+      }
+      send_frame(conn, std::move(accept));
+      return;
+    }
+
+    case FrameType::kShmAttach: {
+      auto mapped = decode_shm_attach(payload);
+      if (!mapped.is_ok()) return payload_error(h.request_id, mapped.status());
+      std::unique_ptr<ShmServerSegment> discarded;
+      Status st;
+      bool attached = false;
+      {
+        sync::MutexLock lock(conn->mutex);
+        if (conn->shm == nullptr) {
+          st = failed_precondition("no shm segment offered on this connection");
+        } else if (conn->shm_active) {
+          st = failed_precondition("shm segment already attached");
+        } else if (mapped.value()) {
+          // Both sides hold mappings now; the name has served its purpose.
+          // From here the segment lives exactly as long as the mappings.
+          conn->shm->unlink();
+          conn->shm_active = true;
+          attached = true;
+        } else {
+          // Client could not map or validate the segment: tear it down
+          // (unmap + unlink) and stay on TCP.
+          discarded = std::move(conn->shm);
+        }
+      }
+      if (attached) {
+        sync::MutexLock lock(stats_mutex_);
+        ++stats_.shm_attached;
+      }
+      return ack(h.request_id, st);
+    }
+
     case FrameType::kSessionStats: {
       if (conn->session == 0) {
         return ack(h.request_id,
@@ -530,11 +614,60 @@ void Server::handle_query(const std::shared_ptr<Connection>& conn,
       [this, wc, request_id](service::Response resp) {
         auto c = wc.lock();
         bool enqueued = false;
+        bool via_shm = false;
+        bool fell_back = false;
+        std::uint64_t payload_bytes = 0;
         if (c) {
-          auto er = encode_response_frame(request_id, std::move(resp));
+          // Shm fast path first. The ring allocate-write-publish must be
+          // one critical section per connection (see Connection::shm), and
+          // it is the fold-into-slot hook: the payload is serialized from
+          // the engine's buffers straight into the ring, so the TCP path's
+          // payload CRC pass and two socket copies never happen.
           {
             sync::MutexLock lock(c->mutex);
             c->inflight.erase(request_id);
+            if (!c->closed && c->shm_active && c->shm != nullptr) {
+              resp.stats.via_shm = true;
+              const Bytes prefix = encode_response_prefix(resp);
+              const std::uint64_t pos_bytes =
+                  resp.result.positions.size() * sizeof(std::uint64_t);
+              const std::uint64_t val_bytes =
+                  resp.result.values.size() * sizeof(double);
+              const std::uint64_t total = prefix.size() + pos_bytes + val_bytes;
+              if (auto slot = c->shm->try_alloc(total)) {
+                std::uint8_t* out = slot->data;
+                std::memcpy(out, prefix.data(), prefix.size());
+                out += prefix.size();
+                if (pos_bytes != 0) {
+                  std::memcpy(out, resp.result.positions.data(), pos_bytes);
+                  out += pos_bytes;
+                }
+                if (val_bytes != 0) {
+                  std::memcpy(out, resp.result.values.data(), val_bytes);
+                }
+                c->shm->publish(*slot);
+                ShmDescriptor d;
+                d.offset = slot->offset;
+                d.len = slot->len;
+                d.release = slot->release;
+                c->outbox.push_back(
+                    EncodedResponse{encode_frame(FrameType::kShmResult,
+                                                 request_id,
+                                                 encode_shm_result(d)),
+                                    {},
+                                    {}});
+                enqueued = via_shm = true;
+                payload_bytes = total;
+              } else {
+                fell_back = true;  // ring full or oversize: frame it below
+              }
+            }
+          }
+          if (!enqueued) {
+            resp.stats.via_shm = false;
+            auto er = encode_response_frame(request_id, std::move(resp));
+            payload_bytes = er.total_bytes() - kHeaderBytes;
+            sync::MutexLock lock(c->mutex);
             if (!c->closed) {
               c->outbox.push_back(std::move(er));
               enqueued = true;
@@ -542,7 +675,12 @@ void Server::handle_query(const std::shared_ptr<Connection>& conn,
           }
           if (enqueued) notify_writable(c);
         }
-        if (!enqueued) {
+        if (enqueued) {
+          svc_.record_transport(via_shm, payload_bytes);
+          sync::MutexLock lock(stats_mutex_);
+          via_shm ? ++stats_.responses_shm : ++stats_.responses_tcp;
+          if (fell_back) ++stats_.shm_fallbacks;
+        } else {
           sync::MutexLock lock(stats_mutex_);
           ++stats_.responses_dropped;
         }
@@ -648,6 +786,11 @@ void Server::close_connection(Loop& loop,
                               const std::shared_ptr<Connection>& conn,
                               bool protocol_error) {
   service::SessionId session = 0;
+  // Reclaims the shm segment outside the lock: unmapping drops the
+  // server's reference, and since the name was unlinked at attach, a
+  // crashed client's pages are freed by the kernel the moment its own
+  // mapping dies — no per-slot bookkeeping to repair.
+  std::unique_ptr<ShmServerSegment> shm;
   {
     sync::MutexLock lock(conn->mutex);
     if (conn->closed) return;
@@ -656,6 +799,8 @@ void Server::close_connection(Loop& loop,
     conn->front_sent = 0;
     session = std::exchange(conn->session, 0);
     conn->inflight.clear();
+    shm = std::move(conn->shm);
+    conn->shm_active = false;
   }
   ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);

@@ -14,6 +14,15 @@
 // straight from the engine's fold buffers (EncodedResponse), so a large
 // result is never copied into a serialization buffer.
 //
+// Co-located clients can negotiate the shared-memory fast path
+// (net/shm.hpp): after kShmOffer/kShmAccept/kShmAttach, worker callbacks
+// write result payloads from the fold buffers straight into the
+// connection's ring and queue only a small kShmResult descriptor frame; a
+// full ring (client slow to release) or an oversize payload falls back to
+// the TCP frame per response. The segment is unlinked the moment the
+// client attaches and unmapped on disconnect, so a crashed client leaks
+// nothing.
+//
 // Connection lifecycle: a fresh connection has no session; the client
 // sends kOpenSession (at most once) and queries after that. Closing the
 // socket — or any protocol error (bad magic, CRC mismatch, version
@@ -56,6 +65,13 @@ struct ServerConfig {
   /// protocol-level kMaxPayloadBytes so a hostile header cannot make the
   /// server buffer gigabytes.
   std::uint32_t max_payload_bytes = 64u << 20;
+  /// Honor kShmOffer handshakes: co-located clients get a per-connection
+  /// shared-memory ring and query-result payloads skip the socket. Off =
+  /// offers are refused (Unsupported) and clients fall back to TCP.
+  bool enable_shm = true;
+  /// Clamp on the ring size a client may request (per connection, so 512
+  /// greedy clients cannot pin 512 x unbounded tmpfs pages).
+  std::uint64_t max_shm_ring_bytes = 64ull << 20;
 };
 
 /// Monotonic counters, snapshot under one lock via Server::stats().
@@ -70,6 +86,11 @@ struct ServerStats {
   std::uint64_t payload_errors = 0;     ///< bad payload, connection kept
   std::uint64_t rejected_draining = 0;  ///< queries refused during shutdown
   std::uint64_t responses_dropped = 0;  ///< owning connection already gone
+  std::uint64_t shm_segments = 0;       ///< rings created for kShmOffer
+  std::uint64_t shm_attached = 0;       ///< rings confirmed mapped by clients
+  std::uint64_t responses_shm = 0;      ///< query results shipped via a ring
+  std::uint64_t responses_tcp = 0;      ///< query results shipped as frames
+  std::uint64_t shm_fallbacks = 0;      ///< ring full/oversize -> TCP frame
 };
 
 class Server {

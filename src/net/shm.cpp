@@ -1,0 +1,205 @@
+#include "net/shm.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <random>
+#include <string>
+
+namespace mloc::net {
+namespace {
+
+std::string errno_detail(std::string_view what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// 64 random bits for segment tokens and name suffixes. std::random_device
+/// on Linux draws from the kernel CSPRNG, which is exactly what a
+/// collision-avoidance token wants.
+std::uint64_t random_u64() {
+  static std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShmServerSegment>> ShmServerSegment::create(
+    std::uint64_t ring_bytes) {
+  if (ring_bytes < kShmMinRingBytes || ring_bytes > (1ull << 40)) {
+    return invalid_argument("shm ring size out of range");
+  }
+  const std::uint64_t map_bytes = kShmControlBytes + ring_bytes;
+
+  int fd = -1;
+  std::string name;
+  // O_EXCL + a random suffix: a name collision (stale segment from a
+  // crashed process) is never adopted, only avoided.
+  for (int attempt = 0; attempt < 4 && fd < 0; ++attempt) {
+    name = "/mloc-" + std::to_string(::getpid()) + "-" +
+           std::to_string(random_u64());
+    fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0 && errno != EEXIST) {
+      return io_error(errno_detail("shm_open"));
+    }
+  }
+  if (fd < 0) return io_error("shm_open: could not find a free name");
+
+  auto seg = std::unique_ptr<ShmServerSegment>(new ShmServerSegment());
+  seg->linked_ = true;
+  seg->info_.name = name;
+
+  // posix_fallocate commits backing pages up front: a tmpfs with no room
+  // refuses *here* with ENOSPC (clean fallback to TCP) instead of
+  // delivering SIGBUS on the first ring write later.
+  int rc = ::posix_fallocate(fd, 0, static_cast<off_t>(map_bytes));
+  if (rc != 0) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    seg->linked_ = false;
+    errno = rc;
+    return io_error(errno_detail("posix_fallocate(shm)"));
+  }
+
+  void* addr = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  ::close(fd);  // the mapping keeps the segment alive
+  if (addr == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    seg->linked_ = false;
+    return io_error(errno_detail("mmap(shm)"));
+  }
+
+  seg->map_bytes_ = map_bytes;
+  seg->ctrl_ = new (addr) ShmControl();
+  seg->ctrl_->magic = kShmMagic;
+  seg->ctrl_->layout_version = kShmLayoutVersion;
+  seg->ctrl_->token = random_u64();
+  seg->ctrl_->ring_bytes = ring_bytes;
+  seg->ctrl_->data_offset = static_cast<std::uint32_t>(kShmControlBytes);
+  seg->data_ = static_cast<std::uint8_t*>(addr) + kShmControlBytes;
+
+  seg->info_.ring_bytes = ring_bytes;
+  seg->info_.token = seg->ctrl_->token;
+  seg->info_.data_offset = seg->ctrl_->data_offset;
+  return seg;
+}
+
+ShmServerSegment::~ShmServerSegment() {
+  unlink();
+  if (ctrl_ != nullptr) {
+    ::munmap(static_cast<void*>(ctrl_), map_bytes_);
+  }
+}
+
+std::optional<ShmSlot> ShmServerSegment::try_alloc(
+    std::uint64_t len) noexcept {
+  const std::uint64_t ring = info_.ring_bytes;
+  if (len == 0 || len > ring || len > UINT32_MAX) return std::nullopt;
+  std::uint64_t off = produced_ % ring;
+  std::uint64_t skip = 0;
+  if (off + len > ring) {  // never wrap a payload: skip the tail
+    skip = ring - off;
+    off = 0;
+  }
+  const std::uint64_t consumed =
+      ctrl_->consumed.load(std::memory_order_acquire);
+  if (produced_ + skip + len - consumed > ring) return std::nullopt;  // full
+  ShmSlot slot;
+  slot.offset = off;
+  slot.len = static_cast<std::uint32_t>(len);
+  slot.release = produced_ + skip + len;
+  slot.data = data_ + off;
+  return slot;
+}
+
+void ShmServerSegment::publish(const ShmSlot& slot) noexcept {
+  produced_ = slot.release;
+  ctrl_->produced.store(slot.release, std::memory_order_release);
+}
+
+void ShmServerSegment::unlink() noexcept {
+  if (linked_) {
+    ::shm_unlink(info_.name.c_str());
+    linked_ = false;
+  }
+}
+
+Result<std::unique_ptr<ShmClientSegment>> ShmClientSegment::open(
+    const ShmInfo& info) {
+  if (info.ring_bytes < kShmMinRingBytes ||
+      info.data_offset != kShmControlBytes) {
+    return corrupt_data("shm offer geometry unsupported");
+  }
+  int fd = ::shm_open(info.name.c_str(), O_RDWR, 0);
+  if (fd < 0) return io_error(errno_detail("shm_open"));
+
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return io_error(errno_detail("fstat(shm)"));
+  }
+  const std::uint64_t map_bytes = kShmControlBytes + info.ring_bytes;
+  if (static_cast<std::uint64_t>(st.st_size) < map_bytes) {
+    ::close(fd);
+    return corrupt_data("shm segment smaller than advertised");
+  }
+  void* addr = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) return io_error(errno_detail("mmap(shm)"));
+
+  auto seg = std::unique_ptr<ShmClientSegment>(new ShmClientSegment());
+  seg->ctrl_ = static_cast<ShmControl*>(addr);
+  seg->map_bytes_ = map_bytes;
+  if (seg->ctrl_->magic != kShmMagic ||
+      seg->ctrl_->layout_version != kShmLayoutVersion ||
+      seg->ctrl_->token != info.token ||
+      seg->ctrl_->ring_bytes != info.ring_bytes ||
+      seg->ctrl_->data_offset != info.data_offset) {
+    return corrupt_data("shm control block does not match the offer");
+  }
+  seg->data_ =
+      static_cast<const std::uint8_t*>(addr) + seg->ctrl_->data_offset;
+  seg->ring_bytes_ = info.ring_bytes;
+  return seg;
+}
+
+ShmClientSegment::~ShmClientSegment() {
+  if (ctrl_ != nullptr) {
+    ::munmap(static_cast<void*>(ctrl_), map_bytes_);
+  }
+}
+
+Result<std::span<const std::uint8_t>> ShmClientSegment::view(
+    std::uint64_t offset, std::uint32_t len, std::uint64_t release) const {
+  if (len == 0 || len > ring_bytes_ || offset > ring_bytes_ - len) {
+    return corrupt_data("shm descriptor outside the ring");
+  }
+  // A valid allocation satisfies (release - len) % ring == offset whether
+  // or not the producer skipped the ring tail — cheap structural check.
+  if (release < len || (release - len) % ring_bytes_ != offset) {
+    return corrupt_data("shm descriptor inconsistent with ring discipline");
+  }
+  if (release <= released_) {
+    return corrupt_data("shm descriptor for already-released bytes");
+  }
+  if (ctrl_->produced.load(std::memory_order_acquire) < release) {
+    return corrupt_data("shm descriptor ahead of the producer cursor");
+  }
+  return std::span<const std::uint8_t>(data_ + offset, len);
+}
+
+void ShmClientSegment::release(std::uint64_t release_cursor) noexcept {
+  if (release_cursor > released_) {
+    released_ = release_cursor;
+    ctrl_->consumed.store(release_cursor, std::memory_order_release);
+  }
+}
+
+}  // namespace mloc::net

@@ -1,0 +1,178 @@
+// Shared-memory transport segment for co-located clients — the zero-copy
+// fast path negotiated over the wire protocol (kShmOffer/kShmAccept).
+//
+// A segment is one POSIX shm object (`shm_open`) per client connection:
+//
+//   offset            size        contents
+//        0            4096        control block (ShmControl, page-aligned)
+//   kShmControlBytes  ring_bytes  response byte ring
+//
+// The ring is a single-producer / single-consumer *byte* ring with
+// monotonic 64-bit cursors, not fixed-size slots: response payloads vary
+// from tens of bytes (errors) to hundreds of kilobytes (region reads), so
+// each response claims exactly the bytes it needs. An allocation never
+// wraps mid-payload — when the tail of the ring is too short, the
+// remainder is skipped (accounted into the cursor) and the payload starts
+// at offset 0, so every published payload is contiguous in memory.
+//
+// Cursor protocol (the only cross-process synchronization):
+//   * `produced` — advanced by the server with a release store after the
+//     payload bytes are written; the client reads it with acquire before
+//     touching a descriptor's bytes.
+//   * `consumed` — advanced by the client with a release store after it
+//     has copied a payload out; the server reads it with acquire when
+//     sizing the next allocation.
+// An allocation of `len` bytes at cursor `p` fits iff
+// `p + skip + len - consumed <= ring_bytes`. Descriptors (offset, len,
+// release cursor) travel over the TCP connection as kShmResult frames, in
+// frame order, so the single consumer releases strictly in cursor order.
+//
+// Crash safety: the server `shm_unlink`s the segment the moment the
+// client confirms its mapping (kShmAttach), so the name exists only for
+// the handshake window; after that the segment lives exactly as long as
+// the two mappings. A client that dies mid-read just drops its mapping —
+// the server reclaims everything by unmapping on disconnect, and the
+// kernel frees the pages. No slot ever needs individual reclamation.
+//
+// Thread safety: producer calls (try_alloc/publish) are externally
+// serialized by the owning connection's mutex (see server.cpp); the
+// consumer side is single-threaded (the Client). The cross-process
+// cursors are C++ atomics, which shm placement requires to be
+// address-free — statically asserted below.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace mloc::net {
+
+inline constexpr std::uint32_t kShmMagic = 0x4D48534Du;  // "MSHM" as LE bytes
+/// Bumps on any change to ShmControl or the ring discipline.
+inline constexpr std::uint32_t kShmLayoutVersion = 1;
+/// Control block size == data region offset; one page keeps the ring
+/// page-aligned and leaves room for future control fields.
+inline constexpr std::uint64_t kShmControlBytes = 4096;
+/// Ring size requests are clamped into [min, server's configured max].
+inline constexpr std::uint64_t kShmMinRingBytes = 1u << 12;
+
+/// The first page of every segment. The server placement-constructs it at
+/// creation; the client validates magic/version/token/geometry after
+/// mapping before trusting anything else.
+struct ShmControl {
+  std::uint32_t magic = 0;
+  std::uint32_t layout_version = 0;
+  /// Random per-segment value, echoed in kShmAccept: a client that maps a
+  /// stale or foreign segment by name collision refuses it on mismatch.
+  std::uint64_t token = 0;
+  std::uint64_t ring_bytes = 0;
+  std::uint32_t data_offset = 0;
+  std::uint32_t reserved = 0;
+  std::atomic<std::uint64_t> produced{0};  ///< server: bytes published
+  std::atomic<std::uint64_t> consumed{0};  ///< client: bytes released
+};
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process ring cursors must be address-free atomics");
+static_assert(sizeof(ShmControl) <= kShmControlBytes);
+
+/// Segment identity + geometry as advertised in the kShmAccept frame.
+struct ShmInfo {
+  std::string name;  ///< shm_open name ("/mloc-...")
+  std::uint64_t ring_bytes = 0;
+  std::uint64_t token = 0;
+  std::uint32_t data_offset = 0;
+};
+
+/// One claimed ring extent. `data` points into the producer's mapping;
+/// `release` is the producer cursor after this allocation (what the
+/// consumer stores into `consumed` once done).
+struct ShmSlot {
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  std::uint64_t release = 0;
+  std::uint8_t* data = nullptr;
+};
+
+/// Producer (server) side: creates, maps, and eventually unlinks the
+/// segment. Destruction unmaps and unlinks-if-still-linked, so an
+/// abandoned handshake leaves nothing behind in /dev/shm.
+class ShmServerSegment {
+ public:
+  /// shm_open(O_CREAT|O_EXCL) + posix_fallocate (so a full tmpfs refuses
+  /// here with a clean Status instead of SIGBUS on first touch) + mmap.
+  [[nodiscard]] static Result<std::unique_ptr<ShmServerSegment>> create(
+      std::uint64_t ring_bytes);
+  ~ShmServerSegment();
+
+  ShmServerSegment(const ShmServerSegment&) = delete;
+  ShmServerSegment& operator=(const ShmServerSegment&) = delete;
+
+  [[nodiscard]] const ShmInfo& info() const noexcept { return info_; }
+
+  /// Claim `len` contiguous bytes, or nullopt when the ring cannot hold
+  /// them right now (full, or len exceeds the ring outright) — the caller
+  /// falls back to the TCP frame path. Caller must publish() or abandon
+  /// the slot before the next try_alloc (single producer).
+  [[nodiscard]] std::optional<ShmSlot> try_alloc(std::uint64_t len) noexcept;
+
+  /// Release-publish the slot's bytes to the consumer. Call after the
+  /// payload is fully written into slot.data.
+  void publish(const ShmSlot& slot) noexcept;
+
+  /// Remove the name from /dev/shm (idempotent). Called once the client
+  /// confirms its mapping; the segment stays alive through the mappings.
+  void unlink() noexcept;
+
+ private:
+  ShmServerSegment() = default;
+
+  ShmInfo info_;
+  ShmControl* ctrl_ = nullptr;  ///< start of the mapping
+  std::uint8_t* data_ = nullptr;
+  std::uint64_t map_bytes_ = 0;
+  /// Producer-local mirror of ctrl_->produced (only this side writes it).
+  std::uint64_t produced_ = 0;
+  bool linked_ = false;
+};
+
+/// Consumer (client) side: maps an offered segment and validates
+/// descriptors before exposing their bytes.
+class ShmClientSegment {
+ public:
+  /// shm_open + mmap + control-block validation (magic, layout version,
+  /// token, geometry vs the mapped size). Any mismatch is a clean error
+  /// and the caller reports kShmAttach{mapped=false} to stay on TCP.
+  [[nodiscard]] static Result<std::unique_ptr<ShmClientSegment>> open(
+      const ShmInfo& info);
+  ~ShmClientSegment();
+
+  ShmClientSegment(const ShmClientSegment&) = delete;
+  ShmClientSegment& operator=(const ShmClientSegment&) = delete;
+
+  /// Validate a kShmResult descriptor against the ring geometry and the
+  /// producer cursor (acquire), returning a view of the payload bytes in
+  /// place. The view is valid until release().
+  [[nodiscard]] Result<std::span<const std::uint8_t>> view(
+      std::uint64_t offset, std::uint32_t len, std::uint64_t release) const;
+
+  /// Hand the bytes up to cursor `release` back to the producer
+  /// (release-store into `consumed`). Descriptors arrive in cursor order
+  /// over TCP, so monotonicity is enforced, not assumed.
+  void release(std::uint64_t release_cursor) noexcept;
+
+ private:
+  ShmClientSegment() = default;
+
+  ShmControl* ctrl_ = nullptr;
+  const std::uint8_t* data_ = nullptr;
+  std::uint64_t ring_bytes_ = 0;
+  std::uint64_t map_bytes_ = 0;
+  std::uint64_t released_ = 0;  ///< consumer-local mirror of consumed
+};
+
+}  // namespace mloc::net

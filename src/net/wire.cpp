@@ -127,6 +127,8 @@ bool frame_type_known(std::uint16_t raw) noexcept {
     case FrameType::kSessionStats:
     case FrameType::kPing:
     case FrameType::kListVariables:
+    case FrameType::kShmOffer:
+    case FrameType::kShmAttach:
     case FrameType::kSessionOpened:
     case FrameType::kQueryResult:
     case FrameType::kStatsResult:
@@ -134,6 +136,8 @@ bool frame_type_known(std::uint16_t raw) noexcept {
     case FrameType::kAck:
     case FrameType::kPong:
     case FrameType::kVariableList:
+    case FrameType::kShmAccept:
+    case FrameType::kShmResult:
       return true;
   }
   return false;
@@ -391,6 +395,7 @@ void put_response_prefix(ByteWriter& w, const service::Response& resp) {
   w.put_f64(st.modeled_s);
   put_cache_stats(w, st.cache);
   put_exec_stats(w, st.exec);
+  w.put_u8(st.via_shm ? 1 : 0);
   const QueryResult& res = resp.result;
   w.put_f64(res.times.io);
   w.put_f64(res.times.decompress);
@@ -407,6 +412,12 @@ void put_response_prefix(ByteWriter& w, const service::Response& resp) {
 }
 
 }  // namespace
+
+Bytes encode_response_prefix(const service::Response& resp) {
+  ByteWriter w;
+  put_response_prefix(w, resp);
+  return std::move(w).take();
+}
 
 EncodedResponse encode_response_frame(std::uint64_t request_id,
                                       service::Response resp) {
@@ -451,6 +462,9 @@ Result<service::Response> decode_response(std::span<const std::uint8_t> p) {
   MLOC_ASSIGN_OR_RETURN(st.modeled_s, r.get_f64());
   MLOC_ASSIGN_OR_RETURN(st.cache, get_cache_stats(r));
   MLOC_ASSIGN_OR_RETURN(st.exec, get_exec_stats(r));
+  std::uint8_t via_shm = 0;
+  MLOC_ASSIGN_OR_RETURN(via_shm, r.get_u8());
+  st.via_shm = via_shm != 0;
   QueryResult& res = resp.result;
   MLOC_ASSIGN_OR_RETURN(res.times.io, r.get_f64());
   MLOC_ASSIGN_OR_RETURN(res.times.decompress, r.get_f64());
@@ -506,6 +520,10 @@ Bytes encode_stats(const StatsSnapshot& s) {
   w.put_u64(a.sessions_open);
   w.put_u64(a.ingests);
   w.put_u64(a.ingest_failures);
+  w.put_u64(a.responses_shm);
+  w.put_u64(a.responses_tcp);
+  w.put_u64(a.bytes_shm);
+  w.put_u64(a.bytes_tcp);
   w.put_u64(a.ingest.cells_routed);
   w.put_u64(a.ingest.fragments_encoded);
   w.put_u64(a.ingest.bins_written);
@@ -553,6 +571,10 @@ Result<StatsSnapshot> decode_stats(std::span<const std::uint8_t> p) {
   MLOC_ASSIGN_OR_RETURN(a.sessions_open, r.get_u64());
   MLOC_ASSIGN_OR_RETURN(a.ingests, r.get_u64());
   MLOC_ASSIGN_OR_RETURN(a.ingest_failures, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.responses_shm, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.responses_tcp, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.bytes_shm, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(a.bytes_tcp, r.get_u64());
   MLOC_ASSIGN_OR_RETURN(a.ingest.cells_routed, r.get_u64());
   MLOC_ASSIGN_OR_RETURN(a.ingest.fragments_encoded, r.get_u64());
   MLOC_ASSIGN_OR_RETURN(a.ingest.bins_written, r.get_u64());
@@ -616,6 +638,84 @@ Result<service::SessionStats> decode_session_stats(
     return corrupt_data("session-stats payload has trailing bytes");
   }
   return s;
+}
+
+Bytes encode_shm_offer(std::uint64_t ring_bytes) {
+  ByteWriter w;
+  w.put_u64(ring_bytes);
+  return std::move(w).take();
+}
+
+Result<std::uint64_t> decode_shm_offer(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  std::uint64_t ring_bytes = 0;
+  MLOC_ASSIGN_OR_RETURN(ring_bytes, r.get_u64());
+  if (!r.exhausted()) {
+    return corrupt_data("shm-offer payload has trailing bytes");
+  }
+  return ring_bytes;
+}
+
+Bytes encode_shm_accept(const ShmInfo& info) {
+  ByteWriter w;
+  w.put_string(info.name);
+  w.put_u64(info.ring_bytes);
+  w.put_u64(info.token);
+  w.put_u32(info.data_offset);
+  return std::move(w).take();
+}
+
+Result<ShmInfo> decode_shm_accept(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  ShmInfo info;
+  MLOC_ASSIGN_OR_RETURN(info.name, r.get_string());
+  MLOC_ASSIGN_OR_RETURN(info.ring_bytes, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(info.token, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(info.data_offset, r.get_u32());
+  if (info.name.empty() || info.name.front() != '/') {
+    return corrupt_data("shm-accept segment name is not absolute");
+  }
+  if (!r.exhausted()) {
+    return corrupt_data("shm-accept payload has trailing bytes");
+  }
+  return info;
+}
+
+Bytes encode_shm_attach(bool mapped) {
+  ByteWriter w;
+  w.put_u8(mapped ? 1 : 0);
+  return std::move(w).take();
+}
+
+Result<bool> decode_shm_attach(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  std::uint8_t mapped = 0;
+  MLOC_ASSIGN_OR_RETURN(mapped, r.get_u8());
+  if (mapped > 1) return corrupt_data("shm-attach flag is not a boolean");
+  if (!r.exhausted()) {
+    return corrupt_data("shm-attach payload has trailing bytes");
+  }
+  return mapped != 0;
+}
+
+Bytes encode_shm_result(const ShmDescriptor& d) {
+  ByteWriter w;
+  w.put_u64(d.offset);
+  w.put_u32(d.len);
+  w.put_u64(d.release);
+  return std::move(w).take();
+}
+
+Result<ShmDescriptor> decode_shm_result(std::span<const std::uint8_t> p) {
+  ByteReader r(p);
+  ShmDescriptor d;
+  MLOC_ASSIGN_OR_RETURN(d.offset, r.get_u64());
+  MLOC_ASSIGN_OR_RETURN(d.len, r.get_u32());
+  MLOC_ASSIGN_OR_RETURN(d.release, r.get_u64());
+  if (!r.exhausted()) {
+    return corrupt_data("shm-result payload has trailing bytes");
+  }
+  return d;
 }
 
 Bytes encode_variable_list(const std::vector<MlocStore::VariableDesc>& vars) {

@@ -33,6 +33,16 @@
 // little-endian element bytes: the server sends them straight from the
 // engine's fold buffers with scatter-gather writev (no serialization copy),
 // and the CRC is computed incrementally across the pieces.
+//
+// Shared-memory fast path (net/shm.hpp): a co-located client can offer a
+// per-connection shm ring (kShmOffer -> kShmAccept -> kShmAttach). Once
+// attached, query-result payloads are written into ring slots and only a
+// small kShmResult descriptor travels over TCP; the slot bytes are the
+// exact kQueryResult payload, so decode_response parses either transport.
+// Ring bytes carry no payload CRC — they cross shared memory, not a
+// network — while the descriptor frame keeps the normal frame CRCs. The
+// capability is negotiated per connection, never assumed, so non-shm
+// peers are unaffected.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +51,7 @@
 #include <string_view>
 #include <vector>
 
+#include "net/shm.hpp"
 #include "service/query_service.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
@@ -48,7 +59,10 @@
 namespace mloc::net {
 
 inline constexpr std::uint32_t kMagic = 0x434F4C4Du;  // "MLOC" as LE bytes
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: response prefix gained the via_shm transport flag and the STATS
+/// payload gained per-transport counters (existing-payload layout changes,
+/// hence the bump). The shm frames themselves are new types, not a bump.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 28;
 /// Upper bound on payload_len: rejects absurd lengths (corrupt or hostile
 /// headers) before any allocation. 1 GiB comfortably covers the largest
@@ -65,6 +79,8 @@ enum class FrameType : std::uint16_t {
   kSessionStats = 6,  ///< payload: empty         -> kSessionStatsResult
   kPing = 7,          ///< payload: empty         -> kPong
   kListVariables = 8, ///< payload: empty         -> kVariableList
+  kShmOffer = 9,      ///< payload: ring_bytes    -> kShmAccept | kAck(error)
+  kShmAttach = 10,    ///< payload: mapped flag   -> kAck
   // server -> client
   kSessionOpened = 64,      ///< payload: SessionId (u64)
   kQueryResult = 65,        ///< payload: Response
@@ -73,6 +89,8 @@ enum class FrameType : std::uint16_t {
   kAck = 68,                ///< payload: Status
   kPong = 69,               ///< payload: empty
   kVariableList = 70,       ///< payload: per-variable name + layout
+  kShmAccept = 71,          ///< payload: segment name + geometry + token
+  kShmResult = 72,          ///< payload: ring descriptor (response in shm)
 };
 
 /// True for the FrameType values this protocol version defines.
@@ -146,6 +164,12 @@ struct EncodedResponse {
 EncodedResponse encode_response_frame(std::uint64_t request_id,
                                       service::Response resp);
 
+/// The kQueryResult payload minus the trailing arrays, for callers that
+/// place the payload somewhere other than a TCP frame (the shm ring):
+/// prefix bytes followed by the raw position/value element bytes are
+/// exactly what decode_response parses.
+Bytes encode_response_prefix(const service::Response& resp);
+
 /// Inverse of encode_response_frame's payload (head payload + arrays).
 Result<service::Response> decode_response(std::span<const std::uint8_t> p);
 
@@ -162,6 +186,34 @@ Result<StatsSnapshot> decode_stats(std::span<const std::uint8_t> p);
 Bytes encode_session_stats(const service::SessionStats& s);
 Result<service::SessionStats> decode_session_stats(
     std::span<const std::uint8_t> p);
+
+// ------------------------------------------------- shm transport frames
+
+/// kShmOffer: the ring size the client proposes (the server clamps it).
+Bytes encode_shm_offer(std::uint64_t ring_bytes);
+Result<std::uint64_t> decode_shm_offer(std::span<const std::uint8_t> p);
+
+/// kShmAccept: the created segment's identity and geometry (net/shm.hpp).
+Bytes encode_shm_accept(const ShmInfo& info);
+Result<ShmInfo> decode_shm_accept(std::span<const std::uint8_t> p);
+
+/// kShmAttach: whether the client mapped and validated the segment.
+/// mapped=false reports a clean fallback — the server tears the segment
+/// down and the connection stays on TCP.
+Bytes encode_shm_attach(bool mapped);
+Result<bool> decode_shm_attach(std::span<const std::uint8_t> p);
+
+/// kShmResult payload: where in the ring the response payload lives.
+/// `release` is the producer cursor after the allocation — the value the
+/// client stores into `consumed` once it has copied the bytes out.
+struct ShmDescriptor {
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  std::uint64_t release = 0;
+};
+
+Bytes encode_shm_result(const ShmDescriptor& d);
+Result<ShmDescriptor> decode_shm_result(std::span<const std::uint8_t> p);
 
 /// The store's per-variable inventory (MlocStore::describe_all), so a
 /// remote reader can audit a mixed-layout store without filesystem

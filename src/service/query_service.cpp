@@ -316,6 +316,18 @@ void QueryService::finish(std::unique_ptr<PendingQuery> p, Response resp) {
   }
 }
 
+void QueryService::record_transport(bool via_shm,
+                                    std::uint64_t payload_bytes) {
+  sync::MutexLock lock(mutex_);
+  if (via_shm) {
+    ++agg_.responses_shm;
+    agg_.bytes_shm += payload_bytes;
+  } else {
+    ++agg_.responses_tcp;
+    agg_.bytes_tcp += payload_bytes;
+  }
+}
+
 AggregateStats QueryService::aggregate() const {
   sync::MutexLock lock(mutex_);
   return agg_;

@@ -103,6 +103,10 @@ struct ServiceStats {
   CacheStats cache;           ///< fragment-cache accounting for this query
   ExecStats exec;             ///< engine accounting: bytes planned/read/
                               ///< cached, extents before/after coalescing
+  /// Set by the wire server when the response payload travelled through a
+  /// shared-memory ring slot instead of a TCP frame. Always false for
+  /// in-process callers.
+  bool via_shm = false;
 };
 
 /// Everything a client gets back for one submission.
@@ -149,6 +153,15 @@ struct AggregateStats {
   std::uint64_t sessions_open = 0;
   std::uint64_t ingests = 0;          ///< successful QueryService::ingest calls
   std::uint64_t ingest_failures = 0;
+  /// Per-transport response delivery, folded in by the wire server via
+  /// record_transport() — outside the submitted invariant above (a
+  /// response is counted here only once a front end delivers it, and
+  /// in-process callers never do). Bytes count the response payload, not
+  /// framing.
+  std::uint64_t responses_shm = 0;
+  std::uint64_t responses_tcp = 0;
+  std::uint64_t bytes_shm = 0;
+  std::uint64_t bytes_tcp = 0;
   /// Cumulative write-path accounting (MlocStore::ingest_stats snapshot).
   ingest::IngestStats ingest;
 };
@@ -225,6 +238,13 @@ class QueryService {
   /// finish but keeps new arrivals queued; admission control still applies.
   void pause() MLOC_EXCLUDES(mutex_);
   void resume() MLOC_EXCLUDES(mutex_);
+
+  /// Fold one delivered response into the per-transport aggregates
+  /// (AggregateStats::responses_shm/...). Called by a front end (the wire
+  /// server) after it has chosen how to ship the response; `payload_bytes`
+  /// is the response payload size on the wire or in the ring.
+  void record_transport(bool via_shm, std::uint64_t payload_bytes)
+      MLOC_EXCLUDES(mutex_);
 
   [[nodiscard]] AggregateStats aggregate() const MLOC_EXCLUDES(mutex_);
   [[nodiscard]] Result<SessionStats> session_stats(SessionId id) const

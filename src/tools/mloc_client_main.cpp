@@ -5,6 +5,7 @@
 //               [--sc LO:HI[,LO:HI...]] [--plod L] [--ranks R]
 //               [--region-only] [--select VAR:LO:HI ...] [--combine and|or]
 //               [--fetch VAR] [--deadline S] [--repeat N]
+//               [--shm | --no-shm] [--shm-ring-kb KB]
 //   mloc_client stats --port P [--host H]
 //   mloc_client session-stats --port P [--host H]
 //   mloc_client vars  --port P [--host H]
@@ -14,6 +15,12 @@
 // stats that only exist behind the service (queue wait, cache hits).
 // Multi-variable selection: repeat --select VAR:LO:HI per predicate;
 // --fetch retrieves a variable's values at the surviving positions.
+//
+// Shared memory: by default `query` offers the server the shm fast path
+// (net/shm.hpp) and silently stays on TCP if the server refuses —
+// --no-shm skips the offer, --shm makes a refusal fatal (for scripts
+// that must assert the fast path), --shm-ring-kb sizes the ring
+// (default 4096).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -75,7 +82,11 @@ int usage() {
       "              [--sc LO:HI[,LO:HI...]] [--plod L] [--ranks R]\n"
       "              [--region-only] [--select VAR:LO:HI ...]\n"
       "              [--combine and|or] [--fetch VAR] [--deadline S]\n"
-      "              [--repeat N]\n"
+      "              [--repeat N] [--shm | --no-shm] [--shm-ring-kb KB]\n"
+      "      --shm          require the shared-memory fast path (a server\n"
+      "                     refusal is fatal); default is best-effort\n"
+      "      --no-shm       stay on TCP, skip the shm offer entirely\n"
+      "      --shm-ring-kb  response ring size in KiB (default 4096)\n"
       "  mloc_client stats --port P [--host H]\n"
       "  mloc_client session-stats --port P [--host H]\n"
       "  mloc_client vars  --port P [--host H]\n");
@@ -185,10 +196,11 @@ void print_response(const service::Response& resp) {
   }
   std::printf(
       "serving: queue %.3f ms, exec %.3f ms, cache %llu hits / %llu "
-      "misses\n",
+      "misses, via %s\n",
       resp.stats.queue_wait_s * 1e3, resp.stats.exec_wall_s * 1e3,
       static_cast<unsigned long long>(resp.stats.cache.hits),
-      static_cast<unsigned long long>(resp.stats.cache.misses));
+      static_cast<unsigned long long>(resp.stats.cache.misses),
+      resp.stats.via_shm ? "shm" : "tcp");
 }
 
 int cmd_ping(const Args& args) {
@@ -206,6 +218,14 @@ int cmd_query(const Args& args) {
   if (Status st = connect(args, &c); !st.is_ok()) return fail(st);
   if (auto sid = c.open_session("mloc_client"); !sid.is_ok()) {
     return fail(sid.status());
+  }
+  if (!args.has_flag("no-shm")) {
+    const std::uint64_t ring_kb = static_cast<std::uint64_t>(
+        std::atoll(args.get("shm-ring-kb", "4096").c_str()));
+    const Status st = c.enable_shm(ring_kb << 10);
+    // Best-effort by default: a refused offer just keeps TCP. --shm is
+    // for scripts that need to *assert* the fast path.
+    if (!st.is_ok() && args.has_flag("shm")) return fail(st);
   }
 
   const int repeat = std::max(1, std::atoi(args.get("repeat", "1").c_str()));

@@ -3,6 +3,11 @@
 //   mloc_server --store DIR [--host H] [--port P] [--loops N]
 //               [--workers N] [--queue-depth N] [--cache-mb MB]
 //               [--grace SECONDS] [--port-file PATH]
+//               [--no-shm] [--max-shm-ring-mb MB]
+//
+// Shared memory: co-located clients may negotiate a per-connection shm
+// ring for response payloads (they request it; --no-shm refuses all
+// offers, --max-shm-ring-mb clamps the per-connection ring size).
 //
 // Binds (ephemeral port by default), prints "mloc_server listening on
 // HOST:PORT", and serves until SIGINT/SIGTERM. On a signal it stops
@@ -15,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,11 +45,15 @@ void on_signal(int) {
 
 struct Args {
   std::map<std::string, std::string> options;
+  std::set<std::string> flags;
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback = "") const {
     const auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has_flag(const std::string& key) const {
+    return flags.count(key) != 0;
   }
 };
 
@@ -55,16 +65,24 @@ Args parse_args(int argc, char** argv) {
     token = token.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[token] = argv[++i];
+    } else {
+      args.flags.insert(token);
     }
   }
   return args;
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: mloc_server --store DIR [--host H] [--port P]\n"
-               "       [--loops N] [--workers N] [--queue-depth N]\n"
-               "       [--cache-mb MB] [--grace SECONDS] [--port-file PATH]\n");
+  std::fprintf(
+      stderr,
+      "usage: mloc_server --store DIR [--host H] [--port P]\n"
+      "       [--loops N] [--workers N] [--queue-depth N]\n"
+      "       [--cache-mb MB] [--grace SECONDS] [--port-file PATH]\n"
+      "       [--no-shm] [--max-shm-ring-mb MB]\n"
+      "  --no-shm              refuse shared-memory transport offers;\n"
+      "                        co-located clients stay on TCP\n"
+      "  --max-shm-ring-mb MB  clamp per-connection shm ring size\n"
+      "                        (default 64)\n");
   return 2;
 }
 
@@ -100,6 +118,11 @@ int main(int argc, char** argv) {
   srv_cfg.port = static_cast<std::uint16_t>(std::atoi(args.get("port", "0").c_str()));
   srv_cfg.num_loops = std::atoi(args.get("loops", "2").c_str());
   srv_cfg.drain_grace_s = std::atof(args.get("grace", "5").c_str());
+  srv_cfg.enable_shm = !args.has_flag("no-shm");
+  srv_cfg.max_shm_ring_bytes =
+      static_cast<std::uint64_t>(
+          std::atoll(args.get("max-shm-ring-mb", "64").c_str()))
+      << 20;
   net::Server server(svc, srv_cfg);
   if (Status st = server.start(); !st.is_ok()) return fail(st);
 
@@ -135,11 +158,14 @@ int main(int argc, char** argv) {
   const net::ServerStats st = server.stats();
   std::printf(
       "mloc_server stopped: %llu connections, %llu frames in, %llu frames "
-      "out, %llu protocol errors, %llu responses dropped\n",
+      "out, %llu protocol errors, %llu responses dropped, %llu shm / %llu "
+      "tcp responses\n",
       static_cast<unsigned long long>(st.connections_accepted),
       static_cast<unsigned long long>(st.frames_received),
       static_cast<unsigned long long>(st.frames_sent),
       static_cast<unsigned long long>(st.protocol_errors),
-      static_cast<unsigned long long>(st.responses_dropped));
+      static_cast<unsigned long long>(st.responses_dropped),
+      static_cast<unsigned long long>(st.responses_shm),
+      static_cast<unsigned long long>(st.responses_tcp));
   return 0;
 }

@@ -318,6 +318,66 @@ TEST(WireCancel, RoundTripAndTruncation) {
   }
 }
 
+TEST(WireShm, OfferRoundTripAndTruncation) {
+  auto back = decode_shm_offer(encode_shm_offer(4ull << 20));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value(), 4ull << 20);
+  const Bytes p = encode_shm_offer(1);
+  for (std::size_t len = 0; len < p.size(); ++len) {
+    EXPECT_FALSE(decode_shm_offer({p.data(), len}).is_ok());
+  }
+}
+
+TEST(WireShm, AcceptRoundTripAndValidation) {
+  ShmInfo info;
+  info.name = "/mloc-1234-deadbeef";
+  info.ring_bytes = 8ull << 20;
+  info.token = 0xFEEDFACECAFED00Dull;
+  info.data_offset = kShmControlBytes;
+  auto back = decode_shm_accept(encode_shm_accept(info));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().name, info.name);
+  EXPECT_EQ(back.value().ring_bytes, info.ring_bytes);
+  EXPECT_EQ(back.value().token, info.token);
+  EXPECT_EQ(back.value().data_offset, info.data_offset);
+
+  const Bytes p = encode_shm_accept(info);
+  for (std::size_t len = 0; len < p.size(); ++len) {
+    EXPECT_FALSE(decode_shm_accept({p.data(), len}).is_ok());
+  }
+  // A name without the leading '/' cannot come from a well-behaved peer.
+  ShmInfo bad = info;
+  bad.name = "no-slash";
+  EXPECT_FALSE(decode_shm_accept(encode_shm_accept(bad)).is_ok());
+}
+
+TEST(WireShm, AttachRoundTripAndTruncation) {
+  for (bool mapped : {true, false}) {
+    auto back = decode_shm_attach(encode_shm_attach(mapped));
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value(), mapped);
+  }
+  EXPECT_FALSE(decode_shm_attach({}).is_ok());
+  const Bytes junk = {7};  // only 0/1 are valid mapped flags
+  EXPECT_FALSE(decode_shm_attach(junk).is_ok());
+}
+
+TEST(WireShm, ResultDescriptorRoundTripAndTruncation) {
+  ShmDescriptor d;
+  d.offset = 0x123456789ull;
+  d.len = 0xABCDEF0u;
+  d.release = 0x9876543210ull;
+  auto back = decode_shm_result(encode_shm_result(d));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().offset, d.offset);
+  EXPECT_EQ(back.value().len, d.len);
+  EXPECT_EQ(back.value().release, d.release);
+  const Bytes p = encode_shm_result(d);
+  for (std::size_t len = 0; len < p.size(); ++len) {
+    EXPECT_FALSE(decode_shm_result({p.data(), len}).is_ok());
+  }
+}
+
 service::Response full_response() {
   service::Response resp;
   resp.status = Status::ok();
@@ -326,6 +386,7 @@ service::Response full_response() {
   resp.stats.queue_wait_s = 0.25;
   resp.stats.exec_wall_s = 1.5;
   resp.stats.modeled_s = 0.75;
+  resp.stats.via_shm = true;
   resp.stats.cache = {1, 2, 3, 4};
   resp.stats.exec = {10, 20, 30, 40, 50, 60};
   resp.result.times.io = 0.125;
@@ -384,6 +445,7 @@ TEST(WireResponse, ScatterGatherRoundTrip) {
   EXPECT_EQ(b.stats.queue_wait_s, resp.stats.queue_wait_s);
   EXPECT_EQ(b.stats.exec_wall_s, resp.stats.exec_wall_s);
   EXPECT_EQ(b.stats.modeled_s, resp.stats.modeled_s);
+  EXPECT_EQ(b.stats.via_shm, resp.stats.via_shm);
   EXPECT_EQ(b.stats.cache.hits, resp.stats.cache.hits);
   EXPECT_EQ(b.stats.exec.bytes_read, resp.stats.exec.bytes_read);
   EXPECT_EQ(b.result.times.io, resp.result.times.io);
@@ -442,6 +504,10 @@ TEST(WireStats, RoundTripEveryField) {
   s.agg.sessions_open = n++;
   s.agg.ingests = n++;
   s.agg.ingest_failures = n++;
+  s.agg.responses_shm = n++;
+  s.agg.responses_tcp = n++;
+  s.agg.bytes_shm = n++;
+  s.agg.bytes_tcp = n++;
   s.agg.ingest.cells_routed = n++;
   s.agg.ingest.fragments_encoded = n++;
   s.agg.ingest.bins_written = n++;
@@ -473,6 +539,10 @@ TEST(WireStats, RoundTripEveryField) {
   EXPECT_EQ(b.agg.sessions_opened, s.agg.sessions_opened);
   EXPECT_EQ(b.agg.sessions_open, s.agg.sessions_open);
   EXPECT_EQ(b.agg.ingests, s.agg.ingests);
+  EXPECT_EQ(b.agg.responses_shm, s.agg.responses_shm);
+  EXPECT_EQ(b.agg.responses_tcp, s.agg.responses_tcp);
+  EXPECT_EQ(b.agg.bytes_shm, s.agg.bytes_shm);
+  EXPECT_EQ(b.agg.bytes_tcp, s.agg.bytes_tcp);
   EXPECT_EQ(b.agg.ingest.bytes_written, s.agg.ingest.bytes_written);
   EXPECT_EQ(b.agg.ingest.wall_s, s.agg.ingest.wall_s);
   EXPECT_EQ(b.agg.ingest.threads, s.agg.ingest.threads);
